@@ -1,0 +1,37 @@
+//! The baseline the paper argues against (§1): a message-queuing-style
+//! system where
+//!
+//! * every SHB keeps a **persistent event log per durable subscriber**
+//!   ([`PerSubscriberLog`]) — an event matching `n` subscribers is logged
+//!   `n` times at that SHB (and once more at every SHB whose subscribers
+//!   match it), and
+//! * events are **store-and-forward** routed: each hop logs the event
+//!   durably before forwarding ([`StoreForwardBroker`]), so end-to-end
+//!   latency accumulates a disk sync per hop.
+//!
+//! Two experiments use this crate: the PFS microbenchmark (paper §5.1.2 —
+//! PFS logs ≈25× less data and runs >5× faster than per-subscriber event
+//! logging) and the end-to-end latency comparison (only-once logging at
+//! the PHB vs a sync at every hop).
+//!
+//! # Examples
+//!
+//! ```
+//! use gryphon_baseline::PerSubscriberLog;
+//! use gryphon_storage::MemFactory;
+//! use gryphon_types::{Event, PubendId, SubscriberId, Timestamp};
+//!
+//! let mut log = PerSubscriberLog::open(Box::new(MemFactory::new()), "mq")?;
+//! let e = Event::builder(PubendId(0)).payload(vec![0u8; 250]).build_ref(Timestamp(5));
+//! log.append(SubscriberId(1), &e)?;
+//! log.append(SubscriberId(2), &e)?; // logged once *per subscriber*
+//! log.sync()?;
+//! assert_eq!(log.read_from(SubscriberId(1), Timestamp::ZERO)?.len(), 1);
+//! # Ok::<(), gryphon_storage::StorageError>(())
+//! ```
+
+mod per_sub_log;
+mod store_forward;
+
+pub use per_sub_log::PerSubscriberLog;
+pub use store_forward::{SfConfig, SfSubscriber, StoreForwardBroker};

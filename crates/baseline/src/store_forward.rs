@@ -1,0 +1,221 @@
+//! Store-and-forward broker chain (the latency baseline).
+//!
+//! Commercial MQ systems of the paper's era log an event durably at
+//! *every* hop of a multi-broker network before forwarding it. This node
+//! models that: on receiving an event it buffers it, and only after a
+//! modeled group-commit latency forwards it downstream. A 5-hop chain
+//! therefore pays ~5 disk syncs of latency, against Gryphon's single sync
+//! at the PHB.
+
+use gryphon_sim::{Node, NodeCtx, TimerKey};
+use gryphon_types::{
+    DeliveryKind, DeliveryMsg, Event, NetMsg, NodeId, PublishMsg, ServerMsg, SubscriberId,
+    Timestamp,
+};
+use std::sync::Arc;
+
+const T_COMMIT: TimerKey = TimerKey(0x5F01);
+
+/// Configuration for a [`StoreForwardBroker`].
+#[derive(Debug, Clone, Copy)]
+pub struct SfConfig {
+    /// Group-commit interval (buffer window).
+    pub commit_interval_us: u64,
+    /// Modeled durability latency per group commit (same disk model as
+    /// the Gryphon PHB: 44 ms in the paper's setup).
+    pub commit_latency_us: u64,
+}
+
+impl Default for SfConfig {
+    fn default() -> Self {
+        SfConfig {
+            commit_interval_us: 4_000,
+            commit_latency_us: 44_000,
+        }
+    }
+}
+
+/// One hop of an MQ-style store-and-forward chain.
+///
+/// Accepts [`NetMsg::Publish`] from upstream (publisher or previous hop),
+/// assigns timestamps at the first hop, logs-then-forwards to the next
+/// hop, and delivers to attached [`SfSubscriber`]s at the last hop.
+#[derive(Debug)]
+pub struct StoreForwardBroker {
+    config: SfConfig,
+    next_hop: Option<NodeId>,
+    subscribers: Vec<(SubscriberId, NodeId)>,
+    pending: Vec<PublishMsg>,
+    commit_scheduled: bool,
+    next_ts: u64,
+    /// Events that have transited this hop.
+    pub forwarded: u64,
+}
+
+impl StoreForwardBroker {
+    /// Creates a hop.
+    pub fn new(config: SfConfig) -> Self {
+        StoreForwardBroker {
+            config,
+            next_hop: None,
+            subscribers: Vec::new(),
+            pending: Vec::new(),
+            commit_scheduled: false,
+            next_ts: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Sets the downstream hop.
+    pub fn set_next_hop(&mut self, next: NodeId) {
+        self.next_hop = Some(next);
+    }
+
+    /// Attaches a terminal subscriber.
+    pub fn add_subscriber(&mut self, sub: SubscriberId, node: NodeId) {
+        self.subscribers.push((sub, node));
+    }
+}
+
+impl Node for StoreForwardBroker {
+    fn on_message(&mut self, _from: NodeId, msg: NetMsg, ctx: &mut dyn NodeCtx) {
+        let NetMsg::Publish(m) = msg else {
+            return;
+        };
+        self.pending.push(m);
+        if !self.commit_scheduled {
+            self.commit_scheduled = true;
+            ctx.set_timer(
+                self.config.commit_interval_us + self.config.commit_latency_us,
+                T_COMMIT,
+            );
+        }
+    }
+
+    fn on_timer(&mut self, key: TimerKey, ctx: &mut dyn NodeCtx) {
+        if key != T_COMMIT {
+            return;
+        }
+        self.commit_scheduled = false;
+        for m in std::mem::take(&mut self.pending) {
+            self.forwarded += 1;
+            if let Some(next) = self.next_hop {
+                ctx.send(next, NetMsg::Publish(m));
+            } else {
+                // Terminal hop: deliver to subscribers.
+                self.next_ts += 1;
+                let event = Arc::new(Event {
+                    pubend: m.pubend,
+                    ts: Timestamp(self.next_ts),
+                    attrs: m.attrs,
+                    payload: m.payload,
+                });
+                for &(sub, node) in &self.subscribers {
+                    ctx.send(
+                        node,
+                        NetMsg::Server(ServerMsg::Deliver {
+                            sub,
+                            msg: DeliveryMsg {
+                                pubend: event.pubend,
+                                kind: DeliveryKind::Event(event.clone()),
+                            },
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Terminal consumer for the store-and-forward chain: records end-to-end
+/// latency from the `_sent_us` attribute.
+#[derive(Debug, Default)]
+pub struct SfSubscriber {
+    /// Events received.
+    pub events: u64,
+    /// Sum of end-to-end latencies (µs) for averaging.
+    pub latency_sum_us: u64,
+}
+
+impl SfSubscriber {
+    /// Creates the consumer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean end-to-end latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.latency_sum_us as f64 / self.events as f64 / 1_000.0
+    }
+}
+
+impl Node for SfSubscriber {
+    fn on_message(&mut self, _from: NodeId, msg: NetMsg, ctx: &mut dyn NodeCtx) {
+        if let NetMsg::Server(ServerMsg::Deliver { msg, .. }) = msg {
+            if let DeliveryKind::Event(e) = &msg.kind {
+                self.events += 1;
+                if let Some(gryphon_types::AttrValue::Int(sent)) = e.attr("_sent_us") {
+                    self.latency_sum_us += ctx.now_us().saturating_sub(*sent as u64);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _key: TimerKey, _ctx: &mut dyn NodeCtx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gryphon_sim::Sim;
+
+    #[test]
+    fn five_hop_chain_accumulates_per_hop_latency() {
+        let mut sim = Sim::new(1);
+        let cfg = SfConfig {
+            commit_interval_us: 1_000,
+            commit_latency_us: 10_000,
+        };
+        let mut hops = Vec::new();
+        for i in 0..5 {
+            let h = sim.add_typed_node(&format!("hop{i}"), StoreForwardBroker::new(cfg));
+            hops.push(h);
+        }
+        for w in hops.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            sim.node(a).set_next_hop(b.id());
+            sim.connect(a.id(), b.id(), 1_000);
+        }
+        let consumer = sim.add_typed_node("consumer", SfSubscriber::new());
+        sim.node(hops[4]).add_subscriber(SubscriberId(1), consumer.id());
+        sim.connect(hops[4].id(), consumer.id(), 500);
+        // Inject 10 publishes with sent timestamps.
+        for i in 0..10u64 {
+            let mut attrs = gryphon_types::Attributes::new();
+            let at = i * 2_000;
+            attrs.insert("_sent_us".into(), (at as i64).into());
+            sim.inject_ctrl(
+                at,
+                hops[0].id(),
+                NetMsg::Publish(PublishMsg {
+                    pubend: gryphon_types::PubendId(0),
+                    attrs,
+                    payload: bytes::Bytes::new(),
+                }),
+            );
+        }
+        sim.run_until(5_000_000);
+        let c = sim.node_ref(consumer);
+        assert_eq!(c.events, 10);
+        // 5 hops × (1+10) ms commit + 4×1 ms links + client link ≥ 59 ms.
+        let mean = c.mean_latency_ms();
+        assert!(mean >= 55.0, "expected ≥5 commit latencies, got {mean} ms");
+        // And each hop forwarded everything exactly once.
+        for h in hops {
+            assert_eq!(sim.node_ref(h).forwarded, 10);
+        }
+    }
+}

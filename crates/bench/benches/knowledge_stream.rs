@@ -1,0 +1,76 @@
+//! Knowledge-stream algebra benchmarks: the interval-map representation
+//! against a dense per-tick vector (the representation ablation from
+//! DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gryphon_bench::bench_event;
+use gryphon_streams::KnowledgeStream;
+use gryphon_types::{TickKind, Timestamp};
+
+fn bench_stream_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_stream");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("ingest_event_plus_silence", |b| {
+        let mut ks = KnowledgeStream::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let e = bench_event(seq);
+            let ts = e.ts;
+            ks.set_silence(Timestamp(seq * 2 + 1).min(ts.prev()), ts.prev());
+            ks.set_data(e);
+            seq += 1;
+            if seq % 4_096 == 0 {
+                ks.advance_base(ts - 2_048); // steady-state trimming
+            }
+            std::hint::black_box(ks.data_len())
+        });
+    });
+
+    group.bench_function("doubt_horizon_steady", |b| {
+        let mut ks = KnowledgeStream::new();
+        for seq in 0..8_192u64 {
+            let e = bench_event(seq);
+            let prev = ks.doubt_horizon(Timestamp::ZERO);
+            ks.set_silence(prev.next(), e.ts.prev());
+            ks.set_data(e);
+        }
+        b.iter(|| std::hint::black_box(ks.doubt_horizon(Timestamp::ZERO)));
+    });
+
+    group.bench_function("q_ranges_sparse", |b| {
+        let mut ks = KnowledgeStream::new();
+        // Knowledge with periodic holes (loss pattern).
+        for i in 0..4_096u64 {
+            let base = i * 10;
+            ks.set_silence(Timestamp(base + 1), Timestamp(base + 8));
+            // ticks base+9, base+10 stay Q
+        }
+        b.iter(|| {
+            std::hint::black_box(ks.q_ranges(Timestamp(1), Timestamp(40_960)).len())
+        });
+    });
+
+    // Dense-vector strawman for comparison: one entry per tick.
+    group.bench_function("dense_vector_strawman_ingest", |b| {
+        let mut dense: Vec<TickKind> = Vec::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let ts = 1 + seq * 1_250 / 1_000;
+            if dense.len() <= ts as usize {
+                dense.resize(ts as usize + 1, TickKind::Q);
+            }
+            for t in dense.len().saturating_sub(2)..ts as usize {
+                dense[t] = TickKind::S;
+            }
+            dense[ts as usize] = TickKind::D;
+            seq += 1;
+            std::hint::black_box(dense.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_ops);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Metadata-table group-commit benchmark — the knob behind the JMS
+//! auto-acknowledge experiment: many single-key commits vs one batched
+//! commit (per sync).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gryphon_storage::{MemFactory, MetaTable, TableConfig};
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meta_table_commit");
+    for &batch in &[1usize, 8, 64, 256] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::new("batched_updates", batch),
+            &batch,
+            |b, &batch| {
+                let mut t = MetaTable::open(
+                    Box::new(MemFactory::new()),
+                    "bench",
+                    TableConfig {
+                        compact_wal_bytes: u64::MAX, // isolate commit cost
+                    },
+                )
+                .expect("table");
+                let mut n = 0u64;
+                b.iter(|| {
+                    let updates: Vec<(String, Option<Vec<u8>>)> = (0..batch)
+                        .map(|i| {
+                            (
+                                format!("jct/{i}/0"),
+                                Some((n + i as u64).to_le_bytes().to_vec()),
+                            )
+                        })
+                        .collect();
+                    n += 1;
+                    t.commit(&updates).expect("commit");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    c.bench_function("meta_table_recovery_10k_keys", |b| {
+        let factory = MemFactory::new();
+        {
+            let mut t = MetaTable::open(
+                Box::new(factory.clone()),
+                "bench",
+                TableConfig::default(),
+            )
+            .expect("table");
+            for i in 0..10_000u64 {
+                t.put_u64(&format!("key/{i}"), i).expect("put");
+            }
+        }
+        b.iter(|| {
+            let t = MetaTable::open(
+                Box::new(factory.clone()),
+                "bench",
+                TableConfig::default(),
+            )
+            .expect("reopen");
+            std::hint::black_box(t.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_commit, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! The paper's §5.1.2 comparison as a Criterion bench: writing one
+//! matched timestamp through the PFS vs logging the full event once per
+//! matching subscriber, plus the batch-read path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gryphon::{Pfs, PfsMode};
+use gryphon_baseline::PerSubscriberLog;
+use gryphon_bench::{bench_event, bench_matches};
+use gryphon_storage::MemFactory;
+use gryphon_types::{PubendId, SubscriberId, Timestamp};
+
+fn bench_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfs_vs_eventlog_write");
+    // Each "element" is one published event matched by 25 subscribers.
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("pfs_write_event", |b| {
+        let mut pfs =
+            Pfs::open(Box::new(MemFactory::new()), "bench", PfsMode::Precise).expect("pfs");
+        let mut seq = 0u64;
+        b.iter(|| {
+            let e = bench_event(seq);
+            let subs = bench_matches(seq);
+            seq += 1;
+            pfs.write(PubendId(0), e.ts, &subs).expect("write");
+            if seq % 800 == 0 {
+                pfs.sync().expect("sync");
+            }
+        });
+    });
+
+    group.bench_function("eventlog_write_event", |b| {
+        let mut log =
+            PerSubscriberLog::open(Box::new(MemFactory::new()), "bench").expect("log");
+        let mut seq = 0u64;
+        b.iter(|| {
+            let e = bench_event(seq);
+            for sub in bench_matches(seq) {
+                log.append(sub, &e).expect("append");
+            }
+            seq += 1;
+            if seq % 800 == 0 {
+                log.sync().expect("sync");
+            }
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfs_vs_eventlog_read");
+    const EVENTS: u64 = 8_000; // 10 s of workload
+
+    group.bench_function("pfs_batch_read_5000", |b| {
+        let mut pfs =
+            Pfs::open(Box::new(MemFactory::new()), "bench", PfsMode::Precise).expect("pfs");
+        for seq in 0..EVENTS {
+            let e = bench_event(seq);
+            pfs.write(PubendId(0), e.ts, &bench_matches(seq)).expect("write");
+        }
+        pfs.sync().expect("sync");
+        let last = pfs.last_timestamp(PubendId(0));
+        b.iter(|| {
+            std::hint::black_box(
+                pfs.read(PubendId(0), SubscriberId(0), Timestamp::ZERO, last, 5_000)
+                    .expect("read")
+                    .q_ticks
+                    .len(),
+            )
+        });
+    });
+
+    group.bench_function("eventlog_read_all", |b| {
+        let mut log =
+            PerSubscriberLog::open(Box::new(MemFactory::new()), "bench").expect("log");
+        for seq in 0..EVENTS {
+            let e = bench_event(seq);
+            for sub in bench_matches(seq) {
+                log.append(sub, &e).expect("append");
+            }
+        }
+        log.sync().expect("sync");
+        b.iter(|| {
+            std::hint::black_box(
+                log.read_from(SubscriberId(0), Timestamp::ZERO)
+                    .expect("read")
+                    .len(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_writes, bench_reads);
+criterion_main!(benches);

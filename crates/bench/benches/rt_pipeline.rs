@@ -1,0 +1,83 @@
+//! Threaded end-to-end pipeline bench: the same broker state machines as
+//! the simulator, on real threads (gryphon-net), measuring wall-clock
+//! time to push a burst of publishes through PHB → SHB → subscriber.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gryphon::{Broker, BrokerConfig, SubscriberClient, SubscriberConfig};
+use gryphon_net::NetBuilder;
+use gryphon_storage::MemFactory;
+use gryphon_types::{NetMsg, PubendId, PublishMsg, SubscriberId};
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_pipeline");
+    group.sample_size(10);
+    const BURST: u64 = 2_000;
+    group.throughput(Throughput::Elements(BURST));
+    group.bench_function("publish_to_delivery_burst", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                // Fast commit intervals so wall-clock latency is dominated
+                // by real processing, not the modeled disk.
+                let config = BrokerConfig {
+                    phb_commit_interval_us: 500,
+                    phb_commit_latency_us: 100,
+                    pfs_sync_interval_us: 1_000,
+                    ..BrokerConfig::default()
+                };
+                // Node ids are assigned in registration order, so the
+                // tree can be wired before the nodes move into the
+                // runtime: phb=0, shb=1, sub=2.
+                let mut builder = NetBuilder::new();
+                let mut phb_node = Broker::new(0, Box::new(MemFactory::new()), config.clone())
+                    .hosting_pubends([PubendId(0)]);
+                phb_node.add_child(gryphon_types::NodeId(1));
+                let phb = builder.add_node("phb", phb_node);
+                let mut shb_node =
+                    Broker::new(1, Box::new(MemFactory::new()), config).hosting_subscribers();
+                shb_node.set_parent(phb.id());
+                let shb = builder.add_node("shb", shb_node);
+                let sub = builder.add_node(
+                    "sub",
+                    SubscriberClient::new(
+                        SubscriberId(1),
+                        shb.id(),
+                        "",
+                        SubscriberConfig::default(),
+                    ),
+                );
+                let net = builder.start();
+                std::thread::sleep(Duration::from_millis(30)); // connect
+                let start = std::time::Instant::now();
+                for seq in 0..BURST {
+                    net.inject(
+                        phb.id(),
+                        NetMsg::Publish(PublishMsg {
+                            pubend: PubendId(0),
+                            attrs: [("_seq".to_string(), (seq as i64).into())].into(),
+                            payload: bytes::Bytes::from(vec![0u8; 250]),
+                        }),
+                    );
+                }
+                // Wait for deliveries to drain.
+                loop {
+                    std::thread::sleep(Duration::from_millis(5));
+                    // We cannot peek at live nodes; bound the wait.
+                    if start.elapsed() > Duration::from_millis(500) {
+                        break;
+                    }
+                }
+                total += start.elapsed();
+                let result = net.stop();
+                let got = result.node(sub).events_received();
+                assert!(got > 0, "pipeline delivered nothing");
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

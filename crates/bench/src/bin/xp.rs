@@ -1,0 +1,89 @@
+//! `xp` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! xp [--quick] [--csv DIR] <experiment>|all|list
+//! ```
+//!
+//! * `list` prints the catalog;
+//! * `all` runs every experiment in order;
+//! * `--quick` runs shortened virtual-time versions (CI-friendly);
+//! * `--csv DIR` additionally dumps each experiment's raw series as CSV
+//!   files for plotting.
+
+use std::io::Write;
+
+fn main() {
+    let mut quick = false;
+    let mut csv_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--csv" => {
+                csv_dir = args.next();
+                if csv_dir.is_none() {
+                    eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: xp [--quick] [--csv DIR] <experiment>|all|list");
+                print_catalog();
+                return;
+            }
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("usage: xp [--quick] [--csv DIR] <experiment>|all|list");
+        print_catalog();
+        std::process::exit(2);
+    }
+    for target in targets {
+        match target.as_str() {
+            "list" => print_catalog(),
+            "all" => {
+                for (id, _) in gryphon_harness::catalog() {
+                    run_one(id, quick, csv_dir.as_deref());
+                }
+            }
+            id => run_one(id, quick, csv_dir.as_deref()),
+        }
+    }
+}
+
+fn print_catalog() {
+    println!("experiments:");
+    for (id, summary) in gryphon_harness::catalog() {
+        println!("  {id:<18} {summary}");
+    }
+}
+
+fn run_one(id: &str, quick: bool, csv_dir: Option<&str>) {
+    let started = std::time::Instant::now();
+    match gryphon_harness::run(id, quick) {
+        Ok(report) => {
+            println!("{}", report.render());
+            println!(
+                "[{} completed in {:.1} s wall{}]\n",
+                id,
+                started.elapsed().as_secs_f64(),
+                if quick { ", --quick" } else { "" }
+            );
+            if let Some(dir) = csv_dir {
+                if !report.series.is_empty() {
+                    std::fs::create_dir_all(dir).expect("create csv dir");
+                    let path = std::path::Path::new(dir).join(format!("{id}.csv"));
+                    let mut f = std::fs::File::create(&path).expect("create csv");
+                    f.write_all(report.series_csv().as_bytes()).expect("write csv");
+                    println!("[series written to {}]", path.display());
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

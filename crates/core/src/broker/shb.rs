@@ -1,0 +1,1052 @@
+//! Subscriber hosting broker state (paper §4): the consolidated stream,
+//! per-subscriber catchup streams, durable release state, and the
+//! broker-managed checkpoint commit pool for JMS-style subscribers.
+
+use crate::config::BrokerConfig;
+use crate::pfs::{Pfs, PfsMode};
+use gryphon_matching::{Filter, SubscriptionIndex};
+use gryphon_storage::{MediaFactory, MetaTable, TableConfig};
+use gryphon_streams::KnowledgeStream;
+use gryphon_types::{
+    CheckpointToken, DeliveryKind, DeliveryMsg, EventRef, KnowledgePart, NodeId, PubendId,
+    ServerMsg, SubscriberId, SubscriptionSpec, Timestamp,
+};
+use gryphon_sim::NodeCtx;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Per-pubend consolidated-stream state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Con {
+    /// Durable `latestDelivered(p)`: advanced only at PFS sync points,
+    /// persisted, and the resumption point after an SHB crash.
+    pub latest_delivered: Timestamp,
+    /// Volatile processing cursor: events `≤ processed_to` have been
+    /// matched, sent to connected non-catchup subscribers and queued for
+    /// the PFS. Always `≥ latest_delivered`.
+    pub processed_to: Timestamp,
+}
+
+/// One per-subscriber, per-pubend catchup stream.
+#[derive(Debug)]
+pub struct Catchup {
+    /// Per-subscriber knowledge view, based at the reconnect checkpoint.
+    pub knowledge: KnowledgeStream,
+    /// Everything `≤ delivered_to` has been sent to the client in order.
+    pub delivered_to: Timestamp,
+    /// PFS filtering information folded in up to this tick.
+    pub pfs_covered_to: Timestamp,
+    /// A modeled PFS batch read is in flight.
+    pub reading: bool,
+    /// Result of the in-flight read, applied when its latency timer
+    /// fires.
+    pub pending_read: Option<crate::pfs::PfsReadResult>,
+    /// Reconnect-anywhere stream: this SHB has no PFS history for the
+    /// subscription, so the whole missed interval is nacked to the
+    /// pubend and refiltered on arrival (paper §1, feature 5).
+    pub refilter: bool,
+}
+
+/// A connected subscriber.
+#[derive(Debug)]
+pub struct Conn {
+    /// The client node to deliver to.
+    pub client: NodeId,
+    /// Outstanding catchup streams (empty ⇒ fully non-catchup).
+    pub catchup: HashMap<PubendId, Catchup>,
+    /// Monotone per-pubend delivery cursor (order enforcement).
+    pub last_sent: HashMap<PubendId, Timestamp>,
+    /// Queued deliveries for gated (JMS) subscribers.
+    pub outbox: VecDeque<DeliveryMsg>,
+    /// A delivery is awaiting its acknowledgment commit (gated only).
+    pub in_flight: bool,
+    /// When this connection was established (catchup-duration metric).
+    pub connected_at_us: u64,
+}
+
+/// What a catchup stream needs from the broker after making progress.
+#[derive(Debug, Default)]
+pub struct CatchupNeeds {
+    /// Tick ranges to resolve (cache first, then upstream nack).
+    pub holes: Vec<(Timestamp, Timestamp)>,
+    /// Issue a PFS batch read (schedule the modeled-latency timer).
+    pub want_read: bool,
+    /// The stream caught up and was discarded.
+    pub switched: bool,
+    /// Holes must be answered by the pubend, not caches
+    /// (reconnect-anywhere refiltering).
+    pub authoritative: bool,
+}
+
+/// One checkpoint-commit worker (JMS experiment, paper §5.2).
+#[derive(Debug, Default)]
+struct CtWorker {
+    queue: Vec<(SubscriberId, CheckpointToken)>,
+    busy: bool,
+    committing: Vec<(SubscriberId, CheckpointToken)>,
+}
+
+/// The SHB role of a broker.
+pub struct Shb {
+    name: String,
+    /// Durable tables: `ld/{p}`, `rel/{sub}/{p}`, `spec/{sub}`,
+    /// `gated/{sub}`, `jct/{sub}/{p}`, `lost/{p}` (PHB side shares it).
+    pub meta: MetaTable,
+    /// The persistent filtering subsystem.
+    pub pfs: Pfs,
+    /// All durable subscriptions hosted here (connected or not).
+    pub index: SubscriptionIndex,
+    specs: HashMap<SubscriberId, SubscriptionSpec>,
+    filters: HashMap<SubscriberId, Filter>,
+    /// `released(s, p)` — survives disconnection; persisted periodically.
+    released: HashMap<(SubscriberId, PubendId), Timestamp>,
+    dirty_released: bool,
+    /// Per-pubend constream cursors.
+    pub con: HashMap<PubendId, Con>,
+    /// Connected subscribers.
+    pub conns: HashMap<SubscriberId, Conn>,
+    /// Dense subscriber slots for timer parameters.
+    slots: Vec<SubscriberId>,
+    slot_of: HashMap<SubscriberId, u32>,
+    /// Subscribers whose deliveries are serialized on checkpoint commits
+    /// (JMS auto-acknowledge).
+    gated: HashSet<SubscriberId>,
+    /// Subscribers whose checkpoint the broker persists (all JMS modes).
+    broker_ct: HashSet<SubscriberId>,
+    workers: Vec<CtWorker>,
+    /// Events delivered (constream + catchup), for counters.
+    pub delivered: u64,
+}
+
+impl std::fmt::Debug for Shb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shb")
+            .field("name", &self.name)
+            .field("subs", &self.specs.len())
+            .field("connected", &self.conns.len())
+            .field("pubends", &self.con.len())
+            .finish()
+    }
+}
+
+impl Shb {
+    /// Opens (recovering) the SHB state named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if persistent storage fails — a broker cannot run without
+    /// its durable state (mirrors a database-less DB2 broker refusing to
+    /// boot).
+    pub fn open(factory: &dyn MediaFactory, name: &str, config: &BrokerConfig) -> Self {
+        let meta = MetaTable::open(
+            factory.clone_box(),
+            &format!("{name}-meta"),
+            TableConfig::default(),
+        )
+        .expect("SHB meta table must open");
+        let pfs = Pfs::open(factory.clone_box(), name, PfsMode::Precise)
+            .expect("SHB PFS must open");
+        let mut shb = Shb {
+            name: name.to_owned(),
+            meta,
+            pfs,
+            index: SubscriptionIndex::new(),
+            specs: HashMap::new(),
+            filters: HashMap::new(),
+            released: HashMap::new(),
+            dirty_released: false,
+            con: HashMap::new(),
+            conns: HashMap::new(),
+            slots: Vec::new(),
+            slot_of: HashMap::new(),
+            gated: HashSet::new(),
+            broker_ct: HashSet::new(),
+            workers: (0..config.ct_commit_workers.max(1))
+                .map(|_| CtWorker::default())
+                .collect(),
+            delivered: 0,
+        };
+        shb.load_persistent();
+        shb
+    }
+
+    fn load_persistent(&mut self) {
+        // Subscriptions.
+        let specs: Vec<(SubscriberId, String)> = self
+            .meta
+            .iter_prefix("spec/")
+            .filter_map(|(k, v)| {
+                let id: u64 = k.strip_prefix("spec/")?.parse().ok()?;
+                Some((SubscriberId(id), String::from_utf8(v.to_vec()).ok()?))
+            })
+            .collect();
+        for (sub, expr) in specs {
+            if let Ok(filter) = Filter::parse(&expr) {
+                self.index.insert(sub, filter.clone());
+                self.filters.insert(sub, filter);
+                self.specs.insert(sub, SubscriptionSpec::new(expr));
+            }
+        }
+        // Gated / broker-managed flags.
+        let gated: Vec<SubscriberId> = self
+            .meta
+            .iter_prefix("gated/")
+            .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("gated/")?.parse().ok()?)))
+            .collect();
+        self.gated.extend(gated);
+        let bct: Vec<SubscriberId> = self
+            .meta
+            .iter_prefix("bct/")
+            .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("bct/")?.parse().ok()?)))
+            .collect();
+        self.broker_ct.extend(bct);
+        // latestDelivered per pubend.
+        let lds: Vec<(PubendId, Timestamp)> = self
+            .meta
+            .iter_prefix("ld/")
+            .filter_map(|(k, v)| {
+                let p: u32 = k.strip_prefix("ld/")?.parse().ok()?;
+                Some((PubendId(p), Timestamp(u64::from_le_bytes(v.try_into().ok()?))))
+            })
+            .collect();
+        for (p, t) in lds {
+            self.con.insert(
+                p,
+                Con {
+                    latest_delivered: t,
+                    processed_to: t,
+                },
+            );
+        }
+        // released(s, p).
+        let rels: Vec<((SubscriberId, PubendId), Timestamp)> = self
+            .meta
+            .iter_prefix("rel/")
+            .filter_map(|(k, v)| {
+                let rest = k.strip_prefix("rel/")?;
+                let (s, p) = rest.split_once('/')?;
+                Some((
+                    (SubscriberId(s.parse().ok()?), PubendId(p.parse().ok()?)),
+                    Timestamp(u64::from_le_bytes(v.try_into().ok()?)),
+                ))
+            })
+            .collect();
+        self.released.extend(rels);
+    }
+
+    /// Number of durable subscriptions (connected or not).
+    pub fn sub_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Number of catchup streams currently alive.
+    pub fn catchup_streams(&self) -> usize {
+        self.conns.values().map(|c| c.catchup.len()).sum()
+    }
+
+    /// Current subscription set for upward interest aggregation.
+    pub fn interest(&self) -> Vec<(SubscriberId, SubscriptionSpec)> {
+        self.specs.iter().map(|(&s, spec)| (s, spec.clone())).collect()
+    }
+
+    /// The dense slot of `sub` (assigning one if new).
+    pub fn slot(&mut self, sub: SubscriberId) -> u32 {
+        if let Some(&i) = self.slot_of.get(&sub) {
+            return i;
+        }
+        let i = self.slots.len() as u32;
+        self.slots.push(sub);
+        self.slot_of.insert(sub, i);
+        i
+    }
+
+    /// Reverse slot lookup.
+    pub fn sub_at_slot(&self, slot: u32) -> Option<SubscriberId> {
+        self.slots.get(slot as usize).copied()
+    }
+
+    /// Ensures constream state for `p` exists and returns it.
+    pub fn con_entry(&mut self, p: PubendId) -> Con {
+        *self.con.entry(p).or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Constream
+    // ------------------------------------------------------------------
+
+    /// Advances the consolidated stream of `p` over newly known ticks of
+    /// the broker's cache: matches events, delivers to connected
+    /// non-catchup subscribers, and queues PFS records. Returns the holes
+    /// (`Q` ranges up to the cache high-water mark) the broker should
+    /// nack upstream.
+    pub fn constream_advance(
+        &mut self,
+        p: PubendId,
+        cache: &KnowledgeStream,
+        max_seen: Timestamp,
+        config: &BrokerConfig,
+        ctx: &mut dyn NodeCtx,
+    ) -> Vec<(Timestamp, Timestamp)> {
+        let mut con = self.con_entry(p);
+        debug_assert!(
+            cache.lost_to() <= con.latest_delivered,
+            "release protocol violated: pubend lost ticks beyond Td"
+        );
+        let dh = if con.processed_to >= cache.base() {
+            cache.doubt_horizon(con.processed_to)
+        } else {
+            con.processed_to
+        };
+        if dh > con.processed_to {
+            let events: Vec<EventRef> =
+                cache.events_in(con.processed_to, dh).cloned().collect();
+            for event in events {
+                ctx.work(config.costs.match_us);
+                let matched = self.index.matches(&event);
+                if matched.is_empty() {
+                    continue;
+                }
+                if self
+                    .pfs
+                    .write(p, event.ts, &matched)
+                    .is_ok()
+                {
+                    ctx.work(config.costs.pfs_record_us);
+                }
+                for sub in matched {
+                    let gated = self.gated.contains(&sub);
+                    let Some(conn) = self.conns.get_mut(&sub) else {
+                        continue; // disconnected: recovered later via PFS
+                    };
+                    if conn.catchup.contains_key(&p) {
+                        continue; // its catchup stream owns this range
+                    }
+                    let last = conn.last_sent.entry(p).or_default();
+                    if event.ts <= *last {
+                        continue;
+                    }
+                    *last = event.ts;
+                    ctx.work(config.costs.delivery_us);
+                    self.delivered += 1;
+                    ctx.count("shb.delivered", 1.0);
+                    let msg = DeliveryMsg {
+                        pubend: p,
+                        kind: DeliveryKind::Event(event.clone()),
+                    };
+                    deliver(conn, sub, msg, gated, ctx);
+                }
+            }
+            con.processed_to = dh;
+            self.con.insert(p, con);
+        }
+        if max_seen > con.processed_to {
+            cache.q_ranges(con.processed_to, max_seen)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// PFS group commit: makes queued filtering records durable and
+    /// advances `latestDelivered(p)` to the processing cursor, persisting
+    /// it in the metadata table.
+    pub fn pfs_sync(&mut self, ctx: &mut dyn NodeCtx) {
+        if self.pfs.sync().is_err() {
+            ctx.count("shb.pfs_sync_err", 1.0);
+            return;
+        }
+        let mut batch = Vec::new();
+        for (p, con) in self.con.iter_mut() {
+            if con.processed_to > con.latest_delivered {
+                con.latest_delivered = con.processed_to;
+                batch.push((
+                    format!("ld/{}", p.0),
+                    Some(con.latest_delivered.0.to_le_bytes().to_vec()),
+                ));
+            }
+        }
+        if !batch.is_empty() && self.meta.commit(&batch).is_err() {
+            ctx.count("shb.meta_err", 1.0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Connections
+    // ------------------------------------------------------------------
+
+    /// Handles a client connect. Returns the effective start checkpoint
+    /// (already sent to the client as `ConnectOk`) or an error string
+    /// (already sent as `ConnectErr`).
+    #[allow(clippy::too_many_arguments)]
+    /// `true` when `sub` has never been registered here.
+    pub fn is_new_subscription(&self, sub: SubscriberId) -> bool {
+        !self.specs.contains_key(&sub)
+    }
+
+    /// Registers a brand-new durable subscription (filter parse +
+    /// persistence + matching-index insert) without attaching a client.
+    /// Used both by [`Shb::connect`] and by the broker when it parks a
+    /// connect while the subscription's interest propagates upstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason (already sent to `client` as a
+    /// `ConnectErr`) when the filter is missing or fails to parse.
+    pub fn register_spec(
+        &mut self,
+        sub: SubscriberId,
+        client: NodeId,
+        spec: Option<&SubscriptionSpec>,
+        broker_ct: bool,
+        auto_ack: bool,
+        ctx: &mut dyn NodeCtx,
+    ) -> Result<(), String> {
+        if !self.is_new_subscription(sub) {
+            return Ok(());
+        }
+        let Some(spec) = spec else {
+            let reason = "first connect requires a subscription filter".to_owned();
+            ctx.send(
+                client,
+                gryphon_types::NetMsg::Server(ServerMsg::ConnectErr {
+                    sub,
+                    reason: reason.clone(),
+                }),
+            );
+            return Err(reason);
+        };
+        let filter = match Filter::parse(spec.expr()) {
+            Ok(f) => f,
+            Err(e) => {
+                let reason = e.to_string();
+                ctx.send(
+                    client,
+                    gryphon_types::NetMsg::Server(ServerMsg::ConnectErr {
+                        sub,
+                        reason: reason.clone(),
+                    }),
+                );
+                return Err(reason);
+            }
+        };
+        let mut batch = vec![(
+            format!("spec/{}", sub.0),
+            Some(spec.expr().as_bytes().to_vec()),
+        )];
+        if broker_ct {
+            batch.push((format!("bct/{}", sub.0), Some(vec![1])));
+            self.broker_ct.insert(sub);
+        }
+        // Only auto-acknowledge serializes delivery on commits; lazy
+        // broker-managed subscribers stream freely.
+        if broker_ct && auto_ack {
+            batch.push((format!("gated/{}", sub.0), Some(vec![1])));
+            self.gated.insert(sub);
+        }
+        // A new subscriber starts at the constream's delivery cursor (the
+        // paper's "CT(s, p) = latestDelivered(p)" — in our split-cursor
+        // design the delivery point is processed_to, with
+        // latest_delivered as its durable shadow). The broker raises this
+        // further with the interest-propagation floor when completing a
+        // parked connect.
+        for (&p, con) in &self.con {
+            self.released.insert((sub, p), con.processed_to);
+            batch.push((
+                format!("rel/{}/{}", sub.0, p.0),
+                Some(con.processed_to.0.to_le_bytes().to_vec()),
+            ));
+        }
+        let _ = self.meta.commit(&batch);
+        self.index.insert(sub, filter.clone());
+        self.filters.insert(sub, filter);
+        self.specs.insert(sub, spec.clone());
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        &mut self,
+        sub: SubscriberId,
+        client: NodeId,
+        ct: Option<CheckpointToken>,
+        spec: Option<SubscriptionSpec>,
+        broker_ct: bool,
+        auto_ack: bool,
+        floors: &std::collections::HashMap<PubendId, Timestamp>,
+        anywhere_override: Option<bool>,
+        config: &BrokerConfig,
+        ctx: &mut dyn NodeCtx,
+    ) -> Result<Vec<(PubendId, CatchupNeeds)>, String> {
+        // Reconnect-anywhere: a checkpoint presented by a subscription
+        // this SHB has never hosted. Its missed interval must be
+        // recovered authoritatively and refiltered — this SHB's PFS and
+        // caches know nothing about it. (The broker pre-computes this
+        // for parked connects, whose registration happened at park time.)
+        let anywhere =
+            anywhere_override.unwrap_or_else(|| self.is_new_subscription(sub) && ct.is_some());
+        self.register_spec(sub, client, spec.as_ref(), broker_ct, auto_ack, ctx)?;
+        self.slot(sub);
+
+        // Effective resumption point per pubend: the presented checkpoint,
+        // else the broker-stored one (JMS), else released(s, p), else
+        // latestDelivered (fresh subscription).
+        let mut start = CheckpointToken::new();
+        let mut plans: Vec<(PubendId, CatchupNeeds)> = Vec::new();
+        let pubends: Vec<PubendId> = self.con.keys().copied().collect();
+        let mut conn = Conn {
+            client,
+            catchup: HashMap::new(),
+            last_sent: HashMap::new(),
+            outbox: VecDeque::new(),
+            in_flight: false,
+            connected_at_us: ctx.now_us(),
+        };
+        for p in pubends {
+            let con = self.con_entry(p);
+            let stored_jct = self
+                .meta
+                .get_u64(&format!("jct/{}/{}", sub.0, p.0))
+                .map(Timestamp);
+            // The client's checkpoint may be AHEAD of the recovering
+            // constream (it consumed deliveries whose PFS records were
+            // not yet durable when the SHB crashed). Never clamp it
+            // backwards — redelivering acknowledged events would violate
+            // the monotone-delivery model; the constream simply skips
+            // ticks at or below `last_sent` as it re-processes.
+            let explicit = ct.as_ref().map(|c| c.get(p)).or(stored_jct);
+            let resume = match explicit {
+                // An explicit checkpoint defines the window regardless of
+                // upstream filtering history: the missed interval is
+                // recovered authoritatively and refiltered.
+                Some(t) => t,
+                // Otherwise the subscription starts "now" — raised by the
+                // interest-propagation floor, because ticks at or below
+                // it may have been filtered upstream without this
+                // subscription's filter.
+                None => self
+                    .released
+                    .get(&(sub, p))
+                    .copied()
+                    .unwrap_or(con.processed_to)
+                    .max(floors.get(&p).copied().unwrap_or(Timestamp::ZERO)),
+            };
+            start.advance(p, resume);
+            conn.last_sent.insert(p, resume);
+            if anywhere {
+                // The migrated subscription only holds release back from
+                // its own checkpoint, not this SHB's cursor.
+                self.released.insert((sub, p), resume);
+                self.dirty_released = true;
+            }
+            if resume < con.processed_to {
+                // Catchup needed. Reconnect-anywhere streams skip the PFS
+                // (no history here): mark its coverage exhausted so every
+                // unknown tick is nacked — authoritatively — instead.
+                conn.catchup.insert(
+                    p,
+                    Catchup {
+                        knowledge: KnowledgeStream::with_base(resume),
+                        delivered_to: resume,
+                        pfs_covered_to: if anywhere { Timestamp::MAX } else { resume },
+                        reading: false,
+                        pending_read: None,
+                        refilter: anywhere,
+                    },
+                );
+                plans.push((
+                    p,
+                    CatchupNeeds {
+                        holes: Vec::new(),
+                        want_read: !anywhere,
+                        switched: false,
+                        authoritative: anywhere,
+                    },
+                ));
+            }
+        }
+        ctx.count("shb.connects", 1.0);
+        if !conn.catchup.is_empty() {
+            ctx.count("shb.catchup_connects", 1.0);
+        }
+        ctx.send(
+            client,
+            gryphon_types::NetMsg::Server(ServerMsg::ConnectOk { sub, start }),
+        );
+        self.conns.insert(sub, conn);
+        let _ = config;
+        Ok(plans)
+    }
+
+    /// Handles a graceful disconnect (the subscription stays durable).
+    pub fn disconnect(&mut self, sub: SubscriberId) {
+        self.conns.remove(&sub);
+    }
+
+    /// Destroys a durable subscription entirely.
+    pub fn unsubscribe(&mut self, sub: SubscriberId) {
+        self.conns.remove(&sub);
+        self.index.remove(sub);
+        self.filters.remove(&sub);
+        self.specs.remove(&sub);
+        self.gated.remove(&sub);
+        self.broker_ct.remove(&sub);
+        let mut batch = vec![
+            (format!("spec/{}", sub.0), None),
+            (format!("gated/{}", sub.0), None),
+            (format!("bct/{}", sub.0), None),
+        ];
+        let dead: Vec<PubendId> = self
+            .released
+            .keys()
+            .filter(|&&(s, _)| s == sub)
+            .map(|&(_, p)| p)
+            .collect();
+        for p in dead {
+            self.released.remove(&(sub, p));
+            batch.push((format!("rel/{}/{}", sub.0, p.0), None));
+            batch.push((format!("jct/{}/{}", sub.0, p.0), None));
+        }
+        let _ = self.meta.commit(&batch);
+    }
+
+    /// Handles an acknowledgment: advances `released(s, p)` and, for
+    /// gated (JMS) subscribers, enqueues the checkpoint commit. Returns
+    /// `Some(worker)` when a commit worker should be started.
+    pub fn ack(&mut self, sub: SubscriberId, ct: &CheckpointToken) -> Option<usize> {
+        for (p, t) in ct.iter() {
+            let e = self.released.entry((sub, p)).or_default();
+            if t > *e {
+                *e = t;
+                self.dirty_released = true;
+            }
+        }
+        if !self.broker_ct.contains(&sub) {
+            return None;
+        }
+        let n = self.workers.len();
+        let w = (sub.0 as usize) % n;
+        let worker = &mut self.workers[w];
+        if let Some(entry) = worker.queue.iter_mut().find(|(s, _)| *s == sub) {
+            entry.1.merge(ct);
+        } else {
+            worker.queue.push((sub, ct.clone()));
+        }
+        (!worker.busy).then_some(w)
+    }
+
+    /// Starts a commit transaction on worker `w`; returns the modeled
+    /// duration (schedule the `CtCommit` timer for it), or `None` when
+    /// idle.
+    pub fn ct_commit_start(&mut self, w: usize, config: &BrokerConfig) -> Option<u64> {
+        let worker = self.workers.get_mut(w)?;
+        if worker.busy || worker.queue.is_empty() {
+            return None;
+        }
+        worker.committing = std::mem::take(&mut worker.queue);
+        worker.busy = true;
+        Some(
+            config.ct_commit_base_us
+                + config.ct_commit_per_update_us * worker.committing.len() as u64,
+        )
+    }
+
+    /// Completes the commit on worker `w`: persists the checkpoints and
+    /// un-gates the affected subscribers (their next delivery may flow).
+    /// Returns `true` if the worker has more queued work.
+    pub fn ct_commit_done(&mut self, w: usize, ctx: &mut dyn NodeCtx) -> bool {
+        let Some(worker) = self.workers.get_mut(w) else {
+            return false;
+        };
+        let committing = std::mem::take(&mut worker.committing);
+        worker.busy = false;
+        let mut batch = Vec::new();
+        for (sub, ct) in &committing {
+            for (p, t) in ct.iter() {
+                batch.push((
+                    format!("jct/{}/{}", sub.0, p.0),
+                    Some(t.0.to_le_bytes().to_vec()),
+                ));
+            }
+        }
+        if !batch.is_empty() {
+            let _ = self.meta.commit(&batch);
+            ctx.count("shb.ct_commits", 1.0);
+            ctx.count("shb.ct_commit_updates", batch.len() as f64);
+        }
+        for (sub, _) in committing {
+            if let Some(conn) = self.conns.get_mut(&sub) {
+                conn.in_flight = false;
+                pump_outbox(conn, sub, ctx);
+            }
+        }
+        !self.workers[w].queue.is_empty()
+    }
+
+    /// Sends silence messages to idle connected subscribers so their
+    /// checkpoint tokens keep advancing.
+    pub fn client_silence(&mut self, ctx: &mut dyn NodeCtx) {
+        let cons: Vec<(PubendId, Timestamp)> = self
+            .con
+            .iter()
+            .map(|(&p, c)| (p, c.processed_to))
+            .collect();
+        for (sub, conn) in self.conns.iter_mut() {
+            if self.gated.contains(sub) {
+                continue; // gated subscribers advance via their own acks
+            }
+            for &(p, processed) in &cons {
+                if conn.catchup.contains_key(&p) {
+                    continue;
+                }
+                let last = conn.last_sent.entry(p).or_default();
+                if *last < processed {
+                    *last = processed;
+                    ctx.send(
+                        conn.client,
+                        gryphon_types::NetMsg::Server(ServerMsg::Deliver {
+                            sub: *sub,
+                            msg: DeliveryMsg {
+                                pubend: p,
+                                kind: DeliveryKind::Silence(processed),
+                            },
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Persists dirty `released(s, p)` values (the paper's periodic
+    /// 250 ms updates).
+    pub fn meta_persist(&mut self, ctx: &mut dyn NodeCtx) {
+        if !self.dirty_released {
+            return;
+        }
+        self.dirty_released = false;
+        let batch: Vec<(String, Option<Vec<u8>>)> = self
+            .released
+            .iter()
+            .map(|(&(s, p), &t)| {
+                (
+                    format!("rel/{}/{}", s.0, p.0),
+                    Some(t.0.to_le_bytes().to_vec()),
+                )
+            })
+            .collect();
+        if self.meta.commit(&batch).is_err() {
+            ctx.count("shb.meta_err", 1.0);
+        }
+    }
+
+    /// `released(p)` over this SHB: `min(latestDelivered, min_s released)`.
+    pub fn released_local(&self, p: PubendId) -> Timestamp {
+        let ld = self
+            .con
+            .get(&p)
+            .map(|c| c.latest_delivered)
+            .unwrap_or(Timestamp::ZERO);
+        self.released
+            .iter()
+            .filter(|(&(_, rp), _)| rp == p)
+            .map(|(_, &t)| t)
+            .fold(ld, Timestamp::min)
+    }
+
+    /// `latestDelivered(p)` (durable view).
+    pub fn latest_delivered(&self, p: PubendId) -> Timestamp {
+        self.con
+            .get(&p)
+            .map(|c| c.latest_delivered)
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Chops PFS state below `released(p)` (all hosted subscribers have
+    /// acknowledged it).
+    pub fn chop_pfs(&mut self, p: PubendId) {
+        let rel = self.released_local(p);
+        if rel > Timestamp::ZERO {
+            let _ = self.pfs.chop_below(p, rel);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Catchup
+    // ------------------------------------------------------------------
+
+    /// Performs a PFS batch read for a catchup stream, storing the result
+    /// until the modeled-latency timer fires. Returns `(records visited,
+    /// was it a full read)` — the visit count drives the modeled latency,
+    /// the full-read flag feeds the paper's "87 % of reads reach
+    /// lastTimestamp" metric — or `None` when no read is needed.
+    pub fn start_pfs_read(
+        &mut self,
+        sub: SubscriberId,
+        p: PubendId,
+        buffer: usize,
+    ) -> Option<(usize, bool)> {
+        let ld = self.con_entry(p).latest_delivered;
+        let cu = self
+            .conns
+            .get_mut(&sub)
+            .and_then(|c| c.catchup.get_mut(&p))?;
+        if cu.reading {
+            return None;
+        }
+        let from = cu.pfs_covered_to.max(cu.delivered_to);
+        if from >= ld {
+            return None;
+        }
+        cu.reading = true;
+        let result = self.pfs.read(p, sub, from, ld, buffer).ok()?;
+        let visited = result.records_visited;
+        let full = result.full_read;
+        // Re-borrow to stash the result (pfs and conns are disjoint
+        // fields, but the `cu` borrow had to end before the read).
+        if let Some(cu) = self
+            .conns
+            .get_mut(&sub)
+            .and_then(|c| c.catchup.get_mut(&p))
+        {
+            cu.pending_read = Some(result);
+        }
+        Some((visited, full))
+    }
+
+    /// Applies the stored read result when its latency timer fires;
+    /// returns `true` if there was one.
+    pub fn finish_pfs_read(&mut self, sub: SubscriberId, p: PubendId) -> bool {
+        let Some(cu) = self
+            .conns
+            .get_mut(&sub)
+            .and_then(|c| c.catchup.get_mut(&p))
+        else {
+            return false;
+        };
+        let Some(result) = cu.pending_read.take() else {
+            cu.reading = false;
+            return false;
+        };
+        cu.reading = false;
+        // Ticks in (known_from, covered_to] not listed are silence.
+        let mut cursor = result.known_from.max(cu.knowledge.base());
+        for &q in &result.q_ticks {
+            if q > cursor.next() {
+                cu.knowledge.set_silence(cursor.next(), q.prev());
+            }
+            cursor = cursor.max(q); // the Q tick itself stays unknown → nacked
+        }
+        if result.covered_to > cursor {
+            cu.knowledge.set_silence(cursor.next(), result.covered_to);
+        }
+        cu.pfs_covered_to = cu.pfs_covered_to.max(result.covered_to);
+        true
+    }
+
+    /// Applies arriving knowledge parts to every catchup stream of `p`,
+    /// filtered per subscriber (a data tick that does not match becomes
+    /// silence for that stream).
+    pub fn distribute_to_catchup(&mut self, p: PubendId, parts: &[KnowledgePart]) -> Vec<SubscriberId> {
+        let mut touched = Vec::new();
+        for (&sub, conn) in self.conns.iter_mut() {
+            let Some(cu) = conn.catchup.get_mut(&p) else {
+                continue;
+            };
+            let filter = self.filters.get(&sub);
+            for part in parts {
+                match part {
+                    KnowledgePart::Data(e) => {
+                        let matches = filter.map(|f| f.eval(e)).unwrap_or(false);
+                        if matches {
+                            cu.knowledge.set_data(e.clone());
+                        } else {
+                            cu.knowledge.set_silence(e.ts, e.ts);
+                        }
+                    }
+                    KnowledgePart::Silence { from, to } => {
+                        cu.knowledge.set_silence(*from, *to);
+                    }
+                    KnowledgePart::Lost { to, .. } => {
+                        cu.knowledge.set_lost_prefix(*to);
+                    }
+                }
+            }
+            touched.push(sub);
+        }
+        touched
+    }
+
+    /// Drives one catchup stream: delivers what is known in order,
+    /// detects switchover, and reports holes / read needs.
+    pub fn catchup_progress(
+        &mut self,
+        sub: SubscriberId,
+        p: PubendId,
+        config: &BrokerConfig,
+        ctx: &mut dyn NodeCtx,
+    ) -> CatchupNeeds {
+        let mut needs = CatchupNeeds::default();
+        let con = self.con_entry(p);
+        let gated = self.gated.contains(&sub);
+        // Flow control (paper §4.1): catchup delivery and nack initiation
+        // are bounded to a window beyond what the client has acknowledged,
+        // so a reconnecting client is never overwhelmed and the SHB's
+        // catchup work is paced by real consumption.
+        let acked = self.released.get(&(sub, p)).copied().unwrap_or(Timestamp::ZERO);
+        let pace_limit = acked + config.catchup_window_ticks;
+        let Some(conn) = self.conns.get_mut(&sub) else {
+            return needs;
+        };
+        // Detach the stream so deliveries can borrow the connection.
+        let Some(mut cu) = conn.catchup.remove(&p) else {
+            return needs;
+        };
+        // 1. Deliver everything already known, in timestamp order — but
+        // never further than the flow-control window past the client's
+        // acknowledgments.
+        loop {
+            if cu.delivered_to >= pace_limit {
+                break;
+            }
+            let lost = cu.knowledge.lost_to();
+            if lost > cu.delivered_to {
+                // Early release discarded this span: explicit gap.
+                cu.delivered_to = lost;
+                cu.pfs_covered_to = cu.pfs_covered_to.max(lost);
+                ctx.count("shb.gaps_sent", 1.0);
+                deliver(
+                    conn,
+                    sub,
+                    DeliveryMsg {
+                        pubend: p,
+                        kind: DeliveryKind::Gap(lost),
+                    },
+                    gated,
+                    ctx,
+                );
+                continue;
+            }
+            let dh = cu.knowledge.doubt_horizon(cu.delivered_to).min(pace_limit);
+            if dh <= cu.delivered_to {
+                break;
+            }
+            let events: Vec<EventRef> =
+                cu.knowledge.events_in(cu.delivered_to, dh).cloned().collect();
+            let mut last_event_ts = Timestamp::ZERO;
+            for e in events {
+                ctx.work(config.costs.catchup_delivery_us);
+                self.delivered += 1;
+                ctx.count("shb.delivered", 1.0);
+                ctx.count("shb.catchup_delivered", 1.0);
+                last_event_ts = e.ts;
+                deliver(
+                    conn,
+                    sub,
+                    DeliveryMsg {
+                        pubend: p,
+                        kind: DeliveryKind::Event(e),
+                    },
+                    gated,
+                    ctx,
+                );
+            }
+            if dh > last_event_ts {
+                deliver(
+                    conn,
+                    sub,
+                    DeliveryMsg {
+                        pubend: p,
+                        kind: DeliveryKind::Silence(dh),
+                    },
+                    gated,
+                    ctx,
+                );
+            }
+            cu.delivered_to = dh;
+            cu.knowledge.advance_base(dh);
+        }
+        needs.authoritative = cu.refilter;
+        // 2. Switchover?
+        if cu.delivered_to >= con.processed_to {
+            conn.last_sent.insert(p, cu.delivered_to);
+            needs.switched = true;
+            if conn.catchup.is_empty() {
+                let dur_us = ctx.now_us().saturating_sub(conn.connected_at_us);
+                ctx.record("shb.catchup_duration_ms", dur_us as f64 / 1_000.0);
+            }
+            return needs;
+        }
+        // 3. Plan recovery within the flow-control window.
+        let window_end = (cu.delivered_to + config.catchup_window_ticks)
+            .min(con.processed_to)
+            .min(pace_limit + config.catchup_window_ticks);
+        let ld = con.latest_delivered;
+        for (f, t) in cu.knowledge.q_ranges(cu.delivered_to, window_end) {
+            // Below PFS coverage: events known to match → nack directly.
+            let covered = cu.pfs_covered_to;
+            if f <= covered {
+                needs.holes.push((f, t.min(covered)));
+            }
+            // Between PFS coverage and latestDelivered: ask the PFS first
+            // (that is the whole point of persistent filtering).
+            if t > covered && f <= ld && covered < ld && !cu.reading {
+                needs.want_read = true;
+            }
+            // Above latestDelivered: the PFS has nothing; recover from
+            // the broker cache / upstream.
+            let above = f.max(ld.next()).max(covered.next());
+            if above <= t {
+                needs.holes.push((above, t));
+            }
+        }
+        conn.catchup.insert(p, cu);
+        needs
+    }
+
+    /// Restores volatile invariants after the owning broker crashed:
+    /// every connection is gone; constreams resume from the durable
+    /// `latestDelivered`.
+    pub fn post_restart(&mut self) {
+        self.conns.clear();
+        for worker in &mut self.workers {
+            worker.queue.clear();
+            worker.committing.clear();
+            worker.busy = false;
+        }
+        for con in self.con.values_mut() {
+            con.processed_to = con.latest_delivered;
+        }
+    }
+}
+
+/// Sends a delivery directly, or queues it for a gated (JMS) subscriber
+/// whose previous delivery has not been acknowledged-and-committed yet.
+fn deliver(
+    conn: &mut Conn,
+    sub: SubscriberId,
+    msg: DeliveryMsg,
+    gated: bool,
+    ctx: &mut dyn NodeCtx,
+) {
+    if gated {
+        conn.outbox.push_back(msg);
+        pump_outbox(conn, sub, ctx);
+    } else {
+        ctx.send(
+            conn.client,
+            gryphon_types::NetMsg::Server(ServerMsg::Deliver { sub, msg }),
+        );
+    }
+}
+
+/// Sends the next queued delivery of a gated subscriber if none is in
+/// flight.
+fn pump_outbox(conn: &mut Conn, sub: SubscriberId, ctx: &mut dyn NodeCtx) {
+    if conn.in_flight {
+        return;
+    }
+    if let Some(msg) = conn.outbox.pop_front() {
+        conn.in_flight = true;
+        ctx.send(
+            conn.client,
+            gryphon_types::NetMsg::Server(ServerMsg::Deliver { sub, msg }),
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the Persistent Filtering Subsystem: batch reads by
+//! backpointer walk must agree exactly with a reference replay of the
+//! write history, for any write pattern, read window, buffer size, chop
+//! schedule and crash point.
+
+use gryphon::{Pfs, PfsMode};
+use gryphon_storage::MemFactory;
+use gryphon_types::{PubendId, SubscriberId, Timestamp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const P: PubendId = PubendId(0);
+const SUBS: u64 = 6;
+
+#[derive(Debug, Clone)]
+struct WritePlan {
+    /// Gap in ticks before this write.
+    gap: u64,
+    /// Bitmask of matching subscribers (never empty — masked later).
+    mask: u8,
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<WritePlan>> {
+    prop::collection::vec(
+        (1u64..6, 1u8..(1 << SUBS) as u8).prop_map(|(gap, mask)| WritePlan { gap, mask }),
+        1..80,
+    )
+}
+
+/// Reference model: ts → set of matching subs.
+fn build(
+    history: &[WritePlan],
+) -> (Pfs, MemFactory, BTreeMap<u64, u8>, Timestamp) {
+    let factory = MemFactory::new();
+    let mut pfs = Pfs::open(Box::new(factory.clone()), "t", PfsMode::Precise).unwrap();
+    let mut model = BTreeMap::new();
+    let mut ts = 0u64;
+    for w in history {
+        ts += w.gap;
+        let subs: Vec<SubscriberId> = (0..SUBS)
+            .filter(|s| w.mask & (1 << s) != 0)
+            .map(SubscriberId)
+            .collect();
+        pfs.write(P, Timestamp(ts), &subs).unwrap();
+        model.insert(ts, w.mask);
+    }
+    pfs.sync().unwrap();
+    (pfs, factory, model, Timestamp(ts))
+}
+
+fn reference_q_ticks(model: &BTreeMap<u64, u8>, sub: u64, from: u64, to: u64) -> Vec<u64> {
+    model
+        .range(from + 1..=to)
+        .filter(|(_, &mask)| mask & (1 << sub) != 0)
+        .map(|(&t, _)| t)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unbounded reads equal the reference replay for every subscriber
+    /// and window.
+    #[test]
+    fn batch_read_equals_reference(
+        history in arb_history(),
+        sub in 0u64..SUBS,
+        from_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let (mut pfs, _f, model, last) = build(&history);
+        let from = (last.0 as f64 * from_frac) as u64;
+        let to = from + ((last.0 - from.min(last.0)) as f64 * len_frac) as u64 + 1;
+        let r = pfs.read(P, SubscriberId(sub), Timestamp(from), Timestamp(to), usize::MAX).unwrap();
+        prop_assert_eq!(r.known_from, Timestamp(from), "intact chain");
+        prop_assert_eq!(r.covered_to, Timestamp(to));
+        prop_assert!(r.full_read);
+        let got: Vec<u64> = r.q_ticks.iter().map(|t| t.0).collect();
+        prop_assert_eq!(got, reference_q_ticks(&model, sub, from, to));
+    }
+
+    /// Saturated reads return the *oldest* `max_q` ticks and chain
+    /// correctly into follow-up reads until the window is covered.
+    #[test]
+    fn saturated_reads_chain_to_completion(
+        history in arb_history(),
+        sub in 0u64..SUBS,
+        max_q in 1usize..5,
+    ) {
+        let (mut pfs, _f, model, last) = build(&history);
+        let expected = reference_q_ticks(&model, sub, 0, last.0);
+        let mut collected = Vec::new();
+        let mut from = Timestamp::ZERO;
+        for _ in 0..200 {
+            let r = pfs.read(P, SubscriberId(sub), from, last, max_q).unwrap();
+            prop_assert!(r.q_ticks.len() <= max_q);
+            collected.extend(r.q_ticks.iter().map(|t| t.0));
+            if r.full_read {
+                prop_assert_eq!(r.covered_to, last);
+                break;
+            }
+            from = r.covered_to;
+        }
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// Recovery (scan rebuild) preserves read results exactly.
+    #[test]
+    fn recovery_preserves_reads(
+        history in arb_history(),
+        sub in 0u64..SUBS,
+    ) {
+        let (pfs, factory, model, last) = build(&history);
+        drop(pfs);
+        let mut pfs = Pfs::open(Box::new(factory), "t", PfsMode::Precise).unwrap();
+        let r = pfs.read(P, SubscriberId(sub), Timestamp::ZERO, last, usize::MAX).unwrap();
+        let got: Vec<u64> = r.q_ticks.iter().map(|t| t.0).collect();
+        prop_assert_eq!(got, reference_q_ticks(&model, sub, 0, last.0));
+    }
+
+    /// Chopping below a released point never affects reads above it, and
+    /// reads reaching below report the undetermined region (never a
+    /// silent wrong answer).
+    #[test]
+    fn chop_is_conservative(
+        history in arb_history(),
+        sub in 0u64..SUBS,
+        chop_frac in 0.0f64..1.0,
+    ) {
+        let (mut pfs, _f, model, last) = build(&history);
+        let chop_at = 1 + (last.0 as f64 * chop_frac) as u64;
+        pfs.chop_below(P, Timestamp(chop_at)).unwrap();
+        // Read entirely above the chop: exact.
+        let r = pfs.read(P, SubscriberId(sub), Timestamp(chop_at - 1), last, usize::MAX).unwrap();
+        let got: Vec<u64> = r.q_ticks.iter().map(|t| t.0).collect();
+        prop_assert_eq!(&got, &reference_q_ticks(&model, sub, chop_at - 1, last.0));
+        // Read from zero: the undetermined prefix must be reported.
+        let r = pfs.read(P, SubscriberId(sub), Timestamp::ZERO, last, usize::MAX).unwrap();
+        prop_assert!(r.known_from.0 >= chop_at.saturating_sub(1));
+        // Above known_from, the result is still exact.
+        let got: Vec<u64> = r.q_ticks.iter().map(|t| t.0).collect();
+        prop_assert_eq!(got, reference_q_ticks(&model, sub, r.known_from.0, last.0));
+    }
+
+    /// The imprecise mode only ever widens the Q set (never drops a true
+    /// match) — the correctness condition of paper §4.2.
+    #[test]
+    fn imprecise_is_superset(
+        history in arb_history(),
+        sub in 0u64..SUBS,
+        window in 2u64..32,
+    ) {
+        let factory = MemFactory::new();
+        let mut pfs = Pfs::open(
+            Box::new(factory),
+            "t",
+            PfsMode::Imprecise { window_ticks: window },
+        ).unwrap();
+        let mut model = BTreeMap::new();
+        let mut ts = 0u64;
+        for w in &history {
+            ts += w.gap;
+            let subs: Vec<SubscriberId> = (0..SUBS)
+                .filter(|s| w.mask & (1 << s) != 0)
+                .map(SubscriberId)
+                .collect();
+            pfs.write(P, Timestamp(ts), &subs).unwrap();
+            model.insert(ts, w.mask);
+        }
+        pfs.sync().unwrap();
+        let r = pfs.read(P, SubscriberId(sub), Timestamp::ZERO, Timestamp(ts), usize::MAX).unwrap();
+        let got: std::collections::BTreeSet<u64> = r.q_ticks.iter().map(|t| t.0).collect();
+        for t in reference_q_ticks(&model, sub, 0, ts) {
+            prop_assert!(got.contains(&t), "imprecise mode dropped true match at {t}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Printable experiment reports.
+
+/// One table of an experiment report.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (usually the paper artefact it reproduces).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A complete experiment report: tables, notes and optional raw series.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// The experiment id.
+    pub id: String,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+    /// Free-form commentary (paper-vs-measured discussion).
+    pub notes: Vec<String>,
+    /// Raw `(name, samples)` series for plotting (virtual seconds, value).
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Report {
+    /// Creates an empty report for `id`.
+    pub fn new(id: &str) -> Self {
+        Report {
+            id: id.to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Adds a raw series (already reduced to plot points).
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Renders everything as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("# experiment: {}\n\n", self.id);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        if !self.series.is_empty() {
+            out.push_str("\nseries (first/last points):\n");
+            for (name, pts) in &self.series {
+                if let (Some(first), Some(last)) = (pts.first(), pts.last()) {
+                    out.push_str(&format!(
+                        "  {name}: {} points, t={:.1}s v={:.1} .. t={:.1}s v={:.1}\n",
+                        pts.len(),
+                        first.0,
+                        first.1,
+                        last.0,
+                        last.1
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Dumps all series as CSV (`series,t_seconds,value` lines).
+    pub fn series_csv(&self) -> String {
+        let mut out = String::from("series,t_seconds,value\n");
+        for (name, pts) in &self.series {
+            for (t, v) in pts {
+                out.push_str(&format!("{name},{t:.3},{v:.3}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Formats a float with thousands separators (rates in ev/s).
+pub fn fmt_rate(v: f64) -> String {
+    if v >= 1_000.0 {
+        format!("{:.1}K", v / 1_000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn report_renders_notes_and_series() {
+        let mut r = Report::new("x");
+        r.note("hello");
+        r.series("s", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let text = r.render();
+        assert!(text.contains("note: hello"));
+        assert!(text.contains("2 points"));
+        let csv = r.series_csv();
+        assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(19_800.0), "19.8K");
+        assert_eq!(fmt_rate(750.0), "750");
+    }
+}

@@ -1,0 +1,93 @@
+//! The paper's workload: class-partitioned subscriptions over a fixed
+//! input rate.
+//!
+//! All scalability experiments use the same scheme (paper §5.1): an input
+//! of 800 events/s spread over 4 pubends, events carrying a `class`
+//! attribute cycling over 4 values, and each subscriber filtering one
+//! class — so every subscriber receives 200 events/s.
+
+use gryphon::SubscriberConfig;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Total input rate across all pubends (events/s).
+    pub input_rate: f64,
+    /// Number of event classes (and the matching fraction's denominator).
+    pub classes: i64,
+    /// Durable subscribers hosted per SHB.
+    pub subs_per_shb: usize,
+    /// Application payload bytes (250 in the paper → 418 on the wire).
+    pub payload: usize,
+    /// Template subscriber behaviour (connect times and disconnect
+    /// schedules are staggered per subscriber by the topology builder).
+    pub sub_cfg: SubscriberConfig,
+    /// Spread subscriber connect/disconnect phases uniformly so the
+    /// system sees a steady trickle of reconnections (the paper: "at
+    /// least 1 subscriber is reconnecting at any instant").
+    pub stagger: bool,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            input_rate: 800.0,
+            classes: 4,
+            subs_per_shb: 100,
+            payload: 250,
+            sub_cfg: SubscriberConfig::default(),
+            stagger: true,
+        }
+    }
+}
+
+impl Workload {
+    /// The paper's no-disconnection scalability workload.
+    pub fn paper_steady() -> Self {
+        Workload::default()
+    }
+
+    /// The paper's disconnection workload: each subscriber independently
+    /// disconnects every `period` for `down`, compressed from the paper's
+    /// 300 s / 5 s to keep virtual runs short.
+    pub fn paper_disconnecting(period_us: u64, down_us: u64) -> Self {
+        Workload {
+            subs_per_shb: 87, // 348 total across 4 SHBs in the paper
+            sub_cfg: SubscriberConfig {
+                disconnect_period_us: Some(period_us),
+                disconnect_duration_us: down_us,
+                ..SubscriberConfig::default()
+            },
+            ..Workload::default()
+        }
+    }
+
+    /// Expected per-subscriber event rate (ev/s).
+    pub fn per_sub_rate(&self) -> f64 {
+        self.input_rate / self.classes as f64
+    }
+
+    /// Filter expression for subscriber number `i`.
+    pub fn filter_for(&self, i: usize) -> String {
+        format!("class = {}", (i as i64) % self.classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates() {
+        let w = Workload::paper_steady();
+        assert_eq!(w.per_sub_rate(), 200.0);
+        assert_eq!(w.filter_for(5), "class = 1");
+    }
+
+    #[test]
+    fn disconnecting_variant_sets_schedule() {
+        let w = Workload::paper_disconnecting(30_000_000, 5_000_000);
+        assert_eq!(w.sub_cfg.disconnect_period_us, Some(30_000_000));
+        assert_eq!(w.subs_per_shb, 87);
+    }
+}

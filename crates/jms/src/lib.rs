@@ -1,0 +1,258 @@
+//! JMS-style durable topic subscriptions on top of the Gryphon model
+//! (paper §5.2).
+//!
+//! The paper implements the Java Message Service durable-subscription API
+//! over its own model. The JMS contract differs in two ways:
+//!
+//! * the subscriber's resumption point (checkpoint token) is stored **by
+//!   the broker**, not the client — so every acknowledgment becomes a
+//!   database commit at the SHB;
+//! * in **auto-acknowledge** mode the client acknowledges after consuming
+//!   *each* message, so the SHB commits the checkpoint per event. This is
+//!   the most severe mode: the paper measures 4 K ev/s with 25
+//!   subscribers and 7.6 K ev/s with 200 (the bottleneck is commit
+//!   throughput, improved by batching concurrent updates into one
+//!   transaction across 4 worker threads).
+//!
+//! This crate is a thin, typed facade: it derives stable subscription
+//! identities from `(client id, subscription name)` and configures the
+//! underlying [`SubscriberClient`] / [`PublisherClient`] to speak the
+//! broker's `broker_ct` protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use gryphon_jms::{AckMode, Session, Topic};
+//! use gryphon_types::NodeId;
+//!
+//! let session = Session::new("trading-app", NodeId(3));
+//! let topic = Topic::new("orders.us");
+//! let sub = session.create_durable_subscriber(&topic, "audit", AckMode::AutoAcknowledge);
+//! assert!(sub.name() == "audit");
+//! ```
+
+use gryphon::{PublisherClient, SubscriberClient, SubscriberConfig};
+use gryphon_types::{NodeId, PubendId, SubscriberId, SubscriptionSpec};
+
+/// JMS acknowledgment modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Acknowledge (and commit the broker-side checkpoint) after every
+    /// message — the paper's stress case.
+    AutoAcknowledge,
+    /// Lazy acknowledgment: duplicates allowed after failures; the client
+    /// acknowledges on a timer.
+    DupsOkAcknowledge,
+    /// The application acknowledges explicitly (here: periodic, like
+    /// `DupsOk`, but the broker still owns the checkpoint).
+    ClientAcknowledge,
+}
+
+/// A named topic. Published messages carry `topic = '<name>'`; durable
+/// subscribers filter on it (plus an optional selector conjunction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Topic {
+    name: String,
+}
+
+impl Topic {
+    /// Creates a topic handle.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topic { name: name.into() }
+    }
+
+    /// The topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The filter expression selecting this topic.
+    pub fn filter(&self) -> String {
+        format!("topic = '{}'", self.name)
+    }
+
+    /// Filter with an additional JMS-selector-style conjunction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_jms::Topic;
+    /// let t = Topic::new("orders");
+    /// assert_eq!(t.filter_with("qty > 100"), "topic = 'orders' && qty > 100");
+    /// ```
+    pub fn filter_with(&self, selector: &str) -> String {
+        if selector.trim().is_empty() {
+            self.filter()
+        } else {
+            format!("{} && {}", self.filter(), selector)
+        }
+    }
+}
+
+/// Stable 64-bit identity for a durable subscription, derived from the
+/// JMS `(clientID, subscriptionName)` pair (FNV-1a).
+pub fn subscription_id(client_id: &str, name: &str) -> SubscriberId {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in client_id.bytes().chain([0u8]).chain(name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SubscriberId(h)
+}
+
+/// A JMS-ish session bound to one SHB: a factory for durable subscribers
+/// and topic publishers.
+#[derive(Debug, Clone)]
+pub struct Session {
+    client_id: String,
+    shb: NodeId,
+}
+
+impl Session {
+    /// Creates a session for `client_id` talking to the broker node
+    /// `shb`.
+    pub fn new(client_id: impl Into<String>, shb: NodeId) -> Self {
+        Session {
+            client_id: client_id.into(),
+            shb,
+        }
+    }
+
+    /// The JMS client id.
+    pub fn client_id(&self) -> &str {
+        &self.client_id
+    }
+
+    /// Creates a durable topic subscriber (register the returned
+    /// [`DurableSubscriber::into_node`] with the runtime).
+    pub fn create_durable_subscriber(
+        &self,
+        topic: &Topic,
+        name: &str,
+        mode: AckMode,
+    ) -> DurableSubscriber {
+        DurableSubscriber {
+            id: subscription_id(&self.client_id, name),
+            name: name.to_owned(),
+            shb: self.shb,
+            filter: topic.filter(),
+            mode,
+            ack_interval_us: 250_000,
+        }
+    }
+
+    /// Creates a durable topic subscriber with a message selector.
+    pub fn create_durable_subscriber_with_selector(
+        &self,
+        topic: &Topic,
+        name: &str,
+        selector: &str,
+        mode: AckMode,
+    ) -> DurableSubscriber {
+        let mut s = self.create_durable_subscriber(topic, name, mode);
+        s.filter = topic.filter_with(selector);
+        s
+    }
+
+    /// Creates a publisher for `topic` targeting pubend `pubend` hosted
+    /// at broker node `phb`.
+    pub fn create_publisher(
+        &self,
+        topic: &Topic,
+        phb: NodeId,
+        pubend: PubendId,
+        rate: f64,
+    ) -> PublisherClient {
+        let name = topic.name.clone();
+        PublisherClient::new(phb, pubend, rate).with_attrs(move |_, _| {
+            let mut a = gryphon_types::Attributes::new();
+            a.insert("topic".into(), name.clone().into());
+            a
+        })
+    }
+}
+
+/// A configured durable subscription, convertible into a runtime node.
+#[derive(Debug, Clone)]
+pub struct DurableSubscriber {
+    id: SubscriberId,
+    name: String,
+    shb: NodeId,
+    filter: String,
+    mode: AckMode,
+    ack_interval_us: u64,
+}
+
+impl DurableSubscriber {
+    /// The derived stable subscription id.
+    pub fn id(&self) -> SubscriberId {
+        self.id
+    }
+
+    /// The subscription name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The effective filter expression.
+    pub fn filter(&self) -> &str {
+        &self.filter
+    }
+
+    /// Overrides the acknowledgment period (non-auto modes).
+    pub fn with_ack_interval_us(mut self, us: u64) -> Self {
+        self.ack_interval_us = us;
+        self
+    }
+
+    /// Builds the runtime node implementing this subscription.
+    pub fn into_node(self) -> SubscriberClient {
+        let cfg = SubscriberConfig {
+            broker_ct: true,
+            auto_ack: self.mode == AckMode::AutoAcknowledge,
+            ack_interval_us: self.ack_interval_us,
+            ..SubscriberConfig::default()
+        };
+        SubscriberClient::new(self.id, self.shb, SubscriptionSpec::new(self.filter), cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscription_ids_are_stable_and_distinct() {
+        let a = subscription_id("app", "audit");
+        let b = subscription_id("app", "audit");
+        assert_eq!(a, b);
+        assert_ne!(a, subscription_id("app", "other"));
+        assert_ne!(a, subscription_id("app2", "audit"));
+        // The (clientID, name) boundary matters: "ab"+"c" ≠ "a"+"bc".
+        assert_ne!(subscription_id("ab", "c"), subscription_id("a", "bc"));
+    }
+
+    #[test]
+    fn topic_filters() {
+        let t = Topic::new("orders.us");
+        assert_eq!(t.filter(), "topic = 'orders.us'");
+        assert_eq!(t.filter_with(""), "topic = 'orders.us'");
+        assert_eq!(
+            t.filter_with("qty >= 10"),
+            "topic = 'orders.us' && qty >= 10"
+        );
+    }
+
+    #[test]
+    fn subscriber_builder_configures_modes() {
+        let session = Session::new("app", NodeId(1));
+        let topic = Topic::new("t");
+        let auto = session.create_durable_subscriber(&topic, "a", AckMode::AutoAcknowledge);
+        let lazy = session.create_durable_subscriber(&topic, "b", AckMode::DupsOkAcknowledge);
+        assert_ne!(auto.id(), lazy.id());
+        // Auto mode builds a node (smoke: construction succeeds and the
+        // filter parses at the broker later).
+        let _node = auto.into_node();
+        let _node2 = lazy.into_node();
+    }
+}

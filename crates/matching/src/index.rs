@@ -1,0 +1,345 @@
+//! Counting-based subscription index.
+//!
+//! The index generalizes the matching-tree idea of Aguilera et al.: each
+//! subscription is a conjunction with `n` predicates; matching an event
+//! means finding, per subscription, how many of its predicates the event
+//! satisfies, and selecting those where the count reaches `n`. Equality
+//! predicates — the overwhelmingly common kind in partitioned workloads —
+//! are satisfied via a single hash lookup per event attribute, so the cost
+//! of matching is proportional to the event's attribute count plus the
+//! number of *candidate* subscriptions, not the total subscription count.
+
+use crate::{Filter, Op};
+use gryphon_types::{AttrValue, Event, SubscriberId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct CompiledSub {
+    filter: Filter,
+    /// Number of predicates that must be satisfied.
+    total: usize,
+}
+
+/// An index over many subscriptions answering "which subscriptions match
+/// this event?" in sub-linear time.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_matching::{Filter, SubscriptionIndex};
+/// use gryphon_types::{Event, PubendId, SubscriberId, Timestamp};
+///
+/// let mut idx = SubscriptionIndex::new();
+/// idx.insert(SubscriberId(1), Filter::parse("class = 0")?);
+/// idx.insert(SubscriberId(2), Filter::parse("class = 1")?);
+/// idx.insert(SubscriberId(3), Filter::match_all());
+///
+/// let e = Event::builder(PubendId(0)).attr("class", 1i64).build(Timestamp(1));
+/// let mut hits = idx.matches(&e);
+/// hits.sort();
+/// assert_eq!(hits, vec![SubscriberId(2), SubscriberId(3)]);
+/// # Ok::<(), gryphon_matching::ParseError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionIndex {
+    subs: HashMap<SubscriberId, CompiledSub>,
+    /// (attr, value) → subscriptions holding an equality predicate on it.
+    eq_index: HashMap<(String, AttrValue), Vec<SubscriberId>>,
+    /// attr → (subscription, predicate index) for non-equality predicates.
+    attr_index: HashMap<String, Vec<(SubscriberId, usize)>>,
+    /// Subscriptions with an empty conjunction (match everything).
+    match_all: Vec<SubscriberId>,
+}
+
+impl SubscriptionIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` when no subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Registers (or replaces) the filter for `sub`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_matching::{Filter, SubscriptionIndex};
+    /// # use gryphon_types::SubscriberId;
+    /// let mut idx = SubscriptionIndex::new();
+    /// idx.insert(SubscriberId(1), Filter::match_all());
+    /// idx.insert(SubscriberId(1), Filter::parse("a = 1").unwrap());
+    /// assert_eq!(idx.len(), 1);
+    /// ```
+    pub fn insert(&mut self, sub: SubscriberId, filter: Filter) {
+        self.remove(sub);
+        let total = filter.predicates().len();
+        if total == 0 {
+            self.match_all.push(sub);
+        } else {
+            for (i, p) in filter.predicates().iter().enumerate() {
+                if p.op == Op::Eq {
+                    self.eq_index
+                        .entry((p.attr.clone(), p.value.clone()))
+                        .or_default()
+                        .push(sub);
+                } else {
+                    self.attr_index.entry(p.attr.clone()).or_default().push((sub, i));
+                }
+            }
+        }
+        self.subs.insert(sub, CompiledSub { filter, total });
+    }
+
+    /// Removes `sub`; returns its filter if it was registered.
+    pub fn remove(&mut self, sub: SubscriberId) -> Option<Filter> {
+        let compiled = self.subs.remove(&sub)?;
+        if compiled.total == 0 {
+            self.match_all.retain(|&s| s != sub);
+        } else {
+            for p in compiled.filter.predicates() {
+                if p.op == Op::Eq {
+                    if let Some(v) = self.eq_index.get_mut(&(p.attr.clone(), p.value.clone())) {
+                        v.retain(|&s| s != sub);
+                        if v.is_empty() {
+                            self.eq_index.remove(&(p.attr.clone(), p.value.clone()));
+                        }
+                    }
+                } else if let Some(v) = self.attr_index.get_mut(&p.attr) {
+                    v.retain(|&(s, _)| s != sub);
+                    if v.is_empty() {
+                        self.attr_index.remove(&p.attr);
+                    }
+                }
+            }
+        }
+        Some(compiled.filter)
+    }
+
+    /// Returns the filter registered for `sub`, if any.
+    pub fn get(&self, sub: SubscriberId) -> Option<&Filter> {
+        self.subs.get(&sub).map(|c| &c.filter)
+    }
+
+    /// Iterates over `(subscriber, filter)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (SubscriberId, &Filter)> + '_ {
+        self.subs.iter().map(|(&s, c)| (s, &c.filter))
+    }
+
+    /// All subscriptions matching `event` (unspecified order).
+    pub fn matches(&self, event: &Event) -> Vec<SubscriberId> {
+        let mut out = Vec::new();
+        self.matches_into(event, &mut out);
+        out
+    }
+
+    /// Like [`SubscriptionIndex::matches`] but reuses an output buffer —
+    /// the hot path for brokers matching hundreds of thousands of events
+    /// per second.
+    pub fn matches_into(&self, event: &Event, out: &mut Vec<SubscriberId>) {
+        out.clear();
+        out.extend_from_slice(&self.match_all);
+        if self.subs.len() == self.match_all.len() {
+            return;
+        }
+        let mut counts: HashMap<SubscriberId, usize> = HashMap::new();
+        let mut key = (String::new(), AttrValue::Bool(false));
+        for (attr, value) in &event.attrs {
+            // Reuse the key allocation across lookups.
+            key.0.clear();
+            key.0.push_str(attr);
+            key.1 = value.clone();
+            if let Some(subs) = self.eq_index.get(&key) {
+                for &s in subs {
+                    *counts.entry(s).or_insert(0) += 1;
+                }
+            }
+            if let Some(cands) = self.attr_index.get(attr) {
+                for &(s, pi) in cands {
+                    let pred = &self.subs[&s].filter.predicates()[pi];
+                    if pred.eval_value(value) {
+                        *counts.entry(s).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        for (s, n) in counts {
+            if n == self.subs[&s].total {
+                out.push(s);
+            }
+        }
+    }
+
+    /// Reference implementation: linear scan over every subscription.
+    ///
+    /// Used by property tests (index ≡ naive) and by the matching ablation
+    /// bench; not intended for production paths.
+    pub fn matches_naive(&self, event: &Event) -> Vec<SubscriberId> {
+        let mut out: Vec<SubscriberId> = self
+            .subs
+            .iter()
+            .filter(|(_, c)| c.filter.eval(event))
+            .map(|(&s, _)| s)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// `true` when *any* registered subscription matches `event` — the
+    /// question intermediate brokers ask when deciding whether to forward
+    /// a data tick or downgrade it to silence.
+    pub fn any_match(&self, event: &Event) -> bool {
+        if !self.match_all.is_empty() {
+            return true;
+        }
+        // A full count pass is still needed (conjunctions).
+        !self.matches(event).is_empty()
+    }
+}
+
+impl Extend<(SubscriberId, Filter)> for SubscriptionIndex {
+    fn extend<I: IntoIterator<Item = (SubscriberId, Filter)>>(&mut self, iter: I) {
+        for (s, f) in iter {
+            self.insert(s, f);
+        }
+    }
+}
+
+impl FromIterator<(SubscriberId, Filter)> for SubscriptionIndex {
+    fn from_iter<I: IntoIterator<Item = (SubscriberId, Filter)>>(iter: I) -> Self {
+        let mut idx = Self::new();
+        idx.extend(iter);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gryphon_types::{PubendId, Timestamp};
+
+    fn event(class: i64, price: i64) -> Event {
+        Event::builder(PubendId(0))
+            .attr("class", class)
+            .attr("price", price)
+            .build(Timestamp(1))
+    }
+
+    fn sorted(mut v: Vec<SubscriberId>) -> Vec<SubscriberId> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn equality_partition() {
+        let mut idx = SubscriptionIndex::new();
+        for i in 0..4 {
+            idx.insert(
+                SubscriberId(i),
+                Filter::parse(&format!("class = {i}")).unwrap(),
+            );
+        }
+        assert_eq!(sorted(idx.matches(&event(2, 0))), vec![SubscriberId(2)]);
+        assert_eq!(idx.matches(&event(9, 0)), vec![]);
+    }
+
+    #[test]
+    fn conjunction_requires_all_predicates() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(1), Filter::parse("class = 1 && price > 10").unwrap());
+        assert!(idx.matches(&event(1, 5)).is_empty());
+        assert_eq!(idx.matches(&event(1, 11)), vec![SubscriberId(1)]);
+    }
+
+    #[test]
+    fn match_all_always_included() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(7), Filter::match_all());
+        idx.insert(SubscriberId(8), Filter::parse("class = 0").unwrap());
+        assert_eq!(
+            sorted(idx.matches(&event(1, 0))),
+            vec![SubscriberId(7)]
+        );
+        assert_eq!(
+            sorted(idx.matches(&event(0, 0))),
+            vec![SubscriberId(7), SubscriberId(8)]
+        );
+    }
+
+    #[test]
+    fn remove_unregisters_all_predicates() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(1), Filter::parse("class = 1 && price > 10").unwrap());
+        assert!(idx.remove(SubscriberId(1)).is_some());
+        assert!(idx.remove(SubscriberId(1)).is_none());
+        assert!(idx.matches(&event(1, 20)).is_empty());
+        assert!(idx.is_empty());
+        assert!(idx.eq_index.is_empty());
+        assert!(idx.attr_index.is_empty());
+    }
+
+    #[test]
+    fn replace_changes_matching() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(1), Filter::parse("class = 1").unwrap());
+        idx.insert(SubscriberId(1), Filter::parse("class = 2").unwrap());
+        assert!(idx.matches(&event(1, 0)).is_empty());
+        assert_eq!(idx.matches(&event(2, 0)), vec![SubscriberId(1)]);
+    }
+
+    #[test]
+    fn any_match_short_circuits_on_match_all() {
+        let mut idx = SubscriptionIndex::new();
+        assert!(!idx.any_match(&event(0, 0)));
+        idx.insert(SubscriberId(1), Filter::match_all());
+        assert!(idx.any_match(&event(0, 0)));
+    }
+
+    #[test]
+    fn duplicate_predicates_counted_correctly() {
+        // `class = 1 && class = 1` has total 2; both hits come from the
+        // same attribute lookup and must both count.
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(1), Filter::parse("class = 1 && class = 1").unwrap());
+        assert_eq!(idx.matches(&event(1, 0)), vec![SubscriberId(1)]);
+    }
+
+    #[test]
+    fn contradictory_filter_never_matches() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(1), Filter::parse("class = 1 && class = 2").unwrap());
+        assert!(idx.matches(&event(1, 0)).is_empty());
+        assert!(idx.matches(&event(2, 0)).is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let idx: SubscriptionIndex = (0..3)
+            .map(|i| (SubscriberId(i), Filter::parse(&format!("class = {i}")).unwrap()))
+            .collect();
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn range_and_prefix_predicates_via_attr_index() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(1), Filter::parse("sym =p 'IB'").unwrap());
+        idx.insert(SubscriberId(2), Filter::parse("price >= 100").unwrap());
+        let e = Event::builder(PubendId(0))
+            .attr("sym", "IBM")
+            .attr("price", 100i64)
+            .build(Timestamp(1));
+        assert_eq!(
+            sorted(idx.matches(&e)),
+            vec![SubscriberId(1), SubscriberId(2)]
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Parser for the subscription filter grammar.
+//!
+//! ```text
+//! filter     := 'true' | predicate ( '&&' predicate )*
+//! predicate  := ident op value | ident 'exists'
+//! op         := '=' | '!=' | '<' | '<=' | '>' | '>=' | '=p'
+//! value      := integer | float | 'single-quoted string' | true | false
+//! ident      := [A-Za-z_][A-Za-z0-9_.]*
+//! ```
+
+use crate::{Filter, Op, Predicate};
+use gryphon_types::AttrValue;
+
+/// Error produced when a filter expression fails to parse.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_matching::Filter;
+/// let err = Filter::parse("price >").unwrap_err();
+/// assert!(err.to_string().contains("expected value"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "filter parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Op(Op),
+    Value(AttrValue),
+    And,
+    Exists,
+    True,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.is_empty() {
+            return Ok(None);
+        }
+        let bytes = rest.as_bytes();
+        // Multi-char operators first.
+        for (pat, tok) in [
+            ("&&", Token::And),
+            ("<=", Token::Op(Op::Le)),
+            (">=", Token::Op(Op::Ge)),
+            ("!=", Token::Op(Op::Ne)),
+            ("=p", Token::Op(Op::Prefix)),
+        ] {
+            if rest.starts_with(pat) {
+                self.pos += pat.len();
+                return Ok(Some(tok));
+            }
+        }
+        match bytes[0] {
+            b'=' => {
+                self.pos += 1;
+                Ok(Some(Token::Op(Op::Eq)))
+            }
+            b'<' => {
+                self.pos += 1;
+                Ok(Some(Token::Op(Op::Lt)))
+            }
+            b'>' => {
+                self.pos += 1;
+                Ok(Some(Token::Op(Op::Gt)))
+            }
+            b'\'' => {
+                let inner = &rest[1..];
+                let Some(end) = inner.find('\'') else {
+                    return Err(self.err("unterminated string literal"));
+                };
+                let s = inner[..end].to_owned();
+                self.pos += end + 2;
+                Ok(Some(Token::Value(AttrValue::Str(s))))
+            }
+            b'0'..=b'9' | b'-' | b'+' => {
+                let len = rest
+                    .char_indices()
+                    .take_while(|&(i, c)| {
+                        i == 0 || c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-'
+                            || c == '+'
+                    })
+                    .count();
+                let lit = &rest[..len];
+                self.pos += len;
+                if lit.contains('.') || lit.contains('e') || lit.contains('E') {
+                    lit.parse::<f64>()
+                        .map(|v| Some(Token::Value(AttrValue::Float(v))))
+                        .map_err(|_| self.err(format!("bad float literal '{lit}'")))
+                } else {
+                    lit.parse::<i64>()
+                        .map(|v| Some(Token::Value(AttrValue::Int(v))))
+                        .map_err(|_| self.err(format!("bad integer literal '{lit}'")))
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let len = rest
+                    .chars()
+                    .take_while(|&c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                    .map(char::len_utf8)
+                    .sum();
+                let word = &rest[..len];
+                self.pos += len;
+                Ok(Some(match word {
+                    "exists" => Token::Exists,
+                    "true" => Token::True,
+                    "false" => Token::Value(AttrValue::Bool(false)),
+                    _ => Token::Ident(word.to_owned()),
+                }))
+            }
+            other => Err(self.err(format!("unexpected character '{}'", other as char))),
+        }
+    }
+}
+
+/// Parses a filter expression. See the [crate docs](crate) for the grammar.
+pub fn parse(input: &str) -> Result<Filter, ParseError> {
+    let mut lex = Lexer::new(input);
+    let mut predicates = Vec::new();
+    let mut first = true;
+    loop {
+        let tok = lex.next_token()?;
+        let Some(tok) = tok else {
+            if first {
+                // Empty input: treat as match-all for ergonomic defaults.
+                return Ok(Filter::match_all());
+            }
+            return Err(lex.err("expected predicate after '&&'"));
+        };
+        match tok {
+            Token::True if first => {
+                // `true` must be the whole filter or conjoined; allow both.
+            }
+            Token::True => {}
+            Token::Ident(attr) => {
+                let op_tok = lex
+                    .next_token()?
+                    .ok_or_else(|| lex.err("expected operator after attribute"))?;
+                match op_tok {
+                    Token::Exists => predicates.push(Predicate::exists(attr)),
+                    Token::Op(op) => {
+                        let val_tok = lex
+                            .next_token()?
+                            .ok_or_else(|| lex.err("expected value after operator"))?;
+                        let value = match val_tok {
+                            Token::Value(v) => v,
+                            Token::True => AttrValue::Bool(true),
+                            other => {
+                                return Err(lex.err(format!("expected value, found {other:?}")))
+                            }
+                        };
+                        if op == Op::Prefix && !matches!(value, AttrValue::Str(_)) {
+                            return Err(lex.err("prefix operator '=p' requires a string value"));
+                        }
+                        predicates.push(Predicate::new(attr, op, value));
+                    }
+                    other => {
+                        return Err(lex.err(format!("expected operator, found {other:?}")))
+                    }
+                }
+            }
+            other => return Err(lex.err(format!("expected predicate, found {other:?}"))),
+        }
+        first = false;
+        match lex.next_token()? {
+            None => break,
+            Some(Token::And) => continue,
+            Some(other) => return Err(lex.err(format!("expected '&&', found {other:?}"))),
+        }
+    }
+    Ok(Filter::new(predicates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gryphon_types::{Event, PubendId, Timestamp};
+
+    #[test]
+    fn parses_conjunction() {
+        let f = parse("class = 2 && price > 10.5 && symbol =p 'IB'").unwrap();
+        assert_eq!(f.predicates().len(), 3);
+        assert_eq!(f.predicates()[0].op, Op::Eq);
+        assert_eq!(f.predicates()[1].value, AttrValue::Float(10.5));
+        assert_eq!(f.predicates()[2].op, Op::Prefix);
+    }
+
+    #[test]
+    fn parses_true_and_empty_as_match_all() {
+        assert_eq!(parse("true").unwrap(), Filter::match_all());
+        assert_eq!(parse("").unwrap(), Filter::match_all());
+        assert_eq!(parse("  ").unwrap(), Filter::match_all());
+    }
+
+    #[test]
+    fn parses_exists() {
+        let f = parse("region exists").unwrap();
+        assert_eq!(f.predicates()[0].op, Op::Exists);
+    }
+
+    #[test]
+    fn parses_negative_numbers_and_bools() {
+        let f = parse("x = -3 && y = true && z = false").unwrap();
+        assert_eq!(f.predicates()[0].value, AttrValue::Int(-3));
+        assert_eq!(f.predicates()[1].value, AttrValue::Bool(true));
+        assert_eq!(f.predicates()[2].value, AttrValue::Bool(false));
+    }
+
+    #[test]
+    fn parses_float_scientific() {
+        let f = parse("x < 1.5e3").unwrap();
+        assert_eq!(f.predicates()[0].value, AttrValue::Float(1500.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("price >").is_err());
+        assert!(parse("= 3").is_err());
+        assert!(parse("a = 'unterminated").is_err());
+        assert!(parse("a = 3 &&").is_err());
+        assert!(parse("a = 3 b = 4").is_err());
+        assert!(parse("a =p 3").is_err());
+        assert!(parse("a ? 3").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("a = 3 && !").unwrap_err();
+        assert!(err.position >= 9, "position {} too small", err.position);
+    }
+
+    #[test]
+    fn parsed_filter_evaluates() {
+        let f = parse("class = 1 && sym =p 'A'").unwrap();
+        let e = Event::builder(PubendId(0))
+            .attr("class", 1i64)
+            .attr("sym", "AAPL")
+            .build(Timestamp(1));
+        assert!(f.eval(&e));
+    }
+
+    #[test]
+    fn dotted_attribute_names() {
+        let f = parse("order.qty >= 100").unwrap();
+        let e = Event::builder(PubendId(0))
+            .attr("order.qty", 150i64)
+            .build(Timestamp(1));
+        assert!(f.eval(&e));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests: the counting index is equivalent to naive evaluation.
+
+use crate::{Filter, Op, Predicate, SubscriptionIndex};
+use gryphon_types::{AttrValue, Event, PubendId, SubscriberId, Timestamp};
+use proptest::prelude::*;
+
+const ATTRS: &[&str] = &["class", "price", "sym", "region", "qty"];
+
+fn arb_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-5i64..5).prop_map(AttrValue::Int),
+        (-2.0f64..2.0).prop_map(AttrValue::Float),
+        "[a-c]{1,3}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Exists),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (0..ATTRS.len(), arb_op(), arb_value()).prop_map(|(a, op, v)| {
+        if op == Op::Exists {
+            // Exists carries no value; normalize so Display/parse agree.
+            Predicate::exists(ATTRS[a])
+        } else {
+            Predicate::new(ATTRS[a], op, v)
+        }
+    })
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    prop::collection::vec(arb_predicate(), 0..4).prop_map(Filter::new)
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop::collection::btree_map(
+        (0..ATTRS.len()).prop_map(|i| ATTRS[i].to_owned()),
+        arb_value(),
+        0..ATTRS.len(),
+    )
+    .prop_map(|attrs| {
+        let mut b = Event::builder(PubendId(0));
+        for (k, v) in attrs {
+            b = b.attr(k, v);
+        }
+        b.build(Timestamp(1))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The index must agree exactly with per-filter naive evaluation.
+    #[test]
+    fn index_equals_naive(
+        filters in prop::collection::vec(arb_filter(), 0..12),
+        events in prop::collection::vec(arb_event(), 1..8),
+    ) {
+        let mut idx = SubscriptionIndex::new();
+        for (i, f) in filters.iter().enumerate() {
+            idx.insert(SubscriberId(i as u64), f.clone());
+        }
+        for e in &events {
+            let mut fast = idx.matches(e);
+            fast.sort();
+            let naive = idx.matches_naive(e);
+            prop_assert_eq!(&fast, &naive);
+            let expected: Vec<SubscriberId> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.eval(e))
+                .map(|(i, _)| SubscriberId(i as u64))
+                .collect();
+            prop_assert_eq!(fast, expected);
+        }
+    }
+
+    /// Removal must leave the index equivalent to one never containing the
+    /// removed subscription.
+    #[test]
+    fn remove_is_clean(
+        filters in prop::collection::vec(arb_filter(), 2..10),
+        victim in 0usize..10,
+        event in arb_event(),
+    ) {
+        let victim = victim % filters.len();
+        let mut with_all = SubscriptionIndex::new();
+        let mut without = SubscriptionIndex::new();
+        for (i, f) in filters.iter().enumerate() {
+            with_all.insert(SubscriberId(i as u64), f.clone());
+            if i != victim {
+                without.insert(SubscriberId(i as u64), f.clone());
+            }
+        }
+        with_all.remove(SubscriberId(victim as u64));
+        let mut a = with_all.matches(&event);
+        let mut b = without.matches(&event);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Display → parse must round-trip filters built from the generator
+    /// (whose string values fit the quoting rules).
+    #[test]
+    fn display_parse_roundtrip(filter in arb_filter()) {
+        let printed = filter.to_string();
+        let reparsed = Filter::parse(&printed).unwrap();
+        prop_assert_eq!(filter, reparsed);
+    }
+}

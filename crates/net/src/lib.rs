@@ -1,0 +1,432 @@
+//! Threaded runtime for Gryphon nodes.
+//!
+//! The same [`Node`] state machines that run under the
+//! deterministic simulator run here on **real OS threads** connected by
+//! crossbeam channels, with wall-clock timers. The paper's wall-clock
+//! microbenchmarks and the `rt_pipeline` bench use this runtime; the
+//! figure reproductions use the simulator (deterministic virtual time).
+//!
+//! Differences from the simulator, by design:
+//!
+//! * links deliver immediately (no modeled latency — thread scheduling
+//!   provides real, not modeled, delays), so use this runtime for
+//!   *throughput*, not latency shapes;
+//! * there is no crash injection;
+//! * determinism is not guaranteed.
+//!
+//! # Examples
+//!
+//! ```
+//! use gryphon_net::NetBuilder;
+//! use gryphon_sim::{Node, NodeCtx, TimerKey};
+//! use gryphon_types::{NetMsg, NodeId, SubInterestMsg};
+//!
+//! struct Counter(u64);
+//! impl Node for Counter {
+//!     fn on_message(&mut self, _: NodeId, _: NetMsg, _: &mut dyn NodeCtx) { self.0 += 1; }
+//!     fn on_timer(&mut self, _: TimerKey, _: &mut dyn NodeCtx) {}
+//! }
+//!
+//! let mut net = NetBuilder::new();
+//! let h = net.add_node("counter", Counter(0));
+//! let running = net.start();
+//! for _ in 0..10 {
+//!     running.inject(h.id(), NetMsg::SubInterest(SubInterestMsg { subs: vec![], version: 0 }));
+//! }
+//! running.run_for(std::time::Duration::from_millis(50));
+//! let result = running.stop();
+//! assert_eq!(result.node::<Counter>(h).0, 10);
+//! ```
+
+use crossbeam::channel::{bounded, Sender};
+use gryphon_sim::{Metrics, Node, NodeCtx, TimerKey};
+use gryphon_types::{NetMsg, NodeId};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::TypeId;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+enum Ev {
+    Msg(NodeId, NetMsg),
+}
+
+/// Typed handle to a node registered with [`NetBuilder::add_node`].
+pub struct Handle<T> {
+    id: NodeId,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+
+impl<T> Handle<T> {
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl<T> std::fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handle({})", self.id)
+    }
+}
+
+struct Typed<T>(T);
+
+impl<T: Node + 'static> Node for Typed<T> {
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        self.0.on_start(ctx)
+    }
+    fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut dyn NodeCtx) {
+        self.0.on_message(from, msg, ctx)
+    }
+    fn on_timer(&mut self, key: TimerKey, ctx: &mut dyn NodeCtx) {
+        self.0.on_timer(key, ctx)
+    }
+    fn on_restart(&mut self, ctx: &mut dyn NodeCtx) {
+        self.0.on_restart(ctx)
+    }
+}
+
+/// Builder: register nodes, then [`NetBuilder::start`].
+pub struct NetBuilder {
+    nodes: Vec<(String, Box<dyn Node>, TypeId)>,
+}
+
+impl Default for NetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NetBuilder { nodes: Vec::new() }
+    }
+
+    /// Registers a node; its id is its registration order.
+    pub fn add_node<T: Node + 'static>(&mut self, name: &str, node: T) -> Handle<T> {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes
+            .push((name.to_owned(), Box::new(Typed(node)), TypeId::of::<Typed<T>>()));
+        Handle {
+            id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Spawns one thread per node and starts them (running `on_start`).
+    pub fn start(self) -> RunningNet {
+        let n = self.nodes.len();
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let epoch = Instant::now();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Ev>(65_536);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let mut joins = Vec::with_capacity(n);
+        let mut type_ids = Vec::with_capacity(n);
+        for (i, ((name, mut node, type_id), rx)) in
+            self.nodes.into_iter().zip(receivers).enumerate()
+        {
+            type_ids.push(type_id);
+            let senders = Arc::clone(&senders);
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            let me = NodeId(i as u32);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || {
+                        let mut worker = Worker {
+                            me,
+                            senders,
+                            metrics,
+                            epoch,
+                            timers: BinaryHeap::new(),
+                            rng: SmallRng::seed_from_u64(me.0 as u64),
+                            busy_us: 0,
+                        };
+                        worker.with_ctx(|node, ctx| node.on_start(ctx), node.as_mut());
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let timeout = worker.next_deadline(Duration::from_millis(20));
+                            match rx.recv_timeout(timeout) {
+                                Ok(Ev::Msg(from, msg)) => {
+                                    worker.with_ctx(
+                                        |node, ctx| node.on_message(from, msg, ctx),
+                                        node.as_mut(),
+                                    );
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                            }
+                            worker.fire_due(node.as_mut());
+                        }
+                        node
+                    })
+                    .expect("spawn node thread"),
+            );
+        }
+        RunningNet {
+            senders,
+            stop,
+            joins,
+            metrics,
+            type_ids,
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    deadline: Instant,
+    key: TimerKey,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.deadline.cmp(&self.deadline) // min-heap
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Worker {
+    me: NodeId,
+    senders: Arc<Vec<Sender<Ev>>>,
+    metrics: Arc<Mutex<Metrics>>,
+    epoch: Instant,
+    timers: BinaryHeap<TimerEntry>,
+    rng: SmallRng,
+    busy_us: u64,
+}
+
+impl Worker {
+    fn next_deadline(&self, cap: Duration) -> Duration {
+        match self.timers.peek() {
+            Some(e) => e.deadline.saturating_duration_since(Instant::now()).min(cap),
+            None => cap,
+        }
+    }
+
+    fn fire_due(&mut self, node: &mut dyn Node) {
+        loop {
+            let due = matches!(self.timers.peek(),
+                Some(e) if e.deadline <= Instant::now());
+            if !due {
+                break;
+            }
+            let key = self.timers.pop().expect("peeked").key;
+            self.with_ctx(|n, ctx| n.on_timer(key, ctx), node);
+        }
+    }
+
+    fn with_ctx(&mut self, f: impl FnOnce(&mut dyn Node, &mut dyn NodeCtx), node: &mut dyn Node) {
+        // Split borrows: move timers out so the ctx can push new ones.
+        let mut pending_timers = Vec::new();
+        {
+            let mut ctx = ThreadCtx {
+                worker: self,
+                new_timers: &mut pending_timers,
+            };
+            f(node, &mut ctx);
+        }
+        for (delay, key) in pending_timers {
+            self.timers.push(TimerEntry {
+                deadline: Instant::now() + Duration::from_micros(delay),
+                key,
+            });
+        }
+    }
+}
+
+struct ThreadCtx<'a> {
+    worker: &'a mut Worker,
+    new_timers: &'a mut Vec<(u64, TimerKey)>,
+}
+
+impl NodeCtx for ThreadCtx<'_> {
+    fn now_us(&self) -> u64 {
+        self.worker.epoch.elapsed().as_micros() as u64
+    }
+
+    fn me(&self) -> NodeId {
+        self.worker.me
+    }
+
+    fn send(&mut self, to: NodeId, msg: NetMsg) {
+        if let Some(tx) = self.worker.senders.get(to.0 as usize) {
+            // Best-effort: a full channel drops the message, like a
+            // saturated TCP connection with a dead reader; the protocols
+            // recover via nacks.
+            let _ = tx.try_send(Ev::Msg(self.worker.me, msg));
+        }
+    }
+
+    fn set_timer(&mut self, delay_us: u64, key: TimerKey) {
+        self.new_timers.push((delay_us, key));
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.worker.rng
+    }
+
+    fn work(&mut self, cost_us: u64) {
+        self.worker.busy_us += cost_us;
+    }
+
+    fn record(&mut self, series: &str, value: f64) {
+        let now = self.now_us();
+        self.worker.metrics.lock().record(now, series, value);
+    }
+
+    fn count(&mut self, counter: &str, delta: f64) {
+        self.worker.metrics.lock().count(counter, delta);
+    }
+}
+
+/// A started network; inject messages, then [`RunningNet::stop`].
+pub struct RunningNet {
+    senders: Arc<Vec<Sender<Ev>>>,
+    stop: Arc<AtomicBool>,
+    joins: Vec<std::thread::JoinHandle<Box<dyn Node>>>,
+    metrics: Arc<Mutex<Metrics>>,
+    type_ids: Vec<TypeId>,
+}
+
+impl RunningNet {
+    /// Injects a message from the harness (sender =
+    /// [`gryphon_sim::CONTROL_NODE`]).
+    pub fn inject(&self, to: NodeId, msg: NetMsg) {
+        if let Some(tx) = self.senders.get(to.0 as usize) {
+            let _ = tx.send(Ev::Msg(gryphon_sim::CONTROL_NODE, msg));
+        }
+    }
+
+    /// Lets the network run for `d` wall-clock time.
+    pub fn run_for(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    /// Stops all node threads and returns their final states.
+    pub fn stop(self) -> NetResult {
+        self.stop.store(true, Ordering::Relaxed);
+        let nodes: Vec<Box<dyn Node>> =
+            self.joins.into_iter().map(|j| j.join().expect("node thread")).collect();
+        NetResult {
+            nodes,
+            metrics: self.metrics.lock().clone(),
+            type_ids: self.type_ids,
+        }
+    }
+}
+
+/// Final node states and metrics after [`RunningNet::stop`].
+pub struct NetResult {
+    nodes: Vec<Box<dyn Node>>,
+    /// Metrics recorded during the run.
+    pub metrics: Metrics,
+    type_ids: Vec<TypeId>,
+}
+
+impl NetResult {
+    /// Borrows a node's final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type mismatch (impossible for handles from the same
+    /// builder).
+    pub fn node<T: Node + 'static>(&self, h: Handle<T>) -> &T {
+        assert_eq!(
+            self.type_ids[h.id.0 as usize],
+            TypeId::of::<Typed<T>>(),
+            "handle type mismatch"
+        );
+        let node = self.nodes[h.id.0 as usize].as_ref();
+        let typed: &Typed<T> = unsafe {
+            // SAFETY: TypeId verified above; nodes are never replaced.
+            &*(node as *const dyn Node as *const Typed<T>)
+        };
+        &typed.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gryphon_types::SubInterestMsg;
+
+    struct Echo {
+        got: u64,
+        timer_fired: bool,
+    }
+
+    impl Node for Echo {
+        fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+            ctx.set_timer(5_000, TimerKey(1));
+        }
+        fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut dyn NodeCtx) {
+            self.got += 1;
+            ctx.count("echo.got", 1.0);
+            if from != gryphon_sim::CONTROL_NODE {
+                ctx.send(from, msg);
+            }
+        }
+        fn on_timer(&mut self, _: TimerKey, ctx: &mut dyn NodeCtx) {
+            self.timer_fired = true;
+            ctx.record("echo.timer", 1.0);
+        }
+    }
+
+    fn dummy() -> NetMsg {
+        NetMsg::SubInterest(SubInterestMsg { subs: vec![], version: 0 })
+    }
+
+    #[test]
+    fn messages_flow_between_threads() {
+        let mut b = NetBuilder::new();
+        let a = b.add_node("a", Echo { got: 0, timer_fired: false });
+        let c = b.add_node("c", Echo { got: 0, timer_fired: false });
+        let net = b.start();
+        for _ in 0..100 {
+            net.inject(a.id(), dummy());
+        }
+        net.run_for(Duration::from_millis(50));
+        let result = net.stop();
+        assert_eq!(result.node(a).got, 100);
+        assert_eq!(result.node(c).got, 0);
+        assert_eq!(result.metrics.counter("echo.got"), 100.0);
+    }
+
+    #[test]
+    fn timers_fire_on_wall_clock() {
+        let mut b = NetBuilder::new();
+        let a = b.add_node("a", Echo { got: 0, timer_fired: false });
+        let net = b.start();
+        net.run_for(Duration::from_millis(50));
+        let result = net.stop();
+        assert!(result.node(a).timer_fired, "5 ms timer within 50 ms run");
+        assert_eq!(result.metrics.series("echo.timer").len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Time-series and counter recording for experiments.
+
+use std::collections::BTreeMap;
+
+/// Metrics sink shared by all nodes in a run.
+///
+/// Series are `(virtual time µs, value)` samples; counters are plain
+/// accumulators. The harness reduces series into the rates/percentiles
+/// the paper's figures plot.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_sim::Metrics;
+/// let mut m = Metrics::default();
+/// m.record(1_000, "rate", 5.0);
+/// m.record(2_000, "rate", 7.0);
+/// m.count("delivered", 2.0);
+/// assert_eq!(m.series("rate").len(), 2);
+/// assert_eq!(m.counter("delivered"), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+    counters: BTreeMap<String, f64>,
+}
+
+impl Metrics {
+    /// Appends a `(t_us, value)` sample to `name`.
+    pub fn record(&mut self, t_us: u64, name: &str, value: f64) {
+        self.series.entry(name.to_owned()).or_default().push((t_us, value));
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn count(&mut self, name: &str, delta: f64) {
+        *self.counters.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+
+    /// The samples of series `name` (empty slice if never recorded).
+    pub fn series(&self, name: &str) -> &[(u64, f64)] {
+        self.series.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Counter value (0 if never counted).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// All series names (sorted).
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// All counter names (sorted).
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Sums samples of `name` into fixed windows of `window_us`, returning
+    /// `(window_start_us, sum)` — the building block for the paper's
+    /// events-per-second plots.
+    pub fn windowed_sum(&self, name: &str, window_us: u64) -> Vec<(u64, f64)> {
+        let mut out: BTreeMap<u64, f64> = BTreeMap::new();
+        for &(t, v) in self.series(name) {
+            *out.entry((t / window_us) * window_us).or_insert(0.0) += v;
+        }
+        out.into_iter().collect()
+    }
+
+    /// Mean of all samples of `name` (`None` when empty).
+    pub fn mean(&self, name: &str) -> Option<f64> {
+        let s = self.series(name);
+        if s.is_empty() {
+            return None;
+        }
+        Some(s.iter().map(|&(_, v)| v).sum::<f64>() / s.len() as f64)
+    }
+
+    /// Standard deviation of all samples of `name`.
+    pub fn std_dev(&self, name: &str) -> Option<f64> {
+        let s = self.series(name);
+        if s.len() < 2 {
+            return None;
+        }
+        let mean = self.mean(name)?;
+        let var = s.iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>() / s.len() as f64;
+        Some(var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_sum_buckets_by_window_start() {
+        let mut m = Metrics::default();
+        m.record(100, "x", 1.0);
+        m.record(900, "x", 2.0);
+        m.record(1_100, "x", 5.0);
+        let w = m.windowed_sum("x", 1_000);
+        assert_eq!(w, vec![(0, 3.0), (1_000, 5.0)]);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        let mut m = Metrics::default();
+        for (i, v) in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().enumerate() {
+            m.record(i as u64, "d", *v);
+        }
+        assert_eq!(m.mean("d"), Some(5.0));
+        assert!((m.std_dev("d").unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(m.mean("missing"), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.count("c", 1.0);
+        m.count("c", 2.5);
+        assert_eq!(m.counter("c"), 3.5);
+        assert_eq!(m.counter("other"), 0.0);
+    }
+
+    #[test]
+    fn names_listed_sorted() {
+        let mut m = Metrics::default();
+        m.record(0, "b", 0.0);
+        m.record(0, "a", 0.0);
+        m.count("z", 1.0);
+        assert_eq!(m.series_names(), vec!["a", "b"]);
+        assert_eq!(m.counter_names(), vec!["z"]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Compact binary codec for persisting events.
+//!
+//! The workspace deliberately avoids a serde wire format dependency (the
+//! offline dependency policy in DESIGN.md); events are small, flat records
+//! and this hand-rolled codec doubles as the "418-byte event" accounting
+//! of the paper's experiments.
+
+use bytes::Bytes;
+use gryphon_types::{AttrValue, Event, PubendId, Timestamp};
+
+/// Error decoding a persisted event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_BOOL: u8 = 3;
+
+/// Encodes an event into a fresh buffer.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_storage::{decode_event, encode_event};
+/// use gryphon_types::{Event, PubendId, Timestamp};
+///
+/// let e = Event::builder(PubendId(1)).attr("k", 3i64).payload(vec![9]).build(Timestamp(7));
+/// let bytes = encode_event(&e);
+/// assert_eq!(decode_event(&bytes)?, e);
+/// # Ok::<(), gryphon_storage::CodecError>(())
+/// ```
+pub fn encode_event(event: &Event) -> Vec<u8> {
+    let mut out = Vec::with_capacity(event.encoded_len());
+    out.extend_from_slice(&event.pubend.0.to_le_bytes());
+    out.extend_from_slice(&event.ts.0.to_le_bytes());
+    out.extend_from_slice(&(event.attrs.len() as u16).to_le_bytes());
+    for (k, v) in &event.attrs {
+        out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+        out.extend_from_slice(k.as_bytes());
+        match v {
+            AttrValue::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            AttrValue::Float(x) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            AttrValue::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            AttrValue::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(*b as u8);
+            }
+        }
+    }
+    out.extend_from_slice(&(event.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&event.payload);
+    out
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.data.len() {
+            return Err(CodecError {
+                offset: self.pos,
+                message: format!("need {n} bytes, have {}", self.data.len() - self.pos),
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn str(&mut self, n: usize) -> Result<String, CodecError> {
+        let pos = self.pos;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| CodecError {
+            offset: pos,
+            message: "invalid utf-8".into(),
+        })
+    }
+}
+
+/// Decodes an event previously produced by [`encode_event`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncated or malformed input.
+pub fn decode_event(data: &[u8]) -> Result<Event, CodecError> {
+    let mut c = Cursor { data, pos: 0 };
+    let pubend = PubendId(c.u32()?);
+    let ts = Timestamp(c.u64()?);
+    let nattrs = c.u16()?;
+    let mut b = Event::builder(pubend);
+    for _ in 0..nattrs {
+        let klen = c.u16()? as usize;
+        let key = c.str(klen)?;
+        let tag = c.u8()?;
+        let value = match tag {
+            TAG_INT => AttrValue::Int(c.u64()? as i64),
+            TAG_FLOAT => AttrValue::Float(f64::from_bits(c.u64()?)),
+            TAG_STR => {
+                let n = c.u32()? as usize;
+                AttrValue::Str(c.str(n)?)
+            }
+            TAG_BOOL => AttrValue::Bool(c.u8()? != 0),
+            other => {
+                return Err(CodecError {
+                    offset: c.pos - 1,
+                    message: format!("unknown attr tag {other}"),
+                })
+            }
+        };
+        b = b.attr(key, value);
+    }
+    let plen = c.u32()? as usize;
+    let payload = Bytes::copy_from_slice(c.take(plen)?);
+    if c.pos != data.len() {
+        return Err(CodecError {
+            offset: c.pos,
+            message: "trailing bytes".into(),
+        });
+    }
+    Ok(b.payload(payload).build(ts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event::builder(PubendId(3))
+            .attr("class", 2i64)
+            .attr("price", 10.5f64)
+            .attr("sym", "IBM")
+            .attr("urgent", true)
+            .payload(vec![0xAB; 250])
+            .build(Timestamp(12345))
+    }
+
+    #[test]
+    fn roundtrip_full_event() {
+        let e = sample();
+        assert_eq!(decode_event(&encode_event(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_empty_event() {
+        let e = Event::builder(PubendId(0)).build(Timestamp(0));
+        assert_eq!(decode_event(&encode_event(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let bytes = encode_event(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_event(&bytes[..cut]).is_err(),
+                "truncation at {cut} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = encode_event(&sample());
+        bytes.push(0);
+        assert!(decode_event(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_detected() {
+        let e = Event::builder(PubendId(0)).attr("k", 1i64).build(Timestamp(1));
+        let mut bytes = encode_event(&e);
+        // attr tag offset: 4 (pubend) + 8 (ts) + 2 (count) + 2 (klen) + 1 ('k')
+        bytes[17] = 99;
+        let err = decode_event(&bytes).unwrap_err();
+        assert!(err.message.contains("unknown attr tag"));
+    }
+
+    #[test]
+    fn negative_int_and_nan_roundtrip() {
+        let e = Event::builder(PubendId(0))
+            .attr("neg", -42i64)
+            .attr("nan", f64::NAN)
+            .build(Timestamp(1));
+        let d = decode_event(&encode_event(&e)).unwrap();
+        assert_eq!(d.attr("neg"), Some(&AttrValue::Int(-42)));
+        match d.attr("nan") {
+            Some(AttrValue::Float(x)) => assert!(x.is_nan()),
+            other => panic!("expected NaN float, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The curiosity stream: consolidated nack state with retries.
+
+use gryphon_types::Timestamp;
+use std::collections::BTreeMap;
+
+/// Retry configuration for outstanding nacks.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Re-nack a range if no knowledge arrived within this many
+    /// microseconds.
+    pub timeout_us: u64,
+    /// Give up (drop the range) after this many retries; `u32::MAX`
+    /// effectively retries forever. Exactly-once delivery relies on
+    /// eventual success, so brokers use the default.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            // Comfortably above a recovery response's round trip on a
+            // loaded link: premature retries trigger duplicate bulk
+            // responses and melt the uplink into a retry storm.
+            timeout_us: 1_000_000,
+            max_retries: u32::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    end: u64,
+    requested_at: u64,
+    retries: u32,
+}
+
+/// Tracks which tick ranges have been nacked upstream and are still
+/// unanswered, consolidating overlapping interest so each hole is
+/// requested once (paper: "curiosity streams consolidate nacks from
+/// multiple SHBs").
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_streams::CuriosityStream;
+/// use gryphon_types::Timestamp;
+///
+/// let mut cur = CuriosityStream::new();
+/// // First interest in [1,10] is new...
+/// let fresh = cur.add_wanted(Timestamp(1), Timestamp(10), 0);
+/// assert_eq!(fresh, vec![(Timestamp(1), Timestamp(10))]);
+/// // ...overlapping interest is suppressed except the novel part.
+/// let fresh = cur.add_wanted(Timestamp(5), Timestamp(12), 0);
+/// assert_eq!(fresh, vec![(Timestamp(11), Timestamp(12))]);
+/// // Knowledge arriving clears it.
+/// cur.satisfy(Timestamp(1), Timestamp(12));
+/// assert!(cur.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CuriosityStream {
+    /// start → pending range (disjoint, not coalesced across distinct
+    /// requests — coalescing would lose per-request retry clocks).
+    pending: BTreeMap<u64, Pending>,
+}
+
+impl CuriosityStream {
+    /// An empty curiosity stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of outstanding ranges.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total outstanding ticks (flow-control accounting). Open-ended
+    /// ranges saturate.
+    pub fn outstanding_ticks(&self) -> u64 {
+        self.pending
+            .iter()
+            .fold(0u64, |acc, (&s, p)| acc.saturating_add(p.end - s + 1))
+    }
+
+    /// Registers interest in the inclusive range `[from, to]` at time
+    /// `now_us`, returning the sub-ranges that were **not** already
+    /// pending — the caller forwards exactly those upstream.
+    pub fn add_wanted(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        now_us: u64,
+    ) -> Vec<(Timestamp, Timestamp)> {
+        let mut fresh = Vec::new();
+        let mut cursor = from.0.max(1);
+        let hi = to.0;
+        while cursor <= hi {
+            // Is `cursor` inside an existing pending range?
+            if let Some((&s, p)) = self.pending.range(..=cursor).next_back() {
+                if p.end >= cursor {
+                    cursor = p.end.saturating_add(1);
+                    continue;
+                }
+                let _ = s;
+            }
+            // Fresh run until the next pending range (or hi).
+            let run_end = self
+                .pending
+                .range(cursor..)
+                .next()
+                .map(|(&s, _)| s - 1)
+                .unwrap_or(u64::MAX)
+                .min(hi);
+            self.pending.insert(
+                cursor,
+                Pending {
+                    end: run_end,
+                    requested_at: now_us,
+                    retries: 0,
+                },
+            );
+            fresh.push((Timestamp(cursor), Timestamp(run_end)));
+            cursor = run_end.saturating_add(1);
+            if run_end == u64::MAX {
+                break;
+            }
+        }
+        fresh
+    }
+
+    /// Clears interest over `[from, to]` because knowledge arrived.
+    /// Partially covered pending ranges are trimmed/split.
+    pub fn satisfy(&mut self, from: Timestamp, to: Timestamp) {
+        let lo = from.0;
+        let hi = to.0;
+        // Predecessor range possibly overlapping from the left.
+        if let Some((&s, &p)) = self.pending.range(..lo).next_back() {
+            if p.end >= lo {
+                self.pending.remove(&s);
+                self.pending.insert(
+                    s,
+                    Pending {
+                        end: lo - 1,
+                        ..p
+                    },
+                );
+                if p.end > hi {
+                    self.pending.insert(hi + 1, Pending { end: p.end, ..p });
+                }
+            }
+        }
+        // Ranges starting inside [lo, hi].
+        let starts: Vec<u64> = self.pending.range(lo..=hi).map(|(&s, _)| s).collect();
+        for s in starts {
+            let p = self.pending.remove(&s).expect("key from range");
+            if p.end > hi {
+                self.pending.insert(hi + 1, Pending { end: p.end, ..p });
+            }
+        }
+    }
+
+    /// Ranges whose last request timed out: bumps their retry clock to
+    /// `now_us` and returns them for re-nacking. Ranges past
+    /// `policy.max_retries` are dropped (and *not* returned).
+    pub fn due_retries(
+        &mut self,
+        now_us: u64,
+        policy: RetryPolicy,
+    ) -> Vec<(Timestamp, Timestamp)> {
+        let mut out = Vec::new();
+        let mut drop_keys = Vec::new();
+        for (&s, p) in self.pending.iter_mut() {
+            if now_us.saturating_sub(p.requested_at) >= policy.timeout_us {
+                if p.retries >= policy.max_retries {
+                    drop_keys.push(s);
+                } else {
+                    p.retries += 1;
+                    p.requested_at = now_us;
+                    out.push((Timestamp(s), Timestamp(p.end)));
+                }
+            }
+        }
+        for k in drop_keys {
+            self.pending.remove(&k);
+        }
+        out
+    }
+
+    /// All currently outstanding ranges (ascending).
+    pub fn outstanding(&self) -> Vec<(Timestamp, Timestamp)> {
+        self.pending
+            .iter()
+            .map(|(&s, p)| (Timestamp(s), Timestamp(p.end)))
+            .collect()
+    }
+
+    /// Drops everything (used when the owner discards a catchup stream).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn consolidation_suppresses_overlap() {
+        let mut c = CuriosityStream::new();
+        assert_eq!(c.add_wanted(ts(5), ts(10), 0), vec![(ts(5), ts(10))]);
+        assert_eq!(c.add_wanted(ts(1), ts(20), 0), vec![(ts(1), ts(4)), (ts(11), ts(20))]);
+        assert!(c.add_wanted(ts(2), ts(19), 0).is_empty());
+        assert_eq!(c.outstanding_ticks(), 20);
+    }
+
+    #[test]
+    fn satisfy_trims_and_splits() {
+        let mut c = CuriosityStream::new();
+        c.add_wanted(ts(1), ts(10), 0);
+        c.satisfy(ts(4), ts(6));
+        assert_eq!(c.outstanding(), vec![(ts(1), ts(3)), (ts(7), ts(10))]);
+        c.satisfy(ts(1), ts(3));
+        c.satisfy(ts(7), ts(10));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn satisfy_across_many_ranges() {
+        let mut c = CuriosityStream::new();
+        c.add_wanted(ts(1), ts(2), 0);
+        c.add_wanted(ts(5), ts(6), 0);
+        c.add_wanted(ts(9), ts(10), 0);
+        c.satisfy(ts(2), ts(9));
+        assert_eq!(c.outstanding(), vec![(ts(1), ts(1)), (ts(10), ts(10))]);
+    }
+
+    #[test]
+    fn retries_fire_after_timeout() {
+        let mut c = CuriosityStream::new();
+        let policy = RetryPolicy {
+            timeout_us: 100,
+            max_retries: 2,
+        };
+        c.add_wanted(ts(1), ts(5), 0);
+        assert!(c.due_retries(50, policy).is_empty());
+        assert_eq!(c.due_retries(100, policy), vec![(ts(1), ts(5))]);
+        // Clock was bumped; not due again immediately.
+        assert!(c.due_retries(150, policy).is_empty());
+        assert_eq!(c.due_retries(200, policy), vec![(ts(1), ts(5))]);
+        // Third timeout exceeds max_retries → dropped.
+        assert!(c.due_retries(300, policy).is_empty());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn open_ended_interest() {
+        let mut c = CuriosityStream::new();
+        let fresh = c.add_wanted(ts(100), Timestamp::MAX, 0);
+        assert_eq!(fresh, vec![(ts(100), Timestamp::MAX)]);
+        // Satisfying a prefix leaves the open tail pending.
+        c.satisfy(ts(100), ts(200));
+        assert_eq!(c.outstanding(), vec![(ts(201), Timestamp::MAX)]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = CuriosityStream::new();
+        c.add_wanted(ts(1), ts(5), 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.outstanding_ticks(), 0);
+    }
+
+    #[test]
+    fn zero_tick_never_requested() {
+        let mut c = CuriosityStream::new();
+        let fresh = c.add_wanted(Timestamp::ZERO, ts(3), 0);
+        assert_eq!(fresh, vec![(ts(1), ts(3))]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Downstream interest tracking for nack-response routing.
+
+use gryphon_types::Timestamp;
+
+/// Remembers which downstream (child link or local catchup stream) asked
+/// for which tick ranges, so recovered knowledge is forwarded only where
+/// it is missing.
+///
+/// New (non-recovery) knowledge always flows to every child; this map only
+/// routes *nack responses*, so its size is bounded by outstanding
+/// recovery, which nack consolidation keeps small.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_streams::InterestMap;
+/// use gryphon_types::Timestamp;
+///
+/// let mut im: InterestMap<u32> = InterestMap::new();
+/// im.register(7, Timestamp(1), Timestamp(10));
+/// im.register(9, Timestamp(5), Timestamp(6));
+/// let mut who = im.interested(Timestamp(5), Timestamp(5));
+/// who.sort();
+/// assert_eq!(who, vec![7, 9]);
+/// im.discharge(Timestamp(1), Timestamp(10));
+/// assert!(im.interested(Timestamp(5), Timestamp(5)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterestMap<C> {
+    entries: Vec<(u64, u64, C)>,
+}
+
+impl<C> Default for InterestMap<C> {
+    fn default() -> Self {
+        InterestMap {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<C: Copy + PartialEq> InterestMap<C> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `who` wants `[from, to]`. Adjacent/overlapping ranges
+    /// from the same requester are merged.
+    pub fn register(&mut self, who: C, from: Timestamp, to: Timestamp) {
+        let (mut lo, mut hi) = (from.0, to.0);
+        self.entries.retain(|&(s, e, c)| {
+            if c == who && s <= hi.saturating_add(1) && e.saturating_add(1) >= lo {
+                lo = lo.min(s);
+                hi = hi.max(e);
+                false
+            } else {
+                true
+            }
+        });
+        self.entries.push((lo, hi, who));
+    }
+
+    /// All requesters whose interest overlaps `[from, to]` (deduplicated,
+    /// unspecified order).
+    pub fn interested(&self, from: Timestamp, to: Timestamp) -> Vec<C> {
+        let mut out: Vec<C> = Vec::new();
+        for &(s, e, c) in &self.entries {
+            if s <= to.0 && e >= from.0 && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Removes interest overlapping `[from, to]` (knowledge was forwarded),
+    /// trimming partial overlaps.
+    pub fn discharge(&mut self, from: Timestamp, to: Timestamp) {
+        let mut next = Vec::with_capacity(self.entries.len());
+        for &(s, e, c) in &self.entries {
+            if s > to.0 || e < from.0 {
+                next.push((s, e, c));
+                continue;
+            }
+            if s < from.0 {
+                next.push((s, from.0 - 1, c));
+            }
+            if e > to.0 {
+                next.push((to.0 + 1, e, c));
+            }
+        }
+        self.entries = next;
+    }
+
+    /// Drops all interest of `who` (link closed / catchup stream removed).
+    pub fn remove_requester(&mut self, who: C) {
+        self.entries.retain(|&(_, _, c)| c != who);
+    }
+
+    /// `true` when nobody is waiting for anything.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of tracked (range, requester) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn register_merges_same_requester() {
+        let mut im: InterestMap<u8> = InterestMap::new();
+        im.register(1, ts(1), ts(5));
+        im.register(1, ts(6), ts(10)); // adjacent → merged
+        assert_eq!(im.len(), 1);
+        im.register(2, ts(3), ts(4)); // different requester → separate
+        assert_eq!(im.len(), 2);
+    }
+
+    #[test]
+    fn interested_overlap_semantics() {
+        let mut im: InterestMap<u8> = InterestMap::new();
+        im.register(1, ts(10), ts(20));
+        assert!(im.interested(ts(1), ts(9)).is_empty());
+        assert_eq!(im.interested(ts(20), ts(30)), vec![1]);
+        assert_eq!(im.interested(ts(1), ts(10)), vec![1]);
+    }
+
+    #[test]
+    fn discharge_trims_edges() {
+        let mut im: InterestMap<u8> = InterestMap::new();
+        im.register(1, ts(1), ts(10));
+        im.discharge(ts(4), ts(6));
+        assert_eq!(im.interested(ts(4), ts(6)), Vec::<u8>::new());
+        assert_eq!(im.interested(ts(1), ts(3)), vec![1]);
+        assert_eq!(im.interested(ts(7), ts(10)), vec![1]);
+    }
+
+    #[test]
+    fn remove_requester_clears_only_theirs() {
+        let mut im: InterestMap<u8> = InterestMap::new();
+        im.register(1, ts(1), ts(5));
+        im.register(2, ts(1), ts(5));
+        im.remove_requester(1);
+        assert_eq!(im.interested(ts(1), ts(5)), vec![2]);
+        assert!(!im.is_empty());
+    }
+}

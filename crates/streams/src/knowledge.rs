@@ -1,0 +1,533 @@
+//! The knowledge stream: an interval map over tick states.
+
+use gryphon_types::{EventRef, KnowledgePart, TickKind, Timestamp};
+use std::collections::BTreeMap;
+
+/// A per-pubend knowledge stream.
+///
+/// Representation invariants:
+///
+/// * `L` ticks form a prefix `[1, lost_to]` (the release protocol only
+///   ever converts an increasing prefix to `L`);
+/// * `S` spans (`silence`: start → inclusive end) are disjoint, coalesced,
+///   and entirely above both `lost_to` and `base`;
+/// * `D` ticks (`data`) never coincide with an `S` span;
+/// * everything `≤ base` has been consumed/discarded by the owner and is
+///   reported as its historical kind only coarsely (see
+///   [`KnowledgeStream::kind_at`]).
+///
+/// `Q` is implicit: any tick above `base`/`lost_to` covered by neither map.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeStream {
+    /// Ticks `[1, lost_to]` are lost (0 = nothing lost).
+    lost_to: u64,
+    /// Consumed prefix: the owner no longer cares about ticks `≤ base`.
+    base: u64,
+    /// Silence spans: start → inclusive end.
+    silence: BTreeMap<u64, u64>,
+    /// Data ticks.
+    data: BTreeMap<u64, EventRef>,
+}
+
+impl KnowledgeStream {
+    /// An empty stream: every tick is `Q`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A stream whose consumed prefix starts at `base`: ticks `≤ base`
+    /// are treated as already-known/irrelevant (used to seed a catchup
+    /// stream at the subscriber's checkpoint, or the constream at
+    /// `latestDelivered`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_streams::KnowledgeStream;
+    /// # use gryphon_types::Timestamp;
+    /// let ks = KnowledgeStream::with_base(Timestamp(100));
+    /// assert_eq!(ks.doubt_horizon(Timestamp(100)), Timestamp(100));
+    /// assert_eq!(ks.base(), Timestamp(100));
+    /// ```
+    pub fn with_base(base: Timestamp) -> Self {
+        KnowledgeStream {
+            base: base.0,
+            ..Self::default()
+        }
+    }
+
+    /// The consumed prefix.
+    pub fn base(&self) -> Timestamp {
+        Timestamp(self.base)
+    }
+
+    /// End of the lost prefix ([`Timestamp::ZERO`] when nothing is lost).
+    pub fn lost_to(&self) -> Timestamp {
+        Timestamp(self.lost_to)
+    }
+
+    /// The tick state at `ts`.
+    ///
+    /// Ticks inside the consumed prefix report `S` unless they fall in the
+    /// lost prefix (historical precision below `base` is not retained).
+    pub fn kind_at(&self, ts: Timestamp) -> TickKind {
+        let t = ts.0;
+        if t <= self.lost_to {
+            return TickKind::L;
+        }
+        if self.data.contains_key(&t) {
+            return TickKind::D;
+        }
+        if let Some((_, &end)) = self.silence.range(..=t).next_back() {
+            if end >= t {
+                return TickKind::S;
+            }
+        }
+        if t <= self.base {
+            return TickKind::S;
+        }
+        TickKind::Q
+    }
+
+    /// Records a data tick. Returns `true` if the tick was previously
+    /// unknown (an `S` there is *not* overwritten: silence recorded for a
+    /// subtree means the event is irrelevant downstream).
+    pub fn set_data(&mut self, event: EventRef) -> bool {
+        let t = event.ts.0;
+        if t <= self.lost_to || t <= self.base {
+            return false;
+        }
+        if self.kind_at(event.ts) != TickKind::Q {
+            return false;
+        }
+        self.data.insert(t, event);
+        true
+    }
+
+    /// Records silence over the inclusive range `[from, to]`. Data ticks
+    /// inside the range are preserved (data beats silence); unknown ticks
+    /// become `S`.
+    pub fn set_silence(&mut self, from: Timestamp, to: Timestamp) {
+        let lo = from.0.max(self.lost_to + 1).max(self.base + 1).max(1);
+        let hi = to.0;
+        if lo > hi {
+            return;
+        }
+        // Merge with overlapping/adjacent spans.
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        // Predecessor span that might touch [lo, hi].
+        if let Some((&s, &e)) = self.silence.range(..lo).next_back() {
+            if e + 1 >= lo {
+                new_lo = s;
+                new_hi = new_hi.max(e);
+                self.silence.remove(&s);
+            }
+        }
+        // Spans starting within [lo, hi+1].
+        let overlapping: Vec<u64> = self
+            .silence
+            .range(new_lo..=new_hi.saturating_add(1))
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.silence.remove(&s).expect("key from range");
+            new_hi = new_hi.max(e);
+        }
+        // Split around data ticks so S spans and D ticks never overlap
+        // (data beats silence); this keeps export/apply round-trippable.
+        let mut start = new_lo;
+        let holes: Vec<u64> = self.data.range(new_lo..=new_hi).map(|(&d, _)| d).collect();
+        for d in holes {
+            if d > start {
+                self.silence.insert(start, d - 1);
+            }
+            start = d + 1;
+        }
+        if start <= new_hi {
+            self.silence.insert(start, new_hi);
+        }
+    }
+
+    /// Extends the lost prefix to `to` (monotone; regressions ignored).
+    /// Drops silence/data information the prefix swallows.
+    pub fn set_lost_prefix(&mut self, to: Timestamp) {
+        if to.0 <= self.lost_to {
+            return;
+        }
+        self.lost_to = to.0;
+        self.drop_prefix(to.0);
+    }
+
+    /// Advances the consumed prefix (after delivery): information `≤ ts`
+    /// is discarded to bound memory.
+    pub fn advance_base(&mut self, ts: Timestamp) {
+        if ts.0 <= self.base {
+            return;
+        }
+        self.base = ts.0;
+        self.drop_prefix(ts.0);
+    }
+
+    fn drop_prefix(&mut self, upto: u64) {
+        let dead: Vec<u64> = self.data.range(..=upto).map(|(&t, _)| t).collect();
+        for t in dead {
+            self.data.remove(&t);
+        }
+        let spans: Vec<(u64, u64)> = self
+            .silence
+            .range(..=upto)
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        for (s, e) in spans {
+            self.silence.remove(&s);
+            if e > upto {
+                self.silence.insert(upto + 1, e);
+            }
+        }
+    }
+
+    /// Applies one wire knowledge part.
+    pub fn apply(&mut self, part: &KnowledgePart) {
+        match part {
+            KnowledgePart::Silence { from, to } => self.set_silence(*from, *to),
+            KnowledgePart::Data(e) => {
+                self.set_data(e.clone());
+            }
+            KnowledgePart::Lost { from: _, to } => self.set_lost_prefix(*to),
+        }
+    }
+
+    /// The **doubt horizon** from `from`: the largest `t ≥ from` such that
+    /// every tick in `(from, t]` is known (non-`Q`). `L` counts as known —
+    /// the caller decides whether known-lost becomes a gap message.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `from ≥ base` (querying inside the consumed prefix is
+    /// a logic error in the owner).
+    pub fn doubt_horizon(&self, from: Timestamp) -> Timestamp {
+        debug_assert!(from.0 >= self.base, "doubt_horizon below base");
+        let mut t = from.0;
+        loop {
+            let next = t + 1;
+            if next <= self.lost_to {
+                t = self.lost_to;
+                continue;
+            }
+            if self.data.contains_key(&next) {
+                t = next;
+                continue;
+            }
+            if let Some((_, &end)) = self.silence.range(..=next).next_back() {
+                if end >= next {
+                    t = end;
+                    continue;
+                }
+            }
+            break;
+        }
+        Timestamp(t)
+    }
+
+    /// Unknown (`Q`) ranges intersected with the inclusive range
+    /// `[from, to]` — the holes a curiosity stream should nack.
+    pub fn q_ranges(&self, from: Timestamp, to: Timestamp) -> Vec<(Timestamp, Timestamp)> {
+        let mut out = Vec::new();
+        let mut t = from.0.max(self.lost_to + 1).max(self.base + 1).max(1);
+        let hi = to.0;
+        while t <= hi {
+            match self.kind_at(Timestamp(t)) {
+                TickKind::Q => {
+                    // Find the end of this Q run: next known thing.
+                    let next_data = self.data.range(t..).next().map(|(&d, _)| d);
+                    let next_sil = self.silence.range(t..).next().map(|(&s, _)| s);
+                    let run_end = [next_data, next_sil]
+                        .into_iter()
+                        .flatten()
+                        .min()
+                        .map(|n| n - 1)
+                        .unwrap_or(u64::MAX)
+                        .min(hi);
+                    out.push((Timestamp(t), Timestamp(run_end)));
+                    t = run_end.saturating_add(1);
+                    if run_end == u64::MAX {
+                        break;
+                    }
+                }
+                TickKind::D => t += 1,
+                TickKind::S => {
+                    // Skip to the end of the covering span (or single tick
+                    // below base).
+                    let end = self
+                        .silence
+                        .range(..=t)
+                        .next_back()
+                        .filter(|&(_, &e)| e >= t)
+                        .map(|(_, &e)| e)
+                        .unwrap_or(t);
+                    t = end + 1;
+                }
+                TickKind::L => t = self.lost_to + 1,
+            }
+        }
+        out
+    }
+
+    /// Data ticks with `from < ts ≤ to`, ascending (delivery order).
+    pub fn events_in(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> impl Iterator<Item = &EventRef> + '_ {
+        self.data.range(from.0 + 1..=to.0).map(|(_, e)| e)
+    }
+
+    /// Number of data ticks currently held.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of silence spans currently held (memory accounting).
+    pub fn silence_spans(&self) -> usize {
+        self.silence.len()
+    }
+
+    /// Exports the knowledge covering `[from, to]` as wire parts in
+    /// ascending order (`Q` ranges are simply absent). Used by caches and
+    /// pubends answering nacks.
+    pub fn export_range(&self, from: Timestamp, to: Timestamp) -> Vec<KnowledgePart> {
+        let mut parts = Vec::new();
+        let lo = from.0.max(1);
+        let hi = to.0;
+        if lo > hi {
+            return parts;
+        }
+        if self.lost_to >= lo {
+            parts.push(KnowledgePart::Lost {
+                from: Timestamp(lo),
+                to: Timestamp(self.lost_to.min(hi)),
+            });
+        }
+        // Silence spans intersecting [lo, hi]: include the predecessor.
+        let mut sil: Vec<(u64, u64)> = Vec::new();
+        if let Some((_, &e)) = self.silence.range(..lo).next_back() {
+            if e >= lo {
+                sil.push((lo, e.min(hi)));
+            }
+        }
+        for (&s, &e) in self.silence.range(lo..=hi) {
+            sil.push((s.max(lo), e.min(hi)));
+        }
+        let mut events: Vec<&EventRef> = self.data.range(lo..=hi).map(|(_, e)| e).collect();
+        // Merge-sort silence spans and events by position.
+        let mut si = 0;
+        events.reverse(); // pop from the back = ascending
+        while si < sil.len() || !events.is_empty() {
+            let next_sil = sil.get(si).map(|&(s, _)| s);
+            let next_ev = events.last().map(|e| e.ts.0);
+            match (next_sil, next_ev) {
+                (Some(s), Some(d)) if s < d => {
+                    let (from, to) = sil[si];
+                    parts.push(KnowledgePart::Silence {
+                        from: Timestamp(from),
+                        to: Timestamp(to),
+                    });
+                    si += 1;
+                }
+                (_, Some(_)) => {
+                    let e = events.pop().expect("nonempty");
+                    parts.push(KnowledgePart::Data(e.clone()));
+                }
+                (Some(_), None) => {
+                    let (from, to) = sil[si];
+                    parts.push(KnowledgePart::Silence {
+                        from: Timestamp(from),
+                        to: Timestamp(to),
+                    });
+                    si += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gryphon_types::{Event, PubendId};
+
+    fn ev(ts: u64) -> EventRef {
+        Event::builder(PubendId(0)).build_ref(Timestamp(ts))
+    }
+
+    #[test]
+    fn empty_stream_is_all_q() {
+        let ks = KnowledgeStream::new();
+        assert_eq!(ks.kind_at(Timestamp(1)), TickKind::Q);
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp::ZERO);
+        assert_eq!(
+            ks.q_ranges(Timestamp(1), Timestamp(5)),
+            vec![(Timestamp(1), Timestamp(5))]
+        );
+    }
+
+    #[test]
+    fn silence_and_data_advance_doubt_horizon() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_silence(Timestamp(1), Timestamp(3));
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(3));
+        assert!(ks.set_data(ev(4)));
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(4));
+        // Hole at 5; knowledge at 6 does not extend the horizon.
+        assert!(ks.set_data(ev(6)));
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(4));
+        ks.set_silence(Timestamp(5), Timestamp(5));
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(6));
+    }
+
+    #[test]
+    fn silence_spans_coalesce() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_silence(Timestamp(1), Timestamp(3));
+        ks.set_silence(Timestamp(7), Timestamp(9));
+        ks.set_silence(Timestamp(4), Timestamp(6)); // bridges the two
+        assert_eq!(ks.silence_spans(), 1);
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(9));
+        // Overlapping re-assertion is idempotent.
+        ks.set_silence(Timestamp(2), Timestamp(8));
+        assert_eq!(ks.silence_spans(), 1);
+    }
+
+    #[test]
+    fn data_beats_silence_and_vice_versa_is_ignored() {
+        let mut ks = KnowledgeStream::new();
+        assert!(ks.set_data(ev(5)));
+        ks.set_silence(Timestamp(3), Timestamp(7));
+        assert_eq!(ks.kind_at(Timestamp(5)), TickKind::D);
+        // And a data tick cannot overwrite recorded silence.
+        assert!(!ks.set_data(ev(6)));
+        assert_eq!(ks.kind_at(Timestamp(6)), TickKind::S);
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(0));
+        ks.set_silence(Timestamp(1), Timestamp(2));
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(7));
+    }
+
+    #[test]
+    fn duplicate_data_is_rejected() {
+        let mut ks = KnowledgeStream::new();
+        assert!(ks.set_data(ev(5)));
+        assert!(!ks.set_data(ev(5)));
+        assert_eq!(ks.data_len(), 1);
+    }
+
+    #[test]
+    fn lost_prefix_swallows_information() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_data(ev(2));
+        ks.set_silence(Timestamp(3), Timestamp(8));
+        ks.set_lost_prefix(Timestamp(5));
+        assert_eq!(ks.kind_at(Timestamp(2)), TickKind::L);
+        assert_eq!(ks.kind_at(Timestamp(5)), TickKind::L);
+        assert_eq!(ks.kind_at(Timestamp(6)), TickKind::S);
+        assert_eq!(ks.lost_to(), Timestamp(5));
+        // Regression ignored.
+        ks.set_lost_prefix(Timestamp(3));
+        assert_eq!(ks.lost_to(), Timestamp(5));
+        // Doubt horizon counts L as known.
+        assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(8));
+    }
+
+    #[test]
+    fn base_prefix_drops_state_and_reports_s() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_data(ev(2));
+        ks.set_silence(Timestamp(3), Timestamp(10));
+        ks.advance_base(Timestamp(6));
+        assert_eq!(ks.data_len(), 0);
+        assert_eq!(ks.kind_at(Timestamp(2)), TickKind::S); // coarse history
+        assert_eq!(ks.kind_at(Timestamp(7)), TickKind::S); // split span survives
+        assert_eq!(ks.doubt_horizon(Timestamp(6)), Timestamp(10));
+    }
+
+    #[test]
+    fn q_ranges_finds_holes() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_silence(Timestamp(2), Timestamp(3));
+        ks.set_data(ev(6));
+        let qs = ks.q_ranges(Timestamp(1), Timestamp(8));
+        assert_eq!(
+            qs,
+            vec![
+                (Timestamp(1), Timestamp(1)),
+                (Timestamp(4), Timestamp(5)),
+                (Timestamp(7), Timestamp(8)),
+            ]
+        );
+        assert!(ks.q_ranges(Timestamp(2), Timestamp(3)).is_empty());
+    }
+
+    #[test]
+    fn q_ranges_open_ended() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_silence(Timestamp(1), Timestamp(4));
+        let qs = ks.q_ranges(Timestamp(1), Timestamp::MAX);
+        assert_eq!(qs, vec![(Timestamp(5), Timestamp::MAX)]);
+    }
+
+    #[test]
+    fn export_range_roundtrips_into_apply() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_lost_prefix(Timestamp(2));
+        ks.set_silence(Timestamp(3), Timestamp(4));
+        ks.set_data(ev(5));
+        ks.set_silence(Timestamp(6), Timestamp(9));
+        ks.set_data(ev(11));
+
+        let parts = ks.export_range(Timestamp(1), Timestamp(12));
+        let mut rebuilt = KnowledgeStream::new();
+        for p in &parts {
+            rebuilt.apply(p);
+        }
+        for t in 1..=12u64 {
+            assert_eq!(
+                rebuilt.kind_at(Timestamp(t)),
+                ks.kind_at(Timestamp(t)),
+                "tick {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn export_range_clips() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_silence(Timestamp(1), Timestamp(10));
+        let parts = ks.export_range(Timestamp(4), Timestamp(6));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].range(), (Timestamp(4), Timestamp(6)));
+    }
+
+    #[test]
+    fn events_in_is_half_open_below() {
+        let mut ks = KnowledgeStream::new();
+        ks.set_data(ev(5));
+        ks.set_data(ev(6));
+        let v: Vec<u64> = ks
+            .events_in(Timestamp(5), Timestamp(6))
+            .map(|e| e.ts.0)
+            .collect();
+        assert_eq!(v, vec![6]);
+    }
+
+    #[test]
+    fn with_base_seeds_consumed_prefix() {
+        let mut ks = KnowledgeStream::with_base(Timestamp(100));
+        // Knowledge below the base is ignored.
+        assert!(!ks.set_data(ev(99)));
+        ks.set_silence(Timestamp(50), Timestamp(150));
+        assert_eq!(ks.doubt_horizon(Timestamp(100)), Timestamp(150));
+        assert!(ks.q_ranges(Timestamp(1), Timestamp(100)).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Knowledge and curiosity stream data structures (paper §3).
+//!
+//! Message routing and recovery in Gryphon is organized as a tree of
+//! **knowledge streams** (flowing down from each pubend) and **curiosity
+//! streams** (nacks flowing up). A knowledge stream assigns one of four
+//! states to every tick of a pubend's time line — `Q` (unknown), `S`
+//! (silence), `D` (data), `L` (lost) — and the whole protocol is algebra
+//! over spans of those states:
+//!
+//! * [`KnowledgeStream`] stores `S`/`D`/`L` knowledge in coalesced
+//!   interval maps (with `Q` implicit), computes the **doubt horizon**
+//!   (the largest prefix of known ticks) and yields the `Q` ranges that
+//!   drive nack generation;
+//! * [`CuriosityStream`] tracks outstanding nacked ranges with retry
+//!   bookkeeping, consolidating duplicate interest so each hole is
+//!   requested upstream once;
+//! * [`InterestMap`] remembers *which downstream requested which range*,
+//!   so an intermediate broker forwards recovered knowledge only to the
+//!   children that were missing it.
+//!
+//! # Examples
+//!
+//! ```
+//! use gryphon_streams::KnowledgeStream;
+//! use gryphon_types::{Event, PubendId, TickKind, Timestamp};
+//!
+//! let mut ks = KnowledgeStream::new();
+//! ks.set_silence(Timestamp(1), Timestamp(4));
+//! let e = Event::builder(PubendId(0)).build_ref(Timestamp(5));
+//! ks.set_data(e);
+//! // Ticks 1..=5 are all known, so the doubt horizon from 0 is 5.
+//! assert_eq!(ks.doubt_horizon(Timestamp::ZERO), Timestamp(5));
+//! assert_eq!(ks.kind_at(Timestamp(6)), TickKind::Q);
+//! ```
+
+mod curiosity;
+mod interest;
+mod knowledge;
+
+pub use curiosity::{CuriosityStream, RetryPolicy};
+pub use interest::InterestMap;
+pub use knowledge::KnowledgeStream;
+
+#[cfg(test)]
+mod prop_tests;

@@ -1,0 +1,225 @@
+//! Checkpoint Tokens — the per-subscriber vector clock of §2.
+//!
+//! A durable subscriber holds one timestamp per pubend: the latest tick for
+//! which it has consumed (and is willing to acknowledge) all preceding
+//! messages. On reconnection it presents the token as its resumption point.
+//! Storing the token client-side (rather than in the messaging system)
+//! avoids distributed transactions; the price is that a client that loses
+//! its token and reconnects with an older one may receive gap messages in
+//! lieu of events it already acknowledged.
+
+use crate::{PubendId, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A vector clock of `(pubend, timestamp)` pairs.
+///
+/// Missing entries are implicitly [`Timestamp::ZERO`] — "from the beginning
+/// of the stream". All mutation is monotone: [`CheckpointToken::advance`]
+/// ignores regressions, so a token can be merged from out-of-order
+/// acknowledgments safely.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::{CheckpointToken, PubendId, Timestamp};
+///
+/// let mut ct = CheckpointToken::new();
+/// ct.advance(PubendId(1), Timestamp(10));
+/// ct.advance(PubendId(2), Timestamp(5));
+///
+/// let mut other = CheckpointToken::new();
+/// other.advance(PubendId(1), Timestamp(7));
+/// other.advance(PubendId(3), Timestamp(9));
+///
+/// ct.merge(&other);
+/// assert_eq!(ct.get(PubendId(1)), Timestamp(10)); // kept the max
+/// assert_eq!(ct.get(PubendId(3)), Timestamp(9));  // learned new entry
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CheckpointToken {
+    entries: BTreeMap<PubendId, Timestamp>,
+}
+
+impl CheckpointToken {
+    /// Creates an empty token (every pubend at [`Timestamp::ZERO`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `CT(s, p)` — the token's component for `pubend`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::{CheckpointToken, PubendId, Timestamp};
+    /// let ct = CheckpointToken::new();
+    /// assert_eq!(ct.get(PubendId(0)), Timestamp::ZERO);
+    /// ```
+    pub fn get(&self, pubend: PubendId) -> Timestamp {
+        self.entries.get(&pubend).copied().unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Advances the component for `pubend` to `ts` if that is an advance;
+    /// returns `true` when the token changed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::{CheckpointToken, PubendId, Timestamp};
+    /// let mut ct = CheckpointToken::new();
+    /// assert!(ct.advance(PubendId(0), Timestamp(4)));
+    /// assert!(!ct.advance(PubendId(0), Timestamp(3)));
+    /// ```
+    pub fn advance(&mut self, pubend: PubendId, ts: Timestamp) -> bool {
+        let cur = self.entries.entry(pubend).or_insert(Timestamp::ZERO);
+        if ts > *cur {
+            *cur = ts;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Component-wise maximum with `other`.
+    pub fn merge(&mut self, other: &CheckpointToken) {
+        for (&p, &t) in &other.entries {
+            self.advance(p, t);
+        }
+    }
+
+    /// `true` when every component of `self` is ≤ the corresponding
+    /// component of `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::{CheckpointToken, PubendId, Timestamp};
+    /// let mut a = CheckpointToken::new();
+    /// a.advance(PubendId(0), Timestamp(3));
+    /// let mut b = a.clone();
+    /// b.advance(PubendId(0), Timestamp(5));
+    /// assert!(a.dominated_by(&b));
+    /// assert!(!b.dominated_by(&a));
+    /// ```
+    pub fn dominated_by(&self, other: &CheckpointToken) -> bool {
+        self.entries.iter().all(|(&p, &t)| t <= other.get(p))
+    }
+
+    /// Iterates the explicitly tracked `(pubend, timestamp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PubendId, Timestamp)> + '_ {
+        self.entries.iter().map(|(&p, &t)| (p, t))
+    }
+
+    /// Number of pubends with a non-default component.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no component has ever advanced.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds a token from explicit pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::{CheckpointToken, PubendId, Timestamp};
+    /// let ct = CheckpointToken::from_pairs([(PubendId(0), Timestamp(3))]);
+    /// assert_eq!(ct.get(PubendId(0)), Timestamp(3));
+    /// ```
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (PubendId, Timestamp)>) -> Self {
+        let mut ct = Self::new();
+        for (p, t) in pairs {
+            ct.advance(p, t);
+        }
+        ct
+    }
+}
+
+impl FromIterator<(PubendId, Timestamp)> for CheckpointToken {
+    fn from_iter<I: IntoIterator<Item = (PubendId, Timestamp)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+impl Extend<(PubendId, Timestamp)> for CheckpointToken {
+    fn extend<I: IntoIterator<Item = (PubendId, Timestamp)>>(&mut self, iter: I) {
+        for (p, t) in iter {
+            self.advance(p, t);
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CT{{")?;
+        for (i, (p, t)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}:{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_componentwise_max() {
+        let a = CheckpointToken::from_pairs([
+            (PubendId(0), Timestamp(10)),
+            (PubendId(1), Timestamp(2)),
+        ]);
+        let b = CheckpointToken::from_pairs([
+            (PubendId(0), Timestamp(4)),
+            (PubendId(1), Timestamp(8)),
+            (PubendId(2), Timestamp(1)),
+        ]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.get(PubendId(0)), Timestamp(10));
+        assert_eq!(m.get(PubendId(1)), Timestamp(8));
+        assert_eq!(m.get(PubendId(2)), Timestamp(1));
+        assert!(a.dominated_by(&m));
+        assert!(b.dominated_by(&m));
+    }
+
+    #[test]
+    fn advance_never_regresses() {
+        let mut ct = CheckpointToken::new();
+        ct.advance(PubendId(0), Timestamp(5));
+        assert!(!ct.advance(PubendId(0), Timestamp(5)));
+        assert!(!ct.advance(PubendId(0), Timestamp(1)));
+        assert_eq!(ct.get(PubendId(0)), Timestamp(5));
+    }
+
+    #[test]
+    fn domination_is_reflexive_and_respects_missing_entries() {
+        let ct = CheckpointToken::from_pairs([(PubendId(0), Timestamp(5))]);
+        assert!(ct.dominated_by(&ct));
+        let empty = CheckpointToken::new();
+        assert!(empty.dominated_by(&ct));
+        assert!(!ct.dominated_by(&empty));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut ct: CheckpointToken =
+            [(PubendId(0), Timestamp(1))].into_iter().collect();
+        ct.extend([(PubendId(0), Timestamp(9)), (PubendId(4), Timestamp(2))]);
+        assert_eq!(ct.get(PubendId(0)), Timestamp(9));
+        assert_eq!(ct.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let ct = CheckpointToken::from_pairs([(PubendId(0), Timestamp(1))]);
+        assert_eq!(ct.to_string(), "CT{pubend-0:t1}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Identifier newtypes.
+//!
+//! Newtypes keep pubends, brokers, nodes and subscribers statically distinct
+//! (they are all integers on the wire).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a publishing endpoint (pubend).
+///
+/// Each publisher hosting broker (PHB) maintains one or more pubends; every
+/// persistent event is assigned to exactly one pubend and receives a
+/// monotone timestamp on that pubend's stream (paper §2).
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::PubendId;
+/// let p = PubendId(3);
+/// assert_eq!(p.to_string(), "pubend-3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PubendId(pub u32);
+
+impl std::fmt::Display for PubendId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pubend-{}", self.0)
+    }
+}
+
+/// Identifier of a broker in the overlay network.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::BrokerId;
+/// assert_eq!(BrokerId(1).to_string(), "broker-1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BrokerId(pub u32);
+
+impl std::fmt::Display for BrokerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "broker-{}", self.0)
+    }
+}
+
+/// Identifier of any node participating in a runtime (broker or client).
+///
+/// Node ids are assigned by the runtime ([`gryphon-sim`] or `gryphon-net`)
+/// when a node is registered, and are used as message source/destination
+/// addresses.
+///
+/// [`gryphon-sim`]: https://docs.rs/gryphon-sim
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::NodeId;
+/// assert_eq!(NodeId(7).to_string(), "node-7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Identifier of a durable subscription.
+///
+/// In the paper's model a durable subscription survives disconnections of
+/// the subscribing application; the id names the *subscription*, and a
+/// reconnecting client presents it together with its [`CheckpointToken`].
+///
+/// [`CheckpointToken`]: crate::CheckpointToken
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::SubscriberId;
+/// assert_eq!(SubscriberId(42).to_string(), "sub-42");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SubscriberId(pub u64);
+
+impl std::fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sub-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_order_and_hash() {
+        let mut set = BTreeSet::new();
+        set.insert(PubendId(2));
+        set.insert(PubendId(1));
+        set.insert(PubendId(2));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.iter().next(), Some(&PubendId(1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(0).to_string(), "node-0");
+        assert_eq!(SubscriberId(9).to_string(), "sub-9");
+        assert_eq!(BrokerId(3).to_string(), "broker-3");
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(PubendId::default(), PubendId(0));
+        assert_eq!(SubscriberId::default(), SubscriberId(0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Knowledge-tick kinds (paper §3).
+
+use serde::{Deserialize, Serialize};
+
+/// The four knowledge-stream tick states.
+///
+/// A knowledge stream conceptually assigns one of these to *every* tick of
+/// a pubend's time line:
+///
+/// * `Q` — *unknown*: nothing is known yet about this tick (it is the
+///   default state and drives nack generation);
+/// * `S` — *silence*: there was no event at this tick, or the event was
+///   filtered upstream and is irrelevant downstream;
+/// * `D` — *data*: an application event occupies this tick;
+/// * `L` — *lost*: the pubend has discarded whether this tick was `S` or
+///   `D` (early release). Reconnecting subscribers whose checkpoint falls
+///   inside an `L` prefix receive **gap** messages.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::TickKind;
+/// assert!(TickKind::Q.is_unknown());
+/// assert!(TickKind::S.is_known());
+/// assert_eq!(TickKind::D.to_string(), "D");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TickKind {
+    /// Unknown.
+    Q,
+    /// Silence (no relevant event).
+    S,
+    /// Data (an event).
+    D,
+    /// Lost (discarded by early release).
+    L,
+}
+
+impl TickKind {
+    /// `true` for `Q`.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == TickKind::Q
+    }
+
+    /// `true` for everything except `Q`.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self != TickKind::Q
+    }
+}
+
+impl std::fmt::Display for TickKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TickKind::Q => "Q",
+            TickKind::S => "S",
+            TickKind::D => "D",
+            TickKind::L => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vs_unknown_partition() {
+        for k in [TickKind::Q, TickKind::S, TickKind::D, TickKind::L] {
+            assert_ne!(k.is_known(), k.is_unknown());
+        }
+    }
+
+    #[test]
+    fn display_single_letters() {
+        assert_eq!(TickKind::Q.to_string(), "Q");
+        assert_eq!(TickKind::L.to_string(), "L");
+    }
+}

@@ -1,0 +1,183 @@
+//! Pubend timestamps ("tick milliseconds").
+//!
+//! Conceptually a pubend stream has a value for *every* time tick, whether
+//! an event was published at that tick or not (paper §2). Ticks are
+//! fine-grained enough that no two events on the same pubend share one; we
+//! use one tick per virtual millisecond, with the pubend bumping the counter
+//! when two publishes land in the same millisecond.
+
+use serde::{Deserialize, Serialize};
+
+/// A position on a pubend's tick stream, in *tick milliseconds*.
+///
+/// Timestamps are totally ordered and support saturating arithmetic for
+/// window computations. `Timestamp(0)` is the origin of every stream; the
+/// first deliverable tick is `Timestamp(1)` (so an "everything before t"
+/// prefix can be expressed as `..=t-1` without underflow).
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::Timestamp;
+/// let t = Timestamp(100);
+/// assert_eq!(t.saturating_sub(Timestamp(30)), 70);
+/// assert_eq!(t + 5, Timestamp(105));
+/// assert!(Timestamp::ZERO < t);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The stream origin: no event ever carries this timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The maximum representable tick; used for open-ended ranges.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Returns the raw tick-millisecond count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::Timestamp;
+    /// assert_eq!(Timestamp(7).ticks(), 7);
+    /// ```
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Difference in ticks, saturating at zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::Timestamp;
+    /// assert_eq!(Timestamp(5).saturating_sub(Timestamp(9)), 0);
+    /// ```
+    #[inline]
+    pub fn saturating_sub(self, other: Timestamp) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// The immediately following tick, saturating at [`Timestamp::MAX`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::Timestamp;
+    /// assert_eq!(Timestamp(5).next(), Timestamp(6));
+    /// assert_eq!(Timestamp::MAX.next(), Timestamp::MAX);
+    /// ```
+    #[inline]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// The immediately preceding tick, saturating at [`Timestamp::ZERO`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::Timestamp;
+    /// assert_eq!(Timestamp(5).prev(), Timestamp(4));
+    /// assert_eq!(Timestamp::ZERO.prev(), Timestamp::ZERO);
+    /// ```
+    #[inline]
+    pub fn prev(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+
+    /// Returns the larger of `self` and `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::Timestamp;
+    /// assert_eq!(Timestamp(3).max(Timestamp(9)), Timestamp(9));
+    /// ```
+    #[inline]
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_types::Timestamp;
+    /// assert_eq!(Timestamp(3).min(Timestamp(9)), Timestamp(3));
+    /// ```
+    #[inline]
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl std::ops::Add<u64> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(rhs))
+    }
+}
+
+impl std::ops::Sub<u64> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(rhs))
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Timestamp::MAX + 1, Timestamp::MAX);
+        assert_eq!(Timestamp(0) - 1, Timestamp(0));
+        assert_eq!(Timestamp(10) - 3, Timestamp(7));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert_eq!(Timestamp(1).max(Timestamp(2)), Timestamp(2));
+        assert_eq!(Timestamp(1).min(Timestamp(2)), Timestamp(1));
+    }
+
+    #[test]
+    fn next_prev_roundtrip() {
+        let t = Timestamp(41);
+        assert_eq!(t.next().prev(), t);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp(12).to_string(), "t12");
+    }
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate for the Gryphon durable-subscription reproduction:
+//! examples and cross-crate integration tests live here.
+//!
+//! The implementation is in the workspace crates:
+//!
+//! * [`gryphon`] — brokers (PHB / intermediate / SHB), clients, PFS;
+//! * [`gryphon_types`] — events, checkpoint tokens, wire messages;
+//! * [`gryphon_matching`] — content-based subscription matching;
+//! * [`gryphon_storage`] — log volume, event log, metadata table;
+//! * [`gryphon_streams`] — knowledge/curiosity tick streams;
+//! * [`gryphon_sim`] / [`gryphon_net`] — deterministic and threaded runtimes;
+//! * [`gryphon_baseline`] — the MQ-style store-and-forward baseline;
+//! * [`gryphon_jms`] — JMS-flavoured durable subscriptions;
+//! * [`gryphon_harness`] — the paper's experiments.
+
+pub use gryphon;
+pub use gryphon_baseline;
+pub use gryphon_harness;
+pub use gryphon_jms;
+pub use gryphon_matching;
+pub use gryphon_net;
+pub use gryphon_sim;
+pub use gryphon_storage;
+pub use gryphon_streams;
+pub use gryphon_types;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use gryphon::{
+        Broker, BrokerConfig, CostModel, Pfs, PfsMode, PublisherClient, SubscriberClient,
+        SubscriberConfig,
+    };
+    pub use gryphon_sim::{Handle, LinkParams, Node, NodeCtx, Sim, TimerKey};
+    pub use gryphon_storage::MemFactory;
+    pub use gryphon_types::{
+        AttrValue, CheckpointToken, Event, NodeId, PubendId, SubscriberId, Timestamp,
+    };
+}
