@@ -20,7 +20,7 @@ fn bench_stream_ops(c: &mut Criterion) {
             ks.set_silence(Timestamp(seq * 2 + 1).min(ts.prev()), ts.prev());
             ks.set_data(e);
             seq += 1;
-            if seq % 4_096 == 0 {
+            if seq.is_multiple_of(4_096) {
                 ks.advance_base(ts - 2_048); // steady-state trimming
             }
             std::hint::black_box(ks.data_len())

@@ -23,7 +23,7 @@ fn bench_writes(c: &mut Criterion) {
             let subs = bench_matches(seq);
             seq += 1;
             pfs.write(PubendId(0), e.ts, &subs).expect("write");
-            if seq % 800 == 0 {
+            if seq.is_multiple_of(800) {
                 pfs.sync().expect("sync");
             }
         });
@@ -39,7 +39,7 @@ fn bench_writes(c: &mut Criterion) {
                 log.append(sub, &e).expect("append");
             }
             seq += 1;
-            if seq % 800 == 0 {
+            if seq.is_multiple_of(800) {
                 log.sync().expect("sync");
             }
         });

@@ -1,25 +1,33 @@
 //! `xp` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! xp [--quick] [--csv DIR] <experiment>|all|list
+//! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] <experiment>|all|list
 //! ```
 //!
 //! * `list` prints the catalog;
 //! * `all` runs every experiment in order;
 //! * `--quick` runs shortened virtual-time versions (CI-friendly);
 //! * `--csv DIR` additionally dumps each experiment's raw series as CSV
-//!   files for plotting.
+//!   files for plotting;
+//! * `--trace` prints the full structured trace ring after each report
+//!   (the report itself only shows the tail);
+//! * `--metrics-out DIR` writes each experiment's metrics snapshot as
+//!   `<id>.metrics.csv` and `<id>.metrics.json` (see DESIGN.md
+//!   "Observability" for the name registry).
 
 use std::io::Write;
 
 fn main() {
     let mut quick = false;
+    let mut trace = false;
     let mut csv_dir: Option<String> = None;
+    let mut metrics_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
+            "--trace" => trace = true,
             "--csv" => {
                 csv_dir = args.next();
                 if csv_dir.is_none() {
@@ -27,8 +35,18 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--metrics-out" => {
+                metrics_dir = args.next();
+                if metrics_dir.is_none() {
+                    eprintln!("--metrics-out requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: xp [--quick] [--csv DIR] <experiment>|all|list");
+                println!(
+                    "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] \
+                     <experiment>|all|list"
+                );
                 print_catalog();
                 return;
             }
@@ -36,21 +54,36 @@ fn main() {
         }
     }
     if targets.is_empty() {
-        eprintln!("usage: xp [--quick] [--csv DIR] <experiment>|all|list");
+        eprintln!(
+            "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] <experiment>|all|list"
+        );
         print_catalog();
         std::process::exit(2);
     }
+    let opts = Options {
+        quick,
+        trace,
+        csv_dir,
+        metrics_dir,
+    };
     for target in targets {
         match target.as_str() {
             "list" => print_catalog(),
             "all" => {
                 for (id, _) in gryphon_harness::catalog() {
-                    run_one(id, quick, csv_dir.as_deref());
+                    run_one(id, &opts);
                 }
             }
-            id => run_one(id, quick, csv_dir.as_deref()),
+            id => run_one(id, &opts),
         }
     }
+}
+
+struct Options {
+    quick: bool,
+    trace: bool,
+    csv_dir: Option<String>,
+    metrics_dir: Option<String>,
 }
 
 fn print_catalog() {
@@ -60,25 +93,49 @@ fn print_catalog() {
     }
 }
 
-fn run_one(id: &str, quick: bool, csv_dir: Option<&str>) {
+fn write_file(dir: &str, name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(dir).join(name);
+    let result = std::fs::create_dir_all(dir).and_then(|()| {
+        std::fs::File::create(&path).and_then(|mut f| f.write_all(contents.as_bytes()))
+    });
+    if let Err(e) = result {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    path
+}
+
+fn run_one(id: &str, opts: &Options) {
     let started = std::time::Instant::now();
-    match gryphon_harness::run(id, quick) {
+    match gryphon_harness::run(id, opts.quick) {
         Ok(report) => {
             println!("{}", report.render());
+            if opts.trace && !report.trace.is_empty() {
+                println!("full trace ({} records):", report.trace.len());
+                for line in &report.trace {
+                    println!("{line}");
+                }
+            }
             println!(
                 "[{} completed in {:.1} s wall{}]\n",
                 id,
                 started.elapsed().as_secs_f64(),
-                if quick { ", --quick" } else { "" }
+                if opts.quick { ", --quick" } else { "" }
             );
-            if let Some(dir) = csv_dir {
+            if let Some(dir) = opts.csv_dir.as_deref() {
                 if !report.series.is_empty() {
-                    std::fs::create_dir_all(dir).expect("create csv dir");
-                    let path = std::path::Path::new(dir).join(format!("{id}.csv"));
-                    let mut f = std::fs::File::create(&path).expect("create csv");
-                    f.write_all(report.series_csv().as_bytes()).expect("write csv");
+                    let path = write_file(dir, &format!("{id}.csv"), &report.series_csv());
                     println!("[series written to {}]", path.display());
                 }
+            }
+            if let Some(dir) = opts.metrics_dir.as_deref() {
+                let csv = write_file(dir, &format!("{id}.metrics.csv"), &report.metrics_csv());
+                let json = write_file(dir, &format!("{id}.metrics.json"), &report.metrics_json());
+                println!(
+                    "[metrics written to {} and {}]",
+                    csv.display(),
+                    json.display()
+                );
             }
         }
         Err(e) => {

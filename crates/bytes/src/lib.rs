@@ -1,0 +1,125 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`]: an immutable, cheaply cloneable byte buffer backed
+//! by an `Arc<[u8]>`. Clones are reference-count bumps, so sharing a
+//! payload across thousands of subscribers never copies it — the one
+//! property of the real crate this workspace relies on. Slicing views
+//! and `BytesMut` are not needed here and are omitted.
+
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Creates a buffer from a static slice (copies; the real crate
+    /// borrows, but nothing here is length-critical).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(32) {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        if self.data.len() > 32 {
+            write!(f, "…(+{})", self.data.len() - 32)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_ref(), &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(std::sync::Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::copy_from_slice(b"xy").len(), 2);
+        assert_eq!(Bytes::from("ab").as_ref(), b"ab");
+        let deref: &[u8] = &Bytes::from(vec![9u8]);
+        assert_eq!(deref, &[9u8]);
+    }
+}

@@ -18,7 +18,9 @@ pub use shb::{CatchupNeeds, Con, Conn, Shb};
 use crate::config::BrokerConfig;
 use crate::timer::{self, Kind};
 use gryphon_matching::{Filter, SubscriptionIndex};
-use gryphon_sim::{Node, NodeCtx, TimerKey};
+use gryphon_sim::{
+    count_metric, names, observe_metric, trace_event, Node, NodeCtx, TimerKey, TraceEvent,
+};
 use gryphon_storage::{EventLog, MediaFactory, VolumeConfig};
 use gryphon_types::{
     ClientMsg, CuriosityMsg, KnowledgeMsg, KnowledgePart, NetMsg, NodeId, PubendId, PublishMsg,
@@ -68,6 +70,9 @@ pub struct Broker {
     /// First-time connects held until their interest is confirmed
     /// upstream.
     parked: Vec<ParkedConnect>,
+    /// Last release point reported per hosted pubend, so the release
+    /// timer only emits a `ReleaseAdvanced` trace on actual progress.
+    last_release_reported: HashMap<PubendId, Timestamp>,
 }
 
 struct ParkedConnect {
@@ -126,6 +131,7 @@ impl Broker {
             child_pending: HashMap::new(),
             child_confirmed: HashMap::new(),
             parked: Vec::new(),
+            last_release_reported: HashMap::new(),
         }
     }
 
@@ -464,6 +470,7 @@ impl Broker {
             return;
         }
         let now = ctx.now_us();
+        let fan_in = holes.len();
         let route = self.routes.entry(p).or_default();
         let mut fresh: Vec<(Timestamp, Timestamp)> = Vec::new();
         for (f, t) in holes {
@@ -476,6 +483,22 @@ impl Broker {
             }
         }
         if !fresh.is_empty() {
+            // Consolidation (paper §4.2): `fan_in` requested ranges were
+            // deduplicated against outstanding curiosity into one upward
+            // nack spanning the surviving span.
+            let span_from = fresh.iter().map(|&(f, _)| f).min().unwrap_or(Timestamp::ZERO);
+            let span_to = fresh.iter().map(|&(_, t)| t).max().unwrap_or(Timestamp::ZERO);
+            trace_event!(
+                ctx,
+                TraceEvent::NackConsolidated {
+                    pubend: p,
+                    from: span_from,
+                    to: span_to,
+                    fan_in,
+                }
+            );
+            observe_metric!(ctx, names::CURIOSITY_NACK_FANIN, fan_in as f64);
+            count_metric!(ctx, names::CURIOSITY_NACKS_SENT, 1.0);
             ctx.send(
                 parent,
                 NetMsg::Curiosity(CuriosityMsg {
@@ -584,7 +607,7 @@ impl Broker {
             return;
         };
         let buffer = self.config.catchup_read_buffer;
-        let Some((visited, full)) = shb.start_pfs_read(sub, p, buffer) else {
+        let Some((visited, q_ticks, full)) = shb.start_pfs_read(sub, p, buffer) else {
             return;
         };
         let slot = shb.slot(sub);
@@ -593,6 +616,18 @@ impl Broker {
         if full {
             ctx.count("shb.pfs_full_reads", 1.0);
         }
+        trace_event!(
+            ctx,
+            TraceEvent::PfsBatchRead {
+                pubend: p,
+                sub,
+                records: visited,
+                q_ticks,
+                full,
+            }
+        );
+        observe_metric!(ctx, names::PFS_BATCH_READ_RECORDS, visited as f64);
+        observe_metric!(ctx, names::PFS_BATCH_READ_QTICKS, q_ticks as f64);
         let latency = self.config.pfs_read_base_us
             + self.config.pfs_read_per_record_us * visited as u64;
         ctx.set_timer(
@@ -612,7 +647,14 @@ impl Broker {
             ctx.count("phb.publish_dropped", 1.0);
             return;
         };
-        pe.publish(msg, now);
+        let event = pe.publish(msg, now);
+        trace_event!(
+            ctx,
+            TraceEvent::PubendTimestamped {
+                pubend: p,
+                ts: event.ts,
+            }
+        );
         ctx.work(self.config.costs.event_log_append_us);
         ctx.count("phb.published", 1.0);
         if pe.needs_commit() {
@@ -654,6 +696,21 @@ impl Broker {
             }
         };
         ctx.count("phb.commits", 1.0);
+        for part in &parts {
+            if let KnowledgePart::Data(e) = part {
+                let bytes = e.encoded_len();
+                trace_event!(
+                    ctx,
+                    TraceEvent::EventLogged {
+                        pubend: p,
+                        ts: e.ts,
+                        bytes,
+                    }
+                );
+                count_metric!(ctx, names::PHB_LOG_BYTES, bytes as f64);
+                count_metric!(ctx, names::PHB_LOG_EVENTS, 1.0);
+            }
+        }
         // Locally originated knowledge confirms nothing about the parent
         // (stamp 0): a broker that both hosts pubends and routes others
         // must not complete parked connects off its own emissions.
@@ -949,10 +1006,27 @@ impl Broker {
                 };
                 if let Some(lost) = advanced {
                     ctx.count("phb.early_release_advances", 1.0);
+                    trace_event!(ctx, TraceEvent::LConverted { pubend: p, upto: lost });
+                    count_metric!(ctx, names::RELEASE_L_CONVERSIONS, 1.0);
                     if let Some(shb) = self.shb.as_mut() {
                         let _ = shb
                             .meta
                             .put_u64(&format!("lost/{}", p.0), lost.0);
+                    }
+                }
+                // Report forward progress of the aggregated release point
+                // (Tr) — once per distinct value, and never the MAX
+                // sentinel of an unconstrained aggregate.
+                if released < Timestamp::MAX {
+                    let prev = self
+                        .last_release_reported
+                        .get(&p)
+                        .copied()
+                        .unwrap_or(Timestamp::ZERO);
+                    if released > prev {
+                        self.last_release_reported.insert(p, released);
+                        trace_event!(ctx, TraceEvent::ReleaseAdvanced { pubend: p, released });
+                        count_metric!(ctx, names::RELEASE_ADVANCES, 1.0);
                     }
                 }
             } else if self.parent.is_some() {
@@ -1237,6 +1311,7 @@ impl Node for Broker {
         self.child_pending.clear();
         self.child_confirmed.clear();
         self.parked.clear();
+        self.last_release_reported.clear();
         self.upstream_confirmed = 0;
         self.pubends.clear();
         self.event_log = None;

@@ -33,6 +33,9 @@ pub struct Pubend {
     lost_to: Timestamp,
     /// Events published (monotone counter for stats).
     pub published: u64,
+    /// Bytes appended to the event log by this incarnation (stable-storage
+    /// write volume; the broker mirrors it into `phb.log_bytes`).
+    pub log_bytes: u64,
 }
 
 impl Pubend {
@@ -49,6 +52,7 @@ impl Pubend {
             commit_scheduled: false,
             lost_to: Timestamp::ZERO,
             published: 0,
+            log_bytes: 0,
         }
     }
 
@@ -101,6 +105,7 @@ impl Pubend {
         let batch = self.committing.pop_front().unwrap_or_default();
         for e in &batch {
             log.append(e)?;
+            self.log_bytes += e.encoded_len() as u64;
         }
         log.sync()?;
         let mut parts = Vec::with_capacity(batch.len() * 2);

@@ -11,7 +11,9 @@ use gryphon_types::{
     CheckpointToken, DeliveryKind, DeliveryMsg, EventRef, KnowledgePart, NodeId, PubendId,
     ServerMsg, SubscriberId, SubscriptionSpec, Timestamp,
 };
-use gryphon_sim::NodeCtx;
+use gryphon_sim::{
+    count_metric, names, observe_metric, record_metric, trace_event, NodeCtx, TraceEvent,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Per-pubend consolidated-stream state.
@@ -44,6 +46,8 @@ pub struct Catchup {
     /// subscription, so the whole missed interval is nacked to the
     /// pubend and refiltered on arrival (paper §1, feature 5).
     pub refilter: bool,
+    /// When this stream was created (switchover-latency metric).
+    pub started_at_us: u64,
 }
 
 /// A connected subscriber.
@@ -328,6 +332,7 @@ impl Shb {
                     ctx.work(config.costs.delivery_us);
                     self.delivered += 1;
                     ctx.count("shb.delivered", 1.0);
+                    count_metric!(ctx, names::SHB_CONSTREAM_DELIVERED, 1.0);
                     let msg = DeliveryMsg {
                         pubend: p,
                         kind: DeliveryKind::Event(event.clone()),
@@ -335,9 +340,32 @@ impl Shb {
                     deliver(conn, sub, msg, gated, ctx);
                 }
             }
+            // The constream must advance over a contiguous prefix: the
+            // gap-free watchdog (paper §4.1) checks that each advance
+            // starts exactly where the previous one ended.
+            trace_event!(
+                ctx,
+                TraceEvent::ConstreamGapCheck {
+                    pubend: p,
+                    prev: con.processed_to,
+                    new_to: dh,
+                }
+            );
+            trace_event!(
+                ctx,
+                TraceEvent::DoubtAdvanced {
+                    pubend: p,
+                    horizon: dh,
+                }
+            );
             con.processed_to = dh;
             self.con.insert(p, con);
         }
+        record_metric!(
+            ctx,
+            names::SHB_DOUBT_WIDTH,
+            max_seen.saturating_sub(con.processed_to) as f64
+        );
         if max_seen > con.processed_to {
             cache.q_ranges(con.processed_to, max_seen)
         } else {
@@ -540,6 +568,14 @@ impl Shb {
                 // Catchup needed. Reconnect-anywhere streams skip the PFS
                 // (no history here): mark its coverage exhausted so every
                 // unknown tick is nacked — authoritatively — instead.
+                trace_event!(
+                    ctx,
+                    TraceEvent::CatchupStarted {
+                        pubend: p,
+                        sub,
+                        from: resume.next(),
+                    }
+                );
                 conn.catchup.insert(
                     p,
                     Catchup {
@@ -549,6 +585,7 @@ impl Shb {
                         reading: false,
                         pending_read: None,
                         refilter: anywhere,
+                        started_at_us: ctx.now_us(),
                     },
                 );
                 plans.push((
@@ -773,15 +810,16 @@ impl Shb {
 
     /// Performs a PFS batch read for a catchup stream, storing the result
     /// until the modeled-latency timer fires. Returns `(records visited,
-    /// was it a full read)` — the visit count drives the modeled latency,
-    /// the full-read flag feeds the paper's "87 % of reads reach
-    /// lastTimestamp" metric — or `None` when no read is needed.
+    /// matching Q ticks found, was it a full read)` — the visit count
+    /// drives the modeled latency, the full-read flag feeds the paper's
+    /// "87 % of reads reach lastTimestamp" metric — or `None` when no
+    /// read is needed.
     pub fn start_pfs_read(
         &mut self,
         sub: SubscriberId,
         p: PubendId,
         buffer: usize,
-    ) -> Option<(usize, bool)> {
+    ) -> Option<(usize, usize, bool)> {
         let ld = self.con_entry(p).latest_delivered;
         let cu = self
             .conns
@@ -797,6 +835,7 @@ impl Shb {
         cu.reading = true;
         let result = self.pfs.read(p, sub, from, ld, buffer).ok()?;
         let visited = result.records_visited;
+        let q_ticks = result.q_ticks.len();
         let full = result.full_read;
         // Re-borrow to stash the result (pfs and conns are disjoint
         // fields, but the `cu` borrow had to end before the read).
@@ -807,7 +846,7 @@ impl Shb {
         {
             cu.pending_read = Some(result);
         }
-        Some((visited, full))
+        Some((visited, q_ticks, full))
     }
 
     /// Applies the stored read result when its latency timer fires;
@@ -967,6 +1006,16 @@ impl Shb {
         if cu.delivered_to >= con.processed_to {
             conn.last_sent.insert(p, cu.delivered_to);
             needs.switched = true;
+            let latency_us = ctx.now_us().saturating_sub(cu.started_at_us);
+            trace_event!(
+                ctx,
+                TraceEvent::Switchover {
+                    pubend: p,
+                    sub,
+                    latency_us,
+                }
+            );
+            observe_metric!(ctx, names::SHB_SWITCHOVER_LATENCY_US, latency_us as f64);
             if conn.catchup.is_empty() {
                 let dur_us = ctx.now_us().saturating_sub(conn.connected_at_us);
                 ctx.record("shb.catchup_duration_ms", dur_us as f64 / 1_000.0);

@@ -214,10 +214,11 @@ fn reconnect_with_checkpoint_creates_catchup_and_switches_over() {
     assert_eq!(shb.catchup_streams(), 1);
 
     // PFS read → apply → progress: the Q ticks become nack holes.
-    let (visited, full) = shb
+    let (visited, q_ticks, full) = shb
         .start_pfs_read(SubscriberId(1), P, 100)
         .expect("read needed");
     assert!(visited > 0);
+    assert_eq!(q_ticks, 3, "one matching Q tick per recovered event");
     assert!(full, "small history fits the buffer");
     assert!(shb.finish_pfs_read(SubscriberId(1), P));
     let needs = shb.catchup_progress(SubscriberId(1), P, &config, &mut ctx);

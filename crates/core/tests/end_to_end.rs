@@ -481,9 +481,9 @@ fn reconnect_anywhere_recovers_missed_interval_via_refiltering() {
         .node_ref(first)
         .received()
         .iter()
+        .rev()
         .filter(|r| r.kind == "event")
-        .filter_map(|r| r.seq)
-        .last()
+        .find_map(|r| r.seq)
         .expect("phase 1 delivered");
 
     // Phase 2: 5 s later, present the checkpoint at SHB-B.

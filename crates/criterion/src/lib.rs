@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the `criterion_group!`/`criterion_main!` surface the workspace
+//! benches use and actually runs every benchmark, printing a
+//! per-iteration wall-clock estimate plus throughput when configured. It
+//! performs a warmup pass and sizes the measured batch to a small time
+//! budget; it does **not** do outlier rejection, bootstrapping or
+//! HTML reports. Good enough to compare hot paths before/after a change
+//! on the same machine, which is all the acceptance bar asks of it.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; scales the printed per-iteration rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time of the last run.
+    elapsed: Duration,
+    /// Iterations measured in the last run.
+    iters: u64,
+    /// Per-bench time budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill a small budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup + calibration: one untimed call, then scale the batch.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = t1.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine(iters)`, which must return the measured duration
+    /// of exactly `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let probe = routine(1);
+        let iters = if probe >= self.budget {
+            1
+        } else {
+            (self.budget.as_nanos() / probe.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        self.elapsed = routine(iters);
+        self.iters = iters;
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; printing happens per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, tp: Option<Throughput>, mut f: F) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis(50),
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<48} (no measurement)");
+            return;
+        }
+        let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        let rate = match tp {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / per_iter_ns)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / per_iter_ns)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<48} {:>12.1} ns/iter ({} iters){rate}",
+            per_iter_ns, b.iters
+        );
+    }
+}
+
+/// Declares a group function runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut c = Criterion::default();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                std::hint::black_box(iters);
+                Duration::from_millis(60)
+            })
+        });
+    }
+}

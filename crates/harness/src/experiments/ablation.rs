@@ -24,6 +24,7 @@ pub fn run_consolidation(quick: bool) -> Report {
             "catchup share",
         ],
     );
+    let mut last_sys: Option<System> = None;
     for (label, disconnecting) in [("all constream", false), ("perpetual catchup", true)] {
         let spec = TopologySpec {
             seed: 61,
@@ -64,12 +65,16 @@ pub fn run_consolidation(quick: bool) -> Report {
             fmt_rate(capacity),
             format!("{:.0}%", catchup_share * 100.0),
         ]);
+        last_sys = Some(sys);
     }
     report.table(t);
     report.note(
         "per-subscriber catchup streams double the per-delivery cost (separate knowledge \
          bookkeeping + PFS reads), halving SHB capacity — the reason the constream exists",
     );
+    if let Some(sys) = &last_sys {
+        sys.attach_observability(&mut report);
+    }
     report
 }
 
@@ -91,6 +96,7 @@ pub fn run_cache_sweep(quick: bool) -> Report {
             "PHB answers (cache misses)",
         ],
     );
+    let mut last_sys: Option<System> = None;
     for &(label, window_ticks) in &[("2 s", 2_000u64), ("5 s", 5_000), ("60 s", 60_000)] {
         let spec = TopologySpec {
             seed: 64,
@@ -136,6 +142,7 @@ pub fn run_cache_sweep(quick: bool) -> Report {
             format!("{:.1}%", phb_busy * 100.0),
             format!("{phb_work:.0}"),
         ]);
+        last_sys = Some(sys);
     }
     report.table(t);
     report.note(
@@ -143,6 +150,9 @@ pub fn run_cache_sweep(quick: bool) -> Report {
          shifts recovery load to the pubend (authoritative nack responses) without affecting \
          correctness — exactly the trade the paper's future work asks about",
     );
+    if let Some(sys) = &last_sys {
+        sys.attach_observability(&mut report);
+    }
     report
 }
 
@@ -163,6 +173,7 @@ pub fn run_pfs_mode(quick: bool) -> Report {
             "true matches",
         ],
     );
+    let mut metrics = gryphon_sim::Metrics::default();
     for (label, mode) in [
         ("precise (paper)", PfsMode::Precise),
         ("imprecise w=16", PfsMode::Imprecise { window_ticks: 16 }),
@@ -184,6 +195,14 @@ pub fn run_pfs_mode(quick: bool) -> Report {
             .read(PubendId(0), SubscriberId(0), Timestamp::ZERO, last, usize::MAX)
             .expect("read");
         let true_matches = (0..events).filter(|seq| seq % classes == 0).count();
+        metrics.observe(
+            gryphon_sim::names::PFS_BATCH_READ_RECORDS,
+            read.records_visited as f64,
+        );
+        metrics.observe(
+            gryphon_sim::names::PFS_BATCH_READ_QTICKS,
+            read.q_ticks.len() as f64,
+        );
         t.row(&[
             label.into(),
             stats.records.to_string(),
@@ -198,5 +217,6 @@ pub fn run_pfs_mode(quick: bool) -> Report {
          nack (each nack is then refiltered at the SHB) — correctness is unaffected, as §4.2 \
          argues",
     );
+    report.attach_metrics(&metrics);
     report
 }

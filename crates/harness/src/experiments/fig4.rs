@@ -32,7 +32,7 @@ fn run_config(
     disconnecting: bool,
     run_us: u64,
     label: &'static str,
-) -> Cell {
+) -> (Cell, System) {
     let spec = TopologySpec {
         seed,
         combined,
@@ -66,14 +66,15 @@ fn run_config(
     } else {
         f64::NAN
     };
-    Cell {
+    let cell = Cell {
         label,
         subs: workload.subs_per_shb * n_shbs,
         delivered_rate,
         shb_busy,
         phb_idle: (1.0 - phb_busy) * 100.0,
         est_peak,
-    }
+    };
+    (cell, sys)
 }
 
 /// Runs the Figure 4 reproduction.
@@ -86,6 +87,7 @@ pub fn run(quick: bool) -> Report {
         ("4 SHB", false, 4),
     ];
     let mut report = Report::new("fig4");
+    let mut last_sys: Option<System> = None;
     for disconnecting in [false, true] {
         let title = if disconnecting {
             "Figure 4b: aggregate rate WITH disconnection/reconnection (paper: 17.6K → 69.6K ev/s)"
@@ -105,7 +107,7 @@ pub fn run(quick: bool) -> Report {
         );
         let mut cells = Vec::new();
         for (i, &(label, combined, n)) in configs.iter().enumerate() {
-            let cell = run_config(
+            let (cell, sys) = run_config(
                 100 + i as u64 + if disconnecting { 50 } else { 0 },
                 combined,
                 n,
@@ -113,6 +115,7 @@ pub fn run(quick: bool) -> Report {
                 run_us,
                 label,
             );
+            last_sys = Some(sys);
             t.row(&[
                 cell.label.into(),
                 cell.subs.to_string(),
@@ -138,5 +141,10 @@ pub fn run(quick: bool) -> Report {
         "peaks are estimated as delivered-rate / bottleneck-SHB busy fraction; the cost model \
          anchors a single SHB at ≈20K ev/s (see EXPERIMENTS.md calibration note)",
     );
+    // Observability snapshot from the last (4-SHB, disconnecting) run —
+    // the configuration that exercises catchup and switchover hardest.
+    if let Some(sys) = &last_sys {
+        sys.attach_observability(&mut report);
+    }
     report
 }

@@ -68,6 +68,7 @@ pub fn run_fig5(quick: bool) -> Report {
     }
     report.table(t);
     report.series("catchup_duration_s", durations);
+    sys.attach_observability(&mut report);
     report
 }
 
@@ -129,5 +130,6 @@ pub fn run_fig6(quick: bool) -> Report {
     ));
     report.series("latestDelivered_rate", ld_rate);
     report.series("released_rate", rel_rate);
+    sys.attach_observability(&mut report);
     report
 }

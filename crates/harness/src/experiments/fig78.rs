@@ -166,6 +166,7 @@ pub fn run_fig7(quick: bool) -> Report {
         "released_tickms",
         rel.iter().map(|&(t, v)| (t as f64 / 1e6, v)).collect(),
     );
+    run.sys.attach_observability(&mut report);
     report
 }
 
@@ -294,5 +295,6 @@ pub fn run_fig8(quick: bool) -> Report {
          catchup (separate per-subscriber streams), the SHB bears the load, the PHB barely \
          notices (nack consolidation)",
     );
+    run.sys.attach_observability(&mut report);
     report
 }

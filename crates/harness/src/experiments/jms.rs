@@ -19,7 +19,7 @@ struct JmsCell {
     mean_batch: f64,
 }
 
-fn run_jms(seed: u64, n_subs: usize, run_us: u64) -> JmsCell {
+fn run_jms(seed: u64, n_subs: usize, run_us: u64) -> (JmsCell, Sim) {
     let mut sim = Sim::new(seed);
     let b = sim.add_typed_node(
         "broker",
@@ -55,12 +55,13 @@ fn run_jms(seed: u64, n_subs: usize, run_us: u64) -> JmsCell {
     let delivered = sim.metrics().counter("client.events");
     let commits = sim.metrics().counter("shb.ct_commits");
     let updates = sim.metrics().counter("shb.ct_commit_updates");
-    JmsCell {
+    let cell = JmsCell {
         subs: n_subs,
         delivered_rate: delivered / (run_us as f64 / 1e6),
         commits,
         mean_batch: if commits > 0.0 { updates / commits } else { 0.0 },
-    }
+    };
+    (cell, sim)
 }
 
 /// Runs the JMS experiment.
@@ -77,8 +78,10 @@ pub fn run(quick: bool) -> Report {
         ],
     );
     let mut cells = Vec::new();
+    let mut last_sim: Option<Sim> = None;
     for (i, &n) in [25usize, 200].iter().enumerate() {
-        let cell = run_jms(90 + i as u64, n, run_us);
+        let (cell, sim) = run_jms(90 + i as u64, n, run_us);
+        last_sim = Some(sim);
         t.row(&[
             cell.subs.to_string(),
             fmt_rate(cell.delivered_rate),
@@ -101,5 +104,13 @@ pub fn run(quick: bool) -> Report {
         "the bottleneck is the metadata table's commit throughput (4 hashed worker threads with \
          group commit), independent of the SHB delivery path — as the paper observes",
     );
+    if let Some(sim) = &last_sim {
+        report.attach_metrics(sim.metrics());
+        report.attach_trace(
+            sim.trace_records()
+                .map(|r| r.render(sim.node_name(r.node)))
+                .collect(),
+        );
+    }
     report
 }

@@ -15,7 +15,7 @@ use gryphon_sim::Sim;
 use gryphon_storage::MemFactory;
 use gryphon_types::{PubendId, SubscriberId};
 
-fn gryphon_chain_latency(run_us: u64) -> (f64, u64) {
+fn gryphon_chain_latency(run_us: u64) -> (f64, u64, Sim) {
     let mut sim = Sim::new(11);
     let config = BrokerConfig::default();
     let phb = sim.add_typed_node(
@@ -67,7 +67,8 @@ fn gryphon_chain_latency(run_us: u64) -> (f64, u64) {
     sim.connect(publisher.id(), phb.id(), 500);
     sim.run_until(run_us);
     let mean = sim.metrics().mean("client.latency_ms").unwrap_or(f64::NAN);
-    (mean, sim.node_ref(sub).events_received())
+    let events = sim.node_ref(sub).events_received();
+    (mean, events, sim)
 }
 
 fn baseline_chain_latency(run_us: u64) -> (f64, u64) {
@@ -103,7 +104,7 @@ pub fn run(quick: bool) -> Report {
     let logging_ms =
         (config.phb_commit_latency_us + config.phb_commit_interval_us / 2) as f64 / 1_000.0;
 
-    let (gry_ms, gry_events) = gryphon_chain_latency(run_us);
+    let (gry_ms, gry_events, gry_sim) = gryphon_chain_latency(run_us);
     let (sf_ms, sf_events) = baseline_chain_latency(run_us);
 
     let mut report = Report::new("latency");
@@ -130,5 +131,12 @@ pub fn run(quick: bool) -> Report {
         logging_ms / gry_ms * 100.0,
         sf_ms / gry_ms
     ));
+    report.attach_metrics(gry_sim.metrics());
+    report.attach_trace(
+        gry_sim
+            .trace_records()
+            .map(|r| r.render(gry_sim.node_name(r.node)))
+            .collect(),
+    );
     report
 }

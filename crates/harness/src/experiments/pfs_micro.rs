@@ -148,5 +148,15 @@ pub fn run(quick: bool) -> Report {
         "record arithmetic: each event matches 25 subscribers ⇒ event logging writes \
          25 × 418 B ≈ 10.4 KB/event; the PFS writes one 8+16×25 = 408 B record",
     );
+    // No simulator runs here (real file I/O); synthesize the metrics
+    // snapshot so this experiment exports like the others.
+    let mut metrics = gryphon_sim::Metrics::default();
+    metrics.count("pfs_micro.pfs_wall_ms", pfs_ms);
+    metrics.count("pfs_micro.pfs_bytes", pfs_bytes as f64);
+    metrics.count("pfs_micro.pfs_records", pfs_records as f64);
+    metrics.count("pfs_micro.log_wall_ms", log_ms);
+    metrics.count("pfs_micro.log_bytes", log_bytes as f64);
+    metrics.count("pfs_micro.log_records", log_records as f64);
+    report.attach_metrics(&metrics);
     report
 }

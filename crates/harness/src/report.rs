@@ -1,5 +1,114 @@
 //! Printable experiment reports.
 
+use gryphon_sim::Metrics;
+
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes
+/// or newlines are quoted, with interior quotes doubled.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Summary of one histogram for the metrics section.
+#[derive(Debug, Clone)]
+pub struct HistogramSummary {
+    /// Metric name (see `gryphon_sim::names`).
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Exact smallest sample.
+    pub min: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th percentile estimate.
+    pub p95: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+    /// Exact largest sample.
+    pub max: f64,
+}
+
+/// A snapshot of a run's [`Metrics`], reduced to stable, sorted summaries
+/// for rendering and CSV/JSON export.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSection {
+    /// All counters, sorted by name.
+    pub counters: Vec<(String, f64)>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// All series reduced to `(name, samples, mean)`, sorted by name.
+    pub series: Vec<(String, usize, f64)>,
+}
+
+impl MetricsSection {
+    /// Snapshots `metrics` into sorted summaries.
+    pub fn from_metrics(metrics: &Metrics) -> Self {
+        let counters = metrics
+            .counter_names()
+            .into_iter()
+            .map(|n| (n.to_owned(), metrics.counter(n)))
+            .collect();
+        let histograms = metrics
+            .histogram_names()
+            .into_iter()
+            .filter_map(|n| {
+                let h = metrics.histogram(n)?;
+                Some(HistogramSummary {
+                    name: n.to_owned(),
+                    count: h.count(),
+                    min: h.min()?,
+                    p50: h.percentile(0.50)?,
+                    p95: h.percentile(0.95)?,
+                    p99: h.percentile(0.99)?,
+                    max: h.max()?,
+                })
+            })
+            .collect();
+        let series = metrics
+            .series_names()
+            .into_iter()
+            .map(|n| {
+                let s = metrics.series(n);
+                (n.to_owned(), s.len(), metrics.mean(n).unwrap_or(0.0))
+            })
+            .collect();
+        MetricsSection {
+            counters,
+            histograms,
+            series,
+        }
+    }
+}
+
 /// One table of an experiment report.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -71,6 +180,11 @@ pub struct Report {
     pub notes: Vec<String>,
     /// Raw `(name, samples)` series for plotting (virtual seconds, value).
     pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Snapshot of the run's metrics (attach with
+    /// [`Report::attach_metrics`]).
+    pub metrics: Option<MetricsSection>,
+    /// Rendered trace lines (attach with [`Report::attach_trace`]).
+    pub trace: Vec<String>,
 }
 
 impl Report {
@@ -100,6 +214,19 @@ impl Report {
         self
     }
 
+    /// Snapshots a run's metrics into the report (counters, histogram
+    /// percentiles, series summaries).
+    pub fn attach_metrics(&mut self, metrics: &Metrics) -> &mut Self {
+        self.metrics = Some(MetricsSection::from_metrics(metrics));
+        self
+    }
+
+    /// Attaches already-rendered trace lines.
+    pub fn attach_trace(&mut self, lines: Vec<String>) -> &mut Self {
+        self.trace = lines;
+        self
+    }
+
     /// Renders everything as text.
     pub fn render(&self) -> String {
         let mut out = format!("# experiment: {}\n\n", self.id);
@@ -125,17 +252,145 @@ impl Report {
                 }
             }
         }
+        if let Some(m) = &self.metrics {
+            out.push_str("\n## metrics\n");
+            if !m.histograms.is_empty() {
+                let mut t = Table::new(
+                    "histograms",
+                    &["name", "count", "min", "p50", "p95", "p99", "max"],
+                );
+                for h in &m.histograms {
+                    t.row(&[
+                        h.name.clone(),
+                        h.count.to_string(),
+                        format!("{:.1}", h.min),
+                        format!("{:.1}", h.p50),
+                        format!("{:.1}", h.p95),
+                        format!("{:.1}", h.p99),
+                        format!("{:.1}", h.max),
+                    ]);
+                }
+                out.push_str(&t.render());
+            }
+            if !m.counters.is_empty() {
+                let mut t = Table::new("counters", &["name", "value"]);
+                for (name, v) in &m.counters {
+                    t.row(&[name.clone(), format!("{v:.0}")]);
+                }
+                out.push_str(&t.render());
+            }
+        }
+        if !self.trace.is_empty() {
+            // Full dumps go through `xp --trace`; the report itself keeps
+            // a readable tail.
+            const SHOWN: usize = 20;
+            out.push_str(&format!("\n## trace ({} records)\n", self.trace.len()));
+            if self.trace.len() > SHOWN {
+                out.push_str(&format!(
+                    "... ({} earlier records elided)\n",
+                    self.trace.len() - SHOWN
+                ));
+            }
+            for line in self.trace.iter().rev().take(SHOWN).rev() {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
         out
     }
 
-    /// Dumps all series as CSV (`series,t_seconds,value` lines).
+    /// Dumps all series as CSV (`series,t_seconds,value` lines), RFC 4180
+    /// escaped, rows sorted by series name (sample order preserved within
+    /// a series).
     pub fn series_csv(&self) -> String {
         let mut out = String::from("series,t_seconds,value\n");
-        for (name, pts) in &self.series {
+        let mut sorted: Vec<&(String, Vec<(f64, f64)>)> = self.series.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, pts) in sorted {
+            let name = csv_escape(name);
             for (t, v) in pts {
                 out.push_str(&format!("{name},{t:.3},{v:.3}\n"));
             }
         }
+        out
+    }
+
+    /// Dumps the attached metrics snapshot as CSV: one row per metric
+    /// (`kind,name,count,value,min,p50,p95,p99,max` — unused cells empty),
+    /// sorted by kind then name. Empty when no metrics are attached.
+    pub fn metrics_csv(&self) -> String {
+        let mut out = String::from("kind,name,count,value,min,p50,p95,p99,max\n");
+        let Some(m) = &self.metrics else {
+            return out;
+        };
+        for (name, v) in &m.counters {
+            out.push_str(&format!("counter,{},,{v:.3},,,,,\n", csv_escape(name)));
+        }
+        for h in &m.histograms {
+            out.push_str(&format!(
+                "histogram,{},{},,{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                csv_escape(&h.name),
+                h.count,
+                h.min,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            ));
+        }
+        for (name, n, mean) in &m.series {
+            out.push_str(&format!("series,{},{n},{mean:.3},,,,,\n", csv_escape(name)));
+        }
+        out
+    }
+
+    /// Dumps the attached metrics snapshot as a JSON object
+    /// (`{"experiment": ..., "counters": {...}, "histograms": {...},
+    /// "series": {...}}`). Hand-rolled — the workspace is offline and
+    /// carries no JSON dependency.
+    pub fn metrics_json(&self) -> String {
+        let empty = MetricsSection::default();
+        let m = self.metrics.as_ref().unwrap_or(&empty);
+        let mut out = format!("{{\n  \"experiment\": \"{}\",\n", json_escape(&self.id));
+        out.push_str("  \"counters\": {");
+        let counters: Vec<String> = m
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{}\": {}", json_escape(n), json_num(*v)))
+            .collect();
+        out.push_str(&counters.join(", "));
+        out.push_str("},\n  \"histograms\": {");
+        let hists: Vec<String> = m
+            .histograms
+            .iter()
+            .map(|h| {
+                format!(
+                    "\"{}\": {{\"count\": {}, \"min\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                    json_escape(&h.name),
+                    h.count,
+                    json_num(h.min),
+                    json_num(h.p50),
+                    json_num(h.p95),
+                    json_num(h.p99),
+                    json_num(h.max)
+                )
+            })
+            .collect();
+        out.push_str(&hists.join(", "));
+        out.push_str("},\n  \"series\": {");
+        let series: Vec<String> = m
+            .series
+            .iter()
+            .map(|(n, count, mean)| {
+                format!(
+                    "\"{}\": {{\"samples\": {count}, \"mean\": {}}}",
+                    json_escape(n),
+                    json_num(*mean)
+                )
+            })
+            .collect();
+        out.push_str(&series.join(", "));
+        out.push_str("}\n}\n");
         out
     }
 }
@@ -181,5 +436,64 @@ mod tests {
     fn rate_formatting() {
         assert_eq!(fmt_rate(19_800.0), "19.8K");
         assert_eq!(fmt_rate(750.0), "750");
+    }
+
+    #[test]
+    fn csv_escapes_and_sorts() {
+        let mut r = Report::new("x");
+        r.series("z,last", vec![(0.0, 1.0)]);
+        r.series("a\"first", vec![(0.0, 2.0)]);
+        let csv = r.series_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,t_seconds,value");
+        // Sorted: the quoted-name series comes first despite insertion order.
+        assert_eq!(lines[1], "\"a\"\"first\",0.000,2.000");
+        assert_eq!(lines[2], "\"z,last\",0.000,1.000");
+    }
+
+    #[test]
+    fn metrics_section_exports() {
+        let mut m = Metrics::default();
+        m.count("phb.log_bytes", 1024.0);
+        for v in [10.0, 20.0, 30.0] {
+            m.observe("shb.switchover_latency_us", v);
+        }
+        m.record(1_000, "shb.doubt_width", 5.0);
+        let mut r = Report::new("exp");
+        r.attach_metrics(&m);
+
+        let text = r.render();
+        assert!(text.contains("## metrics"));
+        assert!(text.contains("phb.log_bytes"));
+        assert!(text.contains("shb.switchover_latency_us"));
+
+        let csv = r.metrics_csv();
+        assert!(csv.starts_with("kind,name,count,value,min,p50,p95,p99,max\n"));
+        assert!(csv.contains("counter,phb.log_bytes,,1024.000"));
+        assert!(csv.contains("histogram,shb.switchover_latency_us,3,"));
+        assert!(csv.contains("series,shb.doubt_width,1,5.000"));
+
+        let json = r.metrics_json();
+        assert!(json.contains("\"experiment\": \"exp\""));
+        assert!(json.contains("\"phb.log_bytes\": 1024"));
+        assert!(json.contains("\"count\": 3"));
+    }
+
+    #[test]
+    fn empty_metrics_json_is_valid_shape() {
+        let r = Report::new("none");
+        let json = r.metrics_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert_eq!(r.metrics_csv(), "kind,name,count,value,min,p50,p95,p99,max\n");
+    }
+
+    #[test]
+    fn trace_lines_render() {
+        let mut r = Report::new("t");
+        r.attach_trace(vec!["[0.001s] shb1 catchup-started p=1".into()]);
+        let text = r.render();
+        assert!(text.contains("## trace (1 records)"));
+        assert!(text.contains("catchup-started"));
     }
 }

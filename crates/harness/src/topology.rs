@@ -256,6 +256,26 @@ impl System {
             .sum()
     }
 
+    /// Attaches this run's observability artefacts to `report`: the
+    /// metrics snapshot (counters, histogram percentiles, series
+    /// summaries), the rendered trace ring, and — should any protocol
+    /// watchdog have fired — a loud note. Call once after the run.
+    pub fn attach_observability(&self, report: &mut crate::Report) {
+        report.attach_metrics(self.sim.metrics());
+        let lines: Vec<String> = self
+            .sim
+            .trace_records()
+            .map(|r| r.render(self.sim.node_name(r.node)))
+            .collect();
+        report.attach_trace(lines);
+        let violations = self.sim.watchdog_violations();
+        if violations > 0 {
+            report.note(format!(
+                "WATCHDOG: {violations} protocol-invariant violations recorded — see watchdog.* counters"
+            ));
+        }
+    }
+
     /// Busy fraction of a node over `[from_us, to_us]`, from the sampled
     /// `busy.<name>` series.
     pub fn busy_fraction(&self, node: NodeId, from_us: u64, to_us: u64) -> f64 {

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Only the names matter here: the workspace writes
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{..}` on plain
+//! data types but performs no actual serialization (storage uses a
+//! hand-rolled codec). The traits are empty markers and the derives
+//! (re-exported from the in-tree `serde_derive`) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

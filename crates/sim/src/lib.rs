@@ -17,6 +17,15 @@
 //! The same [`Node`] impls also run on real threads (`gryphon-net`) for
 //! wall-clock benchmarks.
 //!
+//! # Observability
+//!
+//! With the default `trace` feature, the runtime also collects a bounded
+//! ring of structured [`trace::TraceEvent`]s emitted by nodes (via the
+//! [`trace_event!`] macro), feeds them through the protocol-invariant
+//! [`trace::Watchdogs`], and supports fixed-bucket [`Histogram`]s with
+//! [`Metrics::percentile`]. Building with `--no-default-features`
+//! compiles the instrumentation out of every hot path.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,6 +52,8 @@
 
 mod metrics;
 mod runtime;
+pub mod trace;
 
-pub use metrics::Metrics;
+pub use metrics::{names, Histogram, Metrics};
 pub use runtime::{Handle, LinkParams, Node, NodeCtx, Sim, TimerKey, CONTROL_NODE};
+pub use trace::{Severity, TraceBuffer, TraceEvent, TraceRecord, Watchdogs};

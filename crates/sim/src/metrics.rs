@@ -1,6 +1,170 @@
-//! Time-series and counter recording for experiments.
+//! Time-series, counter and histogram recording for experiments.
 
 use std::collections::BTreeMap;
+
+/// The documented metric-name registry.
+///
+/// Every name the broker state machines and the runtime emit lives here
+/// so experiments and tests reference constants instead of retyping
+/// strings. The registry is the source of truth for what a name means;
+/// `DESIGN.md` §Observability mirrors this table.
+pub mod names {
+    /// Counter: bytes appended to the PHB event log (stable-storage
+    /// write volume, §2).
+    pub const PHB_LOG_BYTES: &str = "phb.log_bytes";
+    /// Counter: events durably logged at the PHB.
+    pub const PHB_LOG_EVENTS: &str = "phb.log_events";
+    /// Series: doubt-horizon width in ticks, sampled per SHB whenever
+    /// the horizon moves (`clean − doubt`, §3).
+    pub const SHB_DOUBT_WIDTH: &str = "shb.doubt_width";
+    /// Counter: ticks delivered to subscribers via the consolidated
+    /// stream (§4.1).
+    pub const SHB_CONSTREAM_DELIVERED: &str = "shb.constream_delivered";
+    /// Counter: ticks delivered via per-subscriber catchup streams (§4.1).
+    pub const SHB_CATCHUP_DELIVERED: &str = "shb.catchup_delivered";
+    /// Histogram: catchup duration from `CatchupStarted` to `Switchover`
+    /// in virtual µs (§4.1).
+    pub const SHB_SWITCHOVER_LATENCY_US: &str = "shb.switchover_latency_us";
+    /// Histogram: filtered-event-store records visited per backpointer
+    /// batch read (§4.2).
+    pub const PFS_BATCH_READ_RECORDS: &str = "pfs.batch_read_records";
+    /// Histogram: matched `Q` ticks returned per PFS batch read.
+    pub const PFS_BATCH_READ_QTICKS: &str = "pfs.batch_read_qticks";
+    /// Histogram: distinct downstream requests merged per upstream nack
+    /// (curiosity consolidation fan-in, §4.3).
+    pub const CURIOSITY_NACK_FANIN: &str = "curiosity.nack_fanin";
+    /// Counter: nacks sent upstream after consolidation.
+    pub const CURIOSITY_NACKS_SENT: &str = "curiosity.nacks_sent";
+    /// Counter: release-protocol advances of `released(p)` (§3.4).
+    pub const RELEASE_ADVANCES: &str = "release.advances";
+    /// Counter: ticks converted to `L` (lost) by log chops (§3.4).
+    pub const RELEASE_L_CONVERSIONS: &str = "release.l_conversions";
+    /// Counter: gap-free-constream watchdog violations.
+    pub const WATCHDOG_CONSTREAM_GAP: &str = "watchdog.constream_gap_violations";
+    /// Counter: monotone-doubt-horizon watchdog violations.
+    pub const WATCHDOG_DOUBT_REGRESSION: &str = "watchdog.doubt_regression_violations";
+    /// Counter: only-once-logging watchdog violations.
+    pub const WATCHDOG_DUPLICATE_LOG: &str = "watchdog.duplicate_log_violations";
+    /// Counter: trace records evicted from the ring buffer.
+    pub const TRACE_DROPPED: &str = "trace.dropped";
+}
+
+/// Exponential histogram bucketing: each bucket boundary is a
+/// quarter-power of two (`2^(i/4)`), giving ≤ ~19% relative error per
+/// bucket over the full `f64` positive range with ~250 buckets.
+const BUCKET_FACTOR_LOG2: f64 = 0.25;
+/// Index offset so sub-1.0 values land in non-negative buckets.
+const BUCKET_OFFSET: usize = 128;
+/// Total bucket count (values above the top boundary clamp into the
+/// last bucket).
+const BUCKET_COUNT: usize = 384;
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 {
+        return 0;
+    }
+    let idx = (v.log2() / BUCKET_FACTOR_LOG2).ceil() as i64 + BUCKET_OFFSET as i64;
+    idx.clamp(0, BUCKET_COUNT as i64 - 1) as usize
+}
+
+/// Upper boundary of bucket `i` (inclusive).
+fn bucket_upper(i: usize) -> f64 {
+    ((i as f64 - BUCKET_OFFSET as f64) * BUCKET_FACTOR_LOG2).exp2()
+}
+
+/// Fixed-bucket exponential histogram for latency/size distributions.
+///
+/// Buckets are quarter-powers of two, so any reported percentile is
+/// within ~19% of the true sample value; exact `min`/`max`/`sum`/`count`
+/// are kept on the side and percentile results are clamped to
+/// `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample. Negative samples are clamped to 0.
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { return };
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), `None` when empty.
+    ///
+    /// Walks the cumulative bucket counts to the target rank and
+    /// interpolates linearly within the covering bucket, then clamps to
+    /// the exact observed `[min, max]` so the tails are never
+    /// extrapolated beyond real samples.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += n;
+            if (cum as f64) >= target {
+                let lower = if i == 0 { 0.0 } else { bucket_upper(i - 1) };
+                let upper = bucket_upper(i);
+                let frac = if n == 0 { 0.0 } else { (target - prev) / n as f64 };
+                let est = lower + (upper - lower) * frac.clamp(0.0, 1.0);
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
 
 /// Metrics sink shared by all nodes in a run.
 ///
@@ -23,6 +187,7 @@ use std::collections::BTreeMap;
 pub struct Metrics {
     series: BTreeMap<String, Vec<(u64, f64)>>,
     counters: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Metrics {
@@ -44,6 +209,36 @@ impl Metrics {
     /// Counter value (0 if never counted).
     pub fn counter(&self, name: &str) -> f64 {
         self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_owned()).or_default().observe(value);
+    }
+
+    /// The `q`-quantile of histogram `name` (`None` when absent/empty).
+    ///
+    /// ```
+    /// use gryphon_sim::Metrics;
+    /// let mut m = Metrics::default();
+    /// for v in [1.0, 2.0, 3.0, 100.0] {
+    ///     m.observe("lat", v);
+    /// }
+    /// assert!(m.percentile("lat", 0.99).unwrap() <= 100.0);
+    /// assert!(m.percentile("lat", 0.5).unwrap() >= 1.0);
+    /// ```
+    pub fn percentile(&self, name: &str, q: f64) -> Option<f64> {
+        self.histograms.get(name)?.percentile(q)
+    }
+
+    /// The histogram `name` (`None` if never observed).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histogram names (sorted).
+    pub fn histogram_names(&self) -> Vec<&str> {
+        self.histograms.keys().map(|s| s.as_str()).collect()
     }
 
     /// All series names (sorted).
@@ -128,7 +323,69 @@ mod tests {
         m.record(0, "b", 0.0);
         m.record(0, "a", 0.0);
         m.count("z", 1.0);
+        m.observe("h", 1.0);
         assert_eq!(m.series_names(), vec!["a", "b"]);
         assert_eq!(m.counter_names(), vec!["z"]);
+        assert_eq!(m.histogram_names(), vec!["h"]);
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+
+        let mut h = Histogram::default();
+        h.observe(42.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(42.0));
+        assert_eq!(h.max(), Some(42.0));
+        // One sample: every quantile clamps to it exactly.
+        assert_eq!(h.percentile(0.0), Some(42.0));
+        assert_eq!(h.percentile(0.5), Some(42.0));
+        assert_eq!(h.percentile(1.0), Some(42.0));
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error() {
+        let mut h = Histogram::default();
+        for i in 1..=1_000u32 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 1_000);
+        assert!((h.mean().unwrap() - 500.5).abs() < 1e-9);
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.percentile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.20, "p{q}: est {est} vs exact {exact} (rel {rel})");
+        }
+        assert_eq!(h.percentile(1.0), Some(1_000.0));
+    }
+
+    #[test]
+    fn histogram_handles_zero_negative_and_huge() {
+        let mut h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-5.0); // clamped to 0
+        h.observe(1e18);
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(1e18));
+        let p = h.percentile(0.5).unwrap();
+        assert!((0.0..=1e18).contains(&p));
+    }
+
+    #[test]
+    fn metrics_percentile_roundtrip() {
+        let mut m = Metrics::default();
+        assert_eq!(m.percentile("lat", 0.5), None);
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            m.observe("lat", v);
+        }
+        let p50 = m.percentile("lat", 0.5).unwrap();
+        assert!((10.0..=40.0).contains(&p50));
+        assert_eq!(m.histogram("lat").unwrap().count(), 4);
     }
 }

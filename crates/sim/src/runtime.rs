@@ -42,6 +42,14 @@ pub trait NodeCtx {
     fn record(&mut self, series: &str, value: f64);
     /// Bumps a metrics counter.
     fn count(&mut self, counter: &str, delta: f64);
+    /// Records one sample into a metrics histogram (see
+    /// [`crate::metrics::names`] for the registry). Default: discarded.
+    fn observe(&mut self, _name: &str, _value: f64) {}
+    /// Emits a structured trace event attributed to this node. Default:
+    /// discarded. Instrumentation sites should go through
+    /// [`trace_event!`](crate::trace_event) rather than calling this
+    /// directly, so the `trace` feature can compile the overhead out.
+    fn trace(&mut self, _event: crate::trace::TraceEvent) {}
 }
 
 /// A state machine hosted by a runtime.
@@ -139,6 +147,10 @@ pub struct Sim {
     link_busy_until: HashMap<(NodeId, NodeId), u64>,
     rng: SmallRng,
     metrics: Metrics,
+    #[cfg(feature = "trace")]
+    trace: crate::trace::TraceBuffer,
+    #[cfg(feature = "trace")]
+    watchdogs: crate::trace::Watchdogs,
     /// Fixed CPU charge per delivered message/timer (µs).
     pub base_event_cost_us: u64,
     events_processed: u64,
@@ -168,6 +180,10 @@ impl Sim {
             link_busy_until: HashMap::new(),
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::default(),
+            #[cfg(feature = "trace")]
+            trace: crate::trace::TraceBuffer::new(),
+            #[cfg(feature = "trace")]
+            watchdogs: crate::trace::Watchdogs::default(),
             base_event_cost_us: 0,
             events_processed: 0,
         }
@@ -300,6 +316,10 @@ impl Sim {
                 if let Some(slot) = self.nodes.get_mut(node.0 as usize) {
                     slot.up = true;
                 }
+                // Watchdog delivery state for the node resets here, before
+                // `on_restart` rebuilds from persistent storage.
+                #[cfg(feature = "trace")]
+                self.push_trace(node, crate::trace::TraceEvent::NodeRestarted);
                 self.with_node(node, |n, ctx| n.on_restart(ctx));
             }
         }
@@ -362,6 +382,86 @@ impl Sim {
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
+}
+
+/// Trace-stream and watchdog access (only with the `trace` feature,
+/// which is on by default).
+#[cfg(feature = "trace")]
+impl Sim {
+    fn push_trace(&mut self, node: NodeId, event: crate::trace::TraceEvent) {
+        let rec = crate::trace::TraceRecord {
+            t_us: self.now,
+            node,
+            event,
+        };
+        self.watchdogs.observe(&rec, &mut self.metrics);
+        let before = self.trace.dropped();
+        self.trace.push(rec);
+        let evicted = self.trace.dropped() - before;
+        if evicted > 0 {
+            self.metrics
+                .count(crate::metrics::names::TRACE_DROPPED, evicted as f64);
+        }
+    }
+
+    /// The retained trace records, oldest first.
+    pub fn trace_records(&self) -> impl Iterator<Item = &crate::trace::TraceRecord> {
+        self.trace.iter()
+    }
+
+    /// The trace ring buffer (for capacity/drop introspection).
+    pub fn trace_buffer(&self) -> &crate::trace::TraceBuffer {
+        &self.trace
+    }
+
+    /// Resizes the trace ring (`0` retains nothing; watchdogs still run).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// Arms or disarms panicking on watchdog violations (default:
+    /// armed under `cfg(debug_assertions)`).
+    pub fn set_watchdog_panic(&mut self, panic_on_violation: bool) {
+        self.watchdogs.panic_on_violation = panic_on_violation;
+    }
+
+    /// Total invariant violations the watchdogs have flagged.
+    pub fn watchdog_violations(&self) -> u64 {
+        self.watchdogs.violations()
+    }
+
+    /// Feeds a synthetic trace event through the buffer and watchdogs as
+    /// if `node` emitted it now — the corruption hook fault-injection
+    /// tests use to prove the watchdogs actually bite.
+    pub fn inject_trace(&mut self, node: NodeId, event: crate::trace::TraceEvent) {
+        self.push_trace(node, event);
+    }
+}
+
+/// Inert stand-ins for the trace/watchdog API when the `trace` feature
+/// is disabled, so downstream code compiles identically in both
+/// configurations (no records are ever collected, no invariant ever
+/// flagged).
+#[cfg(not(feature = "trace"))]
+impl Sim {
+    /// Always empty without the `trace` feature.
+    pub fn trace_records(&self) -> impl Iterator<Item = &crate::trace::TraceRecord> {
+        std::iter::empty()
+    }
+
+    /// No-op without the `trace` feature.
+    pub fn set_trace_capacity(&mut self, _capacity: usize) {}
+
+    /// No-op without the `trace` feature.
+    pub fn set_watchdog_panic(&mut self, _panic_on_violation: bool) {}
+
+    /// Always zero without the `trace` feature.
+    pub fn watchdog_violations(&self) -> u64 {
+        0
+    }
+
+    /// Dropped without the `trace` feature.
+    pub fn inject_trace(&mut self, _node: NodeId, _event: crate::trace::TraceEvent) {}
 }
 
 /// Typed handle to a node for harness-side inspection.
@@ -552,6 +652,15 @@ impl NodeCtx for SimCtx<'_> {
 
     fn count(&mut self, counter: &str, delta: f64) {
         self.sim.metrics.count(counter, delta);
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.sim.metrics.observe(name, value);
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace(&mut self, event: crate::trace::TraceEvent) {
+        self.sim.push_trace(self.me, event);
     }
 }
 

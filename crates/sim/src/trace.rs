@@ -1,0 +1,638 @@
+//! Structured trace events, the bounded trace ring buffer, and the
+//! runtime invariant watchdogs that consume the trace stream.
+//!
+//! ## Why traces and not just counters
+//!
+//! The paper's evaluation is about *internal* broker behavior: when the
+//! pubend timestamps and logs, when an SHB switches a subscriber from its
+//! catchup stream to the consolidated stream, how large PFS backpointer
+//! reads are. Counters aggregate those facts away; the trace stream keeps
+//! the individual transitions (bounded by a ring buffer) so tests and the
+//! `xp --trace` flag can inspect them, and so the watchdogs can check the
+//! paper's safety invariants *continuously during simulation* instead of
+//! only at end-of-run.
+//!
+//! ## Cost model
+//!
+//! Tracing is compiled out when the `trace` feature of `gryphon-sim` is
+//! disabled: the [`trace_event!`](crate::trace_event) macro's expansion
+//! becomes dead code (events are never constructed) and [`Sim`] carries
+//! no buffer. With the feature enabled, a push is an enum move into a
+//! `VecDeque` plus an O(1) watchdog lookup.
+//!
+//! ## Watchdogs
+//!
+//! Three invariants from the paper are checked online:
+//!
+//! * **gap-free constream** (§4.1): successive constream advances for one
+//!   `(node, pubend)` must be contiguous — each advance starts exactly
+//!   where the previous one ended;
+//! * **monotone doubt horizon** (§3): the doubt horizon never regresses;
+//! * **only-once logging** (§2): the PHB logs each timestamp at most once,
+//!   in ascending order.
+//!
+//! The first two reset when a node restarts (recovery legitimately
+//! re-derives delivery state from the persistent `latestDelivered`); the
+//! logging invariant deliberately survives restarts, because
+//! `restart_at` must re-timestamp above everything previously logged.
+//! Violations bump `watchdog.*` counters and, when
+//! [`Watchdogs::panic_on_violation`] is set (the default under
+//! `cfg(debug_assertions)`), panic with a description.
+
+use crate::Metrics;
+use gryphon_types::{NodeId, PubendId, SubscriberId, Timestamp};
+
+/// Emits a [`TraceEvent`] through a [`NodeCtx`](crate::NodeCtx).
+///
+/// With the `trace` feature of `gryphon-sim` disabled this expands to
+/// dead code: the event expression is still type-checked but never
+/// constructed, so instrumented hot paths carry zero runtime cost.
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace_event {
+    ($ctx:expr, $ev:expr) => {
+        $ctx.trace($ev)
+    };
+}
+
+/// Disabled-variant of [`trace_event!`]: type-checks, compiles to nothing.
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace_event {
+    ($ctx:expr, $ev:expr) => {
+        if false {
+            $ctx.trace($ev);
+        }
+    };
+}
+
+/// Records a histogram sample through a [`NodeCtx`](crate::NodeCtx);
+/// compiled out alongside tracing when the `trace` feature is disabled
+/// so instrumentation adds no cost to benchmark builds.
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! observe_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        $ctx.observe($name, $v)
+    };
+}
+
+/// Disabled-variant of [`observe_metric!`]: type-checks, compiles to
+/// nothing.
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! observe_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        if false {
+            $ctx.observe($name, $v);
+        }
+    };
+}
+
+/// Appends a time-series sample through a [`NodeCtx`](crate::NodeCtx);
+/// compiled out with the `trace` feature like [`observe_metric!`].
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! record_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        $ctx.record($name, $v)
+    };
+}
+
+/// Disabled-variant of [`record_metric!`]: type-checks, compiles to
+/// nothing.
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! record_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        if false {
+            $ctx.record($name, $v);
+        }
+    };
+}
+
+/// Bumps a counter through a [`NodeCtx`](crate::NodeCtx); compiled out
+/// with the `trace` feature like [`observe_metric!`].
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! count_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        $ctx.count($name, $v)
+    };
+}
+
+/// Disabled-variant of [`count_metric!`]: type-checks, compiles to
+/// nothing.
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! count_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        if false {
+            $ctx.count($name, $v);
+        }
+    };
+}
+
+/// Importance of a trace event, for filtering dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// High-frequency bookkeeping (constream advances, PFS reads).
+    Debug,
+    /// Lifecycle transitions worth seeing in a normal dump.
+    Info,
+    /// Disruptions: crash recovery, conversions to L.
+    Warn,
+}
+
+/// One structured, typed trace event. Variants mirror the paper's
+/// protocol transitions; all are attributed to the emitting node by the
+/// surrounding [`TraceRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The pubend assigned timestamp `ts` to a published event (§2).
+    PubendTimestamped {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Assigned tick.
+        ts: Timestamp,
+    },
+    /// The PHB durably logged the event at `ts` (`bytes` on the wire) —
+    /// the only-once logging point (§2).
+    EventLogged {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Logged tick.
+        ts: Timestamp,
+        /// Encoded size appended to the event log.
+        bytes: usize,
+    },
+    /// Knowledge at or below `upto` was converted to `L` (lost) by the
+    /// release protocol chopping the log (§3.4).
+    LConverted {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Highest tick now lost.
+        upto: Timestamp,
+    },
+    /// An SHB began a per-subscriber catchup stream (§4.1).
+    CatchupStarted {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Reconnecting subscriber.
+        sub: SubscriberId,
+        /// First tick the subscriber still doubts.
+        from: Timestamp,
+    },
+    /// A catchup stream caught up and the subscriber switched to the
+    /// consolidated stream (§4.1); `latency_us` is time since
+    /// [`TraceEvent::CatchupStarted`].
+    Switchover {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Subscriber switching over.
+        sub: SubscriberId,
+        /// Catchup duration in virtual µs.
+        latency_us: u64,
+    },
+    /// The consolidated stream advanced from `prev` (exclusive) to
+    /// `new_to` (inclusive); the gap-free watchdog checks contiguity.
+    ConstreamGapCheck {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Previous processed-to tick.
+        prev: Timestamp,
+        /// New processed-to tick.
+        new_to: Timestamp,
+    },
+    /// The doubt horizon for `pubend` advanced to `horizon`; the
+    /// monotonicity watchdog checks it never regresses (§3).
+    DoubtAdvanced {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// New doubt horizon.
+        horizon: Timestamp,
+    },
+    /// A PFS backpointer batch read completed (§4.2).
+    PfsBatchRead {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Subscriber whose chain was walked.
+        sub: SubscriberId,
+        /// Records visited by the walk.
+        records: usize,
+        /// Matched (`Q`) ticks returned.
+        q_ticks: usize,
+        /// Whether the read drained every available tick.
+        full: bool,
+    },
+    /// A curiosity/nack for `(from, to]` was consolidated upstream;
+    /// `fan_in` is how many distinct downstream wants merged into it (§4.3).
+    NackConsolidated {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Exclusive lower bound of the nacked range.
+        from: Timestamp,
+        /// Inclusive upper bound of the nacked range.
+        to: Timestamp,
+        /// Downstream requests merged into this upstream nack.
+        fan_in: usize,
+    },
+    /// The release protocol advanced `released(p)`, allowing log chops.
+    ReleaseAdvanced {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// New released tick.
+        released: Timestamp,
+    },
+    /// The runtime restarted this node after a crash; watchdog delivery
+    /// state for the node resets.
+    NodeRestarted,
+}
+
+impl TraceEvent {
+    /// The event's severity class.
+    pub fn severity(&self) -> Severity {
+        match self {
+            TraceEvent::PubendTimestamped { .. }
+            | TraceEvent::ConstreamGapCheck { .. }
+            | TraceEvent::DoubtAdvanced { .. }
+            | TraceEvent::PfsBatchRead { .. }
+            | TraceEvent::EventLogged { .. } => Severity::Debug,
+            TraceEvent::CatchupStarted { .. }
+            | TraceEvent::Switchover { .. }
+            | TraceEvent::NackConsolidated { .. }
+            | TraceEvent::ReleaseAdvanced { .. } => Severity::Info,
+            TraceEvent::LConverted { .. } | TraceEvent::NodeRestarted => Severity::Warn,
+        }
+    }
+}
+
+/// A trace event plus its coordinates: when and at which node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of emission (µs).
+    pub t_us: u64,
+    /// Node the event is attributed to.
+    pub node: NodeId,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// One-line human-readable rendering (used by `xp --trace`).
+    pub fn render(&self, node_name: &str) -> String {
+        format!(
+            "{:>12} µs  {:<8} {:?}",
+            self.t_us, node_name, self.event
+        )
+    }
+}
+
+/// Bounded ring buffer of [`TraceRecord`]s.
+///
+/// When full, the oldest record is dropped and counted; experiments that
+/// only need the tail (the usual case for post-mortem inspection) keep a
+/// small capacity, and tests that need everything raise it.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    records: std::collections::VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default ring capacity (records).
+pub const DEFAULT_TRACE_CAPACITY: usize = 16_384;
+
+impl TraceBuffer {
+    /// An empty buffer with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn new() -> Self {
+        TraceBuffer {
+            records: std::collections::VecDeque::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            dropped: 0,
+        }
+    }
+
+    /// Changes capacity; `0` disables retention entirely (watchdogs still
+    /// see every event — they observe on push, before the ring).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.records.len() > capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted (or rejected at zero capacity) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Online invariant checkers fed from the trace stream.
+///
+/// See the [module docs](self) for the three invariants. State is keyed
+/// per `(node, pubend)` so multi-broker topologies are checked
+/// independently per broker.
+#[derive(Debug)]
+pub struct Watchdogs {
+    /// Last constream `new_to` per (node, pubend).
+    constream: std::collections::HashMap<(NodeId, PubendId), Timestamp>,
+    /// Last doubt horizon per (node, pubend).
+    doubt: std::collections::HashMap<(NodeId, PubendId), Timestamp>,
+    /// Highest logged tick per (node, pubend); never reset.
+    logged: std::collections::HashMap<(NodeId, PubendId), Timestamp>,
+    /// Panic on violation (defaults to `cfg!(debug_assertions)`);
+    /// corruption tests disable this to count violations instead.
+    pub panic_on_violation: bool,
+    violations: u64,
+}
+
+pub use crate::metrics::names::{
+    WATCHDOG_CONSTREAM_GAP, WATCHDOG_DOUBT_REGRESSION, WATCHDOG_DUPLICATE_LOG,
+};
+
+impl Default for Watchdogs {
+    fn default() -> Self {
+        Watchdogs {
+            constream: std::collections::HashMap::new(),
+            doubt: std::collections::HashMap::new(),
+            logged: std::collections::HashMap::new(),
+            panic_on_violation: cfg!(debug_assertions),
+            violations: 0,
+        }
+    }
+}
+
+impl Watchdogs {
+    /// Total violations observed across all three invariants.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    fn violate(&mut self, metrics: &mut Metrics, counter: &str, detail: String) {
+        self.violations += 1;
+        metrics.count(counter, 1.0);
+        if self.panic_on_violation {
+            panic!("invariant watchdog: {detail}");
+        }
+    }
+
+    /// Feeds one record through the checkers.
+    pub fn observe(&mut self, rec: &TraceRecord, metrics: &mut Metrics) {
+        match rec.event {
+            TraceEvent::ConstreamGapCheck { pubend, prev, new_to } => {
+                let key = (rec.node, pubend);
+                if let Some(&last) = self.constream.get(&key) {
+                    if prev != last {
+                        self.violate(
+                            metrics,
+                            WATCHDOG_CONSTREAM_GAP,
+                            format!(
+                                "constream gap at {} {pubend}: advance starts at {prev} \
+                                 but previous advance ended at {last}",
+                                rec.node
+                            ),
+                        );
+                    }
+                }
+                self.constream.insert(key, new_to);
+            }
+            TraceEvent::DoubtAdvanced { pubend, horizon } => {
+                let key = (rec.node, pubend);
+                if let Some(&last) = self.doubt.get(&key) {
+                    if horizon < last {
+                        self.violate(
+                            metrics,
+                            WATCHDOG_DOUBT_REGRESSION,
+                            format!(
+                                "doubt horizon regressed at {} {pubend}: {horizon} < {last}",
+                                rec.node
+                            ),
+                        );
+                    }
+                }
+                self.doubt.insert(key, horizon);
+            }
+            TraceEvent::EventLogged { pubend, ts, .. } => {
+                let key = (rec.node, pubend);
+                if let Some(&last) = self.logged.get(&key) {
+                    if ts <= last {
+                        self.violate(
+                            metrics,
+                            WATCHDOG_DUPLICATE_LOG,
+                            format!(
+                                "only-once logging violated at {} {pubend}: logged {ts} \
+                                 after {last}",
+                                rec.node
+                            ),
+                        );
+                    }
+                }
+                let e = self.logged.entry(key).or_insert(Timestamp::ZERO);
+                *e = (*e).max(ts);
+            }
+            TraceEvent::NodeRestarted => {
+                // Post-restart recovery rebuilds delivery state from the
+                // persisted latestDelivered, which may sit below the
+                // pre-crash in-memory frontier: both delivery-side
+                // checkers restart from scratch. The logging checker
+                // intentionally does NOT reset (see module docs).
+                self.constream.retain(|&(n, _), _| n != rec.node);
+                self.doubt.retain(|&(n, _), _| n != rec.node);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: NodeId = NodeId(3);
+    const P: PubendId = PubendId(0);
+
+    fn rec(event: TraceEvent) -> TraceRecord {
+        TraceRecord { t_us: 1, node: N, event }
+    }
+
+    fn quiet_watchdogs() -> Watchdogs {
+        Watchdogs {
+            panic_on_violation: false,
+            ..Watchdogs::default()
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut buf = TraceBuffer::new();
+        buf.set_capacity(2);
+        for i in 0..5u64 {
+            buf.push(TraceRecord {
+                t_us: i,
+                node: N,
+                event: TraceEvent::NodeRestarted,
+            });
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        let kept: Vec<u64> = buf.iter().map(|r| r.t_us).collect();
+        assert_eq!(kept, vec![3, 4]);
+        buf.set_capacity(0);
+        assert!(buf.is_empty());
+        buf.push(rec(TraceEvent::NodeRestarted));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn constream_watchdog_accepts_contiguous_flags_gap() {
+        let mut w = quiet_watchdogs();
+        let mut m = Metrics::default();
+        let adv = |prev: u64, new_to: u64| {
+            rec(TraceEvent::ConstreamGapCheck {
+                pubend: P,
+                prev: Timestamp(prev),
+                new_to: Timestamp(new_to),
+            })
+        };
+        w.observe(&adv(0, 10), &mut m);
+        w.observe(&adv(10, 25), &mut m);
+        assert_eq!(w.violations(), 0);
+        w.observe(&adv(30, 40), &mut m); // hole: 25 → 30
+        assert_eq!(w.violations(), 1);
+        assert_eq!(m.counter(WATCHDOG_CONSTREAM_GAP), 1.0);
+    }
+
+    #[test]
+    fn constream_watchdog_resets_on_restart() {
+        let mut w = quiet_watchdogs();
+        let mut m = Metrics::default();
+        w.observe(
+            &rec(TraceEvent::ConstreamGapCheck {
+                pubend: P,
+                prev: Timestamp(0),
+                new_to: Timestamp(50),
+            }),
+            &mut m,
+        );
+        w.observe(&rec(TraceEvent::NodeRestarted), &mut m);
+        // Post-restart the constream restarts from the persisted
+        // latestDelivered (here 20): not a gap.
+        w.observe(
+            &rec(TraceEvent::ConstreamGapCheck {
+                pubend: P,
+                prev: Timestamp(20),
+                new_to: Timestamp(60),
+            }),
+            &mut m,
+        );
+        assert_eq!(w.violations(), 0);
+    }
+
+    #[test]
+    fn doubt_watchdog_flags_regression() {
+        let mut w = quiet_watchdogs();
+        let mut m = Metrics::default();
+        let at = |h: u64| {
+            rec(TraceEvent::DoubtAdvanced {
+                pubend: P,
+                horizon: Timestamp(h),
+            })
+        };
+        w.observe(&at(5), &mut m);
+        w.observe(&at(5), &mut m); // equal is fine
+        w.observe(&at(9), &mut m);
+        assert_eq!(w.violations(), 0);
+        w.observe(&at(4), &mut m);
+        assert_eq!(w.violations(), 1);
+        assert_eq!(m.counter(WATCHDOG_DOUBT_REGRESSION), 1.0);
+    }
+
+    #[test]
+    fn log_watchdog_flags_duplicate_and_survives_restart() {
+        let mut w = quiet_watchdogs();
+        let mut m = Metrics::default();
+        let log = |ts: u64| {
+            rec(TraceEvent::EventLogged {
+                pubend: P,
+                ts: Timestamp(ts),
+                bytes: 418,
+            })
+        };
+        w.observe(&log(3), &mut m);
+        w.observe(&log(7), &mut m);
+        assert_eq!(w.violations(), 0);
+        w.observe(&rec(TraceEvent::NodeRestarted), &mut m);
+        w.observe(&log(7), &mut m); // re-logging after restart is the §2 bug
+        assert_eq!(w.violations(), 1);
+        assert_eq!(m.counter(WATCHDOG_DUPLICATE_LOG), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant watchdog")]
+    fn watchdog_panics_when_armed() {
+        let mut w = Watchdogs {
+            panic_on_violation: true,
+            ..Watchdogs::default()
+        };
+        let mut m = Metrics::default();
+        w.observe(
+            &rec(TraceEvent::DoubtAdvanced { pubend: P, horizon: Timestamp(9) }),
+            &mut m,
+        );
+        w.observe(
+            &rec(TraceEvent::DoubtAdvanced { pubend: P, horizon: Timestamp(2) }),
+            &mut m,
+        );
+    }
+
+    #[test]
+    fn severities_cover_taxonomy() {
+        assert_eq!(
+            TraceEvent::NodeRestarted.severity(),
+            Severity::Warn
+        );
+        assert_eq!(
+            TraceEvent::Switchover {
+                pubend: P,
+                sub: SubscriberId(1),
+                latency_us: 5
+            }
+            .severity(),
+            Severity::Info
+        );
+        assert!(
+            TraceEvent::PubendTimestamped { pubend: P, ts: Timestamp(1) }.severity()
+                < Severity::Warn
+        );
+    }
+}

@@ -61,6 +61,9 @@ pub struct CuriosityStream {
     /// start → pending range (disjoint, not coalesced across distinct
     /// requests — coalescing would lose per-request retry clocks).
     pending: BTreeMap<u64, Pending>,
+    /// Lifetime count of requested ticks already covered by outstanding
+    /// interest — the work the consolidation saved the uplink.
+    suppressed_ticks: u64,
 }
 
 impl CuriosityStream {
@@ -87,6 +90,13 @@ impl CuriosityStream {
             .fold(0u64, |acc, (&s, p)| acc.saturating_add(p.end - s + 1))
     }
 
+    /// Lifetime count of requested ticks suppressed because they were
+    /// already pending (consolidation effectiveness; survives
+    /// [`CuriosityStream::clear`]).
+    pub fn suppressed_ticks(&self) -> u64 {
+        self.suppressed_ticks
+    }
+
     /// Registers interest in the inclusive range `[from, to]` at time
     /// `now_us`, returning the sub-ranges that were **not** already
     /// pending — the caller forwards exactly those upstream.
@@ -103,6 +113,10 @@ impl CuriosityStream {
             // Is `cursor` inside an existing pending range?
             if let Some((&s, p)) = self.pending.range(..=cursor).next_back() {
                 if p.end >= cursor {
+                    let covered_to = p.end.min(hi);
+                    self.suppressed_ticks = self
+                        .suppressed_ticks
+                        .saturating_add(covered_to - cursor + 1);
                     cursor = p.end.saturating_add(1);
                     continue;
                 }
@@ -220,6 +234,8 @@ mod tests {
         assert_eq!(c.add_wanted(ts(1), ts(20), 0), vec![(ts(1), ts(4)), (ts(11), ts(20))]);
         assert!(c.add_wanted(ts(2), ts(19), 0).is_empty());
         assert_eq!(c.outstanding_ticks(), 20);
+        // Second call re-requested [5,10] (6 ticks), third [2,19] (18).
+        assert_eq!(c.suppressed_ticks(), 24);
     }
 
     #[test]

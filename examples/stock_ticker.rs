@@ -27,7 +27,7 @@ fn order_attrs(seq: u64, rng: &mut rand::rngs::SmallRng) -> gryphon_types::Attri
     let mut attrs = gryphon_types::Attributes::new();
     attrs.insert("symbol".into(), SYMBOLS[(seq % 4) as usize].into());
     attrs.insert("qty".into(), (rng.gen_range(1..=50) as i64 * 100).into());
-    attrs.insert("side".into(), if seq % 2 == 0 { "buy" } else { "sell" }.into());
+    attrs.insert("side".into(), if seq.is_multiple_of(2) { "buy" } else { "sell" }.into());
     attrs
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate: everything here runs without network access
+# (all dependencies are vendored in-tree; see Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build with observability compiled out =="
+cargo build -p gryphon-bench --no-default-features
+
+echo "CI OK"
