@@ -219,10 +219,20 @@ mod tests {
         let a = log.read_from(SubscriberId(1), Timestamp::ZERO).unwrap();
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].ts, Timestamp(3));
-        assert_eq!(log.read_from(SubscriberId(2), Timestamp::ZERO).unwrap().len(), 1);
+        assert_eq!(
+            log.read_from(SubscriberId(2), Timestamp::ZERO)
+                .unwrap()
+                .len(),
+            1
+        );
         // New appends go to the right streams after recovery.
         log.append(SubscriberId(2), &ev(9)).unwrap();
-        assert_eq!(log.read_from(SubscriberId(2), Timestamp::ZERO).unwrap().len(), 2);
+        assert_eq!(
+            log.read_from(SubscriberId(2), Timestamp::ZERO)
+                .unwrap()
+                .len(),
+            2
+        );
     }
 
     #[test]

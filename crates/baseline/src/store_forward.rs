@@ -190,7 +190,8 @@ mod tests {
             sim.connect(a.id(), b.id(), 1_000);
         }
         let consumer = sim.add_typed_node("consumer", SfSubscriber::new());
-        sim.node(hops[4]).add_subscriber(SubscriberId(1), consumer.id());
+        sim.node(hops[4])
+            .add_subscriber(SubscriberId(1), consumer.id());
         sim.connect(hops[4].id(), consumer.id(), 500);
         // Inject 10 publishes with sent timestamps.
         for i in 0..10u64 {

@@ -46,9 +46,7 @@ fn bench_stream_ops(c: &mut Criterion) {
             ks.set_silence(Timestamp(base + 1), Timestamp(base + 8));
             // ticks base+9, base+10 stay Q
         }
-        b.iter(|| {
-            std::hint::black_box(ks.q_ranges(Timestamp(1), Timestamp(40_960)).len())
-        });
+        b.iter(|| std::hint::black_box(ks.q_ranges(Timestamp(1), Timestamp(40_960)).len()));
     });
 
     // Dense-vector strawman for comparison: one entry per tick.

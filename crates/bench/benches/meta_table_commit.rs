@@ -44,23 +44,15 @@ fn bench_recovery(c: &mut Criterion) {
     c.bench_function("meta_table_recovery_10k_keys", |b| {
         let factory = MemFactory::new();
         {
-            let mut t = MetaTable::open(
-                Box::new(factory.clone()),
-                "bench",
-                TableConfig::default(),
-            )
-            .expect("table");
+            let mut t = MetaTable::open(Box::new(factory.clone()), "bench", TableConfig::default())
+                .expect("table");
             for i in 0..10_000u64 {
                 t.put_u64(&format!("key/{i}"), i).expect("put");
             }
         }
         b.iter(|| {
-            let t = MetaTable::open(
-                Box::new(factory.clone()),
-                "bench",
-                TableConfig::default(),
-            )
-            .expect("reopen");
+            let t = MetaTable::open(Box::new(factory.clone()), "bench", TableConfig::default())
+                .expect("reopen");
             std::hint::black_box(t.len())
         });
     });

@@ -30,8 +30,7 @@ fn bench_writes(c: &mut Criterion) {
     });
 
     group.bench_function("eventlog_write_event", |b| {
-        let mut log =
-            PerSubscriberLog::open(Box::new(MemFactory::new()), "bench").expect("log");
+        let mut log = PerSubscriberLog::open(Box::new(MemFactory::new()), "bench").expect("log");
         let mut seq = 0u64;
         b.iter(|| {
             let e = bench_event(seq);
@@ -57,7 +56,8 @@ fn bench_reads(c: &mut Criterion) {
             Pfs::open(Box::new(MemFactory::new()), "bench", PfsMode::Precise).expect("pfs");
         for seq in 0..EVENTS {
             let e = bench_event(seq);
-            pfs.write(PubendId(0), e.ts, &bench_matches(seq)).expect("write");
+            pfs.write(PubendId(0), e.ts, &bench_matches(seq))
+                .expect("write");
         }
         pfs.sync().expect("sync");
         let last = pfs.last_timestamp(PubendId(0));
@@ -72,8 +72,7 @@ fn bench_reads(c: &mut Criterion) {
     });
 
     group.bench_function("eventlog_read_all", |b| {
-        let mut log =
-            PerSubscriberLog::open(Box::new(MemFactory::new()), "bench").expect("log");
+        let mut log = PerSubscriberLog::open(Box::new(MemFactory::new()), "bench").expect("log");
         for seq in 0..EVENTS {
             let e = bench_event(seq);
             for sub in bench_matches(seq) {

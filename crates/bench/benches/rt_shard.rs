@@ -1,0 +1,108 @@
+//! Sharded-runtime scaling bench: one logical combined broker backed by
+//! 1 vs 4 worker shards (`NetBuilder::add_sharded_node`), measuring
+//! wall-clock time to push a burst of publishes spread over four
+//! pubends through publish → commit → constream → delivery.
+//!
+//! The interesting number is the ratio between the two configurations:
+//! work is keyed by pubend, so four shards should approach 4× the
+//! single-shard throughput *given four cores*. On a single-core
+//! container (typical CI) the shards time-slice one CPU and the ratio
+//! stays near 1× — run this on a multi-core host to see the scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gryphon::{Broker, BrokerConfig, SubscriberClient, SubscriberConfig};
+use gryphon_net::NetBuilder;
+use gryphon_storage::MemFactory;
+use gryphon_types::{NetMsg, PubendId, PublishMsg, SubscriberId};
+use std::time::{Duration, Instant};
+
+const PUBENDS: u32 = 4;
+const BURST: u64 = 4_000;
+
+fn run_burst(shards: usize) -> Duration {
+    let config = BrokerConfig {
+        phb_commit_interval_us: 500,
+        phb_commit_latency_us: 100,
+        pfs_sync_interval_us: 1_000,
+        pubend_silence_interval_us: 2_000,
+        ..BrokerConfig::default()
+    };
+    let mut builder = NetBuilder::new();
+    let broker_shards: Vec<Broker> = (0..shards)
+        .map(|i| {
+            let hosted: Vec<PubendId> = (0..PUBENDS)
+                .filter(|p| *p as usize % shards == i)
+                .map(PubendId)
+                .collect();
+            Broker::new(i as u32, Box::new(MemFactory::new()), config.clone())
+                .hosting_pubends(hosted)
+                .hosting_subscribers()
+        })
+        .collect();
+    let broker = builder.add_sharded_node("broker", broker_shards);
+    builder.add_node(
+        "sub",
+        SubscriberClient::new(
+            SubscriberId(1),
+            broker.id(),
+            "",
+            SubscriberConfig::default(),
+        ),
+    );
+    let net = builder.start();
+    // The subscriber's Connect is broadcast; wait until every shard has
+    // registered it before timing the burst.
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while net.counter("shb.connects") < shards as f64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let start = Instant::now();
+    for seq in 0..BURST {
+        net.inject(
+            broker.id(),
+            NetMsg::Publish(PublishMsg {
+                pubend: PubendId(seq as u32 % PUBENDS),
+                attrs: [("_seq".to_string(), (seq as i64).into())].into(),
+                payload: bytes::Bytes::from(vec![0u8; 250]),
+            }),
+        );
+    }
+    // Drain: the live counter sums across all shard workers.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while net.counter("shb.constream_delivered") < BURST as f64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let elapsed = start.elapsed();
+    let result = net.stop();
+    assert_eq!(
+        result.watchdog_violations(),
+        0.0,
+        "protocol watchdogs must stay silent under {shards} shards"
+    );
+    elapsed
+}
+
+fn bench_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_shard");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BURST));
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("publish_burst", shards),
+            &shards,
+            |b, &shards| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += run_burst(shards);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shards);
+criterion_main!(benches);

@@ -1,0 +1,654 @@
+//! Intermediate-broker (IB) role: knowledge routing with per-subtree
+//! filtering, curiosity/nack consolidation, interest versioning, and
+//! release aggregation (§3, §5.3).
+//!
+//! Every broker runs this role — a PHB routes its own emissions through
+//! it and an SHB feeds its constream from it — so it owns the broker's
+//! tree wiring (children, per-child state) and the interest-version
+//! plumbing that makes subscription starts causally safe.
+
+use super::{now_ticks, Broker};
+use crate::timer::{self, Kind};
+use gryphon_matching::{Filter, SubscriptionIndex};
+use gryphon_sim::{count_metric, names, observe_metric, trace_event, NodeCtx, TraceEvent};
+use gryphon_types::{
+    CuriosityMsg, KnowledgeMsg, KnowledgePart, NetMsg, NodeId, PubendId, ReleaseMsg,
+    SubInterestMsg, SubscriberId, SubscriptionSpec, Timestamp,
+};
+use std::collections::HashMap;
+
+/// State owned by the intermediate role.
+#[derive(Default)]
+pub(crate) struct IbRole {
+    /// Downstream brokers, in attachment order.
+    pub(crate) children: Vec<NodeId>,
+    /// Everything known about one child broker (filter index, raw specs,
+    /// interest versions) — one struct per child so the pieces cannot
+    /// drift out of sync.
+    pub(crate) child: HashMap<NodeId, ChildState>,
+    /// Interest-version plumbing (subscription-start causality; see
+    /// [`gryphon_types::SubInterestMsg::version`]). Versions are virtual
+    /// timestamps, so they stay monotone across restarts.
+    pub(crate) my_interest_version: u64,
+    /// Highest interest version the parent has confirmed via knowledge
+    /// stamps.
+    pub(crate) upstream_confirmed: u64,
+}
+
+/// Per-child subscription and interest-version state.
+#[derive(Default)]
+pub(crate) struct ChildState {
+    /// Aggregate subscription filter of the child's subtree (for D→S
+    /// downgrades); `None` until the first interest message arrives.
+    pub(crate) index: Option<SubscriptionIndex>,
+    /// The raw specs behind `index`, re-aggregated upstream.
+    pub(crate) specs: Vec<(SubscriberId, SubscriptionSpec)>,
+    /// Latest interest version received from the child.
+    pub(crate) version: u64,
+    /// Highest child interest version known to be causally upstream.
+    pub(crate) confirmed: u64,
+    /// Child interest versions awaiting upstream confirmation:
+    /// `(child version, our upward version carrying it)`.
+    pub(crate) pending: Vec<(u64, u64)>,
+}
+
+impl Broker {
+    /// Central ingest: applies parts to the pipeline's cache, advances
+    /// the constream, feeds catchup streams, and forwards downstream.
+    /// `interest_stamp` is the parent's interest-version stamp (`0` for
+    /// locally originated knowledge, which confirms nothing upstream).
+    pub(crate) fn ingest(
+        &mut self,
+        p: PubendId,
+        parts: Vec<KnowledgePart>,
+        nack_response: bool,
+        interest_stamp: u64,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        if interest_stamp > self.ib.upstream_confirmed {
+            self.ib.upstream_confirmed = interest_stamp;
+            self.promote_child_confirmations();
+            self.complete_parked(ctx);
+        }
+        if parts.is_empty() {
+            return;
+        }
+        {
+            let route = &mut self.pipeline_mut(p).route;
+            for part in &parts {
+                route.absorb(part);
+            }
+        }
+        // SHB: constream first (so processed_to is current), then catchup.
+        if self.shb.state.is_some() {
+            let holes = {
+                let route = &self
+                    .pipelines
+                    .get(&p)
+                    .expect("pipeline created above")
+                    .route;
+                let shb = self.shb.state.as_mut().expect("checked");
+                shb.constream_advance(p, &route.knowledge, route.max_seen, &self.config, ctx)
+            };
+            self.resolve_for_constream(p, holes, ctx);
+            let touched = self
+                .shb
+                .state
+                .as_mut()
+                .expect("checked")
+                .distribute_to_catchup(p, &parts);
+            for sub in touched {
+                self.drive_catchup(sub, p, ctx);
+            }
+        }
+        // Forward downstream.
+        if self.ib.children.is_empty() {
+            return;
+        }
+        if nack_response {
+            let targets: Vec<NodeId> = {
+                let route = &mut self.pipeline_mut(p).route;
+                let mut t = Vec::new();
+                for part in &parts {
+                    let (f, to) = part.range();
+                    for c in route.interest.interested(f, to) {
+                        if !t.contains(&c) {
+                            t.push(c);
+                        }
+                    }
+                    route.interest.discharge(f, to);
+                }
+                t
+            };
+            for child in targets {
+                self.send_filtered(child, p, &parts, true, ctx);
+            }
+        } else {
+            let children = self.ib.children.clone();
+            for child in children {
+                self.send_filtered(child, p, &parts, false, ctx);
+            }
+        }
+    }
+
+    /// Forwards parts to one child, downgrading data ticks that match no
+    /// subscription in the child's subtree to silence (the paper's
+    /// intermediate filtering).
+    pub(crate) fn send_filtered(
+        &mut self,
+        child: NodeId,
+        p: PubendId,
+        parts: &[KnowledgePart],
+        nack_response: bool,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        let hosted = self.hosts(p);
+        let state = self.ib.child.get(&child);
+        // Until a child's interest is known (fresh boot / just restarted),
+        // forward unfiltered: over-delivery is safe, silent downgrades of
+        // a subscription's events are not.
+        let index = state.and_then(|c| c.index.as_ref());
+        // The stamp: for locally hosted pubends the child's interest is
+        // applied the moment it arrives; for routed pubends it must also
+        // be confirmed upstream (everything this broker forwards was
+        // filtered up there too).
+        let stamp = match state {
+            Some(c) if hosted => c.version,
+            Some(c) => c.confirmed.min(c.version),
+            None => 0,
+        };
+        let mut out: Vec<KnowledgePart> = Vec::with_capacity(parts.len());
+        for part in parts {
+            match part {
+                KnowledgePart::Data(e) => {
+                    ctx.work(self.config.costs.match_us);
+                    let relevant = index.map(|i| i.any_match(e)).unwrap_or(true);
+                    if relevant {
+                        out.push(KnowledgePart::Data(e.clone()));
+                    } else {
+                        // Merge adjacent downgrades into one span.
+                        if let Some(KnowledgePart::Silence { to, .. }) = out.last_mut() {
+                            if to.next() == e.ts {
+                                *to = e.ts;
+                                continue;
+                            }
+                        }
+                        out.push(KnowledgePart::Silence {
+                            from: e.ts,
+                            to: e.ts,
+                        });
+                    }
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        if !out.is_empty() {
+            ctx.send(
+                child,
+                NetMsg::Knowledge(KnowledgeMsg {
+                    pubend: p,
+                    parts: out,
+                    nack_response,
+                    interest_version: stamp,
+                }),
+            );
+        }
+    }
+
+    /// Answers `[from, to]` locally (pubend-authoritative or cache) and
+    /// returns `(answered parts, unanswerable holes)`.
+    pub(crate) fn answer_locally(
+        &mut self,
+        p: PubendId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> (Vec<KnowledgePart>, Vec<(Timestamp, Timestamp)>) {
+        let pe = self.pipelines.get(&p).and_then(|pl| pl.pubend.as_ref());
+        if let (Some(pe), Some(log)) = (pe, self.phb.log.as_mut()) {
+            let parts = pe.answer(from, to, log).unwrap_or_default();
+            (parts, Vec::new())
+        } else {
+            let route = &mut self.pipeline_mut(p).route;
+            route.answer_from_cache(from, to)
+        }
+    }
+
+    /// Sends `parts` to `child` as chunked nack responses.
+    pub(crate) fn respond_chunked(
+        &mut self,
+        child: NodeId,
+        p: PubendId,
+        parts: Vec<KnowledgePart>,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        let chunk = self.config.nack_response_chunk_ticks.max(1);
+        let mut batch: Vec<KnowledgePart> = Vec::new();
+        let mut batch_ticks = 0u64;
+        for part in parts {
+            let (f, t) = part.range();
+            batch_ticks += t.saturating_sub(f) + 1;
+            batch.push(part);
+            if batch_ticks >= chunk {
+                self.send_filtered(child, p, &std::mem::take(&mut batch), true, ctx);
+                batch_ticks = 0;
+            }
+        }
+        if !batch.is_empty() {
+            self.send_filtered(child, p, &batch, true, ctx);
+        }
+    }
+
+    /// Forwards unanswered holes upstream (tracked for retry unless
+    /// open-ended). `authoritative` requests a pubend-only answer
+    /// (reconnect-anywhere recovery must not trust interior caches).
+    pub(crate) fn nack_upstream(
+        &mut self,
+        p: PubendId,
+        holes: Vec<(Timestamp, Timestamp)>,
+        authoritative: bool,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        let Some(parent) = self.parent else {
+            return; // no upstream: the root answers what it has
+        };
+        if holes.is_empty() {
+            return;
+        }
+        let now = ctx.now_us();
+        let fan_in = holes.len();
+        let route = &mut self.pipeline_mut(p).route;
+        let mut fresh: Vec<(Timestamp, Timestamp)> = Vec::new();
+        for (f, t) in holes {
+            if t == Timestamp::MAX {
+                // Open-ended recovery nacks are one-shot: steady-state
+                // hole detection self-heals if the response is lost.
+                fresh.push((f, t));
+            } else {
+                fresh.extend(route.curiosity.add_wanted(f, t, now));
+            }
+        }
+        if !fresh.is_empty() {
+            // Consolidation (paper §4.2): `fan_in` requested ranges were
+            // deduplicated against outstanding curiosity into one upward
+            // nack spanning the surviving span.
+            let span_from = fresh
+                .iter()
+                .map(|&(f, _)| f)
+                .min()
+                .unwrap_or(Timestamp::ZERO);
+            let span_to = fresh
+                .iter()
+                .map(|&(_, t)| t)
+                .max()
+                .unwrap_or(Timestamp::ZERO);
+            trace_event!(
+                ctx,
+                TraceEvent::NackConsolidated {
+                    pubend: p,
+                    from: span_from,
+                    to: span_to,
+                    fan_in,
+                }
+            );
+            observe_metric!(ctx, names::CURIOSITY_NACK_FANIN, fan_in as f64);
+            count_metric!(ctx, names::CURIOSITY_NACKS_SENT, 1.0);
+            ctx.send(
+                parent,
+                NetMsg::Curiosity(CuriosityMsg {
+                    pubend: p,
+                    ranges: fresh,
+                    authoritative,
+                }),
+            );
+        }
+    }
+
+    /// Resolution path for constream holes: they are cache gaps by
+    /// definition, so they go straight upstream — but only one
+    /// response-chunk window at a time. Windowed nacking paces a large
+    /// recovery (SHB restart) into round trips, which both bounds burst
+    /// sizes and lets multiple pubends' recoveries share the uplink
+    /// fairly instead of serializing whole backlogs.
+    pub(crate) fn resolve_for_constream(
+        &mut self,
+        p: PubendId,
+        holes: Vec<(Timestamp, Timestamp)>,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        let window = self.config.nack_response_chunk_ticks.max(1);
+        if self.parent.is_none() && self.hosts(p) {
+            // A root broker hosting `p` has no upstream to nack, so it
+            // answers its own constream holes authoritatively from the
+            // local pubend, window by window until the constream stops
+            // reporting them. Two cases reach here: a pubend booted at
+            // t > 0 (its trivially-emitted prefix never flowed through
+            // `ingest`, so the colocated constream starts behind it) and
+            // a combined broker recovering a subscriber backlog after
+            // restart.
+            let mut holes = holes;
+            while !holes.is_empty() {
+                let mut parts = Vec::new();
+                for (f, t) in holes.drain(..) {
+                    let (answered, _) = self.answer_locally(p, f, t.min(f + window));
+                    parts.extend(answered);
+                }
+                if parts.is_empty() {
+                    return; // nothing answerable: stop rather than spin
+                }
+                {
+                    let route = &mut self.pipeline_mut(p).route;
+                    for part in &parts {
+                        route.absorb(part);
+                    }
+                }
+                holes = {
+                    let route = &self
+                        .pipelines
+                        .get(&p)
+                        .expect("pipeline created above")
+                        .route;
+                    let Some(shb) = self.shb.state.as_mut() else {
+                        return;
+                    };
+                    shb.constream_advance(p, &route.knowledge, route.max_seen, &self.config, ctx)
+                };
+                let touched = self
+                    .shb
+                    .state
+                    .as_mut()
+                    .expect("checked")
+                    .distribute_to_catchup(p, &parts);
+                for sub in touched {
+                    self.drive_catchup(sub, p, ctx);
+                }
+            }
+            return;
+        }
+        let bounded: Vec<(Timestamp, Timestamp)> = holes
+            .into_iter()
+            .map(|(f, t)| (f, t.min(f + window)))
+            .collect();
+        self.nack_upstream(p, bounded, false, ctx);
+    }
+
+    pub(crate) fn on_curiosity(&mut self, from: NodeId, msg: CuriosityMsg, ctx: &mut dyn NodeCtx) {
+        let p = msg.pubend;
+        let mut all_holes = Vec::new();
+        for (f, t) in msg.ranges.clone() {
+            if msg.authoritative && !self.hosts(p) {
+                // Reconnect-anywhere recovery: only the pubend may answer.
+                let route = &mut self.pipeline_mut(p).route;
+                route.interest.register(from, f, t);
+                all_holes.push((f, t));
+                continue;
+            }
+            let (parts, holes) = self.answer_locally(p, f, t);
+            if !parts.is_empty() {
+                if self.hosts(p) {
+                    // Authoritative answer from the event log.
+                    ctx.count("phb.nack_responses", 1.0);
+                } else {
+                    // Interior cache absorbed a downstream nack — the
+                    // scalability mechanism of paper §3.
+                    ctx.count("broker.cache_answers", 1.0);
+                }
+                self.respond_chunked(from, p, parts, ctx);
+            }
+            if !holes.is_empty() {
+                let route = &mut self.pipeline_mut(p).route;
+                for &(hf, ht) in &holes {
+                    route.interest.register(from, hf, ht);
+                }
+                all_holes.extend(holes);
+            }
+        }
+        self.nack_upstream(p, all_holes, msg.authoritative, ctx);
+    }
+
+    pub(crate) fn on_sub_interest(
+        &mut self,
+        from: NodeId,
+        msg: SubInterestMsg,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        if !self.ib.children.contains(&from) {
+            return;
+        }
+        let mut index = SubscriptionIndex::new();
+        for (sub, spec) in &msg.subs {
+            if let Ok(filter) = Filter::parse(spec.expr()) {
+                index.insert(*sub, filter);
+            }
+        }
+        let v_child = msg.version;
+        {
+            let state = self.ib.child.entry(from).or_default();
+            state.index = Some(index);
+            state.specs = msg.subs;
+            state.version = state.version.max(v_child);
+        }
+        if self.parent.is_some() {
+            let v_up = self.bump_and_send_interest(ctx);
+            self.ib
+                .child
+                .entry(from)
+                .or_default()
+                .pending
+                .push((v_child, v_up));
+        } else {
+            // Root: the interest is applied here and now.
+            let state = self.ib.child.entry(from).or_default();
+            state.confirmed = state.confirmed.max(v_child);
+        }
+    }
+
+    /// Promotes per-child confirmations from `upstream_confirmed`.
+    pub(crate) fn promote_child_confirmations(&mut self) {
+        let upstream = self.ib.upstream_confirmed;
+        for state in self.ib.child.values_mut() {
+            let ChildState {
+                confirmed, pending, ..
+            } = state;
+            pending.retain(|&(v_child, v_up)| {
+                if v_up <= upstream {
+                    *confirmed = (*confirmed).max(v_child);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    /// Sends the current interest set upward under a fresh version.
+    /// Versions are virtual timestamps: monotone across crashes.
+    pub(crate) fn bump_and_send_interest(&mut self, ctx: &mut dyn NodeCtx) -> u64 {
+        self.ib.my_interest_version = (self.ib.my_interest_version + 1).max(ctx.now_us());
+        self.send_interest_upstream(ctx);
+        self.ib.my_interest_version
+    }
+
+    pub(crate) fn send_interest_upstream(&mut self, ctx: &mut dyn NodeCtx) {
+        let Some(parent) = self.parent else {
+            return;
+        };
+        let mut subs: Vec<(SubscriberId, SubscriptionSpec)> = Vec::new();
+        // Sorted child order keeps the upstream message deterministic.
+        let mut child_ids: Vec<NodeId> = self.ib.child.keys().copied().collect();
+        child_ids.sort_by_key(|n| n.0);
+        for id in child_ids {
+            subs.extend(self.ib.child[&id].specs.iter().cloned());
+        }
+        if let Some(shb) = &self.shb.state {
+            subs.extend(shb.interest());
+        }
+        ctx.send(
+            parent,
+            NetMsg::SubInterest(SubInterestMsg {
+                subs,
+                version: self.ib.my_interest_version,
+            }),
+        );
+    }
+
+    pub(crate) fn on_release_msg(&mut self, from: NodeId, msg: ReleaseMsg) {
+        if self.ib.children.contains(&from) {
+            self.pipeline_mut(msg.pubend)
+                .child_release
+                .insert(from, (msg.released, msg.latest_delivered));
+        }
+    }
+
+    pub(crate) fn on_release_timer(&mut self, ctx: &mut dyn NodeCtx) {
+        let now = now_ticks(ctx);
+        // Every pubend this broker has seen, in deterministic order.
+        for p in self.pipeline_ids() {
+            // Aggregate over children + local SHB.
+            let mut released = Timestamp::MAX;
+            let mut latest = Timestamp::MAX;
+            let mut constrained = false;
+            {
+                let pl = self.pipelines.get(&p).expect("listed above");
+                for child in &self.ib.children {
+                    match pl.child_release.get(child) {
+                        Some(&(r, l)) => {
+                            released = released.min(r);
+                            latest = latest.min(l);
+                            constrained = true;
+                        }
+                        None => {
+                            // Child has not reported yet: fully conservative.
+                            released = Timestamp::ZERO;
+                            latest = Timestamp::ZERO;
+                            constrained = true;
+                        }
+                    }
+                }
+            }
+            if let Some(shb) = &self.shb.state {
+                released = released.min(shb.released_local(p));
+                latest = latest.min(shb.latest_delivered(p));
+                constrained = true;
+            }
+            if !constrained {
+                // No subscribers anywhere below: nothing holds release
+                // back, but with nobody consuming there is also no point
+                // advancing it; skip.
+                continue;
+            }
+            if self.hosts(p) {
+                // Root: run the release decision.
+                let advanced = {
+                    let pe = self.pipelines.get_mut(&p).and_then(|pl| pl.pubend.as_mut());
+                    let (Some(pe), Some(log)) = (pe, self.phb.log.as_mut()) else {
+                        continue;
+                    };
+                    pe.apply_release(released, latest, now, &self.config, log)
+                        .unwrap_or(None)
+                };
+                if let Some(lost) = advanced {
+                    ctx.count("phb.early_release_advances", 1.0);
+                    trace_event!(
+                        ctx,
+                        TraceEvent::LConverted {
+                            pubend: p,
+                            upto: lost
+                        }
+                    );
+                    count_metric!(ctx, names::RELEASE_L_CONVERSIONS, 1.0);
+                    if let Some(shb) = self.shb.state.as_mut() {
+                        let _ = shb.meta.put_u64(&format!("lost/{}", p.0), lost.0);
+                    }
+                }
+                // Report forward progress of the aggregated release point
+                // (Tr) — once per distinct value, and never the MAX
+                // sentinel of an unconstrained aggregate.
+                if released < Timestamp::MAX {
+                    let pl = self.pipeline_mut(p);
+                    if released > pl.last_release_reported {
+                        pl.last_release_reported = released;
+                        trace_event!(
+                            ctx,
+                            TraceEvent::ReleaseAdvanced {
+                                pubend: p,
+                                released
+                            }
+                        );
+                        count_metric!(ctx, names::RELEASE_ADVANCES, 1.0);
+                    }
+                }
+            } else if self.parent.is_some() {
+                ctx.send(
+                    self.parent.expect("checked"),
+                    NetMsg::Release(ReleaseMsg {
+                        pubend: p,
+                        released,
+                        latest_delivered: latest,
+                    }),
+                );
+            }
+            // SHB-side housekeeping + metrics.
+            if let Some(shb) = self.shb.state.as_mut() {
+                shb.chop_pfs(p);
+                let ld = shb.latest_delivered(p);
+                let rel = shb.released_local(p);
+                ctx.record(&format!("shb{}.ld.{}", self.id, p.0), ld.0 as f64);
+                ctx.record(&format!("shb{}.released.{}", self.id, p.0), rel.0 as f64);
+            }
+        }
+        // Periodic interest refresh keeps parents correct across their
+        // restarts (same version: content unchanged).
+        self.send_interest_upstream(ctx);
+        self.expire_parked(ctx);
+        ctx.set_timer(
+            self.config.release_interval_us,
+            timer::pack(Kind::Release, self.epoch, 0, 0),
+        );
+    }
+
+    pub(crate) fn on_cache_trim(&mut self, ctx: &mut dyn NodeCtx) {
+        let now = now_ticks(ctx);
+        let window = self.config.cache_window_ticks;
+        for (&p, pl) in self.pipelines.iter_mut() {
+            let mut limit = now - window;
+            if let Some(shb) = &self.shb.state {
+                if let Some(con) = shb.con.get(&p) {
+                    limit = limit.min(con.processed_to);
+                }
+            }
+            pl.route.knowledge.advance_base(limit);
+        }
+        ctx.set_timer(1_000_000, timer::pack(Kind::CacheTrim, self.epoch, 0, 0));
+    }
+
+    pub(crate) fn on_retry_nacks(&mut self, ctx: &mut dyn NodeCtx) {
+        let now = ctx.now_us();
+        let retry = self.config.retry;
+        if let Some(parent) = self.parent {
+            let mut msgs = Vec::new();
+            for (&p, pl) in self.pipelines.iter_mut() {
+                let due = pl.route.curiosity.due_retries(now, retry);
+                if !due.is_empty() {
+                    msgs.push((p, due));
+                }
+            }
+            // Deterministic re-nack order regardless of map iteration.
+            msgs.sort_by_key(|&(p, _)| p.0);
+            for (p, ranges) in msgs {
+                ctx.count("net.renacks", 1.0);
+                ctx.send(
+                    parent,
+                    NetMsg::Curiosity(CuriosityMsg {
+                        pubend: p,
+                        ranges,
+                        authoritative: false,
+                    }),
+                );
+            }
+        }
+        ctx.set_timer(
+            retry.timeout_us,
+            timer::pack(Kind::RetryNacks, self.epoch, 0, 0),
+        );
+    }
+}

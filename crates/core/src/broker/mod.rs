@@ -1,13 +1,38 @@
-//! The unified Gryphon broker node.
+//! The unified Gryphon broker node, composed from three role components.
 //!
 //! A [`Broker`] plays any combination of PHB / intermediate / SHB roles,
 //! exactly like a Gryphon broker: the 1-broker topology of the paper's
 //! Figure 3 hosts pubends *and* subscribers on one node, while the 4-SHB
 //! topology separates them across a tree.
+//!
+//! # Architecture
+//!
+//! The broker is a thin composition shell: this module holds only the
+//! struct, its lifecycle (boot, periodic timers, restart) and the
+//! [`Node`] dispatch that classifies each message/timer and hands it to
+//! a role. The protocol logic lives in the role modules:
+//!
+//! * [`phb`] — publisher hosting: pubend timestamping, the only-once
+//!   event log, group commit (§2–3);
+//! * [`ib`] — routing: knowledge caching and subtree filtering,
+//!   curiosity/nack consolidation, interest versioning, release
+//!   aggregation (§3, §5.3);
+//! * [`shb_role`] — subscriber hosting: connect parking, catchup
+//!   driving, PFS reads, client handlers (§4).
+//!
+//! All state scoped to a single pubend — the hosted [`Pubend`], the
+//! [`Route`], per-child release reports — lives in one
+//! [`pipeline::PubendPipeline`] keyed once per pubend, so a sharded
+//! runtime can process different pubends on different workers while
+//! everything for one pubend stays ordered (see `DESIGN.md`).
 
+mod ib;
+mod phb;
+mod pipeline;
 mod pubend;
 mod route;
 mod shb;
+mod shb_role;
 #[cfg(test)]
 mod shb_tests;
 
@@ -17,22 +42,22 @@ pub use shb::{CatchupNeeds, Con, Conn, Shb};
 
 use crate::config::BrokerConfig;
 use crate::timer::{self, Kind};
-use gryphon_matching::{Filter, SubscriptionIndex};
-use gryphon_sim::{
-    count_metric, names, observe_metric, trace_event, Node, NodeCtx, TimerKey, TraceEvent,
-};
+use gryphon_sim::{names, trace_event, Node, NodeCtx, TimerKey, TraceEvent};
 use gryphon_storage::{EventLog, MediaFactory, VolumeConfig};
-use gryphon_types::{
-    ClientMsg, CuriosityMsg, KnowledgeMsg, KnowledgePart, NetMsg, NodeId, PubendId, PublishMsg,
-    ReleaseMsg, SubInterestMsg, SubscriberId, Timestamp,
-};
+use gryphon_types::{NetMsg, NodeId, PubendId, Timestamp};
+use ib::IbRole;
+use phb::PhbRole;
+use pipeline::PubendPipeline;
+use shb_role::ShbRole;
 use std::collections::HashMap;
 
 /// A Gryphon broker; construct with [`Broker::new`] and assign roles with
 /// [`Broker::hosting_pubends`] / [`Broker::hosting_subscribers`], then
 /// wire the tree with [`Broker::set_parent`] / [`Broker::add_child`].
 ///
-/// See the [crate docs](crate) for a complete example.
+/// Internally a composition of three role components (PHB, IB, SHB) over
+/// a map of per-pubend pipelines; see the [module docs](self) and the
+/// [crate docs](crate) for a complete example.
 pub struct Broker {
     id: u32,
     config: BrokerConfig,
@@ -40,69 +65,30 @@ pub struct Broker {
     /// Bumped on restart; timers from older epochs are stale.
     epoch: u8,
     parent: Option<NodeId>,
-    children: Vec<NodeId>,
-    /// Declared pubends (instantiated lazily at start/restart).
-    declared_pubends: Vec<PubendId>,
-    pubends: HashMap<PubendId, Pubend>,
-    event_log: Option<EventLog>,
-    routes: HashMap<PubendId, Route>,
-    /// Per-child aggregate subscription filters (for D→S downgrades).
-    child_index: HashMap<NodeId, SubscriptionIndex>,
-    child_specs: HashMap<NodeId, Vec<(SubscriberId, gryphon_types::SubscriptionSpec)>>,
-    /// Per-(child, pubend) release reports.
-    child_release: HashMap<(NodeId, PubendId), (Timestamp, Timestamp)>,
-    shb: Option<Shb>,
-    hosts_subscribers: bool,
-    /// Interest-version plumbing (subscription-start causality; see
-    /// [`gryphon_types::SubInterestMsg::version`]). Versions are virtual
-    /// timestamps, so they stay monotone across restarts.
-    my_interest_version: u64,
-    /// Highest interest version the parent has confirmed via knowledge
-    /// stamps.
-    upstream_confirmed: u64,
-    /// Latest interest version received per child.
-    child_versions: HashMap<NodeId, u64>,
-    /// Child interest versions awaiting upstream confirmation:
-    /// `(child version, our upward version carrying it)`.
-    child_pending: HashMap<NodeId, Vec<(u64, u64)>>,
-    /// Highest child interest version known to be causally upstream.
-    child_confirmed: HashMap<NodeId, u64>,
-    /// First-time connects held until their interest is confirmed
-    /// upstream.
-    parked: Vec<ParkedConnect>,
-    /// Last release point reported per hosted pubend, so the release
-    /// timer only emits a `ReleaseAdvanced` trace on actual progress.
-    last_release_reported: HashMap<PubendId, Timestamp>,
-}
-
-struct ParkedConnect {
-    sub: SubscriberId,
-    client: NodeId,
-    ct: Option<gryphon_types::CheckpointToken>,
-    spec: Option<gryphon_types::SubscriptionSpec>,
-    broker_ct: bool,
-    auto_ack: bool,
-    /// Reconnect-anywhere (checkpoint from another SHB), captured before
-    /// registration made the subscription look local.
-    anywhere: bool,
-    version: u64,
-    parked_at_us: u64,
+    /// Publisher-hosting role: declared pubends + the only-once log.
+    phb: PhbRole,
+    /// Intermediate role: children, per-child state, interest versions.
+    ib: IbRole,
+    /// Subscriber-hosting role: the SHB state machine + parked connects.
+    shb: ShbRole,
+    /// All per-pubend state, one pipeline per pubend.
+    pipelines: HashMap<PubendId, PubendPipeline>,
 }
 
 impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Broker")
             .field("id", &self.id)
-            .field("pubends", &self.pubends.len())
-            .field("children", &self.children.len())
-            .field("shb", &self.shb.is_some())
+            .field("pipelines", &self.pipelines.len())
+            .field("children", &self.ib.children.len())
+            .field("shb", &self.shb.state.is_some())
             .finish()
     }
 }
 
 const TICK_US: u64 = 1_000; // 1 tick = 1 virtual millisecond
 
-fn now_ticks(ctx: &dyn NodeCtx) -> Timestamp {
+pub(crate) fn now_ticks(ctx: &dyn NodeCtx) -> Timestamp {
     Timestamp(ctx.now_us() / TICK_US)
 }
 
@@ -115,35 +101,22 @@ impl Broker {
             factory,
             epoch: 0,
             parent: None,
-            children: Vec::new(),
-            declared_pubends: Vec::new(),
-            pubends: HashMap::new(),
-            event_log: None,
-            routes: HashMap::new(),
-            child_index: HashMap::new(),
-            child_specs: HashMap::new(),
-            child_release: HashMap::new(),
-            shb: None,
-            hosts_subscribers: false,
-            my_interest_version: 0,
-            upstream_confirmed: 0,
-            child_versions: HashMap::new(),
-            child_pending: HashMap::new(),
-            child_confirmed: HashMap::new(),
-            parked: Vec::new(),
-            last_release_reported: HashMap::new(),
+            phb: PhbRole::default(),
+            ib: IbRole::default(),
+            shb: ShbRole::default(),
+            pipelines: HashMap::new(),
         }
     }
 
     /// Declares this broker a PHB hosting `pubends`.
     pub fn hosting_pubends(mut self, pubends: impl IntoIterator<Item = PubendId>) -> Self {
-        self.declared_pubends.extend(pubends);
+        self.phb.declared.extend(pubends);
         self
     }
 
     /// Declares this broker an SHB (durable subscribers may attach).
     pub fn hosting_subscribers(mut self) -> Self {
-        self.hosts_subscribers = true;
+        self.shb.hosts_subscribers = true;
         self
     }
 
@@ -154,29 +127,33 @@ impl Broker {
 
     /// Adds a downstream broker.
     pub fn add_child(&mut self, child: NodeId) {
-        if !self.children.contains(&child) {
-            self.children.push(child);
+        if !self.ib.children.contains(&child) {
+            self.ib.children.push(child);
         }
     }
 
     /// The SHB role state (None for pure PHB/intermediate brokers).
     pub fn shb(&self) -> Option<&Shb> {
-        self.shb.as_ref()
+        self.shb.state.as_ref()
     }
 
     /// Mutable SHB access (harness inspection).
     pub fn shb_mut(&mut self) -> Option<&mut Shb> {
-        self.shb.as_mut()
+        self.shb.state.as_mut()
     }
 
     /// Hosted pubend state (harness inspection).
     pub fn pubend(&self, p: PubendId) -> Option<&Pubend> {
-        self.pubends.get(&p)
+        self.pipelines.get(&p).and_then(|pl| pl.pubend.as_ref())
     }
 
     /// Total events published across hosted pubends.
     pub fn published(&self) -> u64 {
-        self.pubends.values().map(|p| p.published).sum()
+        self.pipelines
+            .values()
+            .filter_map(|pl| pl.pubend.as_ref())
+            .map(|p| p.published)
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -185,28 +162,29 @@ impl Broker {
 
     fn boot(&mut self, ctx: &mut dyn NodeCtx) {
         let now = now_ticks(ctx);
-        if !self.declared_pubends.is_empty() {
+        if !self.phb.declared.is_empty() {
             let log = EventLog::open(
                 self.factory.clone_box(),
                 &format!("b{}-events", self.id),
                 VolumeConfig::default(),
             )
             .expect("PHB event log must open");
-            self.event_log = Some(log);
-            for &p in &self.declared_pubends {
+            self.phb.log = Some(log);
+            let declared = self.phb.declared.clone();
+            for p in declared {
                 let mut pe = Pubend::new(p, now);
                 // Restore the lost prefix (early release decisions are
                 // irreversible and must survive crashes).
-                if let Some(shb) = &self.shb {
+                if let Some(shb) = &self.shb.state {
                     if let Some(l) = shb.meta.get_u64(&format!("lost/{}", p.0)) {
                         pe.restore_lost_to(Timestamp(l));
                     }
                 }
-                self.pubends.insert(p, pe);
+                self.pipeline_mut(p).pubend = Some(pe);
             }
         }
-        if self.hosts_subscribers {
-            self.shb = Some(Shb::open(
+        if self.shb.hosts_subscribers {
+            self.shb.state = Some(Shb::open(
                 self.factory.as_ref(),
                 &format!("b{}", self.id),
                 &self.config,
@@ -218,9 +196,12 @@ impl Broker {
         // pure PHBs persist lost_to inside the event-log volume via a
         // dedicated chop marker — the chop itself is the durable record,
         // recovered as chopped_below. Restore from it:
-        if let Some(log) = &self.event_log {
-            for (&p, pe) in self.pubends.iter_mut() {
-                let chopped = log.chopped_below_ts(p);
+        if let Some(log) = &self.phb.log {
+            for pl in self.pipelines.values_mut() {
+                let Some(pe) = pl.pubend.as_mut() else {
+                    continue;
+                };
+                let chopped = log.chopped_below_ts(pe.id);
                 if chopped > Timestamp::ZERO {
                     pe.restore_lost_to(chopped.prev());
                 }
@@ -231,7 +212,7 @@ impl Broker {
 
     fn arm_periodic(&mut self, ctx: &mut dyn NodeCtx) {
         let e = self.epoch;
-        if !self.declared_pubends.is_empty() {
+        if !self.phb.declared.is_empty() {
             ctx.set_timer(
                 self.config.pubend_silence_interval_us,
                 timer::pack(Kind::PhbSilence, e, 0, 0),
@@ -246,7 +227,7 @@ impl Broker {
             self.config.retry.timeout_us,
             timer::pack(Kind::RetryNacks, e, 0, 0),
         );
-        if self.hosts_subscribers {
+        if self.shb.hosts_subscribers {
             ctx.set_timer(
                 self.config.pfs_sync_interval_us,
                 timer::pack(Kind::PfsSync, e, 0, 0),
@@ -260,950 +241,6 @@ impl Broker {
                 timer::pack(Kind::ClientSilence, e, 0, 0),
             );
         }
-    }
-
-    // ------------------------------------------------------------------
-    // Knowledge plumbing
-    // ------------------------------------------------------------------
-
-    /// Central ingest: applies parts to the cache, advances the
-    /// constream, feeds catchup streams, and forwards downstream.
-    /// `interest_stamp` is the parent's interest-version stamp (`0` for
-    /// locally originated knowledge, which confirms nothing upstream).
-    fn ingest(
-        &mut self,
-        p: PubendId,
-        parts: Vec<KnowledgePart>,
-        nack_response: bool,
-        interest_stamp: u64,
-        ctx: &mut dyn NodeCtx,
-    ) {
-        if interest_stamp > self.upstream_confirmed {
-            self.upstream_confirmed = interest_stamp;
-            self.promote_child_confirmations();
-            self.complete_parked(ctx);
-        }
-        if parts.is_empty() {
-            return;
-        }
-        {
-            let route = self.routes.entry(p).or_default();
-            for part in &parts {
-                route.absorb(part);
-            }
-        }
-        // SHB: constream first (so processed_to is current), then catchup.
-        if self.shb.is_some() {
-            let holes = {
-                let route = self.routes.get(&p).expect("route created above");
-                let shb = self.shb.as_mut().expect("checked");
-                shb.constream_advance(
-                    p,
-                    &route.knowledge,
-                    route.max_seen,
-                    &self.config,
-                    ctx,
-                )
-            };
-            self.resolve_for_constream(p, holes, ctx);
-            let touched = self
-                .shb
-                .as_mut()
-                .expect("checked")
-                .distribute_to_catchup(p, &parts);
-            for sub in touched {
-                self.drive_catchup(sub, p, ctx);
-            }
-        }
-        // Forward downstream.
-        if self.children.is_empty() {
-            return;
-        }
-        if nack_response {
-            let targets: Vec<NodeId> = {
-                let route = self.routes.get_mut(&p).expect("route created above");
-                let mut t = Vec::new();
-                for part in &parts {
-                    let (f, to) = part.range();
-                    for c in route.interest.interested(f, to) {
-                        if !t.contains(&c) {
-                            t.push(c);
-                        }
-                    }
-                    route.interest.discharge(f, to);
-                }
-                t
-            };
-            for child in targets {
-                self.send_filtered(child, p, &parts, true, ctx);
-            }
-        } else {
-            let children = self.children.clone();
-            for child in children {
-                self.send_filtered(child, p, &parts, false, ctx);
-            }
-        }
-    }
-
-    /// Forwards parts to one child, downgrading data ticks that match no
-    /// subscription in the child's subtree to silence (the paper's
-    /// intermediate filtering).
-    fn send_filtered(
-        &mut self,
-        child: NodeId,
-        p: PubendId,
-        parts: &[KnowledgePart],
-        nack_response: bool,
-        ctx: &mut dyn NodeCtx,
-    ) {
-        // Until a child's interest is known (fresh boot / just restarted),
-        // forward unfiltered: over-delivery is safe, silent downgrades of
-        // a subscription's events are not.
-        let index = self.child_index.get(&child);
-        // The stamp: for locally hosted pubends the child's interest is
-        // applied the moment it arrives; for routed pubends it must also
-        // be confirmed upstream (everything this broker forwards was
-        // filtered up there too).
-        let stamp = if self.pubends.contains_key(&p) {
-            self.child_versions.get(&child).copied().unwrap_or(0)
-        } else {
-            self.child_confirmed
-                .get(&child)
-                .copied()
-                .unwrap_or(0)
-                .min(self.child_versions.get(&child).copied().unwrap_or(0))
-        };
-        let mut out: Vec<KnowledgePart> = Vec::with_capacity(parts.len());
-        for part in parts {
-            match part {
-                KnowledgePart::Data(e) => {
-                    ctx.work(self.config.costs.match_us);
-                    let relevant = index.map(|i| i.any_match(e)).unwrap_or(true);
-                    if relevant {
-                        out.push(KnowledgePart::Data(e.clone()));
-                    } else {
-                        // Merge adjacent downgrades into one span.
-                        if let Some(KnowledgePart::Silence { to, .. }) = out.last_mut() {
-                            if to.next() == e.ts {
-                                *to = e.ts;
-                                continue;
-                            }
-                        }
-                        out.push(KnowledgePart::Silence {
-                            from: e.ts,
-                            to: e.ts,
-                        });
-                    }
-                }
-                other => out.push(other.clone()),
-            }
-        }
-        if !out.is_empty() {
-            ctx.send(
-                child,
-                NetMsg::Knowledge(KnowledgeMsg {
-                    pubend: p,
-                    parts: out,
-                    nack_response,
-                    interest_version: stamp,
-                }),
-            );
-        }
-    }
-
-    /// Answers `[from, to]` locally (pubend-authoritative or cache) and
-    /// returns `(answered parts, unanswerable holes)`.
-    fn answer_locally(
-        &mut self,
-        p: PubendId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> (Vec<KnowledgePart>, Vec<(Timestamp, Timestamp)>) {
-        if let (Some(pe), Some(log)) = (self.pubends.get(&p), self.event_log.as_mut()) {
-            let parts = pe.answer(from, to, log).unwrap_or_default();
-            (parts, Vec::new())
-        } else {
-            let route = self.routes.entry(p).or_default();
-            route.answer_from_cache(from, to)
-        }
-    }
-
-    /// Sends `parts` to `child` as chunked nack responses.
-    fn respond_chunked(
-        &mut self,
-        child: NodeId,
-        p: PubendId,
-        parts: Vec<KnowledgePart>,
-        ctx: &mut dyn NodeCtx,
-    ) {
-        let chunk = self.config.nack_response_chunk_ticks.max(1);
-        let mut batch: Vec<KnowledgePart> = Vec::new();
-        let mut batch_ticks = 0u64;
-        for part in parts {
-            let (f, t) = part.range();
-            batch_ticks += t.saturating_sub(f) + 1;
-            batch.push(part);
-            if batch_ticks >= chunk {
-                self.send_filtered(child, p, &std::mem::take(&mut batch), true, ctx);
-                batch_ticks = 0;
-            }
-        }
-        if !batch.is_empty() {
-            self.send_filtered(child, p, &batch, true, ctx);
-        }
-    }
-
-    /// Forwards unanswered holes upstream (tracked for retry unless
-    /// open-ended). `authoritative` requests a pubend-only answer
-    /// (reconnect-anywhere recovery must not trust interior caches).
-    fn nack_upstream(
-        &mut self,
-        p: PubendId,
-        holes: Vec<(Timestamp, Timestamp)>,
-        authoritative: bool,
-        ctx: &mut dyn NodeCtx,
-    ) {
-        let Some(parent) = self.parent else {
-            return; // no upstream: the root answers what it has
-        };
-        if holes.is_empty() {
-            return;
-        }
-        let now = ctx.now_us();
-        let fan_in = holes.len();
-        let route = self.routes.entry(p).or_default();
-        let mut fresh: Vec<(Timestamp, Timestamp)> = Vec::new();
-        for (f, t) in holes {
-            if t == Timestamp::MAX {
-                // Open-ended recovery nacks are one-shot: steady-state
-                // hole detection self-heals if the response is lost.
-                fresh.push((f, t));
-            } else {
-                fresh.extend(route.curiosity.add_wanted(f, t, now));
-            }
-        }
-        if !fresh.is_empty() {
-            // Consolidation (paper §4.2): `fan_in` requested ranges were
-            // deduplicated against outstanding curiosity into one upward
-            // nack spanning the surviving span.
-            let span_from = fresh.iter().map(|&(f, _)| f).min().unwrap_or(Timestamp::ZERO);
-            let span_to = fresh.iter().map(|&(_, t)| t).max().unwrap_or(Timestamp::ZERO);
-            trace_event!(
-                ctx,
-                TraceEvent::NackConsolidated {
-                    pubend: p,
-                    from: span_from,
-                    to: span_to,
-                    fan_in,
-                }
-            );
-            observe_metric!(ctx, names::CURIOSITY_NACK_FANIN, fan_in as f64);
-            count_metric!(ctx, names::CURIOSITY_NACKS_SENT, 1.0);
-            ctx.send(
-                parent,
-                NetMsg::Curiosity(CuriosityMsg {
-                    pubend: p,
-                    ranges: fresh,
-                    authoritative,
-                }),
-            );
-        }
-    }
-
-    /// Resolution path for constream holes: they are cache gaps by
-    /// definition, so they go straight upstream — but only one
-    /// response-chunk window at a time. Windowed nacking paces a large
-    /// recovery (SHB restart) into round trips, which both bounds burst
-    /// sizes and lets multiple pubends' recoveries share the uplink
-    /// fairly instead of serializing whole backlogs.
-    fn resolve_for_constream(
-        &mut self,
-        p: PubendId,
-        holes: Vec<(Timestamp, Timestamp)>,
-        ctx: &mut dyn NodeCtx,
-    ) {
-        let window = self.config.nack_response_chunk_ticks.max(1);
-        let bounded: Vec<(Timestamp, Timestamp)> = holes
-            .into_iter()
-            .map(|(f, t)| (f, t.min(f + window)))
-            .collect();
-        self.nack_upstream(p, bounded, false, ctx);
-    }
-
-    /// Resolution path for catchup holes: answer from local authority or
-    /// cache (feeding the stream immediately), push the rest upstream.
-    /// `needs_authoritative` (reconnect-anywhere) bypasses caches — they
-    /// may hold knowledge filtered without this subscription.
-    fn resolve_for_catchup(
-        &mut self,
-        sub: SubscriberId,
-        p: PubendId,
-        holes: Vec<(Timestamp, Timestamp)>,
-        needs_authoritative: bool,
-        ctx: &mut dyn NodeCtx,
-    ) {
-        let mut upstream = Vec::new();
-        let mut local_parts = Vec::new();
-        for (f, t) in holes {
-            if needs_authoritative && !self.pubends.contains_key(&p) {
-                upstream.push((f, t));
-                continue;
-            }
-            let (parts, missing) = self.answer_locally(p, f, t);
-            local_parts.extend(parts);
-            upstream.extend(missing);
-        }
-        if !local_parts.is_empty() {
-            if let Some(shb) = self.shb.as_mut() {
-                // Feed only this subscriber's stream; other streams will
-                // pull the same ranges when they need them.
-                let filtered: Vec<SubscriberId> = shb
-                    .distribute_to_catchup(p, &local_parts)
-                    .into_iter()
-                    .filter(|&s| s == sub)
-                    .collect();
-                let _ = filtered;
-            }
-        }
-        self.nack_upstream(p, upstream, needs_authoritative, ctx);
-    }
-
-    /// Runs one catchup stream forward and services its needs.
-    fn drive_catchup(&mut self, sub: SubscriberId, p: PubendId, ctx: &mut dyn NodeCtx) {
-        let needs = {
-            let Some(shb) = self.shb.as_mut() else {
-                return;
-            };
-            shb.catchup_progress(sub, p, &self.config, ctx)
-        };
-        if needs.switched {
-            ctx.count("shb.switchovers", 1.0);
-            return;
-        }
-        if !needs.holes.is_empty() {
-            self.resolve_for_catchup(sub, p, needs.holes.clone(), needs.authoritative, ctx);
-            // Local answers may have unblocked delivery immediately.
-            let again = {
-                let shb = self.shb.as_mut().expect("checked");
-                shb.catchup_progress(sub, p, &self.config, ctx)
-            };
-            if again.switched {
-                ctx.count("shb.switchovers", 1.0);
-                return;
-            }
-            if again.want_read || needs.want_read {
-                self.schedule_pfs_read(sub, p, ctx);
-            }
-            self.nack_upstream(p, again.holes, needs.authoritative, ctx);
-            return;
-        }
-        if needs.want_read {
-            self.schedule_pfs_read(sub, p, ctx);
-        }
-    }
-
-    fn schedule_pfs_read(&mut self, sub: SubscriberId, p: PubendId, ctx: &mut dyn NodeCtx) {
-        let Some(shb) = self.shb.as_mut() else {
-            return;
-        };
-        let buffer = self.config.catchup_read_buffer;
-        let Some((visited, q_ticks, full)) = shb.start_pfs_read(sub, p, buffer) else {
-            return;
-        };
-        let slot = shb.slot(sub);
-        ctx.work(self.config.costs.pfs_read_record_us * visited as u64);
-        ctx.count("shb.pfs_reads", 1.0);
-        if full {
-            ctx.count("shb.pfs_full_reads", 1.0);
-        }
-        trace_event!(
-            ctx,
-            TraceEvent::PfsBatchRead {
-                pubend: p,
-                sub,
-                records: visited,
-                q_ticks,
-                full,
-            }
-        );
-        observe_metric!(ctx, names::PFS_BATCH_READ_RECORDS, visited as f64);
-        observe_metric!(ctx, names::PFS_BATCH_READ_QTICKS, q_ticks as f64);
-        let latency = self.config.pfs_read_base_us
-            + self.config.pfs_read_per_record_us * visited as u64;
-        ctx.set_timer(
-            latency,
-            timer::pack(Kind::CatchupRead, self.epoch, p.0 as u16, slot),
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Handlers
-    // ------------------------------------------------------------------
-
-    fn on_publish(&mut self, msg: PublishMsg, ctx: &mut dyn NodeCtx) {
-        let now = now_ticks(ctx);
-        let p = msg.pubend;
-        let Some(pe) = self.pubends.get_mut(&p) else {
-            ctx.count("phb.publish_dropped", 1.0);
-            return;
-        };
-        let event = pe.publish(msg, now);
-        trace_event!(
-            ctx,
-            TraceEvent::PubendTimestamped {
-                pubend: p,
-                ts: event.ts,
-            }
-        );
-        ctx.work(self.config.costs.event_log_append_us);
-        ctx.count("phb.published", 1.0);
-        if pe.needs_commit() {
-            pe.commit_scheduled = true;
-            let delay = self.config.phb_commit_interval_us;
-            let key = timer::pack(Kind::PhbCommit, self.epoch, p.0 as u16, 0);
-            ctx.set_timer(delay, key);
-        }
-    }
-
-    /// Batch window closed: start the disk write (durable after the
-    /// modeled latency).
-    fn on_phb_commit(&mut self, p: PubendId, ctx: &mut dyn NodeCtx) {
-        let Some(pe) = self.pubends.get_mut(&p) else {
-            return;
-        };
-        if pe.begin_commit() {
-            ctx.set_timer(
-                self.config.phb_commit_latency_us,
-                timer::pack(Kind::PhbCommitDone, self.epoch, p.0 as u16, 0),
-            );
-        }
-    }
-
-    /// The disk write became durable: log, emit knowledge, and open the
-    /// next batch if publishes accumulated meanwhile.
-    fn on_phb_commit_done(&mut self, p: PubendId, ctx: &mut dyn NodeCtx) {
-        let parts = {
-            let (Some(pe), Some(log)) = (self.pubends.get_mut(&p), self.event_log.as_mut())
-            else {
-                return;
-            };
-            match pe.finish_commit(log) {
-                Ok(parts) => parts,
-                Err(_) => {
-                    ctx.count("phb.commit_err", 1.0);
-                    return;
-                }
-            }
-        };
-        ctx.count("phb.commits", 1.0);
-        for part in &parts {
-            if let KnowledgePart::Data(e) = part {
-                let bytes = e.encoded_len();
-                trace_event!(
-                    ctx,
-                    TraceEvent::EventLogged {
-                        pubend: p,
-                        ts: e.ts,
-                        bytes,
-                    }
-                );
-                count_metric!(ctx, names::PHB_LOG_BYTES, bytes as f64);
-                count_metric!(ctx, names::PHB_LOG_EVENTS, 1.0);
-            }
-        }
-        // Locally originated knowledge confirms nothing about the parent
-        // (stamp 0): a broker that both hosts pubends and routes others
-        // must not complete parked connects off its own emissions.
-        self.ingest(p, parts, false, 0, ctx);
-    }
-
-    fn on_phb_silence(&mut self, ctx: &mut dyn NodeCtx) {
-        let now = now_ticks(ctx);
-        let pubends: Vec<PubendId> = self.pubends.keys().copied().collect();
-        for p in pubends {
-            let parts = self
-                .pubends
-                .get_mut(&p)
-                .map(|pe| pe.emit_silence(now))
-                .unwrap_or_default();
-            self.ingest(p, parts, false, 0, ctx);
-        }
-        ctx.set_timer(
-            self.config.pubend_silence_interval_us,
-            timer::pack(Kind::PhbSilence, self.epoch, 0, 0),
-        );
-    }
-
-    fn on_curiosity(&mut self, from: NodeId, msg: CuriosityMsg, ctx: &mut dyn NodeCtx) {
-        let p = msg.pubend;
-        let mut all_holes = Vec::new();
-        for (f, t) in msg.ranges.clone() {
-            if msg.authoritative && !self.pubends.contains_key(&p) {
-                // Reconnect-anywhere recovery: only the pubend may answer.
-                let route = self.routes.entry(p).or_default();
-                route.interest.register(from, f, t);
-                all_holes.push((f, t));
-                continue;
-            }
-            let (parts, holes) = self.answer_locally(p, f, t);
-            if !parts.is_empty() {
-                if self.pubends.contains_key(&p) {
-                    // Authoritative answer from the event log.
-                    ctx.count("phb.nack_responses", 1.0);
-                } else {
-                    // Interior cache absorbed a downstream nack — the
-                    // scalability mechanism of paper §3.
-                    ctx.count("broker.cache_answers", 1.0);
-                }
-                self.respond_chunked(from, p, parts, ctx);
-            }
-            if !holes.is_empty() {
-                let route = self.routes.entry(p).or_default();
-                for &(hf, ht) in &holes {
-                    route.interest.register(from, hf, ht);
-                }
-                all_holes.extend(holes);
-            }
-        }
-        self.nack_upstream(p, all_holes, msg.authoritative, ctx);
-    }
-
-    fn on_sub_interest(&mut self, from: NodeId, msg: SubInterestMsg, ctx: &mut dyn NodeCtx) {
-        if !self.children.contains(&from) {
-            return;
-        }
-        let mut index = SubscriptionIndex::new();
-        for (sub, spec) in &msg.subs {
-            if let Ok(filter) = Filter::parse(spec.expr()) {
-                index.insert(*sub, filter);
-            }
-        }
-        self.child_index.insert(from, index);
-        self.child_specs.insert(from, msg.subs);
-        let v_child = msg.version;
-        let cur = self.child_versions.entry(from).or_insert(0);
-        *cur = (*cur).max(v_child);
-        if self.parent.is_some() {
-            let v_up = self.bump_and_send_interest(ctx);
-            self.child_pending.entry(from).or_default().push((v_child, v_up));
-        } else {
-            // Root: the interest is applied here and now.
-            let c = self.child_confirmed.entry(from).or_insert(0);
-            *c = (*c).max(v_child);
-        }
-    }
-
-    /// Promotes per-child confirmations from `upstream_confirmed`.
-    fn promote_child_confirmations(&mut self) {
-        for (&child, pending) in self.child_pending.iter_mut() {
-            let confirmed = self.child_confirmed.entry(child).or_insert(0);
-            pending.retain(|&(v_child, v_up)| {
-                if v_up <= self.upstream_confirmed {
-                    *confirmed = (*confirmed).max(v_child);
-                    false
-                } else {
-                    true
-                }
-            });
-        }
-    }
-
-    /// Sends the current interest set upward under a fresh version.
-    /// Versions are virtual timestamps: monotone across crashes.
-    fn bump_and_send_interest(&mut self, ctx: &mut dyn NodeCtx) -> u64 {
-        self.my_interest_version =
-            (self.my_interest_version + 1).max(ctx.now_us());
-        self.send_interest_upstream(ctx);
-        self.my_interest_version
-    }
-
-    fn send_interest_upstream(&mut self, ctx: &mut dyn NodeCtx) {
-        let Some(parent) = self.parent else {
-            return;
-        };
-        let mut subs: Vec<(SubscriberId, gryphon_types::SubscriptionSpec)> = Vec::new();
-        for specs in self.child_specs.values() {
-            subs.extend(specs.iter().cloned());
-        }
-        if let Some(shb) = &self.shb {
-            subs.extend(shb.interest());
-        }
-        ctx.send(
-            parent,
-            NetMsg::SubInterest(SubInterestMsg {
-                subs,
-                version: self.my_interest_version,
-            }),
-        );
-    }
-
-    /// Completes parked first-time connects whose interest version is now
-    /// confirmed upstream. The start floor per pubend is the cache
-    /// high-water mark: every tick at or below it may have been filtered
-    /// without the new subscription.
-    fn complete_parked(&mut self, ctx: &mut dyn NodeCtx) {
-        if self.parked.is_empty() {
-            return;
-        }
-        let confirmed = self.upstream_confirmed;
-        let mut keep = Vec::new();
-        let mut ready = Vec::new();
-        for pc in self.parked.drain(..) {
-            if pc.version <= confirmed {
-                ready.push(pc);
-            } else {
-                keep.push(pc);
-            }
-        }
-        self.parked = keep;
-        for pc in ready {
-            let floors: HashMap<PubendId, Timestamp> = self
-                .routes
-                .iter()
-                .map(|(&p, r)| (p, r.max_seen))
-                .collect();
-            self.finish_connect(
-                pc.sub,
-                pc.client,
-                pc.ct,
-                pc.spec,
-                pc.broker_ct,
-                pc.auto_ack,
-                floors,
-                Some(pc.anywhere),
-                ctx,
-            );
-        }
-    }
-
-    /// Times out parked connects (e.g. no parent traffic): complete with
-    /// conservative floors rather than never.
-    fn expire_parked(&mut self, ctx: &mut dyn NodeCtx) {
-        let now = ctx.now_us();
-        let mut keep = Vec::new();
-        let mut expired = Vec::new();
-        for pc in self.parked.drain(..) {
-            if now.saturating_sub(pc.parked_at_us) > 2_000_000 {
-                expired.push(pc);
-            } else {
-                keep.push(pc);
-            }
-        }
-        self.parked = keep;
-        for pc in expired {
-            ctx.count("shb.parked_timeout", 1.0);
-            let floors: HashMap<PubendId, Timestamp> = self
-                .routes
-                .iter()
-                .map(|(&p, r)| (p, r.max_seen))
-                .collect();
-            self.finish_connect(
-                pc.sub,
-                pc.client,
-                pc.ct,
-                pc.spec,
-                pc.broker_ct,
-                pc.auto_ack,
-                floors,
-                Some(pc.anywhere),
-                ctx,
-            );
-        }
-    }
-
-    /// Runs the actual SHB connect (shared by the direct and parked
-    /// paths) and services the resulting catchup plans.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_connect(
-        &mut self,
-        sub: SubscriberId,
-        client: NodeId,
-        ct: Option<gryphon_types::CheckpointToken>,
-        spec: Option<gryphon_types::SubscriptionSpec>,
-        broker_ct: bool,
-        auto_ack: bool,
-        floors: HashMap<PubendId, Timestamp>,
-        anywhere: Option<bool>,
-        ctx: &mut dyn NodeCtx,
-    ) {
-        let plans = {
-            let Some(shb) = self.shb.as_mut() else {
-                return;
-            };
-            shb.connect(
-                sub, client, ct, spec, broker_ct, auto_ack, &floors, anywhere, &self.config, ctx,
-            )
-        };
-        let Ok(plans) = plans else {
-            return;
-        };
-        let had_plans = !plans.is_empty();
-        for (p, _) in plans {
-            self.drive_catchup(sub, p, ctx);
-        }
-        if had_plans {
-            ctx.count("shb.reconnect_catchups", 1.0);
-        }
-    }
-
-    fn on_release_msg(&mut self, from: NodeId, msg: ReleaseMsg) {
-        if self.children.contains(&from) {
-            self.child_release
-                .insert((from, msg.pubend), (msg.released, msg.latest_delivered));
-        }
-    }
-
-    fn on_release_timer(&mut self, ctx: &mut dyn NodeCtx) {
-        let now = now_ticks(ctx);
-        // Every pubend this broker has seen.
-        let mut pubends: Vec<PubendId> = self.routes.keys().copied().collect();
-        for &p in self.pubends.keys() {
-            if !pubends.contains(&p) {
-                pubends.push(p);
-            }
-        }
-        for p in pubends {
-            // Aggregate over children + local SHB.
-            let mut released = Timestamp::MAX;
-            let mut latest = Timestamp::MAX;
-            let mut constrained = false;
-            for &child in &self.children {
-                match self.child_release.get(&(child, p)) {
-                    Some(&(r, l)) => {
-                        released = released.min(r);
-                        latest = latest.min(l);
-                        constrained = true;
-                    }
-                    None => {
-                        // Child has not reported yet: fully conservative.
-                        released = Timestamp::ZERO;
-                        latest = Timestamp::ZERO;
-                        constrained = true;
-                    }
-                }
-            }
-            if let Some(shb) = &self.shb {
-                released = released.min(shb.released_local(p));
-                latest = latest.min(shb.latest_delivered(p));
-                constrained = true;
-            }
-            if !constrained {
-                // No subscribers anywhere below: nothing holds release
-                // back, but with nobody consuming there is also no point
-                // advancing it; skip.
-                continue;
-            }
-            if self.pubends.contains_key(&p) {
-                // Root: run the release decision.
-                let advanced = {
-                    let (Some(pe), Some(log)) =
-                        (self.pubends.get_mut(&p), self.event_log.as_mut())
-                    else {
-                        continue;
-                    };
-                    pe.apply_release(released, latest, now, &self.config, log)
-                        .unwrap_or(None)
-                };
-                if let Some(lost) = advanced {
-                    ctx.count("phb.early_release_advances", 1.0);
-                    trace_event!(ctx, TraceEvent::LConverted { pubend: p, upto: lost });
-                    count_metric!(ctx, names::RELEASE_L_CONVERSIONS, 1.0);
-                    if let Some(shb) = self.shb.as_mut() {
-                        let _ = shb
-                            .meta
-                            .put_u64(&format!("lost/{}", p.0), lost.0);
-                    }
-                }
-                // Report forward progress of the aggregated release point
-                // (Tr) — once per distinct value, and never the MAX
-                // sentinel of an unconstrained aggregate.
-                if released < Timestamp::MAX {
-                    let prev = self
-                        .last_release_reported
-                        .get(&p)
-                        .copied()
-                        .unwrap_or(Timestamp::ZERO);
-                    if released > prev {
-                        self.last_release_reported.insert(p, released);
-                        trace_event!(ctx, TraceEvent::ReleaseAdvanced { pubend: p, released });
-                        count_metric!(ctx, names::RELEASE_ADVANCES, 1.0);
-                    }
-                }
-            } else if self.parent.is_some() {
-                ctx.send(
-                    self.parent.expect("checked"),
-                    NetMsg::Release(ReleaseMsg {
-                        pubend: p,
-                        released,
-                        latest_delivered: latest,
-                    }),
-                );
-            }
-            // SHB-side housekeeping + metrics.
-            if let Some(shb) = self.shb.as_mut() {
-                shb.chop_pfs(p);
-                let ld = shb.latest_delivered(p);
-                let rel = shb.released_local(p);
-                ctx.record(&format!("shb{}.ld.{}", self.id, p.0), ld.0 as f64);
-                ctx.record(&format!("shb{}.released.{}", self.id, p.0), rel.0 as f64);
-            }
-        }
-        // Periodic interest refresh keeps parents correct across their
-        // restarts (same version: content unchanged).
-        self.send_interest_upstream(ctx);
-        self.expire_parked(ctx);
-        ctx.set_timer(
-            self.config.release_interval_us,
-            timer::pack(Kind::Release, self.epoch, 0, 0),
-        );
-    }
-
-    fn on_client(&mut self, from: NodeId, msg: ClientMsg, ctx: &mut dyn NodeCtx) {
-        if self.shb.is_none() {
-            return;
-        }
-        match msg {
-            ClientMsg::Connect {
-                sub,
-                ct,
-                spec,
-                broker_ct,
-                auto_ack,
-            } => {
-                let is_new = self
-                    .shb
-                    .as_ref()
-                    .map(|s| s.is_new_subscription(sub))
-                    .unwrap_or(false);
-                let anywhere = is_new && ct.is_some();
-                if is_new && self.parent.is_some() {
-                    // Register the filter now (it starts matching and the
-                    // interest goes upstream), but hold the attachment
-                    // until the interest is confirmed causally upstream —
-                    // otherwise the subscription's window could cover
-                    // ticks that were filtered without it.
-                    let registered = {
-                        let shb = self.shb.as_mut().expect("checked");
-                        shb.register_spec(sub, from, spec.as_ref(), broker_ct, auto_ack, ctx)
-                    };
-                    if registered.is_err() {
-                        return;
-                    }
-                    let version = self.bump_and_send_interest(ctx);
-                    self.parked.push(ParkedConnect {
-                        sub,
-                        client: from,
-                        ct,
-                        spec,
-                        broker_ct,
-                        auto_ack,
-                        anywhere,
-                        version,
-                        parked_at_us: ctx.now_us(),
-                    });
-                    ctx.count("shb.parked_connects", 1.0);
-                    return;
-                }
-                self.finish_connect(
-                    sub,
-                    from,
-                    ct,
-                    spec,
-                    broker_ct,
-                    auto_ack,
-                    HashMap::new(),
-                    Some(anywhere),
-                    ctx,
-                );
-                if is_new {
-                    self.send_interest_upstream(ctx);
-                }
-            }
-            ClientMsg::Ack { sub, ct } => {
-                let start_worker = {
-                    let shb = self.shb.as_mut().expect("checked");
-                    shb.ack(sub, &ct)
-                };
-                if let Some(w) = start_worker {
-                    self.start_ct_commit(w, ctx);
-                }
-                // The acknowledgment may have opened the flow-control
-                // window of this subscriber's catchup streams.
-                let catching_up: Vec<PubendId> = self
-                    .shb
-                    .as_ref()
-                    .and_then(|s| s.conns.get(&sub))
-                    .map(|c| c.catchup.keys().copied().collect())
-                    .unwrap_or_default();
-                for p in catching_up {
-                    self.drive_catchup(sub, p, ctx);
-                }
-            }
-            ClientMsg::Disconnect { sub } => {
-                self.shb.as_mut().expect("checked").disconnect(sub);
-                ctx.count("shb.disconnects", 1.0);
-            }
-            ClientMsg::Unsubscribe { sub } => {
-                self.shb.as_mut().expect("checked").unsubscribe(sub);
-                self.send_interest_upstream(ctx);
-            }
-        }
-    }
-
-    fn start_ct_commit(&mut self, w: usize, ctx: &mut dyn NodeCtx) {
-        let Some(shb) = self.shb.as_mut() else {
-            return;
-        };
-        if let Some(duration) = shb.ct_commit_start(w, &self.config) {
-            ctx.set_timer(
-                duration,
-                timer::pack(Kind::CtCommit, self.epoch, 0, w as u32),
-            );
-        }
-    }
-
-    fn on_cache_trim(&mut self, ctx: &mut dyn NodeCtx) {
-        let now = now_ticks(ctx);
-        let window = self.config.cache_window_ticks;
-        for (&p, route) in self.routes.iter_mut() {
-            let mut limit = now - window;
-            if let Some(shb) = &self.shb {
-                if let Some(con) = shb.con.get(&p) {
-                    limit = limit.min(con.processed_to);
-                }
-            }
-            route.knowledge.advance_base(limit);
-        }
-        ctx.set_timer(1_000_000, timer::pack(Kind::CacheTrim, self.epoch, 0, 0));
-    }
-
-    fn on_retry_nacks(&mut self, ctx: &mut dyn NodeCtx) {
-        let now = ctx.now_us();
-        let retry = self.config.retry;
-        if let Some(parent) = self.parent {
-            let mut msgs = Vec::new();
-            for (&p, route) in self.routes.iter_mut() {
-                let due = route.curiosity.due_retries(now, retry);
-                if !due.is_empty() {
-                    msgs.push((p, due));
-                }
-            }
-            for (p, ranges) in msgs {
-                ctx.count("net.renacks", 1.0);
-                ctx.send(
-                    parent,
-                    NetMsg::Curiosity(CuriosityMsg {
-                        pubend: p,
-                        ranges,
-                        authoritative: false,
-                    }),
-                );
-            }
-        }
-        ctx.set_timer(
-            retry.timeout_us,
-            timer::pack(Kind::RetryNacks, self.epoch, 0, 0),
-        );
     }
 }
 
@@ -1224,7 +261,12 @@ impl Node for Broker {
             NetMsg::Release(m) => self.on_release_msg(from, m),
             NetMsg::SubInterest(m) => self.on_sub_interest(from, m, ctx),
             NetMsg::Client(m) => self.on_client(from, m, ctx),
-            NetMsg::Server(_) => {} // brokers never receive server msgs
+            m @ NetMsg::Server(_) => {
+                // Brokers never expect server-bound messages; a silent
+                // drop here once hid misrouted traffic entirely.
+                ctx.count(names::BROKER_UNEXPECTED_MSG, 1.0);
+                trace_event!(ctx, TraceEvent::UnexpectedMsg { tag: m.tag() });
+            }
         }
     }
 
@@ -1241,7 +283,7 @@ impl Node for Broker {
             Kind::PhbSilence => self.on_phb_silence(ctx),
             Kind::Release => self.on_release_timer(ctx),
             Kind::MetaPersist => {
-                if let Some(shb) = self.shb.as_mut() {
+                if let Some(shb) = self.shb.state.as_mut() {
                     shb.meta_persist(ctx);
                 }
                 ctx.set_timer(
@@ -1250,7 +292,7 @@ impl Node for Broker {
                 );
             }
             Kind::PfsSync => {
-                if let Some(shb) = self.shb.as_mut() {
+                if let Some(shb) = self.shb.state.as_mut() {
                     shb.pfs_sync(ctx);
                 }
                 ctx.set_timer(
@@ -1260,7 +302,7 @@ impl Node for Broker {
             }
             Kind::RetryNacks => self.on_retry_nacks(ctx),
             Kind::ClientSilence => {
-                if let Some(shb) = self.shb.as_mut() {
+                if let Some(shb) = self.shb.state.as_mut() {
                     shb.client_silence(ctx);
                 }
                 ctx.set_timer(
@@ -1269,68 +311,39 @@ impl Node for Broker {
                 );
             }
             Kind::CacheTrim => self.on_cache_trim(ctx),
-            Kind::CatchupRead => {
-                let p = PubendId(d.pubend as u32);
-                let sub = self
-                    .shb
-                    .as_ref()
-                    .and_then(|s| s.sub_at_slot(d.param));
-                if let Some(sub) = sub {
-                    let applied = self
-                        .shb
-                        .as_mut()
-                        .expect("checked")
-                        .finish_pfs_read(sub, p);
-                    if applied {
-                        self.drive_catchup(sub, p, ctx);
-                    }
-                }
-            }
-            Kind::CtCommit => {
-                let w = d.param as usize;
-                let more = self
-                    .shb
-                    .as_mut()
-                    .map(|s| s.ct_commit_done(w, ctx))
-                    .unwrap_or(false);
-                if more {
-                    self.start_ct_commit(w, ctx);
-                }
-            }
+            Kind::CatchupRead => self.on_catchup_read(PubendId(d.pubend as u32), d.param, ctx),
+            Kind::CtCommit => self.on_ct_commit(d.param as usize, ctx),
         }
     }
 
     fn on_restart(&mut self, ctx: &mut dyn NodeCtx) {
         self.epoch = self.epoch.wrapping_add(1);
-        // Volatile state is rebuilt from persistent storage.
-        self.routes.clear();
-        self.child_index.clear();
-        self.child_specs.clear();
-        self.child_release.clear();
-        self.child_versions.clear();
-        self.child_pending.clear();
-        self.child_confirmed.clear();
-        self.parked.clear();
-        self.last_release_reported.clear();
-        self.upstream_confirmed = 0;
-        self.pubends.clear();
-        self.event_log = None;
-        self.shb = None;
+        // Volatile state is rebuilt from persistent storage. The
+        // interest version deliberately survives (virtual-timestamp
+        // monotonicity across crashes).
+        self.pipelines.clear();
+        self.ib.child.clear();
+        self.ib.upstream_confirmed = 0;
+        self.shb.parked.clear();
+        self.phb.log = None;
+        self.shb.state = None;
         self.boot(ctx);
-        if let Some(shb) = self.shb.as_mut() {
+        if let Some(shb) = self.shb.state.as_mut() {
             shb.post_restart();
         }
         ctx.count("broker.restarts", 1.0);
         // Recovering constreams: open-ended nack from latestDelivered.
-        if self.shb.is_some() {
-            let pubends: Vec<(PubendId, Timestamp)> = self
+        if self.shb.state.is_some() {
+            let mut pubends: Vec<(PubendId, Timestamp)> = self
                 .shb
+                .state
                 .as_ref()
                 .expect("checked")
                 .con
                 .iter()
                 .map(|(&p, c)| (p, c.latest_delivered))
                 .collect();
+            pubends.sort_by_key(|&(p, _)| p.0);
             for (p, ld) in pubends {
                 self.resolve_for_constream(p, vec![(ld.next(), Timestamp::MAX)], ctx);
             }

@@ -101,7 +101,10 @@ impl Pubend {
     /// # Errors
     ///
     /// Returns an error if the log fails.
-    pub fn finish_commit(&mut self, log: &mut EventLog) -> Result<Vec<KnowledgePart>, StorageError> {
+    pub fn finish_commit(
+        &mut self,
+        log: &mut EventLog,
+    ) -> Result<Vec<KnowledgePart>, StorageError> {
         let batch = self.committing.pop_front().unwrap_or_default();
         for e in &batch {
             log.append(e)?;
@@ -140,8 +143,7 @@ impl Pubend {
     /// in-flight events). Returns the parts to emit (empty when already
     /// covered).
     pub fn emit_silence(&mut self, now_ticks: Timestamp) -> Vec<KnowledgePart> {
-        if !self.pending.is_empty() || !self.committing.is_empty() || now_ticks <= self.emitted_to
-        {
+        if !self.pending.is_empty() || !self.committing.is_empty() || now_ticks <= self.emitted_to {
             return Vec::new();
         }
         let from = self.emitted_to.next();

@@ -113,10 +113,7 @@ mod tests {
         assert_eq!(parts.len(), 2); // silence span + event
         assert_eq!(
             holes,
-            vec![
-                (Timestamp(5), Timestamp(6)),
-                (Timestamp(8), Timestamp(9))
-            ]
+            vec![(Timestamp(5), Timestamp(6)), (Timestamp(8), Timestamp(9))]
         );
     }
 

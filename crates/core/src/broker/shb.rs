@@ -5,14 +5,14 @@
 use crate::config::BrokerConfig;
 use crate::pfs::{Pfs, PfsMode};
 use gryphon_matching::{Filter, SubscriptionIndex};
+use gryphon_sim::{
+    count_metric, names, observe_metric, record_metric, trace_event, NodeCtx, TraceEvent,
+};
 use gryphon_storage::{MediaFactory, MetaTable, TableConfig};
 use gryphon_streams::KnowledgeStream;
 use gryphon_types::{
     CheckpointToken, DeliveryKind, DeliveryMsg, EventRef, KnowledgePart, NodeId, PubendId,
     ServerMsg, SubscriberId, SubscriptionSpec, Timestamp,
-};
-use gryphon_sim::{
-    count_metric, names, observe_metric, record_metric, trace_event, NodeCtx, TraceEvent,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -147,8 +147,8 @@ impl Shb {
             TableConfig::default(),
         )
         .expect("SHB meta table must open");
-        let pfs = Pfs::open(factory.clone_box(), name, PfsMode::Precise)
-            .expect("SHB PFS must open");
+        let pfs =
+            Pfs::open(factory.clone_box(), name, PfsMode::Precise).expect("SHB PFS must open");
         let mut shb = Shb {
             name: name.to_owned(),
             meta,
@@ -209,7 +209,10 @@ impl Shb {
             .iter_prefix("ld/")
             .filter_map(|(k, v)| {
                 let p: u32 = k.strip_prefix("ld/")?.parse().ok()?;
-                Some((PubendId(p), Timestamp(u64::from_le_bytes(v.try_into().ok()?))))
+                Some((
+                    PubendId(p),
+                    Timestamp(u64::from_le_bytes(v.try_into().ok()?)),
+                ))
             })
             .collect();
         for (p, t) in lds {
@@ -249,7 +252,10 @@ impl Shb {
 
     /// Current subscription set for upward interest aggregation.
     pub fn interest(&self) -> Vec<(SubscriberId, SubscriptionSpec)> {
-        self.specs.iter().map(|(&s, spec)| (s, spec.clone())).collect()
+        self.specs
+            .iter()
+            .map(|(&s, spec)| (s, spec.clone()))
+            .collect()
     }
 
     /// The dense slot of `sub` (assigning one if new).
@@ -301,19 +307,14 @@ impl Shb {
             con.processed_to
         };
         if dh > con.processed_to {
-            let events: Vec<EventRef> =
-                cache.events_in(con.processed_to, dh).cloned().collect();
+            let events: Vec<EventRef> = cache.events_in(con.processed_to, dh).cloned().collect();
             for event in events {
                 ctx.work(config.costs.match_us);
                 let matched = self.index.matches(&event);
                 if matched.is_empty() {
                     continue;
                 }
-                if self
-                    .pfs
-                    .write(p, event.ts, &matched)
-                    .is_ok()
-                {
+                if self.pfs.write(p, event.ts, &matched).is_ok() {
                     ctx.work(config.costs.pfs_record_us);
                 }
                 for sub in matched {
@@ -518,7 +519,10 @@ impl Shb {
         // latestDelivered (fresh subscription).
         let mut start = CheckpointToken::new();
         let mut plans: Vec<(PubendId, CatchupNeeds)> = Vec::new();
-        let pubends: Vec<PubendId> = self.con.keys().copied().collect();
+        // Sorted: catchup plans and CatchupStarted events must not
+        // depend on constream-map iteration order (golden determinism).
+        let mut pubends: Vec<PubendId> = self.con.keys().copied().collect();
+        pubends.sort_unstable();
         let mut conn = Conn {
             client,
             catchup: HashMap::new(),
@@ -720,15 +724,20 @@ impl Shb {
     /// Sends silence messages to idle connected subscribers so their
     /// checkpoint tokens keep advancing.
     pub fn client_silence(&mut self, ctx: &mut dyn NodeCtx) {
-        let cons: Vec<(PubendId, Timestamp)> = self
-            .con
-            .iter()
-            .map(|(&p, c)| (p, c.processed_to))
-            .collect();
-        for (sub, conn) in self.conns.iter_mut() {
+        // Both loops sorted: silence emission order must not depend on
+        // map iteration order (golden determinism).
+        let mut cons: Vec<(PubendId, Timestamp)> =
+            self.con.iter().map(|(&p, c)| (p, c.processed_to)).collect();
+        cons.sort_unstable_by_key(|&(p, _)| p);
+        let mut subs: Vec<SubscriberId> = self.conns.keys().copied().collect();
+        subs.sort_unstable();
+        for sub in &subs {
             if self.gated.contains(sub) {
                 continue; // gated subscribers advance via their own acks
             }
+            let Some(conn) = self.conns.get_mut(sub) else {
+                continue;
+            };
             for &(p, processed) in &cons {
                 if conn.catchup.contains_key(&p) {
                     continue;
@@ -839,11 +848,7 @@ impl Shb {
         let full = result.full_read;
         // Re-borrow to stash the result (pfs and conns are disjoint
         // fields, but the `cu` borrow had to end before the read).
-        if let Some(cu) = self
-            .conns
-            .get_mut(&sub)
-            .and_then(|c| c.catchup.get_mut(&p))
-        {
+        if let Some(cu) = self.conns.get_mut(&sub).and_then(|c| c.catchup.get_mut(&p)) {
             cu.pending_read = Some(result);
         }
         Some((visited, q_ticks, full))
@@ -852,11 +857,7 @@ impl Shb {
     /// Applies the stored read result when its latency timer fires;
     /// returns `true` if there was one.
     pub fn finish_pfs_read(&mut self, sub: SubscriberId, p: PubendId) -> bool {
-        let Some(cu) = self
-            .conns
-            .get_mut(&sub)
-            .and_then(|c| c.catchup.get_mut(&p))
-        else {
+        let Some(cu) = self.conns.get_mut(&sub).and_then(|c| c.catchup.get_mut(&p)) else {
             return false;
         };
         let Some(result) = cu.pending_read.take() else {
@@ -882,7 +883,11 @@ impl Shb {
     /// Applies arriving knowledge parts to every catchup stream of `p`,
     /// filtered per subscriber (a data tick that does not match becomes
     /// silence for that stream).
-    pub fn distribute_to_catchup(&mut self, p: PubendId, parts: &[KnowledgePart]) -> Vec<SubscriberId> {
+    pub fn distribute_to_catchup(
+        &mut self,
+        p: PubendId,
+        parts: &[KnowledgePart],
+    ) -> Vec<SubscriberId> {
         let mut touched = Vec::new();
         for (&sub, conn) in self.conns.iter_mut() {
             let Some(cu) = conn.catchup.get_mut(&p) else {
@@ -928,7 +933,11 @@ impl Shb {
         // are bounded to a window beyond what the client has acknowledged,
         // so a reconnecting client is never overwhelmed and the SHB's
         // catchup work is paced by real consumption.
-        let acked = self.released.get(&(sub, p)).copied().unwrap_or(Timestamp::ZERO);
+        let acked = self
+            .released
+            .get(&(sub, p))
+            .copied()
+            .unwrap_or(Timestamp::ZERO);
         let pace_limit = acked + config.catchup_window_ticks;
         let Some(conn) = self.conns.get_mut(&sub) else {
             return needs;
@@ -966,8 +975,11 @@ impl Shb {
             if dh <= cu.delivered_to {
                 break;
             }
-            let events: Vec<EventRef> =
-                cu.knowledge.events_in(cu.delivered_to, dh).cloned().collect();
+            let events: Vec<EventRef> = cu
+                .knowledge
+                .events_in(cu.delivered_to, dh)
+                .cloned()
+                .collect();
             let mut last_event_ts = Timestamp::ZERO;
             for e in events {
                 ctx.work(config.costs.catchup_delivery_us);

@@ -94,7 +94,9 @@ fn fresh_shb() -> (Shb, BrokerConfig, StubCtx) {
 fn cache_with(events: &[u64], upto: u64) -> (KnowledgeStream, Timestamp) {
     let mut ks = KnowledgeStream::new();
     for &t in events {
-        let e = Event::builder(P).attr("class", 0i64).build_ref(Timestamp(t));
+        let e = Event::builder(P)
+            .attr("class", 0i64)
+            .build_ref(Timestamp(t));
         assert!(ks.set_data(e));
     }
     ks.set_silence(Timestamp(1), Timestamp(upto));
@@ -180,8 +182,14 @@ fn released_is_min_over_subscribers_and_latest_delivered() {
     shb.constream_advance(P, &cache, upto, &config, &mut ctx);
     shb.pfs_sync(&mut ctx);
     // Acks: sub1 → 6, sub2 → 4.
-    shb.ack(SubscriberId(1), &CheckpointToken::from_pairs([(P, Timestamp(6))]));
-    shb.ack(SubscriberId(2), &CheckpointToken::from_pairs([(P, Timestamp(4))]));
+    shb.ack(
+        SubscriberId(1),
+        &CheckpointToken::from_pairs([(P, Timestamp(6))]),
+    );
+    shb.ack(
+        SubscriberId(2),
+        &CheckpointToken::from_pairs([(P, Timestamp(4))]),
+    );
     assert_eq!(shb.released_local(P), Timestamp(4));
     // A disconnected subscriber still holds release back.
     shb.disconnect(SubscriberId(2));
@@ -235,7 +243,9 @@ fn reconnect_with_checkpoint_creates_catchup_and_switches_over() {
 
     // Feed the recovered events (as the broker would from cache answers).
     for t in [5u64, 9, 15] {
-        let e = Event::builder(P).attr("class", 0i64).build_ref(Timestamp(t));
+        let e = Event::builder(P)
+            .attr("class", 0i64)
+            .build_ref(Timestamp(t));
         shb.distribute_to_catchup(P, &[gryphon_types::KnowledgePart::Data(e)]);
     }
     let needs = shb.catchup_progress(SubscriberId(1), P, &config, &mut ctx);
@@ -269,7 +279,9 @@ fn catchup_delivery_is_paced_by_acknowledgments() {
         &config,
     );
     // Give the stream full knowledge of the whole span.
-    let e = Event::builder(P).attr("class", 0i64).build_ref(Timestamp(50));
+    let e = Event::builder(P)
+        .attr("class", 0i64)
+        .build_ref(Timestamp(50));
     shb.distribute_to_catchup(
         P,
         &[
@@ -295,7 +307,10 @@ fn catchup_delivery_is_paced_by_acknowledgments() {
         .unwrap_or(0);
     assert!(max_ts <= 11, "delivered past the pace window: {max_ts}");
     // Acknowledge: the window slides and delivery completes.
-    shb.ack(SubscriberId(1), &CheckpointToken::from_pairs([(P, Timestamp(95))]));
+    shb.ack(
+        SubscriberId(1),
+        &CheckpointToken::from_pairs([(P, Timestamp(95))]),
+    );
     let needs = shb.catchup_progress(SubscriberId(1), P, &config, &mut ctx);
     assert!(needs.switched);
     let events: Vec<u64> = ctx
@@ -335,7 +350,10 @@ fn gated_subscriber_serializes_on_commit_workers() {
     assert_eq!(events, vec![3], "gated: one un-acked delivery at a time");
     // Ack + commit cycle releases the next one.
     let w = shb
-        .ack(SubscriberId(1), &CheckpointToken::from_pairs([(P, Timestamp(3))]))
+        .ack(
+            SubscriberId(1),
+            &CheckpointToken::from_pairs([(P, Timestamp(3))]),
+        )
         .expect("worker should start");
     let dur = shb.ct_commit_start(w, &config).expect("commit batch");
     assert!(dur >= config.ct_commit_base_us);
@@ -372,7 +390,10 @@ fn post_restart_resumes_from_durable_cursor() {
         let (cache, upto) = cache_with(&[4, 8], 10);
         shb.constream_advance(P, &cache, upto, &config, &mut ctx);
         shb.pfs_sync(&mut ctx);
-        shb.ack(SubscriberId(1), &CheckpointToken::from_pairs([(P, Timestamp(8))]));
+        shb.ack(
+            SubscriberId(1),
+            &CheckpointToken::from_pairs([(P, Timestamp(8))]),
+        );
         shb.meta_persist(&mut ctx);
     } // crash
     let mut shb = Shb::open(&factory, "t", &config);

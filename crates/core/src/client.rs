@@ -314,8 +314,7 @@ impl Node for SubscriberClient {
                         };
                         if self.cfg.collect {
                             if let Some(sent) = sent {
-                                let lat_ms =
-                                    (ctx.now_us() as i64 - sent) as f64 / 1_000.0;
+                                let lat_ms = (ctx.now_us() as i64 - sent) as f64 / 1_000.0;
                                 ctx.record("client.latency_ms", lat_ms);
                             }
                         }
@@ -365,10 +364,9 @@ impl Node for SubscriberClient {
 
     fn on_timer(&mut self, key: TimerKey, ctx: &mut dyn NodeCtx) {
         match key {
-            T_CONNECT
-                if !self.connected && !self.voluntary_down => {
-                    self.connect(ctx);
-                }
+            T_CONNECT if !self.connected && !self.voluntary_down => {
+                self.connect(ctx);
+            }
             T_ACK => {
                 if self.connected && !self.cfg.auto_ack {
                     self.send_ack(ctx);
@@ -380,8 +378,7 @@ impl Node for SubscriberClient {
                 if !self.voluntary_down {
                     if !self.connected {
                         self.connect(ctx);
-                    } else if now.saturating_sub(self.last_traffic_us)
-                        > self.cfg.probe_interval_us
+                    } else if now.saturating_sub(self.last_traffic_us) > self.cfg.probe_interval_us
                     {
                         // Broker presumed crashed.
                         self.connected = false;

@@ -182,7 +182,10 @@ impl Pfs {
                 }
                 let lt = self.last_timestamp.entry(pubend).or_insert(Timestamp::ZERO);
                 *lt = (*lt).max(rec.end);
-                self.ts_index.entry(pubend).or_default().insert(rec.start, idx);
+                self.ts_index
+                    .entry(pubend)
+                    .or_default()
+                    .insert(rec.start, idx);
             }
         }
         // Floors are persisted explicitly (chops are rare).
@@ -428,7 +431,10 @@ impl Pfs {
 
     /// Newest record timestamp for `p` ([`Timestamp::ZERO`] when empty).
     pub fn last_timestamp(&self, p: PubendId) -> Timestamp {
-        self.last_timestamp.get(&p).copied().unwrap_or(Timestamp::ZERO)
+        self.last_timestamp
+            .get(&p)
+            .copied()
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Volume counters (records, payload bytes, syncs) — the PFS
@@ -522,13 +528,19 @@ mod tests {
     fn figure2_reads_per_subscriber() {
         let (_f, mut pfs) = fresh(PfsMode::Precise);
         figure2(&mut pfs);
-        let r = pfs.read(P, S1, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S1, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.q_ticks, vec![Timestamp(1), Timestamp(4)]);
         assert_eq!(r.known_from, Timestamp::ZERO);
         assert_eq!(r.covered_to, Timestamp(10));
-        let r = pfs.read(P, S2, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S2, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.q_ticks, vec![Timestamp(1), Timestamp(3), Timestamp(5)]);
-        let r = pfs.read(P, S3, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S3, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.q_ticks, vec![Timestamp(1), Timestamp(4), Timestamp(5)]);
     }
 
@@ -600,7 +612,9 @@ mod tests {
             figure2(&mut pfs);
         }
         let mut pfs = Pfs::open(Box::new(f), "t", PfsMode::Precise).unwrap();
-        let r = pfs.read(P, S2, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S2, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.q_ticks, vec![Timestamp(1), Timestamp(3), Timestamp(5)]);
         assert_eq!(pfs.last_timestamp(P), Timestamp(5));
         // Appending after recovery keeps chains linked.
@@ -621,7 +635,9 @@ mod tests {
         }
         f.crash_lose_unsynced();
         let mut pfs = Pfs::open(Box::new(f), "t", PfsMode::Precise).unwrap();
-        let r = pfs.read(P, S1, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S1, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.q_ticks, vec![Timestamp(1)]);
     }
 
@@ -644,7 +660,9 @@ mod tests {
         }
         // Floor survives crash: reads from below it report undetermined.
         let mut pfs = Pfs::open(Box::new(f), "t", PfsMode::Precise).unwrap();
-        let r = pfs.read(P, S2, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S2, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.known_from, Timestamp(2), "ticks ≤ floor undetermined");
         assert_eq!(r.q_ticks, vec![Timestamp(5)]);
     }
@@ -658,7 +676,9 @@ mod tests {
         pfs.sync().unwrap();
         // One record covering 1..=8 with {s1,s2,s3}: every tick in the
         // window is Q for each of them (the imprecision).
-        let r = pfs.read(P, S2, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S2, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.q_ticks.len(), 8);
         assert_eq!(r.q_ticks[0], Timestamp(1));
         assert_eq!(r.q_ticks[7], Timestamp(8));
@@ -673,7 +693,9 @@ mod tests {
         pfs.write(P, Timestamp(6), &[S2]).unwrap(); // 6-1 >= 5 → new window
         pfs.sync().unwrap();
         assert_eq!(pfs.stats().records, 2);
-        let r = pfs.read(P, S1, Timestamp::ZERO, Timestamp(10), 100).unwrap();
+        let r = pfs
+            .read(P, S1, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
         assert_eq!(r.q_ticks, vec![Timestamp(1)]);
     }
 

@@ -40,8 +40,12 @@ fn build(seed: u64, n_shbs: usize, rate: f64, sub_cfg: &SubscriberConfig) -> Wor
     for i in 0..n_shbs {
         let shb = sim.add_typed_node(
             &format!("shb{i}"),
-            Broker::new(1 + i as u32, Box::new(MemFactory::new()), BrokerConfig::default())
-                .hosting_subscribers(),
+            Broker::new(
+                1 + i as u32,
+                Box::new(MemFactory::new()),
+                BrokerConfig::default(),
+            )
+            .hosting_subscribers(),
         );
         sim.node(phb).add_child(shb.id());
         sim.node(shb).set_parent(phb.id());
@@ -126,7 +130,11 @@ fn voluntary_disconnect_catches_up_exactly_once() {
     world.sim.run_until(30_000_000); // 5 disconnect cycles
     for &sub in &world.subs.clone() {
         assert_exact_prefix(&world, sub, 1_000);
-        assert_eq!(world.sim.node_ref(sub).gaps_received(), 0, "no early release configured");
+        assert_eq!(
+            world.sim.node_ref(sub).gaps_received(),
+            0,
+            "no early release configured"
+        );
     }
     // Catchup actually happened (streams were created and switched over).
     assert!(world.sim.metrics().counter("shb.switchovers") >= 4.0);
@@ -230,8 +238,7 @@ fn two_level_tree_with_intermediate_filtering() {
     for p in 0..2u32 {
         let publisher = sim.add_typed_node(
             &format!("pub{p}"),
-            PublisherClient::new(phb.id(), PubendId(p), 100.0)
-                .with_attrs(|seq, _| attrs_for(seq)),
+            PublisherClient::new(phb.id(), PubendId(p), 100.0).with_attrs(|seq, _| attrs_for(seq)),
         );
         sim.connect(publisher.id(), phb.id(), 500);
     }
@@ -358,8 +365,7 @@ fn single_broker_topology_hosts_everything() {
     sim.connect(sub.id(), broker.id(), 500);
     let publisher = sim.add_typed_node(
         "pub",
-        PublisherClient::new(broker.id(), PubendId(0), 200.0)
-            .with_attrs(|seq, _| attrs_for(seq)),
+        PublisherClient::new(broker.id(), PubendId(0), 200.0).with_attrs(|seq, _| attrs_for(seq)),
     );
     sim.connect(publisher.id(), broker.id(), 500);
     sim.run_until(20_000_000);
@@ -413,7 +419,12 @@ fn stale_checkpoint_reconnect_yields_gaps_not_duplicates() {
     sim.connect(sub.id(), b.id(), 500);
     let steady = sim.add_typed_node(
         "steady",
-        SubscriberClient::new(SubscriberId(2), b.id(), "class = 0", SubscriberConfig::default()),
+        SubscriberClient::new(
+            SubscriberId(2),
+            b.id(),
+            "class = 0",
+            SubscriberConfig::default(),
+        ),
     );
     sim.connect(steady.id(), b.id(), 500);
     let publisher = sim.add_typed_node(
@@ -516,7 +527,11 @@ fn reconnect_anywhere_recovers_missed_interval_via_refiltering() {
     // Seamless continuation: the first event at B is the very next
     // class-1 event after the last one consumed at A, and the sequence
     // is hole-free from there.
-    assert_eq!(seqs.first().copied(), Some(last_seq_a + 4), "missed interval lost");
+    assert_eq!(
+        seqs.first().copied(),
+        Some(last_seq_a + 4),
+        "missed interval lost"
+    );
     for (i, &s) in seqs.iter().enumerate() {
         assert_eq!(s, last_seq_a + 4 + (i as i64) * 4, "hole/dup at {i}");
     }

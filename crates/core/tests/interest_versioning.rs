@@ -33,8 +33,7 @@ fn tree(seed: u64) -> Tree {
     );
     let shb = sim.add_typed_node(
         "shb",
-        Broker::new(2, Box::new(MemFactory::new()), BrokerConfig::default())
-            .hosting_subscribers(),
+        Broker::new(2, Box::new(MemFactory::new()), BrokerConfig::default()).hosting_subscribers(),
     );
     sim.node(phb).add_child(mid.id());
     sim.node(mid).set_parent(phb.id());
@@ -84,7 +83,12 @@ fn late_subscription_through_two_hops_is_hole_free() {
         .collect();
     assert!(seqs.len() > 500, "late subscriber stalled: {}", seqs.len());
     for (i, w) in seqs.windows(2).enumerate() {
-        assert_eq!(w[1], w[0] + 4, "hole/dup at {i}: {:?}", &seqs[..(i + 2).min(seqs.len())]);
+        assert_eq!(
+            w[1],
+            w[0] + 4,
+            "hole/dup at {i}: {:?}",
+            &seqs[..(i + 2).min(seqs.len())]
+        );
     }
     // The connect was parked until the interest chain confirmed.
     assert!(t.sim.metrics().counter("shb.parked_connects") >= 1.0);
@@ -143,12 +147,18 @@ fn intermediate_restart_does_not_poison_new_subscriptions() {
     // Warm subscriber so traffic flows end to end.
     let warm = t.sim.add_typed_node(
         "warm",
-        SubscriberClient::new(SubscriberId(50), t.shb.id(), "class = 0", SubscriberConfig::default()),
+        SubscriberClient::new(
+            SubscriberId(50),
+            t.shb.id(),
+            "class = 0",
+            SubscriberConfig::default(),
+        ),
     );
     t.sim.connect(warm.id(), t.shb.id(), 500);
     t.sim.run_until(4_000_000);
     // Crash the intermediate briefly; its interest tables evaporate.
-    t.sim.schedule_crash(gryphon_types::NodeId(1), 4_000_000, 500_000);
+    t.sim
+        .schedule_crash(gryphon_types::NodeId(1), 4_000_000, 500_000);
     // A new subscription joins immediately after the restart, while the
     // intermediate's view of the world is still cold.
     let late = t.sim.add_typed_node(

@@ -28,9 +28,7 @@ fn arb_history() -> impl Strategy<Value = Vec<WritePlan>> {
 }
 
 /// Reference model: ts → set of matching subs.
-fn build(
-    history: &[WritePlan],
-) -> (Pfs, MemFactory, BTreeMap<u64, u8>, Timestamp) {
+fn build(history: &[WritePlan]) -> (Pfs, MemFactory, BTreeMap<u64, u8>, Timestamp) {
     let factory = MemFactory::new();
     let mut pfs = Pfs::open(Box::new(factory.clone()), "t", PfsMode::Precise).unwrap();
     let mut model = BTreeMap::new();

@@ -259,7 +259,10 @@ pub mod channel {
             let _ = tx.try_send(3); // queue full, but receiver gone wins? full checked after
             let (tx2, rx2) = bounded(8);
             drop(rx2);
-            assert!(matches!(tx2.try_send(9), Err(TrySendError::Disconnected(9))));
+            assert!(matches!(
+                tx2.try_send(9),
+                Err(TrySendError::Disconnected(9))
+            ));
         }
 
         #[test]

@@ -52,10 +52,13 @@ pub fn run_consolidation(quick: bool) -> Report {
         let at_warmup = sys.total_events();
         sys.run_sampled(run_us, 500_000);
         assert_eq!(sys.total_order_violations(), 0);
-        let delivered =
-            (sys.total_events() - at_warmup) as f64 / ((run_us - warmup) as f64 / 1e6);
+        let delivered = (sys.total_events() - at_warmup) as f64 / ((run_us - warmup) as f64 / 1e6);
         let busy = sys.busy_fraction(sys.shbs[0].id(), warmup, run_us);
-        let capacity = if busy > 0.0 { delivered / busy } else { f64::NAN };
+        let capacity = if busy > 0.0 {
+            delivered / busy
+        } else {
+            f64::NAN
+        };
         let catchup_share = sys.sim.metrics().counter("shb.catchup_delivered")
             / sys.sim.metrics().counter("shb.delivered").max(1.0);
         t.row(&[
@@ -192,7 +195,13 @@ pub fn run_pfs_mode(quick: bool) -> Report {
         let stats = pfs.stats();
         let last = pfs.last_timestamp(PubendId(0));
         let read = pfs
-            .read(PubendId(0), SubscriberId(0), Timestamp::ZERO, last, usize::MAX)
+            .read(
+                PubendId(0),
+                SubscriberId(0),
+                Timestamp::ZERO,
+                last,
+                usize::MAX,
+            )
             .expect("read");
         let true_matches = (0..events).filter(|seq| seq % classes == 0).count();
         metrics.observe(

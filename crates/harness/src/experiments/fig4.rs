@@ -130,9 +130,17 @@ pub fn run(quick: bool) -> Report {
         if let (Some(one), Some(four)) = (cells.get(1), cells.get(3)) {
             report.note(format!(
                 "{}: est. peak scales {:.2}× from 1 SHB to 4 SHBs (paper: {:.2}×)",
-                if disconnecting { "disconnecting" } else { "steady" },
+                if disconnecting {
+                    "disconnecting"
+                } else {
+                    "steady"
+                },
                 four.est_peak / one.est_peak,
-                if disconnecting { 69.6 / 17.6 } else { 79.2 / 20.0 },
+                if disconnecting {
+                    69.6 / 17.6
+                } else {
+                    79.2 / 20.0
+                },
             ));
         }
         report.table(t);

@@ -86,7 +86,10 @@ pub fn run_fig6(quick: bool) -> Report {
             .map(|w| {
                 let dt_s = (w[1].0 - w[0].0) as f64 / 1e6;
                 let dv = w[1].1 - w[0].1; // tick-ms advanced
-                (w[1].0 as f64 / 1e6, if dt_s > 0.0 { dv / dt_s } else { 0.0 })
+                (
+                    w[1].0 as f64 / 1e6,
+                    if dt_s > 0.0 { dv / dt_s } else { 0.0 },
+                )
             })
             .collect()
     };
@@ -95,7 +98,11 @@ pub fn run_fig6(quick: bool) -> Report {
     let stats = |r: &[(f64, f64)]| -> (f64, f64, f64) {
         // Skip the warmup quarter.
         let cut = run_us as f64 / 4e6;
-        let vals: Vec<f64> = r.iter().filter(|&&(t, _)| t > cut).map(|&(_, v)| v).collect();
+        let vals: Vec<f64> = r
+            .iter()
+            .filter(|&&(t, _)| t > cut)
+            .map(|&(_, v)| v)
+            .collect();
         if vals.is_empty() {
             return (f64::NAN, f64::NAN, f64::NAN);
         }

@@ -67,7 +67,11 @@ fn crash_run(quick: bool) -> CrashRun {
     let shb = sys.shbs[0].id();
     sys.sim.schedule_crash(shb, crash_at_us, crash_dur);
     sys.run_sampled(run_us, 500_000);
-    assert_eq!(sys.total_order_violations(), 0, "order violated across crash");
+    assert_eq!(
+        sys.total_order_violations(),
+        0,
+        "order violated across crash"
+    );
     CrashRun {
         sys,
         crash_at_us,
@@ -186,7 +190,12 @@ pub fn run_fig8(quick: bool) -> Report {
             }
             let _ = h;
             let sub_no = (i + 1) as u64; // SubscriberId assigned in build order
-            for &(t, v) in run.sys.sim.metrics().series(&format!("client{sub_no}.rate")) {
+            for &(t, v) in run
+                .sys
+                .sim
+                .metrics()
+                .series(&format!("client{sub_no}.rate"))
+            {
                 *acc.entry(t / 1_000_000).or_insert(0.0) += v;
             }
         }
@@ -215,9 +224,16 @@ pub fn run_fig8(quick: bool) -> Report {
             format!("{:.0}", phase_mean(pts, 2.0, run.crash_at_us as f64 / 1e6)),
             format!(
                 "{:.0}",
-                phase_mean(pts, run.crash_at_us as f64 / 1e6 + 1.0, crash_end as f64 / 1e6)
+                phase_mean(
+                    pts,
+                    run.crash_at_us as f64 / 1e6 + 1.0,
+                    crash_end as f64 / 1e6
+                )
             ),
-            format!("{:.0}", phase_mean(pts, reconnect_s + 2.0, reconnect_s + 20.0)),
+            format!(
+                "{:.0}",
+                phase_mean(pts, reconnect_s + 2.0, reconnect_s + 20.0)
+            ),
         ]);
     }
     report.table(t);
@@ -272,7 +288,10 @@ pub fn run_fig8(quick: bool) -> Report {
         .collect();
     let reads = run.sys.sim.metrics().counter("shb.pfs_reads");
     let full_reads = run.sys.sim.metrics().counter("shb.pfs_full_reads");
-    let mut t3 = Table::new("Figure 8 context: catchup + PFS reads", &["metric", "value"]);
+    let mut t3 = Table::new(
+        "Figure 8 context: catchup + PFS reads",
+        &["metric", "value"],
+    );
     if !durs.is_empty() {
         t3.row(&[
             "mean catchup duration (s)".into(),

@@ -46,10 +46,7 @@ fn run_jms(seed: u64, n_subs: usize, run_us: u64) -> (JmsCell, Sim) {
         );
         sim.connect(sub.id(), b.id(), 500);
     }
-    let publisher = sim.add_typed_node(
-        "pub",
-        PublisherClient::new(b.id(), PubendId(0), 800.0),
-    );
+    let publisher = sim.add_typed_node("pub", PublisherClient::new(b.id(), PubendId(0), 800.0));
     sim.connect(publisher.id(), b.id(), 500);
     sim.run_until(run_us);
     let delivered = sim.metrics().counter("client.events");
@@ -59,7 +56,11 @@ fn run_jms(seed: u64, n_subs: usize, run_us: u64) -> (JmsCell, Sim) {
         subs: n_subs,
         delivered_rate: delivered / (run_us as f64 / 1e6),
         commits,
-        mean_batch: if commits > 0.0 { updates / commits } else { 0.0 },
+        mean_batch: if commits > 0.0 {
+            updates / commits
+        } else {
+            0.0
+        },
     };
     (cell, sim)
 }

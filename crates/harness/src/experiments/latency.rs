@@ -20,8 +20,7 @@ fn gryphon_chain_latency(run_us: u64) -> (f64, u64, Sim) {
     let config = BrokerConfig::default();
     let phb = sim.add_typed_node(
         "phb",
-        Broker::new(0, Box::new(MemFactory::new()), config.clone())
-            .hosting_pubends([PubendId(0)]),
+        Broker::new(0, Box::new(MemFactory::new()), config.clone()).hosting_pubends([PubendId(0)]),
     );
     let mut prev = phb;
     let mut brokers = vec![phb];
@@ -85,12 +84,11 @@ fn baseline_chain_latency(run_us: u64) -> (f64, u64) {
         sim.connect(a.id(), b.id(), 1_000);
     }
     let consumer = sim.add_typed_node("consumer", SfSubscriber::new());
-    sim.node(hops[4]).add_subscriber(SubscriberId(1), consumer.id());
+    sim.node(hops[4])
+        .add_subscriber(SubscriberId(1), consumer.id());
     sim.connect(hops[4].id(), consumer.id(), 500);
-    let publisher = sim.add_typed_node(
-        "pub",
-        PublisherClient::new(hops[0].id(), PubendId(0), 50.0),
-    );
+    let publisher =
+        sim.add_typed_node("pub", PublisherClient::new(hops[0].id(), PubendId(0), 50.0));
     sim.connect(publisher.id(), hops[0].id(), 500);
     sim.run_until(run_us);
     let c = sim.node_ref(consumer);
@@ -110,7 +108,12 @@ pub fn run(quick: bool) -> Report {
     let mut report = Report::new("latency");
     let mut t = Table::new(
         "End-to-end latency, 5-hop network (paper: 50 ms total, 44 ms PHB logging)",
-        &["system", "mean latency (ms)", "logging component (ms)", "events measured"],
+        &[
+            "system",
+            "mean latency (ms)",
+            "logging component (ms)",
+            "events measured",
+        ],
     );
     t.row(&[
         "gryphon (log-once at PHB)".into(),

@@ -60,7 +60,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "pfs_micro",
             "§5.1.2: PFS vs per-subscriber event logging microbenchmark (bytes + wall time)",
         ),
-        ("jms", "§5.2: JMS auto-acknowledge peak rates, 25 vs 200 subscribers"),
+        (
+            "jms",
+            "§5.2: JMS auto-acknowledge peak rates, 25 vs 200 subscribers",
+        ),
         (
             "fig7",
             "Figure 7: latestDelivered/released through SHB crash and recovery",

@@ -159,7 +159,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -485,7 +487,10 @@ mod tests {
         let json = r.metrics_json();
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"histograms\": {}"));
-        assert_eq!(r.metrics_csv(), "kind,name,count,value,min,p50,p95,p99,max\n");
+        assert_eq!(
+            r.metrics_csv(),
+            "kind,name,count,value,min,p50,p95,p99,max\n"
+        );
     }
 
     #[test]

@@ -211,7 +211,9 @@ impl System {
             self.sim.run_until(t);
             for (id, name) in &brokers {
                 let busy = self.sim.busy_us(*id) as f64;
-                self.sim.metrics_mut().record(t, &format!("busy.{name}"), busy);
+                self.sim
+                    .metrics_mut()
+                    .record(t, &format!("busy.{name}"), busy);
             }
         }
     }

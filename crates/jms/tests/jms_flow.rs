@@ -38,7 +38,11 @@ fn auto_ack_delivers_exactly_once_in_order() {
     let client = sim.node_ref(sub);
     assert_eq!(client.order_violations(), 0);
     assert_eq!(client.gaps_received(), 0);
-    assert!(client.events_received() > 200, "{}", client.events_received());
+    assert!(
+        client.events_received() > 200,
+        "{}",
+        client.events_received()
+    );
     // Auto-ack: every event produced a checkpoint commit at the broker.
     assert!(sim.metrics().counter("shb.ct_commits") > 0.0);
 }
@@ -117,5 +121,8 @@ fn broker_stores_checkpoint_across_reconnect() {
     assert_eq!(seqs, dedup, "no adjacent duplicates");
     assert!(seqs.len() > 300, "{}", seqs.len());
     // Strictly increasing = exactly-once in order.
-    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "out of order: {seqs:?}");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "out of order: {seqs:?}"
+    );
 }

@@ -92,7 +92,10 @@ impl SubscriptionIndex {
                         .or_default()
                         .push(sub);
                 } else {
-                    self.attr_index.entry(p.attr.clone()).or_default().push((sub, i));
+                    self.attr_index
+                        .entry(p.attr.clone())
+                        .or_default()
+                        .push((sub, i));
                 }
             }
         }
@@ -254,7 +257,10 @@ mod tests {
     #[test]
     fn conjunction_requires_all_predicates() {
         let mut idx = SubscriptionIndex::new();
-        idx.insert(SubscriberId(1), Filter::parse("class = 1 && price > 10").unwrap());
+        idx.insert(
+            SubscriberId(1),
+            Filter::parse("class = 1 && price > 10").unwrap(),
+        );
         assert!(idx.matches(&event(1, 5)).is_empty());
         assert_eq!(idx.matches(&event(1, 11)), vec![SubscriberId(1)]);
     }
@@ -264,10 +270,7 @@ mod tests {
         let mut idx = SubscriptionIndex::new();
         idx.insert(SubscriberId(7), Filter::match_all());
         idx.insert(SubscriberId(8), Filter::parse("class = 0").unwrap());
-        assert_eq!(
-            sorted(idx.matches(&event(1, 0))),
-            vec![SubscriberId(7)]
-        );
+        assert_eq!(sorted(idx.matches(&event(1, 0))), vec![SubscriberId(7)]);
         assert_eq!(
             sorted(idx.matches(&event(0, 0))),
             vec![SubscriberId(7), SubscriberId(8)]
@@ -277,7 +280,10 @@ mod tests {
     #[test]
     fn remove_unregisters_all_predicates() {
         let mut idx = SubscriptionIndex::new();
-        idx.insert(SubscriberId(1), Filter::parse("class = 1 && price > 10").unwrap());
+        idx.insert(
+            SubscriberId(1),
+            Filter::parse("class = 1 && price > 10").unwrap(),
+        );
         assert!(idx.remove(SubscriberId(1)).is_some());
         assert!(idx.remove(SubscriberId(1)).is_none());
         assert!(idx.matches(&event(1, 20)).is_empty());
@@ -308,14 +314,20 @@ mod tests {
         // `class = 1 && class = 1` has total 2; both hits come from the
         // same attribute lookup and must both count.
         let mut idx = SubscriptionIndex::new();
-        idx.insert(SubscriberId(1), Filter::parse("class = 1 && class = 1").unwrap());
+        idx.insert(
+            SubscriberId(1),
+            Filter::parse("class = 1 && class = 1").unwrap(),
+        );
         assert_eq!(idx.matches(&event(1, 0)), vec![SubscriberId(1)]);
     }
 
     #[test]
     fn contradictory_filter_never_matches() {
         let mut idx = SubscriptionIndex::new();
-        idx.insert(SubscriberId(1), Filter::parse("class = 1 && class = 2").unwrap());
+        idx.insert(
+            SubscriberId(1),
+            Filter::parse("class = 1 && class = 2").unwrap(),
+        );
         assert!(idx.matches(&event(1, 0)).is_empty());
         assert!(idx.matches(&event(2, 0)).is_empty());
     }
@@ -323,7 +335,12 @@ mod tests {
     #[test]
     fn collect_from_iterator() {
         let idx: SubscriptionIndex = (0..3)
-            .map(|i| (SubscriberId(i), Filter::parse(&format!("class = {i}")).unwrap()))
+            .map(|i| {
+                (
+                    SubscriberId(i),
+                    Filter::parse(&format!("class = {i}")).unwrap(),
+                )
+            })
             .collect();
         assert_eq!(idx.len(), 3);
     }

@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "filter parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "filter parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -118,7 +122,12 @@ impl<'a> Lexer<'a> {
                 let len = rest
                     .char_indices()
                     .take_while(|&(i, c)| {
-                        i == 0 || c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-'
+                        i == 0
+                            || c.is_ascii_digit()
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E'
+                            || c == '-'
                             || c == '+'
                     })
                     .count();
@@ -195,9 +204,7 @@ pub fn parse(input: &str) -> Result<Filter, ParseError> {
                         }
                         predicates.push(Predicate::new(attr, op, value));
                     }
-                    other => {
-                        return Err(lex.err(format!("expected operator, found {other:?}")))
-                    }
+                    other => return Err(lex.err(format!("expected operator, found {other:?}"))),
                 }
             }
             other => return Err(lex.err(format!("expected predicate, found {other:?}"))),

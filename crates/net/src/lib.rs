@@ -3,8 +3,9 @@
 //! The same [`Node`] state machines that run under the
 //! deterministic simulator run here on **real OS threads** connected by
 //! crossbeam channels, with wall-clock timers. The paper's wall-clock
-//! microbenchmarks and the `rt_pipeline` bench use this runtime; the
-//! figure reproductions use the simulator (deterministic virtual time).
+//! microbenchmarks and the `rt_pipeline`/`rt_shard` benches use this
+//! runtime; the figure reproductions use the simulator (deterministic
+//! virtual time).
 //!
 //! Differences from the simulator, by design:
 //!
@@ -13,6 +14,25 @@
 //!   *throughput*, not latency shapes;
 //! * there is no crash injection;
 //! * determinism is not guaranteed.
+//!
+//! # Sharding
+//!
+//! A *logical* node may be backed by several worker threads
+//! ([`NetBuilder::add_sharded_node`]), each running its own state
+//! machine over a disjoint subset of pubends. Messages addressed to the
+//! logical node are routed by [`NetMsg::pubend_key`]: pubend-scoped
+//! traffic goes to the shard owning `pubend % n` (so everything for one
+//! pubend stays ordered on one thread — each `PubendPipeline` has
+//! exactly one owner), client/interest control traffic is broadcast to
+//! every shard, and anything else lands on shard 0. Cross-pubend work
+//! runs in parallel; per-pubend FIFO order is preserved because
+//! crossbeam channels are FIFO per producer and a pubend never changes
+//! shards.
+//!
+//! Each worker owns its own [`Metrics`] and protocol
+//! [`Watchdogs`](gryphon_sim::Watchdogs) (no shared lock on the hot
+//! path); [`RunningNet::counter`] sums the live per-worker counters and
+//! [`RunningNet::stop`] merges everything into one [`NetResult`].
 //!
 //! # Examples
 //!
@@ -39,7 +59,9 @@
 //! ```
 
 use crossbeam::channel::{bounded, Sender};
-use gryphon_sim::{Metrics, Node, NodeCtx, TimerKey};
+use gryphon_sim::{
+    names, Executor, Metrics, Node, NodeCtx, TimerKey, TraceEvent, TraceRecord, Watchdogs,
+};
 use gryphon_types::{NetMsg, NodeId};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -54,7 +76,8 @@ enum Ev {
     Msg(NodeId, NetMsg),
 }
 
-/// Typed handle to a node registered with [`NetBuilder::add_node`].
+/// Typed handle to a node registered with [`NetBuilder::add_node`] or
+/// [`NetBuilder::add_sharded_node`]. The id is the *logical* node id.
 pub struct Handle<T> {
     id: NodeId,
     _marker: std::marker::PhantomData<fn() -> T>,
@@ -68,7 +91,7 @@ impl<T> Clone for Handle<T> {
 impl<T> Copy for Handle<T> {}
 
 impl<T> Handle<T> {
-    /// The node id.
+    /// The logical node id.
     pub fn id(&self) -> NodeId {
         self.id
     }
@@ -97,9 +120,70 @@ impl<T: Node + 'static> Node for Typed<T> {
     }
 }
 
+/// One logical node: the worker threads backing it and its handle type.
+struct LogicalEntry {
+    workers: Vec<usize>,
+    type_id: TypeId,
+}
+
+/// Routes messages addressed to logical nodes onto worker channels.
+#[derive(Clone)]
+struct Router {
+    senders: Arc<Vec<Sender<Ev>>>,
+    logical: Arc<Vec<LogicalEntry>>,
+}
+
+impl Router {
+    /// Delivers `msg` to logical node `to` (see the module docs for the
+    /// shard-routing policy). `blocking` selects backpressure (harness
+    /// injection) vs best-effort (node-to-node sends, where a full
+    /// channel behaves like a saturated TCP connection and the
+    /// protocols recover via nacks).
+    fn deliver(&self, from: NodeId, to: NodeId, msg: NetMsg, blocking: bool) {
+        let Some(entry) = self.logical.get(to.0 as usize) else {
+            return;
+        };
+        let n = entry.workers.len();
+        let target = if n == 1 {
+            Some(entry.workers[0])
+        } else {
+            match msg.pubend_key() {
+                Some(p) => Some(entry.workers[p.0 as usize % n]),
+                // Subscription interest and client control traffic is
+                // relevant to every shard (each shard matches it against
+                // its own pubends); duplicate ConnectOk/Ack handling is
+                // idempotent on the client side.
+                None => match &msg {
+                    NetMsg::Client(_) | NetMsg::SubInterest(_) => None,
+                    _ => Some(entry.workers[0]),
+                },
+            }
+        };
+        match target {
+            Some(w) => self.send_to(w, from, msg, blocking),
+            None => {
+                for &w in &entry.workers {
+                    self.send_to(w, from, msg.clone(), blocking);
+                }
+            }
+        }
+    }
+
+    fn send_to(&self, w: usize, from: NodeId, msg: NetMsg, blocking: bool) {
+        if let Some(tx) = self.senders.get(w) {
+            if blocking {
+                let _ = tx.send(Ev::Msg(from, msg));
+            } else {
+                let _ = tx.try_send(Ev::Msg(from, msg));
+            }
+        }
+    }
+}
+
 /// Builder: register nodes, then [`NetBuilder::start`].
 pub struct NetBuilder {
-    nodes: Vec<(String, Box<dyn Node>, TypeId)>,
+    workers: Vec<(String, Box<dyn Node>)>,
+    logical: Vec<LogicalEntry>,
 }
 
 impl Default for NetBuilder {
@@ -111,25 +195,62 @@ impl Default for NetBuilder {
 impl NetBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        NetBuilder { nodes: Vec::new() }
+        NetBuilder {
+            workers: Vec::new(),
+            logical: Vec::new(),
+        }
     }
 
-    /// Registers a node; its id is its registration order.
+    /// Registers a node; its logical id is its registration order.
     pub fn add_node<T: Node + 'static>(&mut self, name: &str, node: T) -> Handle<T> {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes
-            .push((name.to_owned(), Box::new(Typed(node)), TypeId::of::<Typed<T>>()));
+        self.add_entry(name, vec![Box::new(Typed(node))], TypeId::of::<Typed<T>>())
+    }
+
+    /// Registers a logical node backed by one worker thread per element
+    /// of `shards`. Shard `i` owns every pubend with `p.0 % n == i`; see
+    /// the module docs for the routing policy. All shards share the one
+    /// logical id returned here.
+    pub fn add_sharded_node<T: Node + 'static>(&mut self, name: &str, shards: Vec<T>) -> Handle<T> {
+        assert!(
+            !shards.is_empty(),
+            "a sharded node needs at least one shard"
+        );
+        let boxed: Vec<Box<dyn Node>> = shards
+            .into_iter()
+            .map(|s| Box::new(Typed(s)) as Box<dyn Node>)
+            .collect();
+        self.add_entry(name, boxed, TypeId::of::<Typed<T>>())
+    }
+
+    fn add_entry<T>(
+        &mut self,
+        name: &str,
+        shards: Vec<Box<dyn Node>>,
+        type_id: TypeId,
+    ) -> Handle<T> {
+        let n = shards.len();
+        let mut workers = Vec::with_capacity(n);
+        for (i, node) in shards.into_iter().enumerate() {
+            let wname = if n == 1 {
+                name.to_owned()
+            } else {
+                format!("{name}.{i}")
+            };
+            workers.push(self.workers.len());
+            self.workers.push((wname, node));
+        }
+        let id = NodeId(self.logical.len() as u32);
+        self.logical.push(LogicalEntry { workers, type_id });
         Handle {
             id,
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// Spawns one thread per node and starts them (running `on_start`).
+    /// Spawns one thread per worker and starts them (running `on_start`).
     pub fn start(self) -> RunningNet {
-        let n = self.nodes.len();
+        let n = self.workers.len();
         let stop = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::new(Mutex::new(Metrics::default()));
         let epoch = Instant::now();
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -139,27 +260,39 @@ impl NetBuilder {
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
+        // Worker → logical-id map for event attribution.
+        let mut owner = vec![NodeId(0); n];
+        for (lid, entry) in self.logical.iter().enumerate() {
+            for &w in &entry.workers {
+                owner[w] = NodeId(lid as u32);
+            }
+        }
+        let logical = Arc::new(self.logical);
+        let router = Router {
+            senders: Arc::clone(&senders),
+            logical: Arc::clone(&logical),
+        };
+        let metrics: Vec<Arc<Mutex<Metrics>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(Metrics::default())))
+            .collect();
         let mut joins = Vec::with_capacity(n);
-        let mut type_ids = Vec::with_capacity(n);
-        for (i, ((name, mut node, type_id), rx)) in
-            self.nodes.into_iter().zip(receivers).enumerate()
-        {
-            type_ids.push(type_id);
-            let senders = Arc::clone(&senders);
+        for (i, ((name, mut node), rx)) in self.workers.into_iter().zip(receivers).enumerate() {
             let stop = Arc::clone(&stop);
-            let metrics = Arc::clone(&metrics);
-            let me = NodeId(i as u32);
+            let metrics = Arc::clone(&metrics[i]);
+            let router = router.clone();
+            let me = owner[i];
             joins.push(
                 std::thread::Builder::new()
                     .name(name)
                     .spawn(move || {
                         let mut worker = Worker {
                             me,
-                            senders,
+                            router,
                             metrics,
+                            watchdogs: Watchdogs::default(),
                             epoch,
                             timers: BinaryHeap::new(),
-                            rng: SmallRng::seed_from_u64(me.0 as u64),
+                            rng: SmallRng::seed_from_u64(i as u64),
                             busy_us: 0,
                         };
                         worker.with_ctx(|node, ctx| node.on_start(ctx), node.as_mut());
@@ -186,11 +319,11 @@ impl NetBuilder {
             );
         }
         RunningNet {
-            senders,
+            router,
             stop,
             joins,
             metrics,
-            type_ids,
+            logical,
         }
     }
 }
@@ -213,9 +346,14 @@ impl PartialOrd for TimerEntry {
 }
 
 struct Worker {
+    /// Logical id of the node this worker backs (shared by all shards).
     me: NodeId,
-    senders: Arc<Vec<Sender<Ev>>>,
+    router: Router,
+    /// This worker's private metrics shard (uncontended in steady state;
+    /// [`RunningNet::counter`] locks it briefly to read).
     metrics: Arc<Mutex<Metrics>>,
+    /// Per-worker protocol watchdogs fed from this shard's trace stream.
+    watchdogs: Watchdogs,
     epoch: Instant,
     timers: BinaryHeap<TimerEntry>,
     rng: SmallRng,
@@ -225,7 +363,10 @@ struct Worker {
 impl Worker {
     fn next_deadline(&self, cap: Duration) -> Duration {
         match self.timers.peek() {
-            Some(e) => e.deadline.saturating_duration_since(Instant::now()).min(cap),
+            Some(e) => e
+                .deadline
+                .saturating_duration_since(Instant::now())
+                .min(cap),
             None => cap,
         }
     }
@@ -276,12 +417,10 @@ impl NodeCtx for ThreadCtx<'_> {
     }
 
     fn send(&mut self, to: NodeId, msg: NetMsg) {
-        if let Some(tx) = self.worker.senders.get(to.0 as usize) {
-            // Best-effort: a full channel drops the message, like a
-            // saturated TCP connection with a dead reader; the protocols
-            // recover via nacks.
-            let _ = tx.try_send(Ev::Msg(self.worker.me, msg));
-        }
+        // Best-effort: a full channel drops the message, like a
+        // saturated TCP connection with a dead reader; the protocols
+        // recover via nacks.
+        self.worker.router.deliver(self.worker.me, to, msg, false);
     }
 
     fn set_timer(&mut self, delay_us: u64, key: TimerKey) {
@@ -304,24 +443,41 @@ impl NodeCtx for ThreadCtx<'_> {
     fn count(&mut self, counter: &str, delta: f64) {
         self.worker.metrics.lock().count(counter, delta);
     }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.worker.metrics.lock().observe(name, value);
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        // No ring buffer here (the threaded runtime is for throughput,
+        // not post-mortems), but the protocol watchdogs still consume
+        // every event so invariant violations surface as watchdog.*
+        // counters — exactly what the sharded-net tests assert on.
+        let rec = TraceRecord {
+            t_us: self.worker.epoch.elapsed().as_micros() as u64,
+            node: self.worker.me,
+            event,
+        };
+        let mut m = self.worker.metrics.lock();
+        self.worker.watchdogs.observe(&rec, &mut m);
+    }
 }
 
 /// A started network; inject messages, then [`RunningNet::stop`].
 pub struct RunningNet {
-    senders: Arc<Vec<Sender<Ev>>>,
+    router: Router,
     stop: Arc<AtomicBool>,
     joins: Vec<std::thread::JoinHandle<Box<dyn Node>>>,
-    metrics: Arc<Mutex<Metrics>>,
-    type_ids: Vec<TypeId>,
+    metrics: Vec<Arc<Mutex<Metrics>>>,
+    logical: Arc<Vec<LogicalEntry>>,
 }
 
 impl RunningNet {
     /// Injects a message from the harness (sender =
-    /// [`gryphon_sim::CONTROL_NODE`]).
+    /// [`gryphon_sim::CONTROL_NODE`]), with backpressure.
     pub fn inject(&self, to: NodeId, msg: NetMsg) {
-        if let Some(tx) = self.senders.get(to.0 as usize) {
-            let _ = tx.send(Ev::Msg(gryphon_sim::CONTROL_NODE, msg));
-        }
+        self.router
+            .deliver(gryphon_sim::CONTROL_NODE, to, msg, true);
     }
 
     /// Lets the network run for `d` wall-clock time.
@@ -329,53 +485,177 @@ impl RunningNet {
         std::thread::sleep(d);
     }
 
+    /// Live value of counter `name`, summed across worker shards —
+    /// lets harnesses poll for progress without stopping the net.
+    pub fn counter(&self, name: &str) -> f64 {
+        self.metrics.iter().map(|m| m.lock().counter(name)).sum()
+    }
+
     /// Stops all node threads and returns their final states.
     pub fn stop(self) -> NetResult {
         self.stop.store(true, Ordering::Relaxed);
-        let nodes: Vec<Box<dyn Node>> =
-            self.joins.into_iter().map(|j| j.join().expect("node thread")).collect();
+        let workers: Vec<Box<dyn Node>> = self
+            .joins
+            .into_iter()
+            .map(|j| j.join().expect("node thread"))
+            .collect();
+        let mut merged = Metrics::default();
+        for m in &self.metrics {
+            merged.merge(&m.lock());
+        }
         NetResult {
-            nodes,
-            metrics: self.metrics.lock().clone(),
-            type_ids: self.type_ids,
+            workers,
+            metrics: merged,
+            logical: self.logical,
         }
     }
 }
 
 /// Final node states and metrics after [`RunningNet::stop`].
 pub struct NetResult {
-    nodes: Vec<Box<dyn Node>>,
-    /// Metrics recorded during the run.
+    workers: Vec<Box<dyn Node>>,
+    /// Per-worker metrics merged into one run-wide view.
     pub metrics: Metrics,
-    type_ids: Vec<TypeId>,
+    logical: Arc<Vec<LogicalEntry>>,
 }
 
 impl NetResult {
-    /// Borrows a node's final state.
+    /// Borrows a node's final state (shard 0 for sharded nodes).
     ///
     /// # Panics
     ///
     /// Panics on a type mismatch (impossible for handles from the same
     /// builder).
     pub fn node<T: Node + 'static>(&self, h: Handle<T>) -> &T {
+        self.shard(h, 0)
+    }
+
+    /// Borrows one shard of a sharded node's final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type mismatch or an out-of-range shard index.
+    pub fn shard<T: Node + 'static>(&self, h: Handle<T>, shard: usize) -> &T {
+        let entry = &self.logical[h.id.0 as usize];
         assert_eq!(
-            self.type_ids[h.id.0 as usize],
+            entry.type_id,
             TypeId::of::<Typed<T>>(),
             "handle type mismatch"
         );
-        let node = self.nodes[h.id.0 as usize].as_ref();
+        let node = self.workers[entry.workers[shard]].as_ref();
         let typed: &Typed<T> = unsafe {
             // SAFETY: TypeId verified above; nodes are never replaced.
             &*(node as *const dyn Node as *const Typed<T>)
         };
         &typed.0
     }
+
+    /// Number of worker shards backing logical node `h`.
+    pub fn shard_count<T>(&self, h: Handle<T>) -> usize {
+        self.logical[h.id.0 as usize].workers.len()
+    }
+
+    /// Total protocol-watchdog violations across all workers (gap-free
+    /// constream, monotone doubt, only-once logging).
+    pub fn watchdog_violations(&self) -> f64 {
+        self.metrics.counter(names::WATCHDOG_CONSTREAM_GAP)
+            + self.metrics.counter(names::WATCHDOG_DOUBT_REGRESSION)
+            + self.metrics.counter(names::WATCHDOG_DUPLICATE_LOG)
+    }
+}
+
+/// [`Executor`] adapter over the threaded runtime: spawn nodes while
+/// building, then the first `inject`/`advance_us` starts the threads.
+///
+/// `connect` is a no-op (the net is fully connected); `advance_us`
+/// sleeps wall-clock time. Call [`NetExecutor::finish`] to stop the
+/// threads and obtain the merged [`NetResult`].
+pub struct NetExecutor {
+    state: ExecState,
+}
+
+enum ExecState {
+    Building(NetBuilder),
+    Running(RunningNet),
+    Done,
+}
+
+impl Default for NetExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetExecutor {
+    /// An empty, not-yet-started executor.
+    pub fn new() -> Self {
+        NetExecutor {
+            state: ExecState::Building(NetBuilder::new()),
+        }
+    }
+
+    /// Marker type for nodes spawned type-erased via [`Executor::spawn`]
+    /// (they cannot be downcast back out of a [`NetResult`]).
+    fn ensure_running(&mut self) -> &RunningNet {
+        if let ExecState::Building(_) = self.state {
+            let ExecState::Building(b) = std::mem::replace(&mut self.state, ExecState::Done) else {
+                unreachable!()
+            };
+            self.state = ExecState::Running(b.start());
+        }
+        match &self.state {
+            ExecState::Running(r) => r,
+            _ => panic!("NetExecutor already finished"),
+        }
+    }
+
+    /// Stops the threads (starting them first if nothing ever ran) and
+    /// returns the final states + merged metrics.
+    pub fn finish(mut self) -> NetResult {
+        self.ensure_running();
+        match std::mem::replace(&mut self.state, ExecState::Done) {
+            ExecState::Running(r) => r.stop(),
+            _ => unreachable!("ensure_running left executor running"),
+        }
+    }
+}
+
+/// Type-erased registration marker (see [`NetExecutor::ensure_running`]).
+struct Opaque;
+
+impl Executor for NetExecutor {
+    fn spawn(&mut self, name: &str, node: Box<dyn Node>) -> NodeId {
+        let ExecState::Building(b) = &mut self.state else {
+            panic!("NetExecutor::spawn after start — register all nodes before injecting");
+        };
+        b.add_entry::<Opaque>(name, vec![node], TypeId::of::<Opaque>())
+            .id()
+    }
+
+    fn connect(&mut self, _a: NodeId, _b: NodeId) {
+        // Fully connected already.
+    }
+
+    fn inject(&mut self, to: NodeId, msg: NetMsg) {
+        self.ensure_running().inject(to, msg);
+    }
+
+    fn advance_us(&mut self, us: u64) {
+        self.ensure_running().run_for(Duration::from_micros(us));
+    }
+
+    fn counter(&self, name: &str) -> f64 {
+        match &self.state {
+            ExecState::Building(_) | ExecState::Done => 0.0,
+            ExecState::Running(r) => r.counter(name),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gryphon_types::SubInterestMsg;
+    use gryphon_types::{PubendId, PublishMsg, SubInterestMsg};
 
     struct Echo {
         got: u64,
@@ -400,14 +680,37 @@ mod tests {
     }
 
     fn dummy() -> NetMsg {
-        NetMsg::SubInterest(SubInterestMsg { subs: vec![], version: 0 })
+        NetMsg::SubInterest(SubInterestMsg {
+            subs: vec![],
+            version: 0,
+        })
+    }
+
+    fn publish(p: u32) -> NetMsg {
+        NetMsg::Publish(PublishMsg {
+            pubend: PubendId(p),
+            attrs: Default::default(),
+            payload: Default::default(),
+        })
     }
 
     #[test]
     fn messages_flow_between_threads() {
         let mut b = NetBuilder::new();
-        let a = b.add_node("a", Echo { got: 0, timer_fired: false });
-        let c = b.add_node("c", Echo { got: 0, timer_fired: false });
+        let a = b.add_node(
+            "a",
+            Echo {
+                got: 0,
+                timer_fired: false,
+            },
+        );
+        let c = b.add_node(
+            "c",
+            Echo {
+                got: 0,
+                timer_fired: false,
+            },
+        );
         let net = b.start();
         for _ in 0..100 {
             net.inject(a.id(), dummy());
@@ -422,11 +725,77 @@ mod tests {
     #[test]
     fn timers_fire_on_wall_clock() {
         let mut b = NetBuilder::new();
-        let a = b.add_node("a", Echo { got: 0, timer_fired: false });
+        let a = b.add_node(
+            "a",
+            Echo {
+                got: 0,
+                timer_fired: false,
+            },
+        );
         let net = b.start();
         net.run_for(Duration::from_millis(50));
         let result = net.stop();
         assert!(result.node(a).timer_fired, "5 ms timer within 50 ms run");
         assert_eq!(result.metrics.series("echo.timer").len(), 1);
+    }
+
+    #[test]
+    fn sharded_node_routes_by_pubend_and_broadcasts_control() {
+        let mut b = NetBuilder::new();
+        let shards: Vec<Echo> = (0..4)
+            .map(|_| Echo {
+                got: 0,
+                timer_fired: false,
+            })
+            .collect();
+        let h = b.add_sharded_node("shards", shards);
+        let net = b.start();
+        // 8 pubends × 3 messages: pubend p lands on shard p % 4.
+        for p in 0..8u32 {
+            for _ in 0..3 {
+                net.inject(h.id(), publish(p));
+            }
+        }
+        // Unkeyed control traffic is broadcast to every shard.
+        net.inject(h.id(), dummy());
+        net.run_for(Duration::from_millis(80));
+        let result = net.stop();
+        assert_eq!(result.shard_count(h), 4);
+        for s in 0..4 {
+            // Two pubends × 3 each + 1 broadcast control message.
+            assert_eq!(result.shard(h, s).got, 7, "shard {s}");
+        }
+        // Per-worker metrics merged on stop: 4 shards × 7 messages.
+        assert_eq!(result.metrics.counter("echo.got"), 28.0);
+        assert_eq!(result.watchdog_violations(), 0.0);
+    }
+
+    #[test]
+    fn net_executor_runs_nodes() {
+        let mut ex = NetExecutor::new();
+        let a = Executor::spawn(
+            &mut ex,
+            "a",
+            Box::new(Echo {
+                got: 0,
+                timer_fired: false,
+            }),
+        );
+        let b = Executor::spawn(
+            &mut ex,
+            "b",
+            Box::new(Echo {
+                got: 0,
+                timer_fired: false,
+            }),
+        );
+        ex.connect(a, b);
+        for _ in 0..5 {
+            Executor::inject(&mut ex, a, dummy());
+        }
+        ex.advance_us(50_000);
+        assert_eq!(ex.counter("echo.got"), 5.0);
+        let result = ex.finish();
+        assert_eq!(result.metrics.counter("echo.got"), 5.0);
     }
 }

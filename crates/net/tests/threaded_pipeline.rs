@@ -20,12 +20,11 @@ fn publish_to_delivery_over_threads() {
     };
     // Ids are assigned in registration order: phb=0, shb=1, sub=2, pub=3.
     let mut builder = NetBuilder::new();
-    let mut phb_node = Broker::new(0, Box::new(MemFactory::new()), config.clone())
-        .hosting_pubends([PubendId(0)]);
+    let mut phb_node =
+        Broker::new(0, Box::new(MemFactory::new()), config.clone()).hosting_pubends([PubendId(0)]);
     phb_node.add_child(NodeId(1));
     let _phb = builder.add_node("phb", phb_node);
-    let mut shb_node =
-        Broker::new(1, Box::new(MemFactory::new()), config).hosting_subscribers();
+    let mut shb_node = Broker::new(1, Box::new(MemFactory::new()), config).hosting_subscribers();
     shb_node.set_parent(NodeId(0));
     let shb = builder.add_node("shb", shb_node);
     let sub = builder.add_node(
@@ -55,7 +54,11 @@ fn publish_to_delivery_over_threads() {
     let client = result.node(sub);
     let published = result.node(publisher).published();
     assert!(published > 500, "publisher ran: {published}");
-    assert_eq!(client.order_violations(), 0, "order must hold under threads");
+    assert_eq!(
+        client.order_violations(),
+        0,
+        "order must hold under threads"
+    );
     assert_eq!(client.gaps_received(), 0);
     assert!(
         client.events_received() > 100,

@@ -50,10 +50,12 @@
 //! assert!(sim.metrics().series("echoed").len() >= 2); // ping-pongs until time runs out
 //! ```
 
+mod executor;
 mod metrics;
 mod runtime;
 pub mod trace;
 
+pub use executor::Executor;
 pub use metrics::{names, Histogram, Metrics};
 pub use runtime::{Handle, LinkParams, Node, NodeCtx, Sim, TimerKey, CONTROL_NODE};
 pub use trace::{Severity, TraceBuffer, TraceEvent, TraceRecord, Watchdogs};

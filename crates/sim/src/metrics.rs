@@ -47,6 +47,9 @@ pub mod names {
     pub const WATCHDOG_DUPLICATE_LOG: &str = "watchdog.duplicate_log_violations";
     /// Counter: trace records evicted from the ring buffer.
     pub const TRACE_DROPPED: &str = "trace.dropped";
+    /// Counter: messages a broker received but has no handler for
+    /// (e.g. server-bound messages misdelivered to a broker).
+    pub const BROKER_UNEXPECTED_MSG: &str = "broker.unexpected_msg";
 }
 
 /// Exponential histogram bucketing: each bucket boundary is a
@@ -157,12 +160,29 @@ impl Histogram {
             if (cum as f64) >= target {
                 let lower = if i == 0 { 0.0 } else { bucket_upper(i - 1) };
                 let upper = bucket_upper(i);
-                let frac = if n == 0 { 0.0 } else { (target - prev) / n as f64 };
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    (target - prev) / n as f64
+                };
                 let est = lower + (upper - lower) * frac.clamp(0.0, 1.0);
                 return Some(est.clamp(self.min, self.max));
             }
         }
         Some(self.max)
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition; exact side
+    /// statistics combine losslessly). Used to aggregate per-worker
+    /// histograms from the threaded runtime into one run-wide view.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -193,7 +213,10 @@ pub struct Metrics {
 impl Metrics {
     /// Appends a `(t_us, value)` sample to `name`.
     pub fn record(&mut self, t_us: u64, name: &str, value: f64) {
-        self.series.entry(name.to_owned()).or_default().push((t_us, value));
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push((t_us, value));
     }
 
     /// Adds `delta` to counter `name`.
@@ -213,7 +236,10 @@ impl Metrics {
 
     /// Records one sample into histogram `name`.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_owned()).or_default().observe(value);
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
     }
 
     /// The `q`-quantile of histogram `name` (`None` when absent/empty).
@@ -280,6 +306,24 @@ impl Metrics {
         let mean = self.mean(name)?;
         let var = s.iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>() / s.len() as f64;
         Some(var.sqrt())
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge, and
+    /// series samples append (then re-sort by time so windowed reductions
+    /// stay correct). The threaded runtime keeps one `Metrics` per worker
+    /// shard and merges them into the run-wide view on shutdown.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, samples) in &other.series {
+            let s = self.series.entry(name.clone()).or_default();
+            s.extend_from_slice(samples);
+            s.sort_by_key(|&(t, _)| t);
+        }
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0.0) += delta;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
     }
 }
 
@@ -375,6 +419,42 @@ mod tests {
         assert_eq!(h.max(), Some(1e18));
         let p = h.percentile(0.5).unwrap();
         assert!((0.0..=1e18).contains(&p));
+    }
+
+    #[test]
+    fn merge_combines_counters_series_histograms() {
+        let mut a = Metrics::default();
+        a.count("c", 1.0);
+        a.record(5, "s", 1.0);
+        a.observe("h", 10.0);
+        let mut b = Metrics::default();
+        b.count("c", 2.0);
+        b.count("only_b", 4.0);
+        b.record(2, "s", 2.0);
+        b.observe("h", 30.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3.0);
+        assert_eq!(a.counter("only_b"), 4.0);
+        // Series samples interleave in time order after the merge.
+        assert_eq!(a.series("s"), &[(2, 2.0), (5, 1.0)]);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(10.0));
+        assert_eq!(h.max(), Some(30.0));
+        assert_eq!(h.sum(), 40.0);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut h = Histogram::default();
+        h.observe(7.0);
+        let before = (h.count(), h.min(), h.max());
+        h.merge(&Histogram::default());
+        assert_eq!((h.count(), h.min(), h.max()), before);
+        let mut empty = Histogram::default();
+        empty.merge(&h);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.percentile(0.5), Some(7.0));
     }
 
     #[test]

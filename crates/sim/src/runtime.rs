@@ -96,10 +96,21 @@ impl Default for LinkParams {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { to: NodeId, from: NodeId, msg: NetMsg },
-    Timer { node: NodeId, key: TimerKey },
-    Crash { node: NodeId },
-    Restart { node: NodeId },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: NetMsg,
+    },
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Restart {
+        node: NodeId,
+    },
 }
 
 struct Scheduled {
@@ -555,13 +566,19 @@ impl Sim {
     ///
     /// Same conditions as [`Sim::node`].
     pub fn node_ref<T: Node + 'static>(&self, h: Handle<T>) -> &T {
-        let slot = self.nodes.get(h.id.0 as usize).expect("handle from this sim");
+        let slot = self
+            .nodes
+            .get(h.id.0 as usize)
+            .expect("handle from this sim");
         assert_eq!(
             slot.type_id,
             Some(std::any::TypeId::of::<Typed<T>>()),
             "handle type mismatch"
         );
-        let node = slot.node.as_ref().expect("node_ref() called during dispatch");
+        let node = slot
+            .node
+            .as_ref()
+            .expect("node_ref() called during dispatch");
         let typed: &Typed<T> = unsafe {
             // SAFETY: as in `node`.
             &*(node.as_ref() as *const dyn Node as *const Typed<T>)
@@ -670,7 +687,10 @@ mod tests {
     use gryphon_types::SubInterestMsg;
 
     fn dummy_msg() -> NetMsg {
-        NetMsg::SubInterest(SubInterestMsg { subs: vec![], version: 0 })
+        NetMsg::SubInterest(SubInterestMsg {
+            subs: vec![],
+            version: 0,
+        })
     }
 
     /// A message of the lossy kind (loss only applies to the self-healing
@@ -707,8 +727,20 @@ mod tests {
     #[test]
     fn link_latency_and_fifo() {
         let mut sim = Sim::new(1);
-        let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: false });
-        let b = sim.add_typed_node("b", Recorder { arrivals: vec![], bounce: true });
+        let a = sim.add_typed_node(
+            "a",
+            Recorder {
+                arrivals: vec![],
+                bounce: false,
+            },
+        );
+        let b = sim.add_typed_node(
+            "b",
+            Recorder {
+                arrivals: vec![],
+                bounce: true,
+            },
+        );
         sim.connect_with(
             a.id(),
             b.id(),
@@ -727,7 +759,10 @@ mod tests {
         sim.run_to_quiescence();
         let arr = &sim.node_ref(a).arrivals;
         assert_eq!(arr.len(), 3);
-        assert!(arr.windows(2).all(|w| w[0] <= w[1]), "FIFO violated: {arr:?}");
+        assert!(
+            arr.windows(2).all(|w| w[0] <= w[1]),
+            "FIFO violated: {arr:?}"
+        );
         assert!(arr[0] >= 500);
     }
 
@@ -771,7 +806,13 @@ mod tests {
             }
         }
         let mut sim = Sim::new(0);
-        let h = sim.add_typed_node("c", CrashNode { got: 0, restarted: false });
+        let h = sim.add_typed_node(
+            "c",
+            CrashNode {
+                got: 0,
+                restarted: false,
+            },
+        );
         sim.schedule_crash(h.id(), 100, 1_000);
         sim.inject_ctrl(50, h.id(), dummy_msg()); // before crash: delivered
         sim.inject_ctrl(500, h.id(), dummy_msg()); // during crash: dropped
@@ -786,8 +827,20 @@ mod tests {
     #[test]
     fn loss_drops_stream_messages_only() {
         let mut sim = Sim::new(7);
-        let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: false });
-        let b = sim.add_typed_node("b", Recorder { arrivals: vec![], bounce: true });
+        let a = sim.add_typed_node(
+            "a",
+            Recorder {
+                arrivals: vec![],
+                bounce: false,
+            },
+        );
+        let b = sim.add_typed_node(
+            "b",
+            Recorder {
+                arrivals: vec![],
+                bounce: true,
+            },
+        );
         sim.connect_with(
             a.id(),
             b.id(),
@@ -803,15 +856,30 @@ mod tests {
         }
         sim.run_to_quiescence();
         let delivered = sim.node_ref(a).arrivals.len();
-        assert!(delivered > 20 && delivered < 80, "loss ~50%, got {delivered}");
+        assert!(
+            delivered > 20 && delivered < 80,
+            "loss ~50%, got {delivered}"
+        );
         assert_eq!(
             sim.metrics().counter("net.dropped") as usize + delivered,
             100
         );
         // Control traffic is immune (modeled TCP).
         let mut sim = Sim::new(7);
-        let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: false });
-        let b = sim.add_typed_node("b", Recorder { arrivals: vec![], bounce: true });
+        let a = sim.add_typed_node(
+            "a",
+            Recorder {
+                arrivals: vec![],
+                bounce: false,
+            },
+        );
+        let b = sim.add_typed_node(
+            "b",
+            Recorder {
+                arrivals: vec![],
+                bounce: true,
+            },
+        );
         sim.connect_with(
             a.id(),
             b.id(),
@@ -826,13 +894,23 @@ mod tests {
             sim.inject_from(t * 100, b.id(), a.id(), dummy_msg());
         }
         sim.run_to_quiescence();
-        assert_eq!(sim.node_ref(a).arrivals.len(), 50, "control traffic must not drop");
+        assert_eq!(
+            sim.node_ref(a).arrivals.len(),
+            50,
+            "control traffic must not drop"
+        );
     }
 
     #[test]
     fn work_accumulates_and_metrics_record() {
         let mut sim = Sim::new(0);
-        let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: false });
+        let a = sim.add_typed_node(
+            "a",
+            Recorder {
+                arrivals: vec![],
+                bounce: false,
+            },
+        );
         sim.inject_ctrl(0, a.id(), dummy_msg());
         sim.inject_ctrl(1, a.id(), dummy_msg());
         sim.run_to_quiescence();
@@ -844,8 +922,20 @@ mod tests {
     fn identical_seeds_identical_runs() {
         fn run(seed: u64) -> Vec<u64> {
             let mut sim = Sim::new(seed);
-            let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: false });
-            let b = sim.add_typed_node("b", Recorder { arrivals: vec![], bounce: true });
+            let a = sim.add_typed_node(
+                "a",
+                Recorder {
+                    arrivals: vec![],
+                    bounce: false,
+                },
+            );
+            let b = sim.add_typed_node(
+                "b",
+                Recorder {
+                    arrivals: vec![],
+                    bounce: true,
+                },
+            );
             sim.connect_with(
                 a.id(),
                 b.id(),
@@ -869,8 +959,20 @@ mod tests {
     #[test]
     fn send_without_link_is_dropped() {
         let mut sim = Sim::new(0);
-        let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: true });
-        let b = sim.add_typed_node("b", Recorder { arrivals: vec![], bounce: false });
+        let a = sim.add_typed_node(
+            "a",
+            Recorder {
+                arrivals: vec![],
+                bounce: true,
+            },
+        );
+        let b = sim.add_typed_node(
+            "b",
+            Recorder {
+                arrivals: vec![],
+                bounce: false,
+            },
+        );
         // No link a→b configured.
         sim.inject_ctrl(0, a.id(), dummy_msg()); // a bounces to CONTROL (no link) — dropped
         sim.run_to_quiescence();
@@ -880,8 +982,20 @@ mod tests {
     #[test]
     fn bandwidth_serializes_messages() {
         let mut sim = Sim::new(0);
-        let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: false });
-        let b = sim.add_typed_node("b", Recorder { arrivals: vec![], bounce: true });
+        let a = sim.add_typed_node(
+            "a",
+            Recorder {
+                arrivals: vec![],
+                bounce: false,
+            },
+        );
+        let b = sim.add_typed_node(
+            "b",
+            Recorder {
+                arrivals: vec![],
+                bounce: true,
+            },
+        );
         sim.connect_with(
             a.id(),
             b.id(),
@@ -900,13 +1014,22 @@ mod tests {
         assert_eq!(arr.len(), 4);
         // Each back-to-back message departs one transmit-time later.
         let gaps: Vec<u64> = arr.windows(2).map(|w| w[1] - w[0]).collect();
-        assert!(gaps.iter().all(|&g| g >= 200), "serialization gaps: {gaps:?}");
+        assert!(
+            gaps.iter().all(|&g| g >= 200),
+            "serialization gaps: {gaps:?}"
+        );
     }
 
     #[test]
     fn run_until_stops_at_boundary() {
         let mut sim = Sim::new(0);
-        let a = sim.add_typed_node("a", Recorder { arrivals: vec![], bounce: false });
+        let a = sim.add_typed_node(
+            "a",
+            Recorder {
+                arrivals: vec![],
+                bounce: false,
+            },
+        );
         sim.inject_ctrl(100, a.id(), dummy_msg());
         sim.inject_ctrl(200, a.id(), dummy_msg());
         let n = sim.run_until(150);

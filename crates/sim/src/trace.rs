@@ -247,6 +247,13 @@ pub enum TraceEvent {
     /// The runtime restarted this node after a crash; watchdog delivery
     /// state for the node resets.
     NodeRestarted,
+    /// A node received a message kind it has no handler for (e.g. a
+    /// server-bound message delivered to a broker); `tag` is the
+    /// message's wire tag.
+    UnexpectedMsg {
+        /// Wire tag of the dropped message (see `NetMsg::tag`).
+        tag: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -262,7 +269,9 @@ impl TraceEvent {
             | TraceEvent::Switchover { .. }
             | TraceEvent::NackConsolidated { .. }
             | TraceEvent::ReleaseAdvanced { .. } => Severity::Info,
-            TraceEvent::LConverted { .. } | TraceEvent::NodeRestarted => Severity::Warn,
+            TraceEvent::LConverted { .. }
+            | TraceEvent::NodeRestarted
+            | TraceEvent::UnexpectedMsg { .. } => Severity::Warn,
         }
     }
 }
@@ -281,10 +290,7 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// One-line human-readable rendering (used by `xp --trace`).
     pub fn render(&self, node_name: &str) -> String {
-        format!(
-            "{:>12} µs  {:<8} {:?}",
-            self.t_us, node_name, self.event
-        )
+        format!("{:>12} µs  {:<8} {:?}", self.t_us, node_name, self.event)
     }
 }
 
@@ -409,7 +415,11 @@ impl Watchdogs {
     /// Feeds one record through the checkers.
     pub fn observe(&mut self, rec: &TraceRecord, metrics: &mut Metrics) {
         match rec.event {
-            TraceEvent::ConstreamGapCheck { pubend, prev, new_to } => {
+            TraceEvent::ConstreamGapCheck {
+                pubend,
+                prev,
+                new_to,
+            } => {
                 let key = (rec.node, pubend);
                 if let Some(&last) = self.constream.get(&key) {
                     if prev != last {
@@ -482,7 +492,11 @@ mod tests {
     const P: PubendId = PubendId(0);
 
     fn rec(event: TraceEvent) -> TraceRecord {
-        TraceRecord { t_us: 1, node: N, event }
+        TraceRecord {
+            t_us: 1,
+            node: N,
+            event,
+        }
     }
 
     fn quiet_watchdogs() -> Watchdogs {
@@ -606,21 +620,24 @@ mod tests {
         };
         let mut m = Metrics::default();
         w.observe(
-            &rec(TraceEvent::DoubtAdvanced { pubend: P, horizon: Timestamp(9) }),
+            &rec(TraceEvent::DoubtAdvanced {
+                pubend: P,
+                horizon: Timestamp(9),
+            }),
             &mut m,
         );
         w.observe(
-            &rec(TraceEvent::DoubtAdvanced { pubend: P, horizon: Timestamp(2) }),
+            &rec(TraceEvent::DoubtAdvanced {
+                pubend: P,
+                horizon: Timestamp(2),
+            }),
             &mut m,
         );
     }
 
     #[test]
     fn severities_cover_taxonomy() {
-        assert_eq!(
-            TraceEvent::NodeRestarted.severity(),
-            Severity::Warn
-        );
+        assert_eq!(TraceEvent::NodeRestarted.severity(), Severity::Warn);
         assert_eq!(
             TraceEvent::Switchover {
                 pubend: P,
@@ -631,7 +648,11 @@ mod tests {
             Severity::Info
         );
         assert!(
-            TraceEvent::PubendTimestamped { pubend: P, ts: Timestamp(1) }.severity()
+            TraceEvent::PubendTimestamped {
+                pubend: P,
+                ts: Timestamp(1)
+            }
+            .severity()
                 < Severity::Warn
         );
     }

@@ -19,7 +19,11 @@ pub struct CodecError {
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event decode error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "event decode error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -204,7 +208,9 @@ mod tests {
 
     #[test]
     fn unknown_tag_is_detected() {
-        let e = Event::builder(PubendId(0)).attr("k", 1i64).build(Timestamp(1));
+        let e = Event::builder(PubendId(0))
+            .attr("k", 1i64)
+            .build(Timestamp(1));
         let mut bytes = encode_event(&e);
         // attr tag offset: 4 (pubend) + 8 (ts) + 2 (count) + 2 (klen) + 1 ('k')
         bytes[17] = 99;

@@ -8,9 +8,9 @@
 
 use crate::log_volume::{LogIndex, LogVolume, StreamId, VolumeConfig};
 use crate::{codec, StorageError};
-use gryphon_types::{EventRef, PubendId, Timestamp};
 #[cfg(test)]
 use gryphon_types::Event;
+use gryphon_types::{EventRef, PubendId, Timestamp};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -122,7 +122,10 @@ impl EventLog {
     pub fn append(&mut self, event: &EventRef) -> Result<LogIndex, StorageError> {
         let data = codec::encode_event(event);
         let idx = self.volume.append(stream_for(event.pubend), &data)?;
-        self.by_ts.entry(event.pubend).or_default().insert(event.ts, idx);
+        self.by_ts
+            .entry(event.pubend)
+            .or_default()
+            .insert(event.ts, idx);
         Ok(idx)
     }
 
@@ -215,11 +218,8 @@ impl EventLog {
         // pubend, then drop everything older.
         let boundary = self.volume.next_index(CHOP_META_STREAM);
         if boundary.0 > 1024 {
-            let snapshot: Vec<(PubendId, Timestamp)> = self
-                .chopped_below
-                .iter()
-                .map(|(&p, &t)| (p, t))
-                .collect();
+            let snapshot: Vec<(PubendId, Timestamp)> =
+                self.chopped_below.iter().map(|(&p, &t)| (p, t)).collect();
             for (p, t) in snapshot {
                 let mut m = Vec::with_capacity(12);
                 m.extend_from_slice(&p.0.to_le_bytes());
@@ -243,7 +243,10 @@ impl EventLog {
 
     /// Everything strictly below this timestamp has been chopped.
     pub fn chopped_below_ts(&self, pubend: PubendId) -> Timestamp {
-        self.chopped_below.get(&pubend).copied().unwrap_or(Timestamp::ZERO)
+        self.chopped_below
+            .get(&pubend)
+            .copied()
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Underlying volume counters (bytes logged, syncs, ...).
@@ -276,7 +279,9 @@ mod tests {
         for ts in [5u64, 10, 15, 20] {
             log.append(&ev(0, ts)).unwrap();
         }
-        let got = log.read_range(PubendId(0), Timestamp(6), Timestamp(15)).unwrap();
+        let got = log
+            .read_range(PubendId(0), Timestamp(6), Timestamp(15))
+            .unwrap();
         assert_eq!(got.iter().map(|e| e.ts.0).collect::<Vec<_>>(), vec![10, 15]);
         assert_eq!(log.latest_ts(PubendId(0)), Some(Timestamp(20)));
         assert_eq!(log.live_events(PubendId(0)), 4);
@@ -287,8 +292,18 @@ mod tests {
         let (_f, mut log) = fresh();
         log.append(&ev(0, 5)).unwrap();
         log.append(&ev(1, 5)).unwrap();
-        assert_eq!(log.read_range(PubendId(0), Timestamp(0), Timestamp::MAX).unwrap().len(), 1);
-        assert_eq!(log.read_range(PubendId(2), Timestamp(0), Timestamp::MAX).unwrap().len(), 0);
+        assert_eq!(
+            log.read_range(PubendId(0), Timestamp(0), Timestamp::MAX)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            log.read_range(PubendId(2), Timestamp(0), Timestamp::MAX)
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]

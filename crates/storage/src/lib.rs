@@ -148,6 +148,8 @@ mod tests {
             detail: "bad crc".into(),
         };
         assert!(e.to_string().contains("seg-0"));
-        assert!(StorageError::MissingMedia("x".into()).to_string().contains('x'));
+        assert!(StorageError::MissingMedia("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

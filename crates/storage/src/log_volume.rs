@@ -321,8 +321,7 @@ impl LogVolume {
                     state.next_index = state.next_index.max(index);
                     // Remove resurrected earlier records (and fix live
                     // counts in their segments).
-                    let dead: Vec<u64> =
-                        state.locs.range(..index).map(|(&i, _)| i).collect();
+                    let dead: Vec<u64> = state.locs.range(..index).map(|(&i, _)| i).collect();
                     for i in dead {
                         let loc = state.locs.remove(&i).expect("key from range");
                         if loc.seg == no {
@@ -358,7 +357,8 @@ impl LogVolume {
             .expect("active segment exists")
             .media
             .len();
-        if active_len > 0 && active_len + (HEADER_LEN + payload.len()) as u64 > self.config.segment_bytes
+        if active_len > 0
+            && active_len + (HEADER_LEN + payload.len()) as u64 > self.config.segment_bytes
         {
             let old = self.active;
             self.segments
@@ -423,7 +423,11 @@ impl LogVolume {
     /// # Errors
     ///
     /// Returns an error if the underlying media fails.
-    pub fn read(&mut self, stream: StreamId, index: LogIndex) -> Result<Option<Vec<u8>>, StorageError> {
+    pub fn read(
+        &mut self,
+        stream: StreamId,
+        index: LogIndex,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
         let Some(state) = self.streams.get(&stream.0) else {
             return Ok(None);
         };
@@ -496,7 +500,12 @@ impl LogVolume {
 
     /// The next index [`LogVolume::append`] will assign for `stream`.
     pub fn next_index(&self, stream: StreamId) -> LogIndex {
-        LogIndex(self.streams.get(&stream.0).map(|s| s.next_index).unwrap_or(0))
+        LogIndex(
+            self.streams
+                .get(&stream.0)
+                .map(|s| s.next_index)
+                .unwrap_or(0),
+        )
     }
 
     /// The lowest index still readable for `stream` (`None` when empty).
@@ -511,7 +520,10 @@ impl LogVolume {
 
     /// Live record count for `stream`.
     pub fn live_records(&self, stream: StreamId) -> usize {
-        self.streams.get(&stream.0).map(|s| s.locs.len()).unwrap_or(0)
+        self.streams
+            .get(&stream.0)
+            .map(|s| s.locs.len())
+            .unwrap_or(0)
     }
 
     /// Reads all live records of `stream` in index order (recovery helper).
@@ -586,7 +598,10 @@ mod tests {
         }
         vol.chop(s, LogIndex(5)).unwrap();
         assert_eq!(vol.read(s, LogIndex(4)).unwrap(), None);
-        assert_eq!(vol.read(s, LogIndex(5)).unwrap().as_deref(), Some(&b"r5"[..]));
+        assert_eq!(
+            vol.read(s, LogIndex(5)).unwrap().as_deref(),
+            Some(&b"r5"[..])
+        );
         assert_eq!(vol.live_records(s), 5);
         assert_eq!(vol.first_live_index(s), Some(LogIndex(5)));
         // Indexes keep increasing after a chop.
@@ -608,7 +623,10 @@ mod tests {
         let before = f.list().unwrap().len();
         vol.chop(s, last).unwrap();
         let after = f.list().unwrap().len();
-        assert!(after < before, "chop should reclaim segments ({before} -> {after})");
+        assert!(
+            after < before,
+            "chop should reclaim segments ({before} -> {after})"
+        );
         assert_eq!(vol.read(s, last).unwrap().as_deref(), Some(&[7u8; 40][..]));
     }
 
@@ -625,9 +643,19 @@ mod tests {
             vol.sync().unwrap();
         }
         let mut vol = LogVolume::open(Box::new(f), "v", VolumeConfig::default()).unwrap();
-        assert_eq!(vol.read(StreamId(0), LogIndex(0)).unwrap(), None, "chop survives");
-        assert_eq!(vol.read(StreamId(0), LogIndex(1)).unwrap().as_deref(), Some(&b"z"[..]));
-        assert_eq!(vol.read(StreamId(1), LogIndex(0)).unwrap().as_deref(), Some(&b"y"[..]));
+        assert_eq!(
+            vol.read(StreamId(0), LogIndex(0)).unwrap(),
+            None,
+            "chop survives"
+        );
+        assert_eq!(
+            vol.read(StreamId(0), LogIndex(1)).unwrap().as_deref(),
+            Some(&b"z"[..])
+        );
+        assert_eq!(
+            vol.read(StreamId(1), LogIndex(0)).unwrap().as_deref(),
+            Some(&b"y"[..])
+        );
         assert_eq!(vol.next_index(StreamId(0)), LogIndex(2));
         // New appends continue the index sequence.
         assert_eq!(vol.append(StreamId(0), b"w").unwrap(), LogIndex(2));
@@ -646,7 +674,10 @@ mod tests {
         }
         f.crash_lose_unsynced();
         let mut vol = LogVolume::open(Box::new(f), "v", VolumeConfig::default()).unwrap();
-        assert_eq!(vol.read(StreamId(0), LogIndex(0)).unwrap().as_deref(), Some(&b"good"[..]));
+        assert_eq!(
+            vol.read(StreamId(0), LogIndex(0)).unwrap().as_deref(),
+            Some(&b"good"[..])
+        );
         assert_eq!(vol.read(StreamId(0), LogIndex(1)).unwrap(), None);
         assert_eq!(vol.next_index(StreamId(0)), LogIndex(1));
     }

@@ -109,7 +109,9 @@ pub trait MediaFactory: Send {
 
     /// `true` if the media exists.
     fn exists(&self, name: &str) -> bool {
-        self.list().map(|l| l.iter().any(|n| n == name)).unwrap_or(false)
+        self.list()
+            .map(|l| l.iter().any(|n| n == name))
+            .unwrap_or(false)
     }
 }
 
@@ -169,13 +171,21 @@ impl MemFactory {
     /// should fail loudly when aimed at the wrong place.
     pub fn corrupt_bit(&self, name: &str, offset: u64) {
         let mut inner = self.inner.lock();
-        let (bytes, _) = inner.media.get_mut(name).expect("corrupt_bit: no such media");
+        let (bytes, _) = inner
+            .media
+            .get_mut(name)
+            .expect("corrupt_bit: no such media");
         bytes[offset as usize] ^= 1;
     }
 
     /// Total bytes across all media (storage-footprint accounting).
     pub fn total_bytes(&self) -> u64 {
-        self.inner.lock().media.values().map(|(b, _)| b.len() as u64).sum()
+        self.inner
+            .lock()
+            .media
+            .values()
+            .map(|(b, _)| b.len() as u64)
+            .sum()
     }
 }
 

@@ -183,8 +183,7 @@ impl MetaTable {
         }
         let key = String::from_utf8(data[kstart..kstart + klen].to_vec()).ok()?;
         let vstart = kstart + klen + 4;
-        let vlen =
-            u32::from_le_bytes(data[kstart + klen..vstart].try_into().ok()?) as usize;
+        let vlen = u32::from_le_bytes(data[kstart + klen..vstart].try_into().ok()?) as usize;
         if vstart + vlen > data.len() {
             return None;
         }
@@ -192,7 +191,10 @@ impl MetaTable {
         Some((key, value, vstart + vlen))
     }
 
-    fn replay_wal(wal: &mut dyn Media, map: &mut BTreeMap<String, Vec<u8>>) -> Result<(), StorageError> {
+    fn replay_wal(
+        wal: &mut dyn Media,
+        map: &mut BTreeMap<String, Vec<u8>>,
+    ) -> Result<(), StorageError> {
         let len = wal.len();
         if len == 0 {
             return Ok(());
@@ -434,11 +436,8 @@ mod tests {
     #[test]
     fn committed_batches_survive_crash() {
         let (f, mut t) = fresh();
-        t.commit(&[
-            ("x".into(), Some(vec![1])),
-            ("y".into(), Some(vec![2])),
-        ])
-        .unwrap();
+        t.commit(&[("x".into(), Some(vec![1])), ("y".into(), Some(vec![2]))])
+            .unwrap();
         drop(t);
         let t = reopen(&f);
         assert_eq!(t.get("x"), Some(&[1][..]));
@@ -450,15 +449,16 @@ mod tests {
         let (f, mut t) = fresh();
         t.put("stable", vec![7]).unwrap();
         // Append a batch but crash before sync.
-        t.wal.append(&{
-            let mut b = vec![OP_SET];
-            b.extend_from_slice(&1u16.to_le_bytes());
-            b.push(b'x');
-            b.extend_from_slice(&1u32.to_le_bytes());
-            b.push(9);
-            b // note: no OP_COMMIT
-        })
-        .unwrap();
+        t.wal
+            .append(&{
+                let mut b = vec![OP_SET];
+                b.extend_from_slice(&1u16.to_le_bytes());
+                b.push(b'x');
+                b.extend_from_slice(&1u32.to_le_bytes());
+                b.push(9);
+                b // note: no OP_COMMIT
+            })
+            .unwrap();
         drop(t);
         f.crash_lose_unsynced();
         let t = reopen(&f);
@@ -489,7 +489,8 @@ mod tests {
     fn batch_delete_applies() {
         let (f, mut t) = fresh();
         t.put("k", vec![1]).unwrap();
-        t.commit(&[("k".into(), None), ("m".into(), Some(vec![3]))]).unwrap();
+        t.commit(&[("k".into(), None), ("m".into(), Some(vec![3]))])
+            .unwrap();
         drop(t);
         let t = reopen(&f);
         assert_eq!(t.get("k"), None);
@@ -564,7 +565,8 @@ mod tests {
     #[test]
     fn stats_count_commits_and_updates() {
         let (_f, mut t) = fresh();
-        t.commit(&[("a".into(), Some(vec![])), ("b".into(), Some(vec![]))]).unwrap();
+        t.commit(&[("a".into(), Some(vec![])), ("b".into(), Some(vec![]))])
+            .unwrap();
         t.put("c", vec![]).unwrap();
         let s = t.stats();
         assert_eq!(s.commits, 2);

@@ -156,13 +156,7 @@ impl CuriosityStream {
         if let Some((&s, &p)) = self.pending.range(..lo).next_back() {
             if p.end >= lo {
                 self.pending.remove(&s);
-                self.pending.insert(
-                    s,
-                    Pending {
-                        end: lo - 1,
-                        ..p
-                    },
-                );
+                self.pending.insert(s, Pending { end: lo - 1, ..p });
                 if p.end > hi {
                     self.pending.insert(hi + 1, Pending { end: p.end, ..p });
                 }
@@ -181,11 +175,7 @@ impl CuriosityStream {
     /// Ranges whose last request timed out: bumps their retry clock to
     /// `now_us` and returns them for re-nacking. Ranges past
     /// `policy.max_retries` are dropped (and *not* returned).
-    pub fn due_retries(
-        &mut self,
-        now_us: u64,
-        policy: RetryPolicy,
-    ) -> Vec<(Timestamp, Timestamp)> {
+    pub fn due_retries(&mut self, now_us: u64, policy: RetryPolicy) -> Vec<(Timestamp, Timestamp)> {
         let mut out = Vec::new();
         let mut drop_keys = Vec::new();
         for (&s, p) in self.pending.iter_mut() {
@@ -231,7 +221,10 @@ mod tests {
     fn consolidation_suppresses_overlap() {
         let mut c = CuriosityStream::new();
         assert_eq!(c.add_wanted(ts(5), ts(10), 0), vec![(ts(5), ts(10))]);
-        assert_eq!(c.add_wanted(ts(1), ts(20), 0), vec![(ts(1), ts(4)), (ts(11), ts(20))]);
+        assert_eq!(
+            c.add_wanted(ts(1), ts(20), 0),
+            vec![(ts(1), ts(4)), (ts(11), ts(20))]
+        );
         assert!(c.add_wanted(ts(2), ts(19), 0).is_empty());
         assert_eq!(c.outstanding_ticks(), 20);
         // Second call re-requested [5,10] (6 ticks), third [2,19] (18).

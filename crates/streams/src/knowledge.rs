@@ -174,11 +174,7 @@ impl KnowledgeStream {
         for t in dead {
             self.data.remove(&t);
         }
-        let spans: Vec<(u64, u64)> = self
-            .silence
-            .range(..=upto)
-            .map(|(&s, &e)| (s, e))
-            .collect();
+        let spans: Vec<(u64, u64)> = self.silence.range(..=upto).map(|(&s, &e)| (s, e)).collect();
         for (s, e) in spans {
             self.silence.remove(&s);
             if e > upto {

@@ -57,7 +57,10 @@ impl CheckpointToken {
     /// assert_eq!(ct.get(PubendId(0)), Timestamp::ZERO);
     /// ```
     pub fn get(&self, pubend: PubendId) -> Timestamp {
-        self.entries.get(&pubend).copied().unwrap_or(Timestamp::ZERO)
+        self.entries
+            .get(&pubend)
+            .copied()
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Advances the component for `pubend` to `ts` if that is an advance;
@@ -210,8 +213,7 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut ct: CheckpointToken =
-            [(PubendId(0), Timestamp(1))].into_iter().collect();
+        let mut ct: CheckpointToken = [(PubendId(0), Timestamp(1))].into_iter().collect();
         ct.extend([(PubendId(0), Timestamp(9)), (PubendId(4), Timestamp(2))]);
         assert_eq!(ct.get(PubendId(0)), Timestamp(9));
         assert_eq!(ct.len(), 2);

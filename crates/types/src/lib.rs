@@ -71,10 +71,9 @@ impl std::fmt::Display for GryphonError {
         match self {
             GryphonError::UnknownSubscriber(s) => write!(f, "unknown subscriber {s}"),
             GryphonError::UnknownPubend(p) => write!(f, "unknown pubend {p}"),
-            GryphonError::NonMonotoneCheckpoint { pubend, presented } => write!(
-                f,
-                "checkpoint token for {pubend} regressed to {presented}"
-            ),
+            GryphonError::NonMonotoneCheckpoint { pubend, presented } => {
+                write!(f, "checkpoint token for {pubend} regressed to {presented}")
+            }
             GryphonError::InvalidSubscription(msg) => {
                 write!(f, "invalid subscription: {msg}")
             }

@@ -324,9 +324,7 @@ impl NetMsg {
     pub fn size_hint(&self) -> usize {
         match self {
             NetMsg::Publish(p) => {
-                64 + p.payload.len()
-                    + p.attrs.keys().map(|k| k.len() + 10)
-                        .sum::<usize>()
+                64 + p.payload.len() + p.attrs.keys().map(|k| k.len() + 10).sum::<usize>()
             }
             NetMsg::Knowledge(k) => k.size_hint(),
             NetMsg::Curiosity(c) => 16 + 16 * c.ranges.len(),
@@ -344,6 +342,25 @@ impl NetMsg {
                 _ => 32,
             },
             NetMsg::Server(_) => 64,
+        }
+    }
+
+    /// The pubend this message is about, when it has exactly one — the
+    /// routing key a sharded runtime uses to keep same-pubend messages
+    /// ordered on one worker while spreading pubends across workers.
+    ///
+    /// `None` means the message is not pubend-scoped (subscription
+    /// interest, client control traffic, connection-level server
+    /// replies) and must be handled by a runtime-chosen policy instead
+    /// (broadcast or a designated worker).
+    pub fn pubend_key(&self) -> Option<PubendId> {
+        match self {
+            NetMsg::Publish(p) => Some(p.pubend),
+            NetMsg::Knowledge(k) => Some(k.pubend),
+            NetMsg::Curiosity(c) => Some(c.pubend),
+            NetMsg::Release(r) => Some(r.pubend),
+            NetMsg::Server(ServerMsg::Deliver { msg, .. }) => Some(msg.pubend),
+            NetMsg::SubInterest(_) | NetMsg::Client(_) | NetMsg::Server(_) => None,
         }
     }
 
@@ -391,10 +408,7 @@ mod tests {
     #[test]
     fn knowledge_part_range() {
         let e = Event::builder(PubendId(0)).build_ref(Timestamp(4));
-        assert_eq!(
-            KnowledgePart::Data(e).range(),
-            (Timestamp(4), Timestamp(4))
-        );
+        assert_eq!(KnowledgePart::Data(e).range(), (Timestamp(4), Timestamp(4)));
         assert_eq!(
             KnowledgePart::Silence {
                 from: Timestamp(1),
@@ -444,6 +458,65 @@ mod tests {
         ];
         let tags: HashSet<_> = msgs.iter().map(|m| m.tag()).collect();
         assert_eq!(tags.len(), msgs.len());
+    }
+
+    #[test]
+    fn pubend_key_covers_scoped_and_unscoped_msgs() {
+        let p = PubendId(9);
+        let scoped: Vec<NetMsg> = vec![
+            NetMsg::Publish(PublishMsg {
+                pubend: p,
+                attrs: Default::default(),
+                payload: bytes::Bytes::new(),
+            }),
+            NetMsg::Knowledge(KnowledgeMsg {
+                pubend: p,
+                parts: vec![],
+                nack_response: false,
+                interest_version: 0,
+            }),
+            NetMsg::Curiosity(CuriosityMsg {
+                pubend: p,
+                ranges: vec![],
+                authoritative: false,
+            }),
+            NetMsg::Release(ReleaseMsg {
+                pubend: p,
+                released: Timestamp(0),
+                latest_delivered: Timestamp(0),
+            }),
+            NetMsg::Server(ServerMsg::Deliver {
+                sub: SubscriberId(0),
+                msg: DeliveryMsg {
+                    pubend: p,
+                    kind: DeliveryKind::Silence(Timestamp(1)),
+                },
+            }),
+        ];
+        for m in &scoped {
+            assert_eq!(
+                m.pubend_key(),
+                Some(p),
+                "{} should be pubend-scoped",
+                m.tag()
+            );
+        }
+        let unscoped: Vec<NetMsg> = vec![
+            NetMsg::SubInterest(SubInterestMsg {
+                subs: vec![],
+                version: 0,
+            }),
+            NetMsg::Client(ClientMsg::Disconnect {
+                sub: SubscriberId(0),
+            }),
+            NetMsg::Server(ServerMsg::ConnectErr {
+                sub: SubscriberId(0),
+                reason: "x".into(),
+            }),
+        ];
+        for m in &unscoped {
+            assert_eq!(m.pubend_key(), None, "{} should be unscoped", m.tag());
+        }
     }
 
     #[test]

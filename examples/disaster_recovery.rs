@@ -34,8 +34,7 @@ fn main() {
     };
     let phb = sim.add_typed_node(
         "primary-site",
-        Broker::new(0, Box::new(MemFactory::new()), config.clone())
-            .hosting_pubends([PubendId(0)]),
+        Broker::new(0, Box::new(MemFactory::new()), config.clone()).hosting_pubends([PubendId(0)]),
     );
     let shb = sim.add_typed_node(
         "backup-hub",
@@ -120,7 +119,11 @@ fn main() {
     assert_eq!(flaky.order_violations(), 0);
     for (site, name) in sites.iter().zip(["backup-east", "backup-west"]) {
         let s = sim.node_ref(*site);
-        assert_eq!(s.gaps_received(), 0, "{name} must be unaffected by early release");
+        assert_eq!(
+            s.gaps_received(),
+            0,
+            "{name} must be unaffected by early release"
+        );
         assert_eq!(s.order_violations(), 0);
     }
     println!(

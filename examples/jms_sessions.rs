@@ -71,8 +71,14 @@ fn main() {
     let audit_client = sim.node_ref(audit);
     let big_client = sim.node_ref(big);
     let commits = sim.metrics().counter("shb.ct_commits");
-    println!("\naudit-trail (auto-ack) : {} messages", audit_client.events_received());
-    println!("big-invoices (lazy ack): {} messages", big_client.events_received());
+    println!(
+        "\naudit-trail (auto-ack) : {} messages",
+        audit_client.events_received()
+    );
+    println!(
+        "big-invoices (lazy ack): {} messages",
+        big_client.events_received()
+    );
     println!("checkpoint commits     : {commits:.0}");
     println!(
         "\nauto-ack is commit-bound: the audit trail consumed only {:.0}% of its offered load \

@@ -28,8 +28,7 @@ fn main() {
     // The subscriber-hosting broker: consolidated stream + PFS.
     let shb = sim.add_typed_node(
         "shb",
-        Broker::new(1, Box::new(MemFactory::new()), BrokerConfig::default())
-            .hosting_subscribers(),
+        Broker::new(1, Box::new(MemFactory::new()), BrokerConfig::default()).hosting_subscribers(),
     );
     sim.node(phb).add_child(shb.id());
     sim.node(shb).set_parent(phb.id());

@@ -27,7 +27,10 @@ fn order_attrs(seq: u64, rng: &mut rand::rngs::SmallRng) -> gryphon_types::Attri
     let mut attrs = gryphon_types::Attributes::new();
     attrs.insert("symbol".into(), SYMBOLS[(seq % 4) as usize].into());
     attrs.insert("qty".into(), (rng.gen_range(1..=50) as i64 * 100).into());
-    attrs.insert("side".into(), if seq.is_multiple_of(2) { "buy" } else { "sell" }.into());
+    attrs.insert(
+        "side".into(),
+        if seq.is_multiple_of(2) { "buy" } else { "sell" }.into(),
+    );
     attrs
 }
 
@@ -43,8 +46,7 @@ fn main() {
     );
     let shb = sim.add_typed_node(
         "trading-floor-broker",
-        Broker::new(1, Box::new(MemFactory::new()), BrokerConfig::default())
-            .hosting_subscribers(),
+        Broker::new(1, Box::new(MemFactory::new()), BrokerConfig::default()).hosting_subscribers(),
     );
     sim.node(phb).add_child(shb.id());
     sim.node(shb).set_parent(phb.id());

@@ -74,8 +74,7 @@ fn run_case(case: &Case) {
     );
     let shb = sim.add_typed_node(
         "shb",
-        Broker::new(1, Box::new(MemFactory::new()), BrokerConfig::default())
-            .hosting_subscribers(),
+        Broker::new(1, Box::new(MemFactory::new()), BrokerConfig::default()).hosting_subscribers(),
     );
     sim.node(phb).add_child(shb.id());
     sim.node(shb).set_parent(phb.id());
@@ -132,7 +131,11 @@ fn run_case(case: &Case) {
             0,
             "order violated for class {class} in {case:?}"
         );
-        assert_eq!(client.gaps_received(), 0, "gap without early release in {case:?}");
+        assert_eq!(
+            client.gaps_received(),
+            0,
+            "gap without early release in {case:?}"
+        );
         let seqs: Vec<i64> = client
             .received()
             .iter()

@@ -104,7 +104,8 @@ fn repeated_shb_crashes_never_lose_or_duplicate() {
     let shb = sys.shbs[0].id();
     // Three crash/recovery cycles.
     for k in 0..3u64 {
-        sys.sim.schedule_crash(shb, 5_000_000 + k * 12_000_000, 2_000_000);
+        sys.sim
+            .schedule_crash(shb, 5_000_000 + k * 12_000_000, 2_000_000);
     }
     sys.sim.run_until(50_000_000);
     assert!(sys.sim.metrics().counter("broker.restarts") >= 3.0);
@@ -127,7 +128,8 @@ fn phb_and_shb_crash_in_same_run() {
         ..Workload::default()
     };
     let mut sys = System::build(&spec, &workload);
-    sys.sim.schedule_crash(sys.shbs[0].id(), 5_000_000, 2_000_000);
+    sys.sim
+        .schedule_crash(sys.shbs[0].id(), 5_000_000, 2_000_000);
     sys.sim.schedule_crash(sys.phb.id(), 12_000_000, 2_000_000);
     sys.sim.run_until(40_000_000);
     // PHB crashes lose unlogged publishes (publisher-side, allowed), so
@@ -193,7 +195,8 @@ fn deterministic_replay_same_seed_same_world() {
             ..Workload::default()
         };
         let mut sys = System::build(&spec, &workload);
-        sys.sim.schedule_crash(sys.shbs[1].id(), 4_000_000, 1_500_000);
+        sys.sim
+            .schedule_crash(sys.shbs[1].id(), 4_000_000, 1_500_000);
         sys.sim.run_until(20_000_000);
         (
             sys.total_events(),
@@ -225,7 +228,8 @@ fn intermediate_cache_absorbs_recovery_nacks() {
         ..Workload::default()
     };
     let mut sys = System::build(&spec, &workload);
-    sys.sim.schedule_crash(sys.shbs[1].id(), 5_000_000, 2_000_000);
+    sys.sim
+        .schedule_crash(sys.shbs[1].id(), 5_000_000, 2_000_000);
     sys.sim.run_until(20_000_000);
     assert_system_exact(&sys, 2_500);
     assert!(

@@ -40,7 +40,8 @@ fn shb_crash_mid_catchup_keeps_watchdogs_quiet() {
     let mut sys = System::build(&spec, &workload);
     sys.sim.set_trace_capacity(1_000_000);
     sys.sim.set_watchdog_panic(true);
-    sys.sim.schedule_crash(sys.shbs[0].id(), 9_000_000, 2_000_000);
+    sys.sim
+        .schedule_crash(sys.shbs[0].id(), 9_000_000, 2_000_000);
     sys.sim.run_until(40_000_000);
 
     assert!(
@@ -74,11 +75,23 @@ fn shb_crash_mid_catchup_keeps_watchdogs_quiet() {
             _ => {}
         }
     }
-    assert!(gap_checks > 100, "constream watchdog barely exercised: {gap_checks}");
+    assert!(
+        gap_checks > 100,
+        "constream watchdog barely exercised: {gap_checks}"
+    );
     assert!(doubt > 100, "doubt watchdog barely exercised: {doubt}");
-    assert!(logged > 100, "only-once-log watchdog barely exercised: {logged}");
-    assert!(catchups >= 1, "no catchup ever started — crash not mid-catchup");
-    assert!(switchovers >= 1, "no catchup ever switched over to the constream");
+    assert!(
+        logged > 100,
+        "only-once-log watchdog barely exercised: {logged}"
+    );
+    assert!(
+        catchups >= 1,
+        "no catchup ever started — crash not mid-catchup"
+    );
+    assert!(
+        switchovers >= 1,
+        "no catchup ever switched over to the constream"
+    );
     assert!(restarts >= 1, "restart trace event missing");
 
     // The switchover-latency histogram the experiments report must have
@@ -152,7 +165,11 @@ fn corrupted_doubt_horizon_flags_exactly_one_regression() {
             },
         );
     }
-    assert_eq!(sim.watchdog_violations(), 0, "equal horizons are not a regression");
+    assert_eq!(
+        sim.watchdog_violations(),
+        0,
+        "equal horizons are not a regression"
+    );
     sim.inject_trace(
         N,
         TraceEvent::DoubtAdvanced {
