@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gryphon_bench::bench_event;
-use gryphon_matching::{Filter, SubscriptionIndex};
+use gryphon_matching::{Filter, MatchScratch, SubscriptionIndex};
 use gryphon_types::SubscriberId;
 
 fn build_index(n: u64) -> SubscriptionIndex {
@@ -27,9 +27,10 @@ fn bench_matching(c: &mut Criterion) {
         let events: Vec<_> = (0..64).map(bench_event).collect();
         group.bench_with_input(BenchmarkId::new("counting_index", n), &n, |b, _| {
             let mut out = Vec::new();
+            let mut scratch = MatchScratch::new();
             let mut i = 0usize;
             b.iter(|| {
-                index.matches_into(&events[i % events.len()], &mut out);
+                index.matches_into(&events[i % events.len()], &mut scratch, &mut out);
                 i += 1;
                 std::hint::black_box(out.len())
             });

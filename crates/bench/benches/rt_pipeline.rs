@@ -55,7 +55,7 @@ fn bench_pipeline(c: &mut Criterion) {
                         phb.id(),
                         NetMsg::Publish(PublishMsg {
                             pubend: PubendId(0),
-                            attrs: [("_seq".to_string(), (seq as i64).into())].into(),
+                            attrs: [("_seq".into(), (seq as i64).into())].into(),
                             payload: bytes::Bytes::from(vec![0u8; 250]),
                         }),
                     );
@@ -79,5 +79,94 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Fan-out variant: one PHB feeding two SHBs, each with a subscriber.
+/// This is the path the per-child knowledge batcher serves — every
+/// committed batch fans out to both children, so coalescing and batching
+/// (or their absence, with `knowledge_flush_interval_us = 0`) shows up
+/// directly in wall-clock drain time.
+fn bench_pipeline_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_pipeline");
+    group.sample_size(10);
+    const BURST: u64 = 2_000;
+    group.throughput(Throughput::Elements(BURST));
+    for (name, flush_us) in [("fanout2_batched", 1_000u64), ("fanout2_unbatched", 0)] {
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let config = BrokerConfig {
+                        phb_commit_interval_us: 500,
+                        phb_commit_latency_us: 100,
+                        pfs_sync_interval_us: 1_000,
+                        knowledge_flush_interval_us: flush_us,
+                        ..BrokerConfig::default()
+                    };
+                    // Registration order fixes node ids: phb=0, shb_a=1,
+                    // shb_b=2, sub_a=3, sub_b=4.
+                    let mut builder = NetBuilder::new();
+                    let mut phb_node = Broker::new(0, Box::new(MemFactory::new()), config.clone())
+                        .hosting_pubends([PubendId(0)]);
+                    phb_node.add_child(gryphon_types::NodeId(1));
+                    phb_node.add_child(gryphon_types::NodeId(2));
+                    let phb = builder.add_node("phb", phb_node);
+                    let mut shb_a = Broker::new(1, Box::new(MemFactory::new()), config.clone())
+                        .hosting_subscribers();
+                    shb_a.set_parent(phb.id());
+                    let shb_a = builder.add_node("shb_a", shb_a);
+                    let mut shb_b =
+                        Broker::new(2, Box::new(MemFactory::new()), config).hosting_subscribers();
+                    shb_b.set_parent(phb.id());
+                    let shb_b = builder.add_node("shb_b", shb_b);
+                    let sub_a = builder.add_node(
+                        "sub_a",
+                        SubscriberClient::new(
+                            SubscriberId(1),
+                            shb_a.id(),
+                            "",
+                            SubscriberConfig::default(),
+                        ),
+                    );
+                    let sub_b = builder.add_node(
+                        "sub_b",
+                        SubscriberClient::new(
+                            SubscriberId(2),
+                            shb_b.id(),
+                            "",
+                            SubscriberConfig::default(),
+                        ),
+                    );
+                    let net = builder.start();
+                    std::thread::sleep(Duration::from_millis(30)); // connect
+                    let start = std::time::Instant::now();
+                    for seq in 0..BURST {
+                        net.inject(
+                            phb.id(),
+                            NetMsg::Publish(PublishMsg {
+                                pubend: PubendId(0),
+                                attrs: [("_seq".into(), (seq as i64).into())].into(),
+                                payload: bytes::Bytes::from(vec![0u8; 250]),
+                            }),
+                        );
+                    }
+                    loop {
+                        std::thread::sleep(Duration::from_millis(5));
+                        if start.elapsed() > Duration::from_millis(500) {
+                            break;
+                        }
+                    }
+                    total += start.elapsed();
+                    let result = net.stop();
+                    for sub in [sub_a, sub_b] {
+                        let got = result.node(sub).events_received();
+                        assert!(got > 0, "fan-out pipeline delivered nothing");
+                    }
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_pipeline_fanout);
 criterion_main!(benches);

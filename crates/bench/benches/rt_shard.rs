@@ -62,7 +62,7 @@ fn run_burst(shards: usize) -> Duration {
             broker.id(),
             NetMsg::Publish(PublishMsg {
                 pubend: PubendId(seq as u32 % PUBENDS),
-                attrs: [("_seq".to_string(), (seq as i64).into())].into(),
+                attrs: [("_seq".into(), (seq as i64).into())].into(),
                 payload: bytes::Bytes::from(vec![0u8; 250]),
             }),
         );

@@ -11,11 +11,12 @@ use super::{now_ticks, Broker};
 use crate::timer::{self, Kind};
 use gryphon_matching::{Filter, SubscriptionIndex};
 use gryphon_sim::{count_metric, names, observe_metric, trace_event, NodeCtx, TraceEvent};
+use gryphon_streams::push_coalesced;
 use gryphon_types::{
     CuriosityMsg, KnowledgeMsg, KnowledgePart, NetMsg, NodeId, PubendId, ReleaseMsg,
     SubInterestMsg, SubscriberId, SubscriptionSpec, Timestamp,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// State owned by the intermediate role.
 #[derive(Default)]
@@ -50,6 +51,35 @@ pub(crate) struct ChildState {
     /// Child interest versions awaiting upstream confirmation:
     /// `(child version, our upward version carrying it)`.
     pub(crate) pending: Vec<(u64, u64)>,
+    /// Fresh knowledge accumulated for this child, awaiting a flush.
+    pub(crate) batcher: KnowledgeBatcher,
+}
+
+/// Per-child knowledge batcher: fresh (non-nack) knowledge accumulates
+/// here, with adjacent silence runs coalesced, until a flush timer or the
+/// size threshold sends it downstream as one message per pubend (the
+/// paper's silence consolidation, amortizing per-message overhead).
+#[derive(Default)]
+pub(crate) struct KnowledgeBatcher {
+    /// Pending parts per pubend. A `BTreeMap` so flushes emit in
+    /// ascending pubend order — deterministic regardless of arrival
+    /// interleaving.
+    pub(crate) pending: BTreeMap<PubendId, PendingBatch>,
+    /// Whether a flush timer is currently armed for this child.
+    pub(crate) timer_armed: bool,
+}
+
+/// One pubend's accumulated knowledge for one child.
+pub(crate) struct PendingBatch {
+    /// Coalesced parts, in accumulation order.
+    pub(crate) parts: Vec<KnowledgePart>,
+    /// Interest-version stamp the parts were filtered under. A stamp
+    /// change forces a flush first: merging parts filtered under
+    /// different versions into one message would over- or under-claim
+    /// which subscriptions the filtering honored.
+    pub(crate) stamp: u64,
+    /// Virtual time the batch opened (flush-latency accounting).
+    pub(crate) since_us: u64,
 }
 
 impl Broker {
@@ -124,8 +154,11 @@ impl Broker {
                 self.send_filtered(child, p, &parts, true, ctx);
             }
         } else {
-            let children = self.ib.children.clone();
-            for child in children {
+            // Index loop instead of cloning the child list per message:
+            // `children` only grows at wiring time, never inside
+            // `send_filtered`.
+            for i in 0..self.ib.children.len() {
+                let child = self.ib.children[i];
                 self.send_filtered(child, p, &parts, false, ctx);
             }
         }
@@ -133,7 +166,9 @@ impl Broker {
 
     /// Forwards parts to one child, downgrading data ticks that match no
     /// subscription in the child's subtree to silence (the paper's
-    /// intermediate filtering).
+    /// intermediate filtering). Fresh knowledge goes through the
+    /// per-child batcher; nack responses bypass it (recovery latency and
+    /// interest-routing semantics both want them on the wire now).
     pub(crate) fn send_filtered(
         &mut self,
         child: NodeId,
@@ -143,56 +178,187 @@ impl Broker {
         ctx: &mut dyn NodeCtx,
     ) {
         let hosted = self.hosts(p);
-        let state = self.ib.child.get(&child);
-        // Until a child's interest is known (fresh boot / just restarted),
-        // forward unfiltered: over-delivery is safe, silent downgrades of
-        // a subscription's events are not.
-        let index = state.and_then(|c| c.index.as_ref());
-        // The stamp: for locally hosted pubends the child's interest is
-        // applied the moment it arrives; for routed pubends it must also
-        // be confirmed upstream (everything this broker forwards was
-        // filtered up there too).
-        let stamp = match state {
-            Some(c) if hosted => c.version,
-            Some(c) => c.confirmed.min(c.version),
-            None => 0,
-        };
-        let mut out: Vec<KnowledgePart> = Vec::with_capacity(parts.len());
-        for part in parts {
-            match part {
-                KnowledgePart::Data(e) => {
-                    ctx.work(self.config.costs.match_us);
-                    let relevant = index.map(|i| i.any_match(e)).unwrap_or(true);
-                    if relevant {
-                        out.push(KnowledgePart::Data(e.clone()));
-                    } else {
-                        // Merge adjacent downgrades into one span.
-                        if let Some(KnowledgePart::Silence { to, .. }) = out.last_mut() {
-                            if to.next() == e.ts {
-                                *to = e.ts;
-                                continue;
-                            }
+        // Borrow-split: the scratch leaves `self` while the child's index
+        // (a shared borrow of `self.ib`) drives matching. `take` on a
+        // warmed scratch moves vectors, it does not allocate.
+        let mut scratch = std::mem::take(&mut self.match_scratch);
+        let (out, stamp) = {
+            let state = self.ib.child.get(&child);
+            // Until a child's interest is known (fresh boot / just
+            // restarted), forward unfiltered: over-delivery is safe,
+            // silent downgrades of a subscription's events are not.
+            let index = state.and_then(|c| c.index.as_ref());
+            // The stamp: for locally hosted pubends the child's interest
+            // is applied the moment it arrives; for routed pubends it
+            // must also be confirmed upstream (everything this broker
+            // forwards was filtered up there too).
+            let stamp = match state {
+                Some(c) if hosted => c.version,
+                Some(c) => c.confirmed.min(c.version),
+                None => 0,
+            };
+            let mut out: Vec<KnowledgePart> = Vec::with_capacity(parts.len());
+            for part in parts {
+                match part {
+                    KnowledgePart::Data(e) => {
+                        ctx.work(self.config.costs.match_us);
+                        let relevant = index.map(|i| i.any_match(e, &mut scratch)).unwrap_or(true);
+                        if relevant {
+                            out.push(KnowledgePart::Data(e.clone()));
+                        } else {
+                            // Downgrade to silence; adjacent downgrades
+                            // coalesce into one run.
+                            push_coalesced(
+                                &mut out,
+                                KnowledgePart::Silence {
+                                    from: e.ts,
+                                    to: e.ts,
+                                },
+                            );
                         }
-                        out.push(KnowledgePart::Silence {
-                            from: e.ts,
-                            to: e.ts,
-                        });
                     }
+                    other => push_coalesced(&mut out, other.clone()),
                 }
-                other => out.push(other.clone()),
             }
+            (out, stamp)
+        };
+        self.match_scratch = scratch;
+        if out.is_empty() {
+            return;
         }
-        if !out.is_empty() {
+        if nack_response {
+            // Flush any batched fresh knowledge for this (child, pubend)
+            // first so the response never arrives under older knowledge
+            // it was meant to follow.
+            self.flush_child_pubend(child, p, ctx);
             ctx.send(
                 child,
                 NetMsg::Knowledge(KnowledgeMsg {
                     pubend: p,
                     parts: out,
-                    nack_response,
+                    nack_response: true,
                     interest_version: stamp,
                 }),
             );
+        } else if self.config.knowledge_flush_interval_us == 0 {
+            ctx.send(
+                child,
+                NetMsg::Knowledge(KnowledgeMsg {
+                    pubend: p,
+                    parts: out,
+                    nack_response: false,
+                    interest_version: stamp,
+                }),
+            );
+        } else {
+            self.enqueue_knowledge(child, p, out, stamp, ctx);
         }
+    }
+
+    /// Accumulates filtered fresh knowledge for `child`, flushing early on
+    /// a stamp change or once the batch hits the size threshold; otherwise
+    /// arms the per-child flush timer.
+    fn enqueue_knowledge(
+        &mut self,
+        child: NodeId,
+        p: PubendId,
+        parts: Vec<KnowledgePart>,
+        stamp: u64,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        let stamp_changed = self
+            .ib
+            .child
+            .get(&child)
+            .and_then(|c| c.batcher.pending.get(&p))
+            .is_some_and(|b| b.stamp != stamp);
+        if stamp_changed {
+            self.flush_child_pubend(child, p, ctx);
+        }
+        let now = ctx.now_us();
+        let max_parts = self.config.knowledge_batch_max_parts.max(1);
+        let full = {
+            let state = self.ib.child.entry(child).or_default();
+            let batch = state
+                .batcher
+                .pending
+                .entry(p)
+                .or_insert_with(|| PendingBatch {
+                    parts: Vec::new(),
+                    stamp,
+                    since_us: now,
+                });
+            for part in parts {
+                push_coalesced(&mut batch.parts, part);
+            }
+            batch.parts.len() >= max_parts
+        };
+        if full {
+            self.flush_child_pubend(child, p, ctx);
+            return;
+        }
+        let state = self.ib.child.get_mut(&child).expect("created above");
+        if !state.batcher.timer_armed {
+            state.batcher.timer_armed = true;
+            ctx.set_timer(
+                self.config.knowledge_flush_interval_us,
+                timer::pack(Kind::KnowledgeFlush, self.epoch, 0, child.0),
+            );
+        }
+    }
+
+    /// Flushes one pubend's pending batch for `child`, if any.
+    pub(crate) fn flush_child_pubend(&mut self, child: NodeId, p: PubendId, ctx: &mut dyn NodeCtx) {
+        let Some(batch) = self
+            .ib
+            .child
+            .get_mut(&child)
+            .and_then(|c| c.batcher.pending.remove(&p))
+        else {
+            return;
+        };
+        self.send_batch(child, p, batch, ctx);
+    }
+
+    /// Flush-timer handler: sends everything pending for `child`.
+    pub(crate) fn on_knowledge_flush(&mut self, child: NodeId, ctx: &mut dyn NodeCtx) {
+        let Some(state) = self.ib.child.get_mut(&child) else {
+            return;
+        };
+        state.batcher.timer_armed = false;
+        let pending = std::mem::take(&mut state.batcher.pending);
+        for (p, batch) in pending {
+            self.send_batch(child, p, batch, ctx);
+        }
+    }
+
+    fn send_batch(
+        &mut self,
+        child: NodeId,
+        p: PubendId,
+        batch: PendingBatch,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        observe_metric!(
+            ctx,
+            names::IB_KNOWLEDGE_BATCH_PARTS,
+            batch.parts.len() as f64
+        );
+        observe_metric!(
+            ctx,
+            names::IB_KNOWLEDGE_FLUSH_WAIT_US,
+            ctx.now_us().saturating_sub(batch.since_us) as f64
+        );
+        count_metric!(ctx, names::IB_KNOWLEDGE_BATCHES, 1.0);
+        ctx.send(
+            child,
+            NetMsg::Knowledge(KnowledgeMsg {
+                pubend: p,
+                parts: batch.parts,
+                nack_response: false,
+                interest_version: batch.stamp,
+            }),
+        );
     }
 
     /// Answers `[from, to]` locally (pubend-authoritative or cache) and

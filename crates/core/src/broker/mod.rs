@@ -42,6 +42,7 @@ pub use shb::{CatchupNeeds, Con, Conn, Shb};
 
 use crate::config::BrokerConfig;
 use crate::timer::{self, Kind};
+use gryphon_matching::MatchScratch;
 use gryphon_sim::{names, trace_event, Node, NodeCtx, TimerKey, TraceEvent};
 use gryphon_storage::{EventLog, MediaFactory, VolumeConfig};
 use gryphon_types::{NetMsg, NodeId, PubendId, Timestamp};
@@ -73,6 +74,9 @@ pub struct Broker {
     shb: ShbRole,
     /// All per-pubend state, one pipeline per pubend.
     pipelines: HashMap<PubendId, PubendPipeline>,
+    /// Reusable matching scratch for the IB filtering path (zero
+    /// allocations per event once warmed up).
+    match_scratch: MatchScratch,
 }
 
 impl std::fmt::Debug for Broker {
@@ -105,6 +109,7 @@ impl Broker {
             ib: IbRole::default(),
             shb: ShbRole::default(),
             pipelines: HashMap::new(),
+            match_scratch: MatchScratch::new(),
         }
     }
 
@@ -313,6 +318,7 @@ impl Node for Broker {
             Kind::CacheTrim => self.on_cache_trim(ctx),
             Kind::CatchupRead => self.on_catchup_read(PubendId(d.pubend as u32), d.param, ctx),
             Kind::CtCommit => self.on_ct_commit(d.param as usize, ctx),
+            Kind::KnowledgeFlush => self.on_knowledge_flush(NodeId(d.param), ctx),
         }
     }
 

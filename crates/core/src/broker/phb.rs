@@ -101,9 +101,12 @@ impl Broker {
 
     pub(crate) fn on_phb_silence(&mut self, ctx: &mut dyn NodeCtx) {
         let now = now_ticks(ctx);
-        // Declared order: stable across runs, unlike map iteration.
-        let pubends = self.phb.declared.clone();
-        for p in pubends {
+        // Declared order: stable across runs, unlike map iteration. An
+        // index loop avoids cloning the pubend list per tick — `declared`
+        // is fixed after construction, so the indices stay valid across
+        // the `ingest` calls.
+        for i in 0..self.phb.declared.len() {
+            let p = self.phb.declared[i];
             let parts = self
                 .hosted_mut(p)
                 .map(|pe| pe.emit_silence(now))

@@ -4,7 +4,7 @@
 
 use crate::config::BrokerConfig;
 use crate::pfs::{Pfs, PfsMode};
-use gryphon_matching::{Filter, SubscriptionIndex};
+use gryphon_matching::{Filter, MatchScratch, SubscriptionIndex};
 use gryphon_sim::{
     count_metric, names, observe_metric, record_metric, trace_event, NodeCtx, TraceEvent,
 };
@@ -119,6 +119,10 @@ pub struct Shb {
     workers: Vec<CtWorker>,
     /// Events delivered (constream + catchup), for counters.
     pub delivered: u64,
+    /// Reusable matching scratch for the constream hot path.
+    match_scratch: MatchScratch,
+    /// Reusable match-result buffer for the constream hot path.
+    match_buf: Vec<SubscriberId>,
 }
 
 impl std::fmt::Debug for Shb {
@@ -168,6 +172,8 @@ impl Shb {
                 .map(|_| CtWorker::default())
                 .collect(),
             delivered: 0,
+            match_scratch: MatchScratch::new(),
+            match_buf: Vec::new(),
         };
         shb.load_persistent();
         shb
@@ -308,16 +314,20 @@ impl Shb {
         };
         if dh > con.processed_to {
             let events: Vec<EventRef> = cache.events_in(con.processed_to, dh).cloned().collect();
+            // Reusable scratch + output buffer: matching allocates nothing
+            // per event once both have warmed up to the index size.
+            let mut matched = std::mem::take(&mut self.match_buf);
             for event in events {
                 ctx.work(config.costs.match_us);
-                let matched = self.index.matches(&event);
+                self.index
+                    .matches_into(&event, &mut self.match_scratch, &mut matched);
                 if matched.is_empty() {
                     continue;
                 }
                 if self.pfs.write(p, event.ts, &matched).is_ok() {
                     ctx.work(config.costs.pfs_record_us);
                 }
-                for sub in matched {
+                for &sub in &matched {
                     let gated = self.gated.contains(&sub);
                     let Some(conn) = self.conns.get_mut(&sub) else {
                         continue; // disconnected: recovered later via PFS
@@ -341,6 +351,7 @@ impl Shb {
                     deliver(conn, sub, msg, gated, ctx);
                 }
             }
+            self.match_buf = matched;
             // The constream must advance over a contiguous prefix: the
             // gap-free watchdog (paper §4.1) checks that each advance
             // starts exactly where the previous one ended.

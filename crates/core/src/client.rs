@@ -528,8 +528,8 @@ impl Node for PublisherClient {
             Some(f) => f(self.seq, ctx.rng()),
             None => Attributes::new(),
         };
-        attrs.insert("_seq".to_owned(), (self.seq as i64).into());
-        attrs.insert("_sent_us".to_owned(), (ctx.now_us() as i64).into());
+        attrs.insert("_seq".into(), (self.seq as i64).into());
+        attrs.insert("_sent_us".into(), (ctx.now_us() as i64).into());
         ctx.send(
             self.phb,
             NetMsg::Publish(PublishMsg {

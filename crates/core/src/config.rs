@@ -83,6 +83,17 @@ pub struct BrokerConfig {
     pub cache_window_ticks: u64,
     /// Retry policy for upstream nacks.
     pub retry: RetryPolicy,
+    /// How long the IB may hold a child's accumulated fresh knowledge
+    /// before flushing it downstream as one message (the paper's silence
+    /// consolidation amortizes per-message overhead at the cost of this
+    /// much added knowledge latency). `0` disables batching: every
+    /// knowledge message is forwarded immediately. Nack responses always
+    /// bypass the batcher.
+    pub knowledge_flush_interval_us: u64,
+    /// Flush a child's pending knowledge batch for a pubend early once it
+    /// holds this many parts (bounds message size and heap growth under
+    /// bursts).
+    pub knowledge_batch_max_parts: usize,
 
     // ---- SHB ----
     /// PFS group-commit interval: constream advances `latestDelivered`
@@ -128,6 +139,8 @@ impl Default for BrokerConfig {
             release_interval_us: 250_000,
             cache_window_ticks: 60_000,
             retry: RetryPolicy::default(),
+            knowledge_flush_interval_us: 1_000,
+            knowledge_batch_max_parts: 64,
             pfs_sync_interval_us: 5_000,
             meta_persist_interval_us: 250_000,
             client_silence_interval_us: 100_000,

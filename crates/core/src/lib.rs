@@ -62,7 +62,7 @@
 //! let publisher = sim.add_typed_node(
 //!     "pub",
 //!     PublisherClient::new(phb.id(), PubendId(0), 100.0)
-//!         .with_attrs(|_, _| [("class".to_string(), 0i64.into())].into()),
+//!         .with_attrs(|_, _| [("class".into(), 0i64.into())].into()),
 //! );
 //! sim.connect(publisher.id(), phb.id(), 500);
 //!

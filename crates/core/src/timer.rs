@@ -32,6 +32,8 @@ pub enum Kind {
     /// A checkpoint-commit worker finished its transaction (param =
     /// worker index).
     CtCommit,
+    /// Flush a child's batched knowledge (param = child node id).
+    KnowledgeFlush,
 }
 
 impl Kind {
@@ -48,6 +50,7 @@ impl Kind {
             Kind::CatchupRead => 9,
             Kind::CtCommit => 10,
             Kind::PhbCommitDone => 11,
+            Kind::KnowledgeFlush => 12,
         }
     }
 
@@ -64,6 +67,7 @@ impl Kind {
             9 => Kind::CatchupRead,
             10 => Kind::CtCommit,
             11 => Kind::PhbCommitDone,
+            12 => Kind::KnowledgeFlush,
             _ => return None,
         })
     }
@@ -118,6 +122,7 @@ mod tests {
             Kind::CacheTrim,
             Kind::CatchupRead,
             Kind::CtCommit,
+            Kind::KnowledgeFlush,
         ] {
             let key = pack(kind, 7, 65_535, 0xDEAD_BEEF);
             let d = unpack(key).unwrap();

@@ -179,6 +179,36 @@ impl Criterion {
             "{name:<48} {:>12.1} ns/iter ({} iters){rate}",
             per_iter_ns, b.iters
         );
+        emit_json(name, per_iter_ns, b.iters);
+    }
+}
+
+/// Appends one NDJSON record per bench to the file named by the
+/// `CRITERION_JSON` env var (no-op when unset). `scripts/bench.sh`
+/// gathers these lines into the checked-in `BENCH_*.json` baselines.
+fn emit_json(name: &str, per_iter_ns: f64, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line =
+        format!("{{\"name\":\"{escaped}\",\"ns_per_iter\":{per_iter_ns:.1},\"iters\":{iters}}}\n");
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
     }
 }
 
@@ -216,6 +246,25 @@ mod tests {
         group.bench_function("count", |b| b.iter(|| ran += 1));
         group.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_env_set() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_{}.ndjson", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default();
+        c.bench_function("json_probe", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        std::env::remove_var("CRITERION_JSON");
+        let body = std::fs::read_to_string(&path).expect("json file written");
+        let line = body
+            .lines()
+            .find(|l| l.contains("\"json_probe\""))
+            .expect("probe line present");
+        assert!(line.starts_with("{\"name\":\"json_probe\",\"ns_per_iter\":"));
+        assert!(line.ends_with('}'));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Filter AST: conjunctions of attribute predicates.
 
-use gryphon_types::{AttrValue, Event};
+use gryphon_types::{AttrName, AttrValue, Event};
 
 /// Comparison operator of a [`Predicate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,8 +57,8 @@ impl std::fmt::Display for Op {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
-    /// Attribute name.
-    pub attr: String,
+    /// Interned attribute name.
+    pub attr: AttrName,
     /// Comparison operator.
     pub op: Op,
     /// Right-hand constant (ignored for [`Op::Exists`]).
@@ -66,8 +66,8 @@ pub struct Predicate {
 }
 
 impl Predicate {
-    /// Creates a predicate.
-    pub fn new(attr: impl Into<String>, op: Op, value: AttrValue) -> Self {
+    /// Creates a predicate. The attribute name is interned.
+    pub fn new(attr: impl Into<AttrName>, op: Op, value: AttrValue) -> Self {
         Predicate {
             attr: attr.into(),
             op,
@@ -76,7 +76,7 @@ impl Predicate {
     }
 
     /// Creates an existence predicate for `attr`.
-    pub fn exists(attr: impl Into<String>) -> Self {
+    pub fn exists(attr: impl Into<AttrName>) -> Self {
         Predicate {
             attr: attr.into(),
             op: Op::Exists,
@@ -98,7 +98,8 @@ impl Predicate {
     /// assert!(!p.eval(&miss));
     /// ```
     pub fn eval(&self, event: &Event) -> bool {
-        let Some(v) = event.attr(&self.attr) else {
+        // Direct symbol-keyed lookup: no string hashing or table probe.
+        let Some(v) = event.attrs.get(&self.attr) else {
             return false;
         };
         self.eval_value(v)

@@ -8,20 +8,102 @@
 //! are satisfied via a single hash lookup per event attribute, so the cost
 //! of matching is proportional to the event's attribute count plus the
 //! number of *candidate* subscriptions, not the total subscription count.
+//!
+//! # Hot-path memory model
+//!
+//! Subscriptions live in dense **slots** (`u32` indices recycled through a
+//! free list), so the per-event satisfied-predicate counters are a flat
+//! array indexed by slot, not a hash map keyed by subscriber. The counter
+//! array lives in a caller-owned [`MatchScratch`] and is invalidated
+//! between events by a generation stamp rather than being cleared, so
+//! [`SubscriptionIndex::matches_into`] performs **zero heap allocations
+//! per event** once the scratch has warmed up to the index size. Attribute
+//! names are interned [`AttrName`]s and the equality index is keyed
+//! `name → value → slots`, so probing it borrows the event's own key and
+//! value — no per-event key construction either.
 
 use crate::{Filter, Op};
-use gryphon_types::{AttrValue, Event, SubscriberId};
+use gryphon_types::{AttrName, AttrValue, Event, SubscriberId};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
-struct CompiledSub {
+struct Slot {
+    sub: SubscriberId,
     filter: Filter,
     /// Number of predicates that must be satisfied.
-    total: usize,
+    total: u32,
+}
+
+/// Caller-owned scratch for [`SubscriptionIndex::matches_into`].
+///
+/// Holds the generation-stamped counter array. Reusing one scratch across
+/// events amortizes its (rare) growth: after it has seen the index's
+/// current size once, matching allocates nothing. A scratch is not tied to
+/// a particular index — it resizes to whatever index it is used with.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_matching::{Filter, MatchScratch, SubscriptionIndex};
+/// use gryphon_types::{Event, PubendId, SubscriberId, Timestamp};
+///
+/// let mut idx = SubscriptionIndex::new();
+/// idx.insert(SubscriberId(1), Filter::parse("class = 1").unwrap());
+/// let mut scratch = MatchScratch::new();
+/// let mut out = Vec::new();
+/// let e = Event::builder(PubendId(0)).attr("class", 1i64).build(Timestamp(1));
+/// idx.matches_into(&e, &mut scratch, &mut out);
+/// assert_eq!(out, vec![SubscriberId(1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Satisfied-predicate count per slot; valid only where the stamp
+    /// matches the current generation.
+    counts: Vec<u32>,
+    /// Generation stamp per slot; `stamps[i] == generation` means
+    /// `counts[i]` belongs to the event currently being matched.
+    stamps: Vec<u64>,
+    /// Slots touched while matching the current event.
+    touched: Vec<u32>,
+    generation: u64,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; it grows to the index size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, slots: usize) {
+        if self.counts.len() < slots {
+            self.counts.resize(slots, 0);
+            self.stamps.resize(slots, 0);
+        }
+        self.generation += 1;
+        self.touched.clear();
+    }
+
+    /// Counts one satisfied predicate for `slot`; returns the new count.
+    #[inline]
+    fn bump(&mut self, slot: u32) -> u32 {
+        let i = slot as usize;
+        if self.stamps[i] == self.generation {
+            self.counts[i] += 1;
+        } else {
+            self.stamps[i] = self.generation;
+            self.counts[i] = 1;
+            self.touched.push(slot);
+        }
+        self.counts[i]
+    }
 }
 
 /// An index over many subscriptions answering "which subscriptions match
 /// this event?" in sub-linear time.
+///
+/// Matching results are emitted in ascending [`SubscriberId`] order — a
+/// specified, deterministic order that downstream emission paths (and the
+/// golden-determinism tests) rely on.
 ///
 /// # Examples
 ///
@@ -35,20 +117,25 @@ struct CompiledSub {
 /// idx.insert(SubscriberId(3), Filter::match_all());
 ///
 /// let e = Event::builder(PubendId(0)).attr("class", 1i64).build(Timestamp(1));
-/// let mut hits = idx.matches(&e);
-/// hits.sort();
-/// assert_eq!(hits, vec![SubscriberId(2), SubscriberId(3)]);
+/// assert_eq!(idx.matches(&e), vec![SubscriberId(2), SubscriberId(3)]);
 /// # Ok::<(), gryphon_matching::ParseError>(())
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SubscriptionIndex {
-    subs: HashMap<SubscriberId, CompiledSub>,
-    /// (attr, value) → subscriptions holding an equality predicate on it.
-    eq_index: HashMap<(String, AttrValue), Vec<SubscriberId>>,
-    /// attr → (subscription, predicate index) for non-equality predicates.
-    attr_index: HashMap<String, Vec<(SubscriberId, usize)>>,
-    /// Subscriptions with an empty conjunction (match everything).
-    match_all: Vec<SubscriberId>,
+    /// Subscriber → its slot.
+    slot_of: HashMap<SubscriberId, u32>,
+    /// Dense subscription storage; `None` marks a free slot.
+    slots: Vec<Option<Slot>>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// name → value → slots holding an equality predicate on it. Two
+    /// levels so the hot path can probe with the event's own borrowed
+    /// `(AttrName, &AttrValue)` instead of building an owned pair key.
+    eq_index: HashMap<AttrName, HashMap<AttrValue, Vec<u32>>>,
+    /// name → (slot, predicate index) for non-equality predicates.
+    attr_index: HashMap<AttrName, Vec<(u32, u32)>>,
+    /// Slots with an empty conjunction (match everything).
+    match_all: Vec<u32>,
 }
 
 impl SubscriptionIndex {
@@ -59,12 +146,16 @@ impl SubscriptionIndex {
 
     /// Number of registered subscriptions.
     pub fn len(&self) -> usize {
-        self.subs.len()
+        self.slot_of.len()
     }
 
     /// `true` when no subscription is registered.
     pub fn is_empty(&self) -> bool {
-        self.subs.is_empty()
+        self.slot_of.is_empty()
+    }
+
+    fn slot(&self, i: u32) -> &Slot {
+        self.slots[i as usize].as_ref().expect("live slot")
     }
 
     /// Registers (or replaces) the filter for `sub`.
@@ -81,104 +172,138 @@ impl SubscriptionIndex {
     /// ```
     pub fn insert(&mut self, sub: SubscriberId, filter: Filter) {
         self.remove(sub);
-        let total = filter.predicates().len();
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let total = filter.predicates().len() as u32;
         if total == 0 {
-            self.match_all.push(sub);
+            self.match_all.push(slot);
         } else {
             for (i, p) in filter.predicates().iter().enumerate() {
                 if p.op == Op::Eq {
                     self.eq_index
-                        .entry((p.attr.clone(), p.value.clone()))
+                        .entry(p.attr)
                         .or_default()
-                        .push(sub);
+                        .entry(p.value.clone())
+                        .or_default()
+                        .push(slot);
                 } else {
                     self.attr_index
-                        .entry(p.attr.clone())
+                        .entry(p.attr)
                         .or_default()
-                        .push((sub, i));
+                        .push((slot, i as u32));
                 }
             }
         }
-        self.subs.insert(sub, CompiledSub { filter, total });
+        self.slots[slot as usize] = Some(Slot { sub, filter, total });
+        self.slot_of.insert(sub, slot);
     }
 
     /// Removes `sub`; returns its filter if it was registered.
     pub fn remove(&mut self, sub: SubscriberId) -> Option<Filter> {
-        let compiled = self.subs.remove(&sub)?;
+        let slot = self.slot_of.remove(&sub)?;
+        let compiled = self.slots[slot as usize].take().expect("live slot");
         if compiled.total == 0 {
-            self.match_all.retain(|&s| s != sub);
+            self.match_all.retain(|&s| s != slot);
         } else {
             for p in compiled.filter.predicates() {
                 if p.op == Op::Eq {
-                    if let Some(v) = self.eq_index.get_mut(&(p.attr.clone(), p.value.clone())) {
-                        v.retain(|&s| s != sub);
-                        if v.is_empty() {
-                            self.eq_index.remove(&(p.attr.clone(), p.value.clone()));
+                    if let Some(by_value) = self.eq_index.get_mut(&p.attr) {
+                        if let Some(v) = by_value.get_mut(&p.value) {
+                            v.retain(|&s| s != slot);
+                            if v.is_empty() {
+                                by_value.remove(&p.value);
+                            }
+                        }
+                        if by_value.is_empty() {
+                            self.eq_index.remove(&p.attr);
                         }
                     }
                 } else if let Some(v) = self.attr_index.get_mut(&p.attr) {
-                    v.retain(|&(s, _)| s != sub);
+                    v.retain(|&(s, _)| s != slot);
                     if v.is_empty() {
                         self.attr_index.remove(&p.attr);
                     }
                 }
             }
         }
+        self.free.push(slot);
         Some(compiled.filter)
     }
 
     /// Returns the filter registered for `sub`, if any.
     pub fn get(&self, sub: SubscriberId) -> Option<&Filter> {
-        self.subs.get(&sub).map(|c| &c.filter)
+        self.slot_of.get(&sub).map(|&i| &self.slot(i).filter)
     }
 
     /// Iterates over `(subscriber, filter)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (SubscriberId, &Filter)> + '_ {
-        self.subs.iter().map(|(&s, c)| (s, &c.filter))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .map(|s| (s.sub, &s.filter))
     }
 
-    /// All subscriptions matching `event` (unspecified order).
+    /// All subscriptions matching `event`, in ascending subscriber order.
+    ///
+    /// Convenience wrapper that allocates a fresh scratch and output
+    /// vector; hot paths should hold a [`MatchScratch`] and use
+    /// [`SubscriptionIndex::matches_into`].
     pub fn matches(&self, event: &Event) -> Vec<SubscriberId> {
+        let mut scratch = MatchScratch::new();
         let mut out = Vec::new();
-        self.matches_into(event, &mut out);
+        self.matches_into(event, &mut scratch, &mut out);
         out
     }
 
-    /// Like [`SubscriptionIndex::matches`] but reuses an output buffer —
-    /// the hot path for brokers matching hundreds of thousands of events
-    /// per second.
-    pub fn matches_into(&self, event: &Event, out: &mut Vec<SubscriberId>) {
+    /// Like [`SubscriptionIndex::matches`] but reuses caller-owned scratch
+    /// and output buffers — the hot path for brokers matching hundreds of
+    /// thousands of events per second. Performs no heap allocation once
+    /// `scratch` and `out` have grown to the index's size.
+    ///
+    /// `out` is cleared and then filled in ascending [`SubscriberId`]
+    /// order (a stable, specified order: broker emission must not depend
+    /// on hash-map iteration).
+    pub fn matches_into(
+        &self,
+        event: &Event,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<SubscriberId>,
+    ) {
         out.clear();
-        out.extend_from_slice(&self.match_all);
-        if self.subs.len() == self.match_all.len() {
-            return;
+        for &slot in &self.match_all {
+            out.push(self.slot(slot).sub);
         }
-        let mut counts: HashMap<SubscriberId, usize> = HashMap::new();
-        let mut key = (String::new(), AttrValue::Bool(false));
-        for (attr, value) in &event.attrs {
-            // Reuse the key allocation across lookups.
-            key.0.clear();
-            key.0.push_str(attr);
-            key.1 = value.clone();
-            if let Some(subs) = self.eq_index.get(&key) {
-                for &s in subs {
-                    *counts.entry(s).or_insert(0) += 1;
+        if self.slot_of.len() > self.match_all.len() {
+            scratch.begin(self.slots.len());
+            for (attr, value) in &event.attrs {
+                if let Some(slots) = self.eq_index.get(attr).and_then(|m| m.get(value)) {
+                    for &slot in slots {
+                        scratch.bump(slot);
+                    }
                 }
-            }
-            if let Some(cands) = self.attr_index.get(attr) {
-                for &(s, pi) in cands {
-                    let pred = &self.subs[&s].filter.predicates()[pi];
-                    if pred.eval_value(value) {
-                        *counts.entry(s).or_insert(0) += 1;
+                if let Some(cands) = self.attr_index.get(attr) {
+                    for &(slot, pi) in cands {
+                        let s = self.slot(slot);
+                        if s.filter.predicates()[pi as usize].eval_value(value) {
+                            scratch.bump(slot);
+                        }
                     }
                 }
             }
-        }
-        for (s, n) in counts {
-            if n == self.subs[&s].total {
-                out.push(s);
+            for i in 0..scratch.touched.len() {
+                let slot = scratch.touched[i];
+                let s = self.slot(slot);
+                if scratch.counts[slot as usize] == s.total {
+                    out.push(s.sub);
+                }
             }
         }
+        out.sort_unstable();
     }
 
     /// Reference implementation: linear scan over every subscription.
@@ -187,10 +312,11 @@ impl SubscriptionIndex {
     /// bench; not intended for production paths.
     pub fn matches_naive(&self, event: &Event) -> Vec<SubscriberId> {
         let mut out: Vec<SubscriberId> = self
-            .subs
+            .slots
             .iter()
-            .filter(|(_, c)| c.filter.eval(event))
-            .map(|(&s, _)| s)
+            .filter_map(|s| s.as_ref())
+            .filter(|s| s.filter.eval(event))
+            .map(|s| s.sub)
             .collect();
         out.sort();
         out
@@ -198,13 +324,36 @@ impl SubscriptionIndex {
 
     /// `true` when *any* registered subscription matches `event` — the
     /// question intermediate brokers ask when deciding whether to forward
-    /// a data tick or downgrade it to silence.
-    pub fn any_match(&self, event: &Event) -> bool {
+    /// a data tick or downgrade it to silence. Allocation-free given a
+    /// warmed-up `scratch`, and exits as soon as one conjunction fills.
+    pub fn any_match(&self, event: &Event, scratch: &mut MatchScratch) -> bool {
         if !self.match_all.is_empty() {
             return true;
         }
-        // A full count pass is still needed (conjunctions).
-        !self.matches(event).is_empty()
+        if self.slot_of.is_empty() {
+            return false;
+        }
+        scratch.begin(self.slots.len());
+        for (attr, value) in &event.attrs {
+            if let Some(slots) = self.eq_index.get(attr).and_then(|m| m.get(value)) {
+                for &slot in slots {
+                    if scratch.bump(slot) == self.slot(slot).total {
+                        return true;
+                    }
+                }
+            }
+            if let Some(cands) = self.attr_index.get(attr) {
+                for &(slot, pi) in cands {
+                    let s = self.slot(slot);
+                    if s.filter.predicates()[pi as usize].eval_value(value)
+                        && scratch.bump(slot) == s.total
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 }
 
@@ -236,11 +385,6 @@ mod tests {
             .build(Timestamp(1))
     }
 
-    fn sorted(mut v: Vec<SubscriberId>) -> Vec<SubscriberId> {
-        v.sort();
-        v
-    }
-
     #[test]
     fn equality_partition() {
         let mut idx = SubscriptionIndex::new();
@@ -250,7 +394,7 @@ mod tests {
                 Filter::parse(&format!("class = {i}")).unwrap(),
             );
         }
-        assert_eq!(sorted(idx.matches(&event(2, 0))), vec![SubscriberId(2)]);
+        assert_eq!(idx.matches(&event(2, 0)), vec![SubscriberId(2)]);
         assert_eq!(idx.matches(&event(9, 0)), vec![]);
     }
 
@@ -270,9 +414,9 @@ mod tests {
         let mut idx = SubscriptionIndex::new();
         idx.insert(SubscriberId(7), Filter::match_all());
         idx.insert(SubscriberId(8), Filter::parse("class = 0").unwrap());
-        assert_eq!(sorted(idx.matches(&event(1, 0))), vec![SubscriberId(7)]);
+        assert_eq!(idx.matches(&event(1, 0)), vec![SubscriberId(7)]);
         assert_eq!(
-            sorted(idx.matches(&event(0, 0))),
+            idx.matches(&event(0, 0)),
             vec![SubscriberId(7), SubscriberId(8)]
         );
     }
@@ -293,6 +437,29 @@ mod tests {
     }
 
     #[test]
+    fn removed_slots_are_recycled() {
+        let mut idx = SubscriptionIndex::new();
+        for i in 0..8 {
+            idx.insert(
+                SubscriberId(i),
+                Filter::parse(&format!("class = {i}")).unwrap(),
+            );
+        }
+        for i in 0..8 {
+            idx.remove(SubscriberId(i));
+        }
+        let slots_before = idx.slots.len();
+        for i in 8..16 {
+            idx.insert(
+                SubscriberId(i),
+                Filter::parse(&format!("class = {i}")).unwrap(),
+            );
+        }
+        assert_eq!(idx.slots.len(), slots_before, "free slots must be reused");
+        assert_eq!(idx.matches(&event(12, 0)), vec![SubscriberId(12)]);
+    }
+
+    #[test]
     fn replace_changes_matching() {
         let mut idx = SubscriptionIndex::new();
         idx.insert(SubscriberId(1), Filter::parse("class = 1").unwrap());
@@ -304,9 +471,24 @@ mod tests {
     #[test]
     fn any_match_short_circuits_on_match_all() {
         let mut idx = SubscriptionIndex::new();
-        assert!(!idx.any_match(&event(0, 0)));
+        let mut scratch = MatchScratch::new();
+        assert!(!idx.any_match(&event(0, 0), &mut scratch));
         idx.insert(SubscriberId(1), Filter::match_all());
-        assert!(idx.any_match(&event(0, 0)));
+        assert!(idx.any_match(&event(0, 0), &mut scratch));
+    }
+
+    #[test]
+    fn any_match_agrees_with_matches() {
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(
+            SubscriberId(1),
+            Filter::parse("class = 1 && price > 10").unwrap(),
+        );
+        idx.insert(SubscriberId(2), Filter::parse("price < 0").unwrap());
+        let mut scratch = MatchScratch::new();
+        for e in [event(1, 20), event(1, 5), event(0, -1), event(0, 0)] {
+            assert_eq!(idx.any_match(&e, &mut scratch), !idx.matches(&e).is_empty(),);
+        }
     }
 
     #[test]
@@ -354,9 +536,53 @@ mod tests {
             .attr("sym", "IBM")
             .attr("price", 100i64)
             .build(Timestamp(1));
-        assert_eq!(
-            sorted(idx.matches(&e)),
-            vec![SubscriberId(1), SubscriberId(2)]
-        );
+        assert_eq!(idx.matches(&e), vec![SubscriberId(1), SubscriberId(2)]);
+    }
+
+    #[test]
+    fn output_order_is_ascending_and_stable() {
+        // Insert in descending id order with a mix of match-all, equality
+        // and range filters: output must still be ascending by id, and
+        // identical across repeated calls with a shared scratch.
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(SubscriberId(30), Filter::match_all());
+        idx.insert(SubscriberId(20), Filter::parse("price >= 0").unwrap());
+        idx.insert(SubscriberId(10), Filter::parse("class = 1").unwrap());
+        idx.insert(SubscriberId(5), Filter::parse("class = 1").unwrap());
+        let e = event(1, 3);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        idx.matches_into(&e, &mut scratch, &mut out);
+        let expect = vec![
+            SubscriberId(5),
+            SubscriberId(10),
+            SubscriberId(20),
+            SubscriberId(30),
+        ];
+        assert_eq!(out, expect);
+        for _ in 0..5 {
+            let mut again = Vec::new();
+            idx.matches_into(&e, &mut scratch, &mut again);
+            assert_eq!(again, expect, "order must be stable across calls");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_indexes() {
+        let mut a = SubscriptionIndex::new();
+        a.insert(SubscriberId(1), Filter::parse("class = 1").unwrap());
+        let mut big = SubscriptionIndex::new();
+        for i in 0..64 {
+            big.insert(
+                SubscriberId(i),
+                Filter::parse(&format!("class = {}", i % 4)).unwrap(),
+            );
+        }
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        big.matches_into(&event(1, 0), &mut scratch, &mut out);
+        assert_eq!(out.len(), 16);
+        a.matches_into(&event(1, 0), &mut scratch, &mut out);
+        assert_eq!(out, vec![SubscriberId(1)]);
     }
 }

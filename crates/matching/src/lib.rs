@@ -37,7 +37,7 @@ mod index;
 mod parser;
 
 pub use ast::{Filter, Op, Predicate};
-pub use index::SubscriptionIndex;
+pub use index::{MatchScratch, SubscriptionIndex};
 pub use parser::ParseError;
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Property tests: the counting index is equivalent to naive evaluation.
 
-use crate::{Filter, Op, Predicate, SubscriptionIndex};
+use crate::{Filter, MatchScratch, Op, Predicate, SubscriptionIndex};
 use gryphon_types::{AttrValue, Event, PubendId, SubscriberId, Timestamp};
 use proptest::prelude::*;
 
@@ -60,7 +60,11 @@ fn arb_event() -> impl Strategy<Value = Event> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
-    /// The index must agree exactly with per-filter naive evaluation.
+    /// The index must agree exactly with per-filter naive evaluation, and
+    /// emit results already sorted (ascending subscriber id) without the
+    /// test having to sort — the counting rework made output order a
+    /// specified part of the contract. The same scratch is reused across
+    /// all events to exercise generation-stamp invalidation.
     #[test]
     fn index_equals_naive(
         filters in prop::collection::vec(arb_filter(), 0..12),
@@ -70,9 +74,10 @@ proptest! {
         for (i, f) in filters.iter().enumerate() {
             idx.insert(SubscriberId(i as u64), f.clone());
         }
+        let mut scratch = MatchScratch::new();
+        let mut fast = Vec::new();
         for e in &events {
-            let mut fast = idx.matches(e);
-            fast.sort();
+            idx.matches_into(e, &mut scratch, &mut fast);
             let naive = idx.matches_naive(e);
             prop_assert_eq!(&fast, &naive);
             let expected: Vec<SubscriberId> = filters
@@ -81,7 +86,12 @@ proptest! {
                 .filter(|(_, f)| f.eval(e))
                 .map(|(i, _)| SubscriberId(i as u64))
                 .collect();
-            prop_assert_eq!(fast, expected);
+            prop_assert_eq!(&fast, &expected);
+            prop_assert_eq!(
+                idx.any_match(e, &mut scratch),
+                !expected.is_empty(),
+                "any_match must agree with matches"
+            );
         }
     }
 

@@ -50,6 +50,14 @@ pub mod names {
     /// Counter: messages a broker received but has no handler for
     /// (e.g. server-bound messages misdelivered to a broker).
     pub const BROKER_UNEXPECTED_MSG: &str = "broker.unexpected_msg";
+    /// Histogram: knowledge parts per batched downstream knowledge
+    /// message (IB fan-out batching; silence consolidation, §3.2).
+    pub const IB_KNOWLEDGE_BATCH_PARTS: &str = "ib.knowledge_batch_parts";
+    /// Histogram: virtual µs a flushed knowledge batch waited between
+    /// its first enqueued part and the flush (latency cost of batching).
+    pub const IB_KNOWLEDGE_FLUSH_WAIT_US: &str = "ib.knowledge_flush_wait_us";
+    /// Counter: batched knowledge messages flushed downstream.
+    pub const IB_KNOWLEDGE_BATCHES: &str = "ib.knowledge_batches";
 }
 
 /// Exponential histogram bucketing: each bucket boundary is a

@@ -53,8 +53,8 @@ pub fn encode_event(event: &Event) -> Vec<u8> {
     out.extend_from_slice(&event.ts.0.to_le_bytes());
     out.extend_from_slice(&(event.attrs.len() as u16).to_le_bytes());
     for (k, v) in &event.attrs {
-        out.extend_from_slice(&(k.len() as u16).to_le_bytes());
-        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&(k.as_str().len() as u16).to_le_bytes());
+        out.extend_from_slice(k.as_str().as_bytes());
         match v {
             AttrValue::Int(i) => {
                 out.push(TAG_INT);

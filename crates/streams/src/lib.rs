@@ -33,10 +33,12 @@
 //! assert_eq!(ks.kind_at(Timestamp(6)), TickKind::Q);
 //! ```
 
+mod batch;
 mod curiosity;
 mod interest;
 mod knowledge;
 
+pub use batch::push_coalesced;
 pub use curiosity::{CuriosityStream, RetryPolicy};
 pub use interest::InterestMap;
 pub use knowledge::KnowledgeStream;

@@ -4,7 +4,8 @@
 //! universe; every operation is applied to both representations and the
 //! results compared tick-by-tick.
 
-use crate::{CuriosityStream, KnowledgeStream};
+use crate::{push_coalesced, CuriosityStream, KnowledgeStream};
+use gryphon_types::msg::KnowledgePart;
 use gryphon_types::{Event, PubendId, TickKind, Timestamp};
 use proptest::prelude::*;
 
@@ -166,6 +167,79 @@ proptest! {
             prop_assert!(f <= t);
             prev_end = t.0;
         }
+    }
+
+    /// Batcher coalescing preserves apply-semantics: feeding a part
+    /// sequence through `push_coalesced` and applying the (shorter) result
+    /// leaves a knowledge stream in exactly the state the originals would
+    /// have, tick-for-tick and under `export_range` round-trip.
+    #[test]
+    fn coalescing_preserves_apply_semantics(
+        lost_prefix in 0..4u64,
+        runs in prop::collection::vec((0..3u64, 0..4u64, any::<bool>()), 0..24),
+    ) {
+        // Build an ascending wire-order part sequence the way an IB batch
+        // accumulates them: optional lost prefix, then silence runs and
+        // data ticks marching forward, with deliberate adjacency so there
+        // is something to coalesce.
+        let mut original: Vec<KnowledgePart> = Vec::new();
+        let mut cursor = 1u64;
+        if lost_prefix > 0 {
+            original.push(KnowledgePart::Lost {
+                from: Timestamp(1),
+                to: Timestamp(lost_prefix),
+            });
+            cursor = lost_prefix + 1;
+        }
+        for &(gap, len, is_data) in &runs {
+            cursor += gap;
+            if is_data {
+                original.push(KnowledgePart::Data(ev(cursor)));
+                cursor += 1;
+            } else {
+                original.push(KnowledgePart::Silence {
+                    from: Timestamp(cursor),
+                    to: Timestamp(cursor + len),
+                });
+                cursor += len + 1;
+            }
+        }
+
+        let mut coalesced = Vec::new();
+        for p in &original {
+            push_coalesced(&mut coalesced, p.clone());
+        }
+        prop_assert!(coalesced.len() <= original.len());
+        // Canonical form: no two adjacent parts of the same span kind
+        // remain mergeable.
+        for w in coalesced.windows(2) {
+            let mergeable = matches!(
+                (&w[0], &w[1]),
+                (KnowledgePart::Silence { .. }, KnowledgePart::Silence { .. })
+                    | (KnowledgePart::Lost { .. }, KnowledgePart::Lost { .. })
+            ) && w[1].range().0 .0 <= w[0].range().1 .0 + 1;
+            prop_assert!(!mergeable, "coalesced output not canonical: {:?}", w);
+        }
+
+        let mut a = KnowledgeStream::new();
+        let mut b = KnowledgeStream::new();
+        for p in &original {
+            a.apply(p);
+        }
+        for p in &coalesced {
+            b.apply(p);
+        }
+        for t in 1..=cursor + 2 {
+            prop_assert_eq!(
+                a.kind_at(Timestamp(t)),
+                b.kind_at(Timestamp(t)),
+                "tick {} differs", t
+            );
+        }
+        prop_assert_eq!(
+            a.export_range(Timestamp(1), Timestamp(cursor + 2)),
+            b.export_range(Timestamp(1), Timestamp(cursor + 2))
+        );
     }
 
     /// Curiosity: the set of outstanding ticks equals (wanted − satisfied),

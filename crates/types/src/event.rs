@@ -5,7 +5,7 @@
 //! matching engine filters on) and an application payload. In the paper's
 //! experiments events are 418 bytes: ~250 bytes of payload plus headers.
 
-use crate::{PubendId, Timestamp};
+use crate::{AttrName, PubendId, Timestamp};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -127,11 +127,15 @@ impl std::fmt::Display for AttrValue {
     }
 }
 
-/// An event's attribute map: name → typed value.
+/// An event's attribute map: interned name → typed value.
 ///
-/// A `BTreeMap` keeps attribute order deterministic, which matters for
-/// reproducible simulation runs and golden tests.
-pub type Attributes = BTreeMap<String, AttrValue>;
+/// Keys are interned [`AttrName`]s so the matching hot path works on dense
+/// symbol ids instead of hashing strings per event. A `BTreeMap` keeps
+/// attribute order deterministic — and because [`AttrName`] orders by its
+/// *string* (not its interning-order id), iteration order is identical
+/// across processes and shard counts, which matters for reproducible
+/// simulation runs and golden tests.
+pub type Attributes = BTreeMap<AttrName, AttrValue>;
 
 /// A published event.
 ///
@@ -150,7 +154,7 @@ pub type Attributes = BTreeMap<String, AttrValue>;
 ///     .payload(vec![0u8; 250])
 ///     .build(Timestamp(17));
 /// assert_eq!(e.ts, Timestamp(17));
-/// assert_eq!(e.attrs["symbol"], "IBM".into());
+/// assert_eq!(e.attr("symbol"), Some(&"IBM".into()));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Event {
@@ -204,7 +208,7 @@ impl Event {
             .attrs
             .iter()
             .map(|(k, v)| {
-                k.len()
+                k.as_str().len()
                     + 2
                     + match v {
                         AttrValue::Int(_) | AttrValue::Float(_) => 8,
@@ -218,6 +222,9 @@ impl Event {
 
     /// Returns the attribute `name`, if present.
     ///
+    /// Looks the name up in the symbol table without interning it, so
+    /// probing with arbitrary strings never grows the table.
+    ///
     /// # Examples
     ///
     /// ```
@@ -227,7 +234,7 @@ impl Event {
     /// assert_eq!(e.attr("y"), None);
     /// ```
     pub fn attr(&self, name: &str) -> Option<&AttrValue> {
-        self.attrs.get(name)
+        self.attrs.get(&AttrName::lookup(name)?)
     }
 }
 
@@ -240,8 +247,8 @@ pub struct EventBuilder {
 }
 
 impl EventBuilder {
-    /// Adds (or replaces) an attribute.
-    pub fn attr(mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+    /// Adds (or replaces) an attribute. The name is interned.
+    pub fn attr(mut self, name: impl Into<AttrName>, value: impl Into<AttrValue>) -> Self {
         self.attrs.insert(name.into(), value.into());
         self
     }

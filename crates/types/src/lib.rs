@@ -28,6 +28,7 @@ pub mod ct;
 pub mod event;
 pub mod ids;
 pub mod msg;
+pub mod symbol;
 pub mod tick;
 pub mod time;
 
@@ -38,6 +39,7 @@ pub use msg::{
     ClientMsg, CuriosityMsg, DeliveryKind, DeliveryMsg, KnowledgeMsg, KnowledgePart, NetMsg,
     PublishMsg, ReleaseMsg, ServerMsg, SubInterestMsg, SubscriptionSpec,
 };
+pub use symbol::{AttrName, SymbolId};
 pub use tick::TickKind;
 pub use time::Timestamp;
 

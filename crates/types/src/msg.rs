@@ -65,7 +65,7 @@ pub struct PublishMsg {
 ///
 /// `Q` is never transmitted — absence of knowledge is the default — so the
 /// wire form only carries `S`, `D` and `L`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KnowledgePart {
     /// All ticks in `[from, to]` (inclusive) are silence.
     Silence {
@@ -324,7 +324,7 @@ impl NetMsg {
     pub fn size_hint(&self) -> usize {
         match self {
             NetMsg::Publish(p) => {
-                64 + p.payload.len() + p.attrs.keys().map(|k| k.len() + 10).sum::<usize>()
+                64 + p.payload.len() + p.attrs.keys().map(|k| k.as_str().len() + 10).sum::<usize>()
             }
             NetMsg::Knowledge(k) => k.size_hint(),
             NetMsg::Curiosity(c) => 16 + 16 * c.ranges.len(),

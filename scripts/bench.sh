@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in hot-path bench baselines.
+#
+# Runs the matching ablation and the threaded pipeline benches with the
+# criterion stub's CRITERION_JSON hook enabled, then assembles the NDJSON
+# lines into two JSON arrays at the repo root:
+#
+#   BENCH_matching.json     — matching + matching_hot (interned scratch
+#                             index vs the legacy per-event HashMap
+#                             counter, plus naive-scan reference)
+#   BENCH_rt_pipeline.json  — publish→delivery burst, single child and
+#                             2-way fan-out with/without knowledge batching
+#
+# Numbers are machine-relative: compare against the baseline re-run on the
+# same machine, not across machines. See EXPERIMENTS.md for how to read
+# the files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+ndjson_to_array() {
+  # $1: NDJSON file, $2: output JSON file
+  {
+    echo '['
+    paste -sd, "$1"
+    echo ']'
+  } >"$2"
+}
+
+echo "== matching benches =="
+: >"$tmp/matching.ndjson"
+CRITERION_JSON="$tmp/matching.ndjson" \
+  cargo bench -p gryphon-bench --bench matching --bench matching_hot
+ndjson_to_array "$tmp/matching.ndjson" BENCH_matching.json
+
+echo "== rt_pipeline bench =="
+: >"$tmp/rt_pipeline.ndjson"
+CRITERION_JSON="$tmp/rt_pipeline.ndjson" \
+  cargo bench -p gryphon-bench --bench rt_pipeline
+ndjson_to_array "$tmp/rt_pipeline.ndjson" BENCH_rt_pipeline.json
+
+echo "wrote BENCH_matching.json and BENCH_rt_pipeline.json"

@@ -16,6 +16,9 @@ cargo test -q
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
 echo "== build with observability compiled out =="
 cargo build -p gryphon-bench --no-default-features
 
