@@ -1,7 +1,8 @@
 //! `xp` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] <experiment>|all|list
+//! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] [--prom-out DIR]
+//!    [--flight-dir DIR] <experiment>|all|list
 //! ```
 //!
 //! * `list` prints the catalog;
@@ -13,7 +14,13 @@
 //!   (the report itself only shows the tail);
 //! * `--metrics-out DIR` writes each experiment's metrics snapshot as
 //!   `<id>.metrics.csv` and `<id>.metrics.json` (see DESIGN.md
-//!   "Observability" for the name registry).
+//!   "Observability" for the name registry);
+//! * `--prom-out DIR` writes each experiment's metrics snapshot as
+//!   `<id>.prom` in Prometheus text exposition format;
+//! * `--flight-dir DIR` arms the violation flight recorder: any watchdog
+//!   or delivery-ledger violation dumps a post-mortem file
+//!   (`postmortem-N.txt`) with the offending event's lineage, a metrics
+//!   snapshot, and the trace-ring tail (see DESIGN.md §12).
 
 use std::io::Write;
 
@@ -22,6 +29,8 @@ fn main() {
     let mut trace = false;
     let mut csv_dir: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
+    let mut prom_dir: Option<String> = None;
+    let mut flight_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,10 +51,24 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--prom-out" => {
+                prom_dir = args.next();
+                if prom_dir.is_none() {
+                    eprintln!("--prom-out requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+            "--flight-dir" => {
+                flight_dir = args.next();
+                if flight_dir.is_none() {
+                    eprintln!("--flight-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] \
-                     <experiment>|all|list"
+                     [--prom-out DIR] [--flight-dir DIR] <experiment>|all|list"
                 );
                 print_catalog();
                 return;
@@ -55,16 +78,21 @@ fn main() {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] <experiment>|all|list"
+            "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] [--prom-out DIR] \
+             [--flight-dir DIR] <experiment>|all|list"
         );
         print_catalog();
         std::process::exit(2);
     }
+    gryphon_harness::topology::set_default_flight_dir(
+        flight_dir.as_deref().map(std::path::PathBuf::from),
+    );
     let opts = Options {
         quick,
         trace,
         csv_dir,
         metrics_dir,
+        prom_dir,
     };
     for target in targets {
         match target.as_str() {
@@ -84,6 +112,7 @@ struct Options {
     trace: bool,
     csv_dir: Option<String>,
     metrics_dir: Option<String>,
+    prom_dir: Option<String>,
 }
 
 fn print_catalog() {
@@ -136,6 +165,12 @@ fn run_one(id: &str, opts: &Options) {
                     csv.display(),
                     json.display()
                 );
+            }
+            if let Some(dir) = opts.prom_dir.as_deref() {
+                if let Some(prom) = report.prom.as_deref() {
+                    let path = write_file(dir, &format!("{id}.prom"), prom);
+                    println!("[prometheus snapshot written to {}]", path.display());
+                }
             }
         }
         Err(e) => {

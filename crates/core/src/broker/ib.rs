@@ -111,6 +111,10 @@ impl Broker {
         }
         // SHB: constream first (so processed_to is current), then catchup.
         if self.shb.state.is_some() {
+            // Lineage stage anchor: events enter this SHB's streams now.
+            // Emitted before `constream_advance` so any delivery it
+            // triggers sees the ingest time already recorded.
+            note_shb_ingest(p, &parts, ctx);
             let holes = {
                 let route = &self
                     .pipelines
@@ -231,6 +235,7 @@ impl Broker {
             // first so the response never arrives under older knowledge
             // it was meant to follow.
             self.flush_child_pubend(child, p, ctx);
+            note_ib_forward(p, &out, ctx);
             ctx.send(
                 child,
                 NetMsg::Knowledge(KnowledgeMsg {
@@ -241,6 +246,7 @@ impl Broker {
                 }),
             );
         } else if self.config.knowledge_flush_interval_us == 0 {
+            note_ib_forward(p, &out, ctx);
             ctx.send(
                 child,
                 NetMsg::Knowledge(KnowledgeMsg {
@@ -350,6 +356,7 @@ impl Broker {
             ctx.now_us().saturating_sub(batch.since_us) as f64
         );
         count_metric!(ctx, names::IB_KNOWLEDGE_BATCHES, 1.0);
+        note_ib_forward(p, &batch.parts, ctx);
         ctx.send(
             child,
             NetMsg::Knowledge(KnowledgeMsg {
@@ -507,6 +514,9 @@ impl Broker {
                         route.absorb(part);
                     }
                 }
+                // Root-hosted self-answer: these parts enter the local
+                // SHB's streams without passing through `ingest`.
+                note_shb_ingest(p, &parts, ctx);
                 holes = {
                     let route = &self
                         .pipelines
@@ -816,5 +826,39 @@ impl Broker {
             retry.timeout_us,
             timer::pack(Kind::RetryNacks, self.epoch, 0, 0),
         );
+    }
+}
+
+/// Lineage stage: one `IbForwarded` per data part actually put on the
+/// wire toward a child (batched fresh knowledge fires here at flush time,
+/// so the span's forward anchor reflects when bytes left, not when they
+/// were enqueued).
+fn note_ib_forward(p: PubendId, parts: &[KnowledgePart], ctx: &mut dyn NodeCtx) {
+    for part in parts {
+        if let KnowledgePart::Data(e) = part {
+            trace_event!(
+                ctx,
+                TraceEvent::IbForwarded {
+                    pubend: p,
+                    ts: e.ts
+                }
+            );
+        }
+    }
+}
+
+/// Lineage stage: one `ShbIngested` per data part entering this SHB's
+/// consolidated/catchup streams.
+fn note_shb_ingest(p: PubendId, parts: &[KnowledgePart], ctx: &mut dyn NodeCtx) {
+    for part in parts {
+        if let KnowledgePart::Data(e) = part {
+            trace_event!(
+                ctx,
+                TraceEvent::ShbIngested {
+                    pubend: p,
+                    ts: e.ts
+                }
+            );
+        }
     }
 }

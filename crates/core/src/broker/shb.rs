@@ -6,7 +6,8 @@ use crate::config::BrokerConfig;
 use crate::pfs::{Pfs, PfsMode};
 use gryphon_matching::{Filter, MatchScratch, SubscriptionIndex};
 use gryphon_sim::{
-    count_metric, names, observe_metric, record_metric, trace_event, NodeCtx, TraceEvent,
+    count_metric, names, observe_metric, record_metric, trace_event, DeliveryPath, NodeCtx,
+    TraceEvent,
 };
 use gryphon_storage::{MediaFactory, MetaTable, TableConfig};
 use gryphon_streams::KnowledgeStream;
@@ -348,7 +349,7 @@ impl Shb {
                         pubend: p,
                         kind: DeliveryKind::Event(event.clone()),
                     };
-                    deliver(conn, sub, msg, gated, ctx);
+                    deliver(conn, sub, msg, gated, DeliveryPath::Constream, ctx);
                 }
             }
             self.match_buf = matched;
@@ -573,6 +574,16 @@ impl Shb {
             };
             start.advance(p, resume);
             conn.last_sent.insert(p, resume);
+            // Ledger session boundary: anything at or below `resume`
+            // arriving later would be a duplicate across this reconnect.
+            trace_event!(
+                ctx,
+                TraceEvent::SubResumed {
+                    sub,
+                    pubend: p,
+                    at: resume,
+                }
+            );
             if anywhere {
                 // The migrated subscription only holds release back from
                 // its own checkpoint, not this SHB's cursor.
@@ -978,6 +989,7 @@ impl Shb {
                         kind: DeliveryKind::Gap(lost),
                     },
                     gated,
+                    DeliveryPath::Catchup,
                     ctx,
                 );
                 continue;
@@ -1006,6 +1018,7 @@ impl Shb {
                         kind: DeliveryKind::Event(e),
                     },
                     gated,
+                    DeliveryPath::Catchup,
                     ctx,
                 );
             }
@@ -1018,6 +1031,7 @@ impl Shb {
                         kind: DeliveryKind::Silence(dh),
                     },
                     gated,
+                    DeliveryPath::Catchup,
                     ctx,
                 );
             }
@@ -1090,13 +1104,44 @@ impl Shb {
 
 /// Sends a delivery directly, or queues it for a gated (JMS) subscriber
 /// whose previous delivery has not been acknowledged-and-committed yet.
+///
+/// This is the single funnel every subscriber-bound event and gap passes
+/// through, so it also emits the lineage ledger's terminal stage events
+/// (`Delivered` / `GapDelivered`). For gated subscribers that is the
+/// queue-accept point, not the later outbox drain — the broker commits
+/// to exactly-once here.
 fn deliver(
     conn: &mut Conn,
     sub: SubscriberId,
     msg: DeliveryMsg,
     gated: bool,
+    path: DeliveryPath,
     ctx: &mut dyn NodeCtx,
 ) {
+    match &msg.kind {
+        DeliveryKind::Event(e) => {
+            trace_event!(
+                ctx,
+                TraceEvent::Delivered {
+                    pubend: msg.pubend,
+                    ts: e.ts,
+                    sub,
+                    path,
+                }
+            );
+        }
+        DeliveryKind::Gap(upto) => {
+            trace_event!(
+                ctx,
+                TraceEvent::GapDelivered {
+                    pubend: msg.pubend,
+                    sub,
+                    upto: *upto,
+                }
+            );
+        }
+        DeliveryKind::Silence(_) => {}
+    }
     if gated {
         conn.outbox.push_back(msg);
         pump_outbox(conn, sub, ctx);

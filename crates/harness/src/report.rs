@@ -185,6 +185,9 @@ pub struct Report {
     /// Snapshot of the run's metrics (attach with
     /// [`Report::attach_metrics`]).
     pub metrics: Option<MetricsSection>,
+    /// Prometheus text-format rendering of the same metrics snapshot
+    /// (the `xp --prom-out` export; set by [`Report::attach_metrics`]).
+    pub prom: Option<String>,
     /// Rendered trace lines (attach with [`Report::attach_trace`]).
     pub trace: Vec<String>,
 }
@@ -220,6 +223,7 @@ impl Report {
     /// percentiles, series summaries).
     pub fn attach_metrics(&mut self, metrics: &Metrics) -> &mut Self {
         self.metrics = Some(MetricsSection::from_metrics(metrics));
+        self.prom = Some(gryphon_sim::lineage::prometheus_text(metrics));
         self
     }
 
@@ -232,6 +236,28 @@ impl Report {
     /// Renders everything as text.
     pub fn render(&self) -> String {
         let mut out = format!("# experiment: {}\n\n", self.id);
+        // Loud and first: a saturated trace ring means the trace tail
+        // below is missing records. (Watchdogs and the lineage ledger
+        // observe on push, before ring eviction, so *their* numbers
+        // remain complete — only the retained records are partial.)
+        let dropped = self
+            .metrics
+            .as_ref()
+            .and_then(|m| {
+                m.counters
+                    .iter()
+                    .find(|(n, _)| n == gryphon_sim::names::TRACE_DROPPED)
+            })
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        if dropped > 0.0 {
+            out.push_str(&format!(
+                "!!{0}!!\n!! WARNING: trace ring dropped {dropped:.0} records during this run.\n\
+                 !! The trace tail below is incomplete — raise the trace capacity\n\
+                 !! (Sim::set_trace_capacity) to retain the full stream.\n!!{0}!!\n\n",
+                "=".repeat(68)
+            ));
+        }
         for t in &self.tables {
             out.push_str(&t.render());
             out.push('\n');
@@ -491,6 +517,20 @@ mod tests {
             r.metrics_csv(),
             "kind,name,count,value,min,p50,p95,p99,max\n"
         );
+    }
+
+    #[test]
+    fn dropped_trace_records_raise_a_banner() {
+        let mut m = Metrics::default();
+        m.count(gryphon_sim::names::TRACE_DROPPED, 17.0);
+        let mut r = Report::new("drops");
+        r.attach_metrics(&m);
+        let text = r.render();
+        assert!(text.contains("WARNING: trace ring dropped 17 records"));
+        // And no banner when nothing was dropped.
+        let mut clean = Report::new("clean");
+        clean.attach_metrics(&Metrics::default());
+        assert!(!clean.render().contains("WARNING: trace ring dropped"));
     }
 
     #[test]

@@ -10,6 +10,18 @@ use gryphon::{Broker, BrokerConfig, PublisherClient, SubscriberClient};
 use gryphon_sim::{Handle, LinkParams, Sim};
 use gryphon_storage::MemFactory;
 use gryphon_types::{NodeId, PubendId, SubscriberId};
+use std::sync::Mutex;
+
+/// Process-wide flight-recorder directory applied to every [`Sim`] built
+/// by [`System::build`] — the `xp --flight-dir` plumbing. `None` (the
+/// default) disables post-mortem dumps.
+static DEFAULT_FLIGHT_DIR: Mutex<Option<std::path::PathBuf>> = Mutex::new(None);
+
+/// Sets the flight-recorder directory future [`System::build`] calls
+/// hand to their simulator.
+pub fn set_default_flight_dir(dir: Option<std::path::PathBuf>) {
+    *DEFAULT_FLIGHT_DIR.lock().expect("flight-dir lock") = dir;
+}
 
 /// Structural parameters of a run.
 #[derive(Debug, Clone)]
@@ -76,6 +88,7 @@ impl System {
     /// Builds the system.
     pub fn build(spec: &TopologySpec, workload: &Workload) -> System {
         let mut sim = Sim::new(spec.seed);
+        sim.set_flight_dir(DEFAULT_FLIGHT_DIR.lock().expect("flight-dir lock").clone());
         let broker_link = LinkParams {
             latency_us: spec.link_latency_us,
             jitter_us: 0,
@@ -274,6 +287,18 @@ impl System {
         if violations > 0 {
             report.note(format!(
                 "WATCHDOG: {violations} protocol-invariant violations recorded — see watchdog.* counters"
+            ));
+        }
+        let ledger = self.sim.ledger_violations();
+        if ledger > 0 {
+            report.note(format!(
+                "LEDGER: {ledger} exactly-once delivery violations recorded — see lineage.ledger.* counters"
+            ));
+        }
+        let dumps = self.sim.flight_dumps();
+        if dumps > 0 {
+            report.note(format!(
+                "FLIGHT RECORDER: {dumps} post-mortem file(s) written — see the --flight-dir directory"
             ));
         }
     }

@@ -60,7 +60,7 @@
 
 use crossbeam::channel::{bounded, Sender};
 use gryphon_sim::{
-    names, Executor, Metrics, Node, NodeCtx, TimerKey, TraceEvent, TraceRecord, Watchdogs,
+    names, Executor, Lineage, Metrics, Node, NodeCtx, TimerKey, TraceEvent, TraceRecord, Watchdogs,
 };
 use gryphon_types::{NetMsg, NodeId};
 use parking_lot::Mutex;
@@ -275,10 +275,14 @@ impl NetBuilder {
         let metrics: Vec<Arc<Mutex<Metrics>>> = (0..n)
             .map(|_| Arc::new(Mutex::new(Metrics::default())))
             .collect();
+        let lineages: Vec<Arc<Mutex<Lineage>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(Lineage::default())))
+            .collect();
         let mut joins = Vec::with_capacity(n);
         for (i, ((name, mut node), rx)) in self.workers.into_iter().zip(receivers).enumerate() {
             let stop = Arc::clone(&stop);
             let metrics = Arc::clone(&metrics[i]);
+            let lineage = Arc::clone(&lineages[i]);
             let router = router.clone();
             let me = owner[i];
             joins.push(
@@ -290,6 +294,7 @@ impl NetBuilder {
                             router,
                             metrics,
                             watchdogs: Watchdogs::default(),
+                            lineage,
                             epoch,
                             timers: BinaryHeap::new(),
                             rng: SmallRng::seed_from_u64(i as u64),
@@ -323,6 +328,7 @@ impl NetBuilder {
             stop,
             joins,
             metrics,
+            lineages,
             logical,
         }
     }
@@ -354,6 +360,9 @@ struct Worker {
     metrics: Arc<Mutex<Metrics>>,
     /// Per-worker protocol watchdogs fed from this shard's trace stream.
     watchdogs: Watchdogs,
+    /// Per-worker delivery-lineage shard, merged deterministically (in
+    /// worker-index order) at [`RunningNet::stop`] like the metrics.
+    lineage: Arc<Mutex<Lineage>>,
     epoch: Instant,
     timers: BinaryHeap<TimerEntry>,
     rng: SmallRng,
@@ -460,6 +469,9 @@ impl NodeCtx for ThreadCtx<'_> {
         };
         let mut m = self.worker.metrics.lock();
         self.worker.watchdogs.observe(&rec, &mut m);
+        // The lineage lock is this worker's own — uncontended except
+        // during a stop()-time merge.
+        self.worker.lineage.lock().observe(&rec, &mut m);
     }
 }
 
@@ -469,6 +481,7 @@ pub struct RunningNet {
     stop: Arc<AtomicBool>,
     joins: Vec<std::thread::JoinHandle<Box<dyn Node>>>,
     metrics: Vec<Arc<Mutex<Metrics>>>,
+    lineages: Vec<Arc<Mutex<Lineage>>>,
     logical: Arc<Vec<LogicalEntry>>,
 }
 
@@ -503,9 +516,17 @@ impl RunningNet {
         for m in &self.metrics {
             merged.merge(&m.lock());
         }
+        // Lineage shards merge in worker-index order — the same
+        // deterministic discipline as the metrics merge, so repeated
+        // runs of a deterministic workload produce identical ledgers.
+        let mut lineage = Lineage::default();
+        for l in &self.lineages {
+            lineage.merge(&l.lock());
+        }
         NetResult {
             workers,
             metrics: merged,
+            lineage,
             logical: self.logical,
         }
     }
@@ -516,6 +537,9 @@ pub struct NetResult {
     workers: Vec<Box<dyn Node>>,
     /// Per-worker metrics merged into one run-wide view.
     pub metrics: Metrics,
+    /// Per-worker delivery-lineage shards merged into one run-wide
+    /// ledger (worker-index order; see [`RunningNet::stop`]).
+    pub lineage: Lineage,
     logical: Arc<Vec<LogicalEntry>>,
 }
 
@@ -561,6 +585,12 @@ impl NetResult {
         self.metrics.counter(names::WATCHDOG_CONSTREAM_GAP)
             + self.metrics.counter(names::WATCHDOG_DOUBT_REGRESSION)
             + self.metrics.counter(names::WATCHDOG_DUPLICATE_LOG)
+    }
+
+    /// Exactly-once violations the merged delivery ledger flagged across
+    /// all workers.
+    pub fn ledger_violations(&self) -> u64 {
+        self.lineage.violations()
     }
 }
 

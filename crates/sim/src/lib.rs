@@ -51,11 +51,13 @@
 //! ```
 
 mod executor;
+pub mod lineage;
 mod metrics;
 mod runtime;
 pub mod trace;
 
 pub use executor::Executor;
+pub use lineage::{LedgerAudit, Lineage, Span};
 pub use metrics::{names, Histogram, Metrics};
 pub use runtime::{Handle, LinkParams, Node, NodeCtx, Sim, TimerKey, CONTROL_NODE};
-pub use trace::{Severity, TraceBuffer, TraceEvent, TraceRecord, Watchdogs};
+pub use trace::{DeliveryPath, Severity, TraceBuffer, TraceEvent, TraceRecord, Watchdogs};

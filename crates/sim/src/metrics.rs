@@ -40,13 +40,58 @@ pub mod names {
     /// Counter: ticks converted to `L` (lost) by log chops (§3.4).
     pub const RELEASE_L_CONVERSIONS: &str = "release.l_conversions";
     /// Counter: gap-free-constream watchdog violations.
-    pub const WATCHDOG_CONSTREAM_GAP: &str = "watchdog.constream_gap_violations";
+    pub const WATCHDOG_CONSTREAM_GAP: &str = "watchdog.constream_gap";
     /// Counter: monotone-doubt-horizon watchdog violations.
-    pub const WATCHDOG_DOUBT_REGRESSION: &str = "watchdog.doubt_regression_violations";
+    pub const WATCHDOG_DOUBT_REGRESSION: &str = "watchdog.doubt_regress";
     /// Counter: only-once-logging watchdog violations.
-    pub const WATCHDOG_DUPLICATE_LOG: &str = "watchdog.duplicate_log_violations";
-    /// Counter: trace records evicted from the ring buffer.
-    pub const TRACE_DROPPED: &str = "trace.dropped";
+    pub const WATCHDOG_DUPLICATE_LOG: &str = "watchdog.double_log";
+    /// Counter: trace records evicted from the ring buffer. Non-zero
+    /// means trace/lineage analysis over the ring is incomplete (the
+    /// lineage assembler itself observes the stream pre-eviction and is
+    /// unaffected).
+    pub const TRACE_DROPPED: &str = "trace.dropped_records";
+    /// Histogram: virtual µs from pubend timestamping to durable PHB log.
+    pub const LINEAGE_STAGE_LOG_US: &str = "lineage.stage.log_us";
+    /// Histogram: virtual µs from PHB log to the IB forwarding the event
+    /// downstream.
+    pub const LINEAGE_STAGE_IB_FORWARD_US: &str = "lineage.stage.ib_forward_us";
+    /// Histogram: virtual µs from IB forward (or PHB log on a combined
+    /// broker) to SHB ingest.
+    pub const LINEAGE_STAGE_SHB_INGEST_US: &str = "lineage.stage.shb_ingest_us";
+    /// Histogram: virtual µs an event spent resident at the SHB before a
+    /// **catchup-path** delivery (ingest → deliver).
+    pub const LINEAGE_STAGE_CATCHUP_US: &str = "lineage.stage.catchup_us";
+    /// Histogram: virtual µs an event spent resident at the SHB before a
+    /// **constream-path** delivery (ingest → deliver).
+    pub const LINEAGE_STAGE_CONSTREAM_US: &str = "lineage.stage.constream_us";
+    /// Histogram: end-to-end virtual µs from pubend timestamping to
+    /// subscriber delivery.
+    pub const LINEAGE_STAGE_DELIVER_US: &str = "lineage.stage.deliver_us";
+    /// Counter: ledger violations — an event delivered twice to the same
+    /// subscriber within one connection session.
+    pub const LINEAGE_LEDGER_DUPLICATE: &str = "lineage.ledger.duplicate";
+    /// Counter: ledger violations — a delivery at or below the session's
+    /// resume checkpoint (duplicate across a reconnect).
+    pub const LINEAGE_LEDGER_RECONNECT_DUPLICATE: &str = "lineage.ledger.reconnect_duplicate";
+    /// Counter: ledger violations — a gap message covering ticks beyond
+    /// the release/L-conversion boundary (data declared lost that the
+    /// system never released).
+    pub const LINEAGE_LEDGER_GAP_BEYOND_RELEASE: &str = "lineage.ledger.gap_beyond_release";
+    /// Counter: lineage spans evicted to bound assembler memory (their
+    /// late stage events then count as orphans).
+    pub const LINEAGE_SPANS_EVICTED: &str = "lineage.spans_evicted";
+    /// Counter: stage events whose predecessor anchor was unknown
+    /// (evicted span or recovery-path re-emission).
+    pub const LINEAGE_STAGE_ORPHANS: &str = "lineage.stage_orphans";
+    /// Series: per-delivery lag between the SHB's doubt horizon and the
+    /// delivered tick, in ticks (how far behind the frontier a
+    /// subscriber runs).
+    pub const LINEAGE_LAG_DOUBT_TICKS: &str = "lineage.lag.doubt_horizon_ticks";
+    /// Series: catchup backlog depth at `CatchupStarted`, in ticks
+    /// (constream frontier − resume point).
+    pub const LINEAGE_LAG_CATCHUP_BACKLOG_TICKS: &str = "lineage.lag.catchup_backlog_ticks";
+    /// Counter: flight-recorder post-mortem dumps written.
+    pub const LINEAGE_FLIGHT_DUMPS: &str = "lineage.flight_dumps";
     /// Counter: messages a broker received but has no handler for
     /// (e.g. server-bound messages misdelivered to a broker).
     pub const BROKER_UNEXPECTED_MSG: &str = "broker.unexpected_msg";
@@ -463,6 +508,78 @@ mod tests {
         empty.merge(&h);
         assert_eq!(empty.count(), 1);
         assert_eq!(empty.percentile(0.5), Some(7.0));
+    }
+
+    /// Merging shard-local histograms must be indistinguishable from one
+    /// histogram observing the combined stream: identical count, sum,
+    /// min/max and bucketed percentiles (merge is bucket-wise addition,
+    /// so the bucketed distributions are *equal*, not just close). This
+    /// is the property the threaded runtime's stop()-time merge relies
+    /// on.
+    #[test]
+    fn histogram_shard_merge_agrees_with_combined_stream() {
+        // Deterministic pseudo-random-ish sample spread over 6 decades.
+        let samples: Vec<f64> = (0..1_000u64)
+            .map(|i| ((i * 2_654_435_761) % 1_000_000) as f64 / 7.0 + 0.01)
+            .collect();
+        let mut combined = Histogram::default();
+        let mut shards = [
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        ];
+        for (i, &v) in samples.iter().enumerate() {
+            combined.observe(v);
+            shards[i % shards.len()].observe(v);
+        }
+        let mut merged = Histogram::default();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), combined.count());
+        // Sums are f64 accumulations in different orders, so they agree
+        // to rounding error but not bit-for-bit.
+        let rel = (merged.sum() - combined.sum()).abs() / combined.sum();
+        assert!(rel < 1e-12, "sum diverged: rel err {rel:e}");
+        assert_eq!(merged.min(), combined.min());
+        assert_eq!(merged.max(), combined.max());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                merged.percentile(q),
+                combined.percentile(q),
+                "bucketed p{q} must be bit-identical after merge"
+            );
+        }
+    }
+
+    /// Merge edge cases around emptiness: empty∪empty stays empty,
+    /// single∪empty keeps the single sample exact, and a merge never
+    /// invents min/max outside the observed samples.
+    #[test]
+    fn histogram_merge_empty_and_single_edge_cases() {
+        let mut e = Histogram::default();
+        e.merge(&Histogram::default());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.percentile(0.5), None);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+
+        let mut single = Histogram::default();
+        single.observe(3.5);
+        single.merge(&Histogram::default());
+        assert_eq!(single.count(), 1);
+        assert_eq!(single.percentile(0.0), Some(3.5));
+        assert_eq!(single.percentile(1.0), Some(3.5));
+
+        let mut other = Histogram::default();
+        other.observe(8.0);
+        single.merge(&other);
+        assert_eq!(single.count(), 2);
+        assert_eq!(single.min(), Some(3.5));
+        assert_eq!(single.max(), Some(8.0));
+        let p50 = single.percentile(0.5).unwrap();
+        assert!((3.5..=8.0).contains(&p50));
     }
 
     #[test]

@@ -162,6 +162,17 @@ pub struct Sim {
     trace: crate::trace::TraceBuffer,
     #[cfg(feature = "trace")]
     watchdogs: crate::trace::Watchdogs,
+    #[cfg(feature = "trace")]
+    lineage: crate::lineage::Lineage,
+    /// Directory for flight-recorder post-mortems (`None` = disabled).
+    #[cfg(feature = "trace")]
+    flight_dir: Option<std::path::PathBuf>,
+    #[cfg(feature = "trace")]
+    flight_dumps: u32,
+    /// Panic on delivery-ledger violations (default: armed under
+    /// `cfg(debug_assertions)`, like the watchdogs).
+    #[cfg(feature = "trace")]
+    ledger_panic: bool,
     /// Fixed CPU charge per delivered message/timer (µs).
     pub base_event_cost_us: u64,
     events_processed: u64,
@@ -194,7 +205,21 @@ impl Sim {
             #[cfg(feature = "trace")]
             trace: crate::trace::TraceBuffer::new(),
             #[cfg(feature = "trace")]
-            watchdogs: crate::trace::Watchdogs::default(),
+            watchdogs: {
+                // Deferred panics let the flight recorder dump a
+                // post-mortem before the process dies.
+                let mut w = crate::trace::Watchdogs::default();
+                w.defer_panic = true;
+                w
+            },
+            #[cfg(feature = "trace")]
+            lineage: crate::lineage::Lineage::default(),
+            #[cfg(feature = "trace")]
+            flight_dir: None,
+            #[cfg(feature = "trace")]
+            flight_dumps: 0,
+            #[cfg(feature = "trace")]
+            ledger_panic: cfg!(debug_assertions),
             base_event_cost_us: 0,
             events_processed: 0,
         }
@@ -405,7 +430,15 @@ impl Sim {
             node,
             event,
         };
+        let wd_before = self.watchdogs.violations();
+        let ledger_before = self.lineage.violations();
         self.watchdogs.observe(&rec, &mut self.metrics);
+        self.lineage.observe(&rec, &mut self.metrics);
+        let wd_hit = self.watchdogs.violations() > wd_before;
+        let ledger_hit = self.lineage.violations() > ledger_before;
+        if wd_hit || ledger_hit {
+            self.flight_dump(&rec, wd_hit);
+        }
         let before = self.trace.dropped();
         self.trace.push(rec);
         let evicted = self.trace.dropped() - before;
@@ -413,6 +446,68 @@ impl Sim {
             self.metrics
                 .count(crate::metrics::names::TRACE_DROPPED, evicted as f64);
         }
+        // Panics were deferred across the dump; raise them now.
+        if let Some(detail) = self.watchdogs.take_deferred_panic() {
+            panic!("invariant watchdog: {detail}");
+        }
+        if ledger_hit && self.ledger_panic {
+            let detail = self.lineage.last_violation().unwrap_or("?").to_owned();
+            panic!("delivery ledger: {detail}");
+        }
+    }
+
+    /// Writes a post-mortem for the violation just observed on `rec`:
+    /// the reason, the offending record, that event's reconstructed
+    /// lineage span, a metrics snapshot (Prometheus text) and the tail
+    /// of the trace ring. Bounded to [`Self::MAX_FLIGHT_DUMPS`] files
+    /// per run; a disabled recorder (`flight_dir == None`) costs one
+    /// branch.
+    fn flight_dump(&mut self, rec: &crate::trace::TraceRecord, watchdog: bool) {
+        const TRACE_TAIL: usize = 256;
+        let Some(dir) = self.flight_dir.clone() else {
+            return;
+        };
+        if self.flight_dumps >= Self::MAX_FLIGHT_DUMPS {
+            return;
+        }
+        let seq = self.flight_dumps;
+        self.flight_dumps += 1;
+        self.metrics
+            .count(crate::metrics::names::LINEAGE_FLIGHT_DUMPS, 1.0);
+        let reason = if watchdog {
+            format!("watchdog: {}", self.watchdogs.last_detail().unwrap_or("?"))
+        } else {
+            format!("ledger: {}", self.lineage.last_violation().unwrap_or("?"))
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# gryphon flight recorder post-mortem {seq}\n\
+             time_us: {}\nnode: {} ({})\nreason: {reason}\n\
+             offending_event: {:?}\n\n",
+            rec.t_us,
+            rec.node,
+            self.node_name(rec.node),
+            rec.event,
+        ));
+        out.push_str("## lineage of offending event\n");
+        match rec.event.lineage_key() {
+            Some(key) => match self.lineage.span(key) {
+                Some(span) => out.push_str(&span.render(key)),
+                None => out.push_str(&format!("{key}: no span assembled\n")),
+            },
+            None => out.push_str("(event carries no lineage key)\n"),
+        }
+        out.push_str("\n## metrics snapshot\n");
+        out.push_str(&crate::lineage::prometheus_text(&self.metrics));
+        out.push_str(&format!("\n## trace ring tail (last {TRACE_TAIL})\n"));
+        let len = self.trace.iter().count();
+        for r in self.trace.iter().skip(len.saturating_sub(TRACE_TAIL)) {
+            out.push_str(&format!("{} {} {:?}\n", r.t_us, r.node, r.event));
+        }
+        let path = dir.join(format!("postmortem-{seq}.txt"));
+        // Best-effort: a full disk must not mask the original violation.
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(&path, out);
     }
 
     /// The retained trace records, oldest first.
@@ -447,6 +542,49 @@ impl Sim {
     pub fn inject_trace(&mut self, node: NodeId, event: crate::trace::TraceEvent) {
         self.push_trace(node, event);
     }
+
+    /// Post-mortem files per run the flight recorder will write before
+    /// going quiet (a violation storm must not fill the disk).
+    pub const MAX_FLIGHT_DUMPS: u32 = 8;
+
+    /// The delivery-lineage assembler/ledger fed by every trace event.
+    pub fn lineage(&self) -> &crate::lineage::Lineage {
+        &self.lineage
+    }
+
+    /// Arms or disarms panicking on delivery-ledger violations
+    /// (default: armed under `cfg(debug_assertions)`).
+    pub fn set_ledger_panic(&mut self, panic_on_violation: bool) {
+        self.ledger_panic = panic_on_violation;
+    }
+
+    /// Enables full-audit mode on the ledger (records per-session
+    /// delivered sets so [`Sim::ledger_audit`] can compute *missing*
+    /// deliveries; only meaningful under match-all filters).
+    pub fn set_full_audit(&mut self, on: bool) {
+        self.lineage.set_full_audit(on);
+    }
+
+    /// Directory where the flight recorder writes post-mortems on any
+    /// watchdog or ledger violation (`None` disables it, the default).
+    pub fn set_flight_dir(&mut self, dir: Option<std::path::PathBuf>) {
+        self.flight_dir = dir;
+    }
+
+    /// Post-mortems written so far this run.
+    pub fn flight_dumps(&self) -> u32 {
+        self.flight_dumps
+    }
+
+    /// Exactly-once violations the delivery ledger has flagged.
+    pub fn ledger_violations(&self) -> u64 {
+        self.lineage.violations()
+    }
+
+    /// Offline exactly-once audit over everything observed so far.
+    pub fn ledger_audit(&self) -> crate::lineage::LedgerAudit {
+        self.lineage.audit()
+    }
 }
 
 /// Inert stand-ins for the trace/watchdog API when the `trace` feature
@@ -473,6 +611,30 @@ impl Sim {
 
     /// Dropped without the `trace` feature.
     pub fn inject_trace(&mut self, _node: NodeId, _event: crate::trace::TraceEvent) {}
+
+    /// No-op without the `trace` feature.
+    pub fn set_ledger_panic(&mut self, _panic_on_violation: bool) {}
+
+    /// No-op without the `trace` feature.
+    pub fn set_full_audit(&mut self, _on: bool) {}
+
+    /// No-op without the `trace` feature.
+    pub fn set_flight_dir(&mut self, _dir: Option<std::path::PathBuf>) {}
+
+    /// Always zero without the `trace` feature.
+    pub fn flight_dumps(&self) -> u32 {
+        0
+    }
+
+    /// Always zero without the `trace` feature.
+    pub fn ledger_violations(&self) -> u64 {
+        0
+    }
+
+    /// Always clean without the `trace` feature.
+    pub fn ledger_audit(&self) -> crate::lineage::LedgerAudit {
+        crate::lineage::LedgerAudit::default()
+    }
 }
 
 /// Typed handle to a node for harness-side inspection.

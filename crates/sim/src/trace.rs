@@ -133,6 +133,17 @@ macro_rules! count_metric {
     };
 }
 
+/// Which SHB delivery path carried an event to a subscriber (§4.1):
+/// the shared consolidated stream, or the subscriber's private catchup
+/// stream while it closes its doubt interval after a reconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryPath {
+    /// Delivered from the consolidated stream.
+    Constream,
+    /// Delivered from a per-subscriber catchup stream.
+    Catchup,
+}
+
 /// Importance of a trace event, for filtering dumps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -244,6 +255,62 @@ pub enum TraceEvent {
         /// New released tick.
         released: Timestamp,
     },
+    /// An IB sent the event at `ts` downstream (lineage stage:
+    /// PHB→IB forward). Emitted per child at the actual send, so
+    /// re-forwards on the nack path re-emit; the lineage assembler keeps
+    /// the first occurrence per span.
+    IbForwarded {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Forwarded tick.
+        ts: Timestamp,
+    },
+    /// An SHB absorbed the event at `ts` into its streams (lineage
+    /// stage: IB→SHB ingest). Keyed per SHB node by the surrounding
+    /// [`TraceRecord`]; recovery-path re-ingests re-emit and the
+    /// assembler keeps the first occurrence per (node, span).
+    ShbIngested {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Ingested tick.
+        ts: Timestamp,
+    },
+    /// An SHB handed the event at `ts` to subscriber `sub` (lineage
+    /// stage: final delivery). For JMS-gated subscribers this is the
+    /// queue-accept point — the broker-side exactly-once commitment —
+    /// not the later outbox drain.
+    Delivered {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Delivered tick.
+        ts: Timestamp,
+        /// Receiving subscriber.
+        sub: SubscriberId,
+        /// Which SHB stream carried it.
+        path: DeliveryPath,
+    },
+    /// An SHB told subscriber `sub` that ticks up to `upto` are lost
+    /// (released before the subscriber resumed); the ledger checks the
+    /// range never exceeds the release/L-conversion boundary.
+    GapDelivered {
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Receiving subscriber.
+        sub: SubscriberId,
+        /// Highest tick covered by the gap.
+        upto: Timestamp,
+    },
+    /// A subscriber (re)connected and its per-pubend delivery cursor was
+    /// positioned at `at`: deliveries at or below `at` would be
+    /// duplicates across the reconnect. Starts a ledger session.
+    SubResumed {
+        /// Reconnecting subscriber.
+        sub: SubscriberId,
+        /// Publishing endpoint.
+        pubend: PubendId,
+        /// Resume checkpoint (exclusive floor for new deliveries).
+        at: Timestamp,
+    },
     /// The runtime restarted this node after a crash; watchdog delivery
     /// state for the node resets.
     NodeRestarted,
@@ -257,6 +324,24 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// The lineage span key `(pubend, timestamp)` this event is a stage
+    /// of, for events that concern exactly one persistent event.
+    pub fn lineage_key(&self) -> Option<gryphon_types::LineageKey> {
+        match *self {
+            TraceEvent::PubendTimestamped { pubend, ts }
+            | TraceEvent::EventLogged { pubend, ts, .. }
+            | TraceEvent::IbForwarded { pubend, ts }
+            | TraceEvent::ShbIngested { pubend, ts }
+            | TraceEvent::Delivered { pubend, ts, .. } => {
+                Some(gryphon_types::LineageKey::new(pubend, ts))
+            }
+            TraceEvent::GapDelivered { pubend, upto, .. } => {
+                Some(gryphon_types::LineageKey::new(pubend, upto))
+            }
+            _ => None,
+        }
+    }
+
     /// The event's severity class.
     pub fn severity(&self) -> Severity {
         match self {
@@ -264,12 +349,17 @@ impl TraceEvent {
             | TraceEvent::ConstreamGapCheck { .. }
             | TraceEvent::DoubtAdvanced { .. }
             | TraceEvent::PfsBatchRead { .. }
+            | TraceEvent::IbForwarded { .. }
+            | TraceEvent::ShbIngested { .. }
+            | TraceEvent::Delivered { .. }
             | TraceEvent::EventLogged { .. } => Severity::Debug,
             TraceEvent::CatchupStarted { .. }
             | TraceEvent::Switchover { .. }
             | TraceEvent::NackConsolidated { .. }
+            | TraceEvent::SubResumed { .. }
             | TraceEvent::ReleaseAdvanced { .. } => Severity::Info,
             TraceEvent::LConverted { .. }
+            | TraceEvent::GapDelivered { .. }
             | TraceEvent::NodeRestarted
             | TraceEvent::UnexpectedMsg { .. } => Severity::Warn,
         }
@@ -379,7 +469,18 @@ pub struct Watchdogs {
     /// Panic on violation (defaults to `cfg!(debug_assertions)`);
     /// corruption tests disable this to count violations instead.
     pub panic_on_violation: bool,
+    /// Defer an armed panic to [`Watchdogs::take_deferred_panic`]
+    /// instead of unwinding inside [`Watchdogs::observe`]. The simulator
+    /// sets this so its flight recorder can dump a post-mortem *before*
+    /// the panic fires; the threaded runtime leaves it off (panic at the
+    /// point of detection).
+    pub defer_panic: bool,
     violations: u64,
+    constream_gaps: u64,
+    doubt_regressions: u64,
+    double_logs: u64,
+    deferred_panic: Option<String>,
+    last_detail: Option<String>,
 }
 
 pub use crate::metrics::names::{
@@ -393,23 +494,68 @@ impl Default for Watchdogs {
             doubt: std::collections::HashMap::new(),
             logged: std::collections::HashMap::new(),
             panic_on_violation: cfg!(debug_assertions),
+            defer_panic: false,
             violations: 0,
+            constream_gaps: 0,
+            doubt_regressions: 0,
+            double_logs: 0,
+            deferred_panic: None,
+            last_detail: None,
         }
     }
 }
 
 impl Watchdogs {
-    /// Total violations observed across all three invariants.
+    /// Total violations observed across all three invariants (the
+    /// backward-compatible aggregate; per-kind counts below).
     pub fn violations(&self) -> u64 {
         self.violations
     }
 
+    /// Gap-free-constream violations.
+    pub fn constream_gaps(&self) -> u64 {
+        self.constream_gaps
+    }
+
+    /// Monotone-doubt-horizon violations.
+    pub fn doubt_regressions(&self) -> u64 {
+        self.doubt_regressions
+    }
+
+    /// Only-once-logging violations.
+    pub fn double_logs(&self) -> u64 {
+        self.double_logs
+    }
+
+    /// Human-readable description of the most recent violation.
+    pub fn last_detail(&self) -> Option<&str> {
+        self.last_detail.as_deref()
+    }
+
+    /// Takes the pending armed-panic message, if [`Watchdogs::defer_panic`]
+    /// held one back during [`Watchdogs::observe`]. The caller is
+    /// expected to panic with it after its own post-mortem handling.
+    pub fn take_deferred_panic(&mut self) -> Option<String> {
+        self.deferred_panic.take()
+    }
+
     fn violate(&mut self, metrics: &mut Metrics, counter: &str, detail: String) {
         self.violations += 1;
+        match counter {
+            WATCHDOG_CONSTREAM_GAP => self.constream_gaps += 1,
+            WATCHDOG_DOUBT_REGRESSION => self.doubt_regressions += 1,
+            WATCHDOG_DUPLICATE_LOG => self.double_logs += 1,
+            _ => {}
+        }
         metrics.count(counter, 1.0);
         if self.panic_on_violation {
-            panic!("invariant watchdog: {detail}");
+            if self.defer_panic {
+                self.deferred_panic.get_or_insert_with(|| detail.clone());
+            } else {
+                panic!("invariant watchdog: {detail}");
+            }
         }
+        self.last_detail = Some(detail);
     }
 
     /// Feeds one record through the checkers.
@@ -543,7 +689,10 @@ mod tests {
         assert_eq!(w.violations(), 0);
         w.observe(&adv(30, 40), &mut m); // hole: 25 → 30
         assert_eq!(w.violations(), 1);
+        assert_eq!(w.constream_gaps(), 1);
+        assert_eq!(w.doubt_regressions(), 0);
         assert_eq!(m.counter(WATCHDOG_CONSTREAM_GAP), 1.0);
+        assert!(w.last_detail().unwrap().contains("constream gap"));
     }
 
     #[test]
@@ -588,6 +737,7 @@ mod tests {
         assert_eq!(w.violations(), 0);
         w.observe(&at(4), &mut m);
         assert_eq!(w.violations(), 1);
+        assert_eq!(w.doubt_regressions(), 1);
         assert_eq!(m.counter(WATCHDOG_DOUBT_REGRESSION), 1.0);
     }
 
@@ -608,7 +758,33 @@ mod tests {
         w.observe(&rec(TraceEvent::NodeRestarted), &mut m);
         w.observe(&log(7), &mut m); // re-logging after restart is the §2 bug
         assert_eq!(w.violations(), 1);
+        assert_eq!(w.double_logs(), 1);
         assert_eq!(m.counter(WATCHDOG_DUPLICATE_LOG), 1.0);
+    }
+
+    /// With `defer_panic`, an armed violation is held back for the
+    /// caller (the simulator's flight recorder) instead of unwinding
+    /// inside `observe`.
+    #[test]
+    fn armed_watchdog_defers_panic_when_asked() {
+        let mut w = Watchdogs {
+            panic_on_violation: true,
+            defer_panic: true,
+            ..Watchdogs::default()
+        };
+        let mut m = Metrics::default();
+        let at = |h: u64| {
+            rec(TraceEvent::DoubtAdvanced {
+                pubend: P,
+                horizon: Timestamp(h),
+            })
+        };
+        w.observe(&at(9), &mut m);
+        w.observe(&at(2), &mut m); // would panic undeferred
+        assert_eq!(w.violations(), 1);
+        let msg = w.take_deferred_panic().unwrap();
+        assert!(msg.contains("doubt horizon regressed"));
+        assert!(w.take_deferred_panic().is_none(), "taken exactly once");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod ct;
 pub mod event;
 pub mod ids;
+pub mod lineage;
 pub mod msg;
 pub mod symbol;
 pub mod tick;
@@ -35,6 +36,7 @@ pub mod time;
 pub use ct::CheckpointToken;
 pub use event::{AttrValue, Attributes, Event, EventRef};
 pub use ids::{BrokerId, NodeId, PubendId, SubscriberId};
+pub use lineage::LineageKey;
 pub use msg::{
     ClientMsg, CuriosityMsg, DeliveryKind, DeliveryMsg, KnowledgeMsg, KnowledgePart, NetMsg,
     PublishMsg, ReleaseMsg, ServerMsg, SubInterestMsg, SubscriptionSpec,

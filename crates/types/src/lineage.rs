@@ -1,0 +1,91 @@
+//! Delivery-lineage span keys.
+//!
+//! The paper's tick model already gives every persistent event a unique
+//! identity: the pubend it was published to and the monotone timestamp
+//! that pubend assigned it (§2). Lineage tracking therefore needs **no
+//! new wire bytes** — every stage of an event's life (log, forward,
+//! ingest, delivery) already carries `(pubend, timestamp)`, and a
+//! [`LineageKey`] derived from that pair names the event's span in every
+//! layer that observes it.
+
+use crate::ids::PubendId;
+use crate::time::Timestamp;
+
+/// The span key of one persistent event: `(pubend, timestamp)`.
+///
+/// Ordered pubend-major, which groups a pubend's ticks contiguously in
+/// sorted span maps (matching the per-pubend sharding of the threaded
+/// runtime, where one worker owns every stage of a pubend's events).
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::{LineageKey, PubendId, Timestamp};
+///
+/// let k = LineageKey::new(PubendId(3), Timestamp(42));
+/// assert_eq!(LineageKey::unpack(k.pack()), k);
+/// assert_eq!(k.to_string(), "pubend-3@t42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineageKey {
+    /// The pubend that assigned the timestamp.
+    pub pubend: PubendId,
+    /// The event's tick on that pubend's stream.
+    pub ts: Timestamp,
+}
+
+impl LineageKey {
+    /// Creates the span key for the event at `ts` on `pubend`.
+    pub fn new(pubend: PubendId, ts: Timestamp) -> Self {
+        LineageKey { pubend, ts }
+    }
+
+    /// Packs the key into a single `u128` (`pubend` in the high 64 bits)
+    /// preserving `Ord`: useful as a dense map/set key or a compact
+    /// correlation id in dumps.
+    pub fn pack(self) -> u128 {
+        ((self.pubend.0 as u128) << 64) | self.ts.0 as u128
+    }
+
+    /// Inverse of [`LineageKey::pack`].
+    pub fn unpack(packed: u128) -> Self {
+        LineageKey {
+            pubend: PubendId((packed >> 64) as u32),
+            ts: Timestamp(packed as u64),
+        }
+    }
+}
+
+impl std::fmt::Display for LineageKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.pubend, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrips_and_preserves_order() {
+        let keys = [
+            LineageKey::new(PubendId(0), Timestamp(0)),
+            LineageKey::new(PubendId(0), Timestamp(u64::MAX)),
+            LineageKey::new(PubendId(1), Timestamp(0)),
+            LineageKey::new(PubendId(u32::MAX), Timestamp(7)),
+        ];
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].pack() < w[1].pack());
+        }
+        for k in keys {
+            assert_eq!(LineageKey::unpack(k.pack()), k);
+        }
+    }
+
+    #[test]
+    fn display_names_both_halves() {
+        let k = LineageKey::new(PubendId(7), Timestamp(19));
+        assert_eq!(k.to_string(), "pubend-7@t19");
+    }
+}

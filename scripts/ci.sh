@@ -13,6 +13,35 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== full stack with delivery ledger armed =="
+# Debug profile arms the exactly-once ledger (panic on violation), so a
+# duplicate or phantom delivery anywhere in these runs aborts the test.
+cargo test -q --test full_stack --test lineage
+
+echo "== prometheus snapshot parses =="
+rm -rf target/ci-prom
+cargo run -q --release -p gryphon-bench --bin xp -- --quick --prom-out target/ci-prom fig4
+prom="target/ci-prom/fig4.prom"
+test -s "$prom" || { echo "missing $prom"; exit 1; }
+# Validate text exposition format: every line is a comment (# HELP/# TYPE)
+# or "name{labels} value"; every sample name must trace back to a # TYPE
+# declaration (summaries expose <name>_sum and <name>_count series).
+awk '
+  /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { if ($2 == "TYPE") typed[$3]=1; next }
+  /^#/ { print "bad comment line " NR ": " $0; bad=1; next }
+  /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$/ {
+    name=$1; sub(/\{.*/, "", name);
+    base=name; sub(/_(sum|count)$/, "", base);
+    if (!(name in typed) && !(base in typed)) {
+      print "undeclared sample " NR ": " $0; bad=1
+    }
+    next
+  }
+  /./ { print "malformed line " NR ": " $0; bad=1 }
+  END { exit bad }
+' "$prom"
+echo "ok: $(grep -c '^# TYPE' "$prom") metric families in $prom"
+
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -205,6 +205,54 @@ fn duplicate_log_record_flags_violation_even_across_restart() {
     assert_eq!(sim.metrics().counter(names::WATCHDOG_DUPLICATE_LOG), 2.0);
 }
 
+/// Mixed corruption across all three invariants: each per-kind counter
+/// records its own violations, and the back-compat total is their sum.
+#[test]
+fn per_kind_counters_partition_the_total() {
+    let mut sim = quiet_sim();
+    // Two constream gaps.
+    for (prev, new_to) in [(0u64, 10), (5, 20), (15, 30)] {
+        sim.inject_trace(
+            N,
+            TraceEvent::ConstreamGapCheck {
+                pubend: P,
+                prev: Timestamp(prev),
+                new_to: Timestamp(new_to),
+            },
+        );
+    }
+    // One doubt regression.
+    for h in [100u64, 40] {
+        sim.inject_trace(
+            N,
+            TraceEvent::DoubtAdvanced {
+                pubend: P,
+                horizon: Timestamp(h),
+            },
+        );
+    }
+    // One duplicate log.
+    for ts in [7u64, 7] {
+        sim.inject_trace(
+            N,
+            TraceEvent::EventLogged {
+                pubend: P,
+                ts: Timestamp(ts),
+                bytes: 418,
+            },
+        );
+    }
+    let m = sim.metrics();
+    assert_eq!(m.counter(names::WATCHDOG_CONSTREAM_GAP), 2.0);
+    assert_eq!(m.counter(names::WATCHDOG_DOUBT_REGRESSION), 1.0);
+    assert_eq!(m.counter(names::WATCHDOG_DUPLICATE_LOG), 1.0);
+    assert_eq!(
+        sim.watchdog_violations(),
+        4,
+        "the total must stay the sum of the per-kind counters"
+    );
+}
+
 /// The armed watchdog panics on a violation (the debug-build behaviour
 /// inside experiments).
 #[test]
