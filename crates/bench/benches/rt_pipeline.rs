@@ -1,6 +1,13 @@
 //! Threaded end-to-end pipeline bench: the same broker state machines as
 //! the simulator, on real threads (gryphon-net), measuring wall-clock
 //! time to push a burst of publishes through PHB → SHB → subscriber.
+//!
+//! Each iteration times the burst until the live `shb.delivered` counter
+//! reports the whole burst drained (not a fixed sleep — an earlier
+//! version slept a flat 500 ms per iteration, which floored every
+//! variant at the same wall time and hid real regressions). With the
+//! `Throughput::Elements` annotation criterion reports work-normalized
+//! events/sec.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gryphon::{Broker, BrokerConfig, SubscriberClient, SubscriberConfig};
@@ -12,6 +19,7 @@ use std::time::Duration;
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("rt_pipeline");
     group.sample_size(10);
+    group.measurement_time(Duration::from_millis(300));
     const BURST: u64 = 2_000;
     group.throughput(Throughput::Elements(BURST));
     group.bench_function("publish_to_delivery_burst", |b| {
@@ -60,13 +68,18 @@ fn bench_pipeline(c: &mut Criterion) {
                         }),
                     );
                 }
-                // Wait for deliveries to drain.
-                loop {
-                    std::thread::sleep(Duration::from_millis(5));
-                    // We cannot peek at live nodes; bound the wait.
-                    if start.elapsed() > Duration::from_millis(500) {
-                        break;
-                    }
+                // Wait until the SHB has delivered the whole burst,
+                // polling the live counter (deadline-bounded so a stuck
+                // pipeline fails loudly instead of hanging the bench).
+                let deadline = start + Duration::from_secs(10);
+                while net.counter("shb.delivered") < BURST as f64 {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "pipeline failed to drain {BURST} deliveries in 10 s \
+                         (got {})",
+                        net.counter("shb.delivered")
+                    );
+                    std::thread::sleep(Duration::from_micros(200));
                 }
                 total += start.elapsed();
                 let result = net.stop();
@@ -87,6 +100,7 @@ fn bench_pipeline(c: &mut Criterion) {
 fn bench_pipeline_fanout(c: &mut Criterion) {
     let mut group = c.benchmark_group("rt_pipeline");
     group.sample_size(10);
+    group.measurement_time(Duration::from_millis(300));
     const BURST: u64 = 2_000;
     group.throughput(Throughput::Elements(BURST));
     for (name, flush_us) in [("fanout2_batched", 1_000u64), ("fanout2_unbatched", 0)] {
@@ -148,11 +162,17 @@ fn bench_pipeline_fanout(c: &mut Criterion) {
                             }),
                         );
                     }
-                    loop {
-                        std::thread::sleep(Duration::from_millis(5));
-                        if start.elapsed() > Duration::from_millis(500) {
-                            break;
-                        }
+                    // Both SHBs must drain the burst: 2 × BURST total.
+                    let expected = 2 * BURST;
+                    let deadline = start + Duration::from_secs(10);
+                    while net.counter("shb.delivered") < expected as f64 {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "fan-out pipeline failed to drain {expected} \
+                             deliveries in 10 s (got {})",
+                            net.counter("shb.delivered")
+                        );
+                        std::thread::sleep(Duration::from_micros(200));
                     }
                     total += start.elapsed();
                     let result = net.stop();

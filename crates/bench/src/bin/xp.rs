@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] [--prom-out DIR]
-//!    [--flight-dir DIR] <experiment>|all|list
+//!    [--flight-dir DIR] [--telemetry-out DIR] [--sample-interval MS]
+//!    [--metrics-addr ADDR] <experiment>|all|list
 //! ```
 //!
 //! * `list` prints the catalog;
@@ -20,7 +21,16 @@
 //! * `--flight-dir DIR` arms the violation flight recorder: any watchdog
 //!   or delivery-ledger violation dumps a post-mortem file
 //!   (`postmortem-N.txt`) with the offending event's lineage, a metrics
-//!   snapshot, and the trace-ring tail (see DESIGN.md §12).
+//!   snapshot, and the trace-ring tail (see DESIGN.md §12);
+//! * `--sample-interval MS` arms the windowed telemetry sampler on every
+//!   simulator at the given virtual-time interval (milliseconds; see
+//!   DESIGN.md §13) — reports then include a sparkline timeline section;
+//! * `--telemetry-out DIR` writes each experiment's telemetry timeline
+//!   as `<id>.telemetry.ndjson` and `<id>.telemetry.csv` (implies
+//!   `--sample-interval 500` unless one was given);
+//! * `--metrics-addr ADDR` serves the most recent experiment's
+//!   Prometheus snapshot live at `http://ADDR/metrics` (e.g.
+//!   `127.0.0.1:9090`) until xp exits.
 
 use std::io::Write;
 
@@ -31,12 +41,36 @@ fn main() {
     let mut metrics_dir: Option<String> = None;
     let mut prom_dir: Option<String> = None;
     let mut flight_dir: Option<String> = None;
+    let mut telemetry_dir: Option<String> = None;
+    let mut sample_interval_ms: Option<u64> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--trace" => trace = true,
+            "--telemetry-out" => {
+                telemetry_dir = args.next();
+                if telemetry_dir.is_none() {
+                    eprintln!("--telemetry-out requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+            "--sample-interval" => {
+                sample_interval_ms = args.next().and_then(|v| v.parse().ok());
+                if sample_interval_ms.is_none() {
+                    eprintln!("--sample-interval requires a milliseconds argument");
+                    std::process::exit(2);
+                }
+            }
+            "--metrics-addr" => {
+                metrics_addr = args.next();
+                if metrics_addr.is_none() {
+                    eprintln!("--metrics-addr requires an address argument (e.g. 127.0.0.1:9090)");
+                    std::process::exit(2);
+                }
+            }
             "--csv" => {
                 csv_dir = args.next();
                 if csv_dir.is_none() {
@@ -87,12 +121,40 @@ fn main() {
     gryphon_harness::topology::set_default_flight_dir(
         flight_dir.as_deref().map(std::path::PathBuf::from),
     );
+    // --telemetry-out without an explicit interval still needs the
+    // sampler armed; 500 ms windows match the experiments' timescales.
+    if telemetry_dir.is_some() && sample_interval_ms.is_none() {
+        sample_interval_ms = Some(500);
+    }
+    gryphon_harness::topology::set_default_sample_interval(
+        sample_interval_ms.map(|ms| ms.saturating_mul(1_000).max(1)),
+    );
+    // Live scrape endpoint: serves the latest completed experiment's
+    // Prometheus snapshot (empty until the first one finishes).
+    let live_prom: std::sync::Arc<std::sync::Mutex<String>> = Default::default();
+    let _scrape = metrics_addr.as_deref().map(|addr| {
+        let prom = std::sync::Arc::clone(&live_prom);
+        let server = gryphon_sim::telemetry::TextServer::serve(addr, move || {
+            prom.lock().map(|s| s.clone()).unwrap_or_default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot bind --metrics-addr {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "[serving live metrics at http://{}/metrics]",
+            server.local_addr()
+        );
+        server
+    });
     let opts = Options {
         quick,
         trace,
         csv_dir,
         metrics_dir,
         prom_dir,
+        telemetry_dir,
+        live_prom,
     };
     for target in targets {
         match target.as_str() {
@@ -113,6 +175,8 @@ struct Options {
     csv_dir: Option<String>,
     metrics_dir: Option<String>,
     prom_dir: Option<String>,
+    telemetry_dir: Option<String>,
+    live_prom: std::sync::Arc<std::sync::Mutex<String>>,
 }
 
 fn print_catalog() {
@@ -170,6 +234,27 @@ fn run_one(id: &str, opts: &Options) {
                 if let Some(prom) = report.prom.as_deref() {
                     let path = write_file(dir, &format!("{id}.prom"), prom);
                     println!("[prometheus snapshot written to {}]", path.display());
+                }
+            }
+            if let Some(dir) = opts.telemetry_dir.as_deref() {
+                if report.telemetry.is_some() {
+                    let nd = write_file(
+                        dir,
+                        &format!("{id}.telemetry.ndjson"),
+                        &report.telemetry_ndjson(),
+                    );
+                    let csv =
+                        write_file(dir, &format!("{id}.telemetry.csv"), &report.telemetry_csv());
+                    println!(
+                        "[telemetry written to {} and {}]",
+                        nd.display(),
+                        csv.display()
+                    );
+                }
+            }
+            if let Some(prom) = report.prom.as_deref() {
+                if let Ok(mut live) = opts.live_prom.lock() {
+                    *live = prom.to_owned();
                 }
             }
         }

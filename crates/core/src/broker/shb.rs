@@ -6,8 +6,8 @@ use crate::config::BrokerConfig;
 use crate::pfs::{Pfs, PfsMode};
 use gryphon_matching::{Filter, MatchScratch, SubscriptionIndex};
 use gryphon_sim::{
-    count_metric, names, observe_metric, record_metric, trace_event, DeliveryPath, NodeCtx,
-    TraceEvent,
+    count_metric, gauge_metric, names, observe_metric, record_metric, trace_event, DeliveryPath,
+    NodeCtx, TraceEvent,
 };
 use gryphon_storage::{MediaFactory, MetaTable, TableConfig};
 use gryphon_streams::KnowledgeStream;
@@ -379,11 +379,52 @@ impl Shb {
             names::SHB_DOUBT_WIDTH,
             max_seen.saturating_sub(con.processed_to) as f64
         );
+        let node = ctx.me().0;
+        gauge_metric!(
+            ctx,
+            &format!("{}.n{node}.p{}", names::TELEMETRY_DOUBT_WIDTH_TICKS, p.0),
+            max_seen.saturating_sub(con.processed_to) as f64
+        );
+        self.update_telemetry_gauges(ctx);
         if max_seen > con.processed_to {
             cache.q_ranges(con.processed_to, max_seen)
         } else {
             Vec::new()
         }
+    }
+
+    /// Outstanding catchup backlog in ticks: for each active
+    /// per-subscriber catchup stream, the distance from its delivery
+    /// cursor to the consolidated stream's processing cursor, summed.
+    /// Spikes when subscribers reconnect after a crash and drains to
+    /// zero as streams switch over.
+    pub fn catchup_backlog_ticks(&self) -> u64 {
+        self.conns
+            .values()
+            .flat_map(|conn| conn.catchup.iter())
+            .map(|(p, cu)| {
+                let cursor = self.con.get(p).map(|c| c.processed_to).unwrap_or_default();
+                cursor.saturating_sub(cu.delivered_to)
+            })
+            .sum()
+    }
+
+    /// Refreshes this SHB's telemetry gauges (DESIGN.md §13): catchup
+    /// backlog and active catchup-stream count, published under this
+    /// node's `.n<id>` shard suffix so several SHBs sharing one metrics
+    /// sink stay distinct (the sampler derives the unsuffixed sum).
+    pub fn update_telemetry_gauges(&self, ctx: &mut dyn NodeCtx) {
+        let node = ctx.me().0;
+        gauge_metric!(
+            ctx,
+            &format!("{}.n{node}", names::TELEMETRY_CATCHUP_BACKLOG_TICKS),
+            self.catchup_backlog_ticks() as f64
+        );
+        gauge_metric!(
+            ctx,
+            &format!("{}.n{node}", names::TELEMETRY_CATCHUP_STREAMS),
+            self.catchup_streams() as f64
+        );
     }
 
     /// PFS group commit: makes queued filtering records durable and

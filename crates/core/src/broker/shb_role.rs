@@ -88,7 +88,9 @@ impl Broker {
             let Some(shb) = self.shb.state.as_mut() else {
                 return;
             };
-            shb.catchup_progress(sub, p, &self.config, ctx)
+            let needs = shb.catchup_progress(sub, p, &self.config, ctx);
+            shb.update_telemetry_gauges(ctx);
+            needs
         };
         if needs.switched {
             ctx.count("shb.switchovers", 1.0);
@@ -99,7 +101,9 @@ impl Broker {
             // Local answers may have unblocked delivery immediately.
             let again = {
                 let shb = self.shb.state.as_mut().expect("checked");
-                shb.catchup_progress(sub, p, &self.config, ctx)
+                let again = shb.catchup_progress(sub, p, &self.config, ctx);
+                shb.update_telemetry_gauges(ctx);
+                again
             };
             if again.switched {
                 ctx.count("shb.switchovers", 1.0);

@@ -85,6 +85,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
+    budget: Option<Duration>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -93,8 +94,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Accepted for compatibility.
-    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+    /// Sets the per-bench time budget the stub sizes its measured batch
+    /// to (the default is 50 ms; slow wall-clock benches raise it so
+    /// they still get more than one measured iteration).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = Some(d);
         self
     }
 
@@ -111,7 +115,8 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
-        self.criterion.run_one(&full, self.throughput, f);
+        self.criterion
+            .run_one(&full, self.throughput, self.budget, f);
         self
     }
 
@@ -124,7 +129,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         self.criterion
-            .run_one(&full, self.throughput, |b| f(b, input));
+            .run_one(&full, self.throughput, self.budget, |b| f(b, input));
         self
     }
 
@@ -145,20 +150,27 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             throughput: None,
+            budget: None,
         }
     }
 
     /// Runs one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        self.run_one(name, None, f);
+        self.run_one(name, None, None, f);
         self
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, tp: Option<Throughput>, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        tp: Option<Throughput>,
+        budget: Option<Duration>,
+        mut f: F,
+    ) {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
-            budget: Duration::from_millis(50),
+            budget: budget.unwrap_or(Duration::from_millis(50)),
         };
         f(&mut b);
         if b.iters == 0 {

@@ -134,9 +134,31 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Messages currently queued (a momentary occupancy snapshot —
+        /// telemetry probes sample this as channel queue depth).
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// `true` when no messages are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {
+        /// Messages currently queued (a momentary occupancy snapshot —
+        /// telemetry probes sample this as channel queue depth).
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// `true` when no messages are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Receives a message, blocking until one arrives.
         ///
         /// # Errors
@@ -248,6 +270,20 @@ pub mod channel {
             tx.send(2).unwrap();
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn len_tracks_occupancy() {
+            let (tx, rx) = bounded(4);
+            assert_eq!(tx.len(), 0);
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.len(), 2);
+            rx.recv().unwrap();
+            assert_eq!(rx.len(), 1);
+            assert!(!tx.is_empty());
         }
 
         #[test]

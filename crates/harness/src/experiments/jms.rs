@@ -21,6 +21,7 @@ struct JmsCell {
 
 fn run_jms(seed: u64, n_subs: usize, run_us: u64) -> (JmsCell, Sim) {
     let mut sim = Sim::new(seed);
+    crate::topology::apply_sim_defaults(&mut sim);
     let b = sim.add_typed_node(
         "broker",
         Broker::new(0, Box::new(MemFactory::new()), BrokerConfig::default())
@@ -107,6 +108,9 @@ pub fn run(quick: bool) -> Report {
     );
     if let Some(sim) = &last_sim {
         report.attach_metrics(sim.metrics());
+        if let Some(t) = sim.telemetry() {
+            report.attach_telemetry(t.clone());
+        }
         report.attach_trace(
             sim.trace_records()
                 .map(|r| r.render(sim.node_name(r.node)))

@@ -17,6 +17,7 @@ use gryphon_types::{PubendId, SubscriberId};
 
 fn gryphon_chain_latency(run_us: u64) -> (f64, u64, Sim) {
     let mut sim = Sim::new(11);
+    crate::topology::apply_sim_defaults(&mut sim);
     let config = BrokerConfig::default();
     let phb = sim.add_typed_node(
         "phb",
@@ -135,6 +136,9 @@ pub fn run(quick: bool) -> Report {
         sf_ms / gry_ms
     ));
     report.attach_metrics(gry_sim.metrics());
+    if let Some(t) = gry_sim.telemetry() {
+        report.attach_telemetry(t.clone());
+    }
     report.attach_trace(
         gry_sim
             .trace_records()

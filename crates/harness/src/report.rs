@@ -1,5 +1,6 @@
 //! Printable experiment reports.
 
+use gryphon_sim::telemetry::{sparkline, Timeline};
 use gryphon_sim::Metrics;
 
 /// Escapes one CSV field per RFC 4180: fields containing commas, quotes
@@ -190,6 +191,11 @@ pub struct Report {
     pub prom: Option<String>,
     /// Rendered trace lines (attach with [`Report::attach_trace`]).
     pub trace: Vec<String>,
+    /// Time-resolved telemetry timeline (attach with
+    /// [`Report::attach_telemetry`]); rendered as sparklines and
+    /// exported via [`Report::telemetry_ndjson`] /
+    /// [`Report::telemetry_csv`].
+    pub telemetry: Option<Timeline>,
 }
 
 impl Report {
@@ -231,6 +237,32 @@ impl Report {
     pub fn attach_trace(&mut self, lines: Vec<String>) -> &mut Self {
         self.trace = lines;
         self
+    }
+
+    /// Attaches a telemetry timeline (from `Sim::take_telemetry` or
+    /// `NetResult::telemetry`).
+    pub fn attach_telemetry(&mut self, timeline: Timeline) -> &mut Self {
+        self.telemetry = Some(timeline);
+        self
+    }
+
+    /// Dumps the attached telemetry timeline as ndjson (one
+    /// `{"series": ..., "t_us": ..., "value": ...}` object per sample).
+    /// Empty when no timeline is attached.
+    pub fn telemetry_ndjson(&self) -> String {
+        self.telemetry
+            .as_ref()
+            .map(Timeline::to_ndjson)
+            .unwrap_or_default()
+    }
+
+    /// Dumps the attached telemetry timeline as CSV
+    /// (`series,t_us,value`). Header-only when no timeline is attached.
+    pub fn telemetry_csv(&self) -> String {
+        self.telemetry
+            .as_ref()
+            .map(Timeline::to_csv)
+            .unwrap_or_else(|| "series,t_us,value\n".to_owned())
     }
 
     /// Renders everything as text.
@@ -306,6 +338,32 @@ impl Report {
                     t.row(&[name.clone(), format!("{v:.0}")]);
                 }
                 out.push_str(&t.render());
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            if !t.is_empty() {
+                out.push_str(&format!(
+                    "\n## telemetry ({} series, {:.0} ms windows)\n",
+                    t.series_names().len(),
+                    t.interval_us() as f64 / 1_000.0
+                ));
+                let width = t.series_names().iter().map(|n| n.len()).max().unwrap_or(0);
+                for name in t.series_names() {
+                    let samples = t.series(name);
+                    let values: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+                    let (min, max) = values
+                        .iter()
+                        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                            (lo.min(v), hi.max(v))
+                        });
+                    out.push_str(&format!(
+                        "  {name:<width$}  {}  min {:.1}  max {:.1}  last {:.1}\n",
+                        sparkline(&values, 40),
+                        min,
+                        max,
+                        values.last().copied().unwrap_or(0.0)
+                    ));
+                }
             }
         }
         if !self.trace.is_empty() {
@@ -531,6 +589,31 @@ mod tests {
         let mut clean = Report::new("clean");
         clean.attach_metrics(&Metrics::default());
         assert!(!clean.render().contains("WARNING: trace ring dropped"));
+    }
+
+    #[test]
+    fn telemetry_section_renders_sparklines_and_exports() {
+        let mut t = Timeline::new(500_000);
+        for (i, v) in [0.0, 2.0, 9.0, 3.0, 1.0].iter().enumerate() {
+            t.record((i as u64 + 1) * 500_000, "telemetry.queue_depth", *v);
+        }
+        let mut r = Report::new("tl");
+        r.attach_telemetry(t);
+        let text = r.render();
+        assert!(text.contains("## telemetry (1 series, 500 ms windows)"));
+        assert!(text.contains("telemetry.queue_depth"));
+        assert!(text.contains("max 9.0"));
+        assert!(text.contains('█'), "sparkline glyphs present: {text}");
+        let nd = r.telemetry_ndjson();
+        assert_eq!(nd.lines().count(), 5);
+        assert!(nd.contains("\"series\":\"telemetry.queue_depth\""));
+        let csv = r.telemetry_csv();
+        assert!(csv.starts_with("series,t_us,value\n"));
+        assert_eq!(csv.lines().count(), 6);
+        // Unattached reports export empty shapes, not panics.
+        let bare = Report::new("none");
+        assert_eq!(bare.telemetry_ndjson(), "");
+        assert_eq!(bare.telemetry_csv(), "series,t_us,value\n");
     }
 
     #[test]

@@ -23,6 +23,34 @@ pub fn set_default_flight_dir(dir: Option<std::path::PathBuf>) {
     *DEFAULT_FLIGHT_DIR.lock().expect("flight-dir lock") = dir;
 }
 
+/// Process-wide telemetry sampling interval (virtual µs) applied to
+/// every [`Sim`] built by [`System::build`] — the `xp --sample-interval`
+/// plumbing. `None` (the default) disables the windowed sampler.
+static DEFAULT_SAMPLE_INTERVAL: Mutex<Option<u64>> = Mutex::new(None);
+
+/// Sets the telemetry sampling interval future [`System::build`] calls
+/// enable on their simulator (`None` disables sampling).
+pub fn set_default_sample_interval(interval_us: Option<u64>) {
+    *DEFAULT_SAMPLE_INTERVAL
+        .lock()
+        .expect("sample-interval lock") = interval_us;
+}
+
+/// Applies the process-wide observability defaults (flight-recorder
+/// directory, telemetry sampling interval) to a freshly built [`Sim`].
+/// [`System::build`] calls this; experiments that assemble a raw `Sim`
+/// themselves (latency, jms) call it too so `xp --flight-dir` /
+/// `--sample-interval` cover every simulator a run builds.
+pub fn apply_sim_defaults(sim: &mut Sim) {
+    sim.set_flight_dir(DEFAULT_FLIGHT_DIR.lock().expect("flight-dir lock").clone());
+    if let Some(interval_us) = *DEFAULT_SAMPLE_INTERVAL
+        .lock()
+        .expect("sample-interval lock")
+    {
+        sim.enable_telemetry(interval_us);
+    }
+}
+
 /// Structural parameters of a run.
 #[derive(Debug, Clone)]
 pub struct TopologySpec {
@@ -88,7 +116,7 @@ impl System {
     /// Builds the system.
     pub fn build(spec: &TopologySpec, workload: &Workload) -> System {
         let mut sim = Sim::new(spec.seed);
-        sim.set_flight_dir(DEFAULT_FLIGHT_DIR.lock().expect("flight-dir lock").clone());
+        apply_sim_defaults(&mut sim);
         let broker_link = LinkParams {
             latency_us: spec.link_latency_us,
             jitter_us: 0,
@@ -277,6 +305,9 @@ impl System {
     /// watchdog have fired — a loud note. Call once after the run.
     pub fn attach_observability(&self, report: &mut crate::Report) {
         report.attach_metrics(self.sim.metrics());
+        if let Some(t) = self.sim.telemetry() {
+            report.attach_telemetry(t.clone());
+        }
         let lines: Vec<String> = self
             .sim
             .trace_records()

@@ -25,6 +25,16 @@ struct Golden {
 }
 
 fn run_once(seed: u64) -> Golden {
+    run_with_sampler(seed, None).0
+}
+
+/// Runs the golden workload, optionally with the windowed telemetry
+/// sampler armed at `sample_interval_us`, returning the observables and
+/// the collected timeline (if any).
+fn run_with_sampler(
+    seed: u64,
+    sample_interval_us: Option<u64>,
+) -> (Golden, Option<gryphon_sim::telemetry::Timeline>) {
     // Fig. 4-style tree: one PHB hosting four pubends, two SHBs, with
     // disconnecting subscribers so catchup/PFS paths execute too.
     let spec = TopologySpec {
@@ -38,6 +48,9 @@ fn run_once(seed: u64) -> Golden {
         ..Workload::paper_disconnecting(3_000_000, 500_000)
     };
     let mut sys = System::build(&spec, &workload);
+    if let Some(interval) = sample_interval_us {
+        sys.sim.enable_telemetry(interval);
+    }
     sys.sim.run_until(6_000_000);
     let traces = sys
         .sim
@@ -56,13 +69,14 @@ fn run_once(seed: u64) -> Golden {
                 .collect()
         })
         .collect();
-    Golden {
+    let golden = Golden {
         traces,
         deliveries,
         events: sys.total_events(),
         violations: sys.total_order_violations(),
         watchdogs: sys.sim.watchdog_violations(),
-    }
+    };
+    (golden, sys.sim.take_telemetry())
 }
 
 #[test]
@@ -88,6 +102,73 @@ fn same_seed_same_traces_and_deliveries() {
         assert_eq!(la, lb, "first trace divergence at line {i}");
     }
     assert_eq!(a, b, "same seed must replay bit-identically");
+}
+
+/// The sampler must be a pure observer: arming it cannot perturb the
+/// run (no scheduler events, no RNG draws), so traces and deliveries
+/// stay bit-identical with it on or off — and the timeline itself is
+/// deterministic across runs.
+#[test]
+fn sampler_does_not_perturb_golden_run() {
+    let (plain, no_timeline) = run_with_sampler(42, None);
+    assert!(no_timeline.is_none());
+    let (sampled_a, timeline_a) = run_with_sampler(42, Some(250_000));
+    let (sampled_b, timeline_b) = run_with_sampler(42, Some(250_000));
+
+    assert_eq!(
+        plain, sampled_a,
+        "sampler on vs off must not change traces or deliveries"
+    );
+    assert_eq!(sampled_a, sampled_b, "sampled runs must replay identically");
+    let ta = timeline_a.expect("sampler armed");
+    let tb = timeline_b.expect("sampler armed");
+    assert!(!ta.is_empty(), "sampler collected nothing");
+    assert_eq!(
+        ta.to_ndjson(),
+        tb.to_ndjson(),
+        "telemetry timeline must replay bit-identically"
+    );
+    // The simulator publishes its scheduler queue depth every window.
+    assert!(!ta.series("telemetry.queue_depth").is_empty());
+}
+
+/// Telemetry series merge deterministically in worker-index order: a
+/// timeline collected in one shard equals the same samples split across
+/// four per-worker shards and merged 0→3, regardless of which shard a
+/// sample landed in.
+#[test]
+fn sharded_timelines_merge_in_worker_index_order() {
+    use gryphon_sim::telemetry::Timeline;
+    // Samples as (t_us, series, value, owning worker 0..4).
+    let samples = [
+        (1_000, "telemetry.queue_depth.w0", 3.0, 0),
+        (1_000, "telemetry.queue_depth.w1", 5.0, 1),
+        (2_000, "telemetry.queue_depth.w0", 1.0, 0),
+        (2_000, "telemetry.queue_depth.w2", 7.0, 2),
+        (1_000, "shb.delivered.rate", 100.0, 3),
+        (2_000, "shb.delivered.rate", 250.0, 3),
+    ];
+    // One shard holding everything…
+    let mut single = Timeline::new(1_000);
+    for &(t, name, v, _) in &samples {
+        single.record(t, name, v);
+    }
+    // …vs four per-worker shards merged in worker-index order.
+    let mut shards = [
+        Timeline::new(1_000),
+        Timeline::new(1_000),
+        Timeline::new(1_000),
+        Timeline::new(1_000),
+    ];
+    for &(t, name, v, w) in &samples {
+        shards[w].record(t, name, v);
+    }
+    let mut merged = Timeline::default();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    assert_eq!(merged.to_ndjson(), single.to_ndjson());
+    assert_eq!(merged.interval_us(), 1_000);
 }
 
 #[test]

@@ -34,6 +34,21 @@
 //! path); [`RunningNet::counter`] sums the live per-worker counters and
 //! [`RunningNet::stop`] merges everything into one [`NetResult`].
 //!
+//! # Telemetry
+//!
+//! [`RunningNet::start_sampler`] arms the wall-clock twin of the
+//! simulator's windowed [`Sampler`]: a background thread probes each
+//! worker's channel occupancy (`telemetry.queue_depth.w<i>`) and
+//! busy/idle utilization (`telemetry.worker_utilization.w<i>`) every
+//! interval and records them — plus all protocol gauges and counter
+//! rates — into a [`Timeline`] returned via [`RunningNet::telemetry`]
+//! and [`NetResult::telemetry`]. Arming telemetry also turns on
+//! per-dispatch service-time histograms (`telemetry.service_time_us`).
+//! [`RunningNet::serve_metrics`] exposes the same merged snapshot live
+//! as Prometheus text over a tiny blocking-TCP endpoint, and
+//! [`RunningNet::metrics_snapshot`] gives programmatic mid-run access
+//! with documented merge semantics.
+//!
 //! # Examples
 //!
 //! ```
@@ -58,7 +73,8 @@
 //! assert_eq!(result.node::<Counter>(h).0, 10);
 //! ```
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use gryphon_sim::telemetry::{Sampler, TextServer, Timeline};
 use gryphon_sim::{
     names, Executor, Lineage, Metrics, Node, NodeCtx, TimerKey, TraceEvent, TraceRecord, Watchdogs,
 };
@@ -68,7 +84,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::TypeId;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -259,6 +275,12 @@ impl NetBuilder {
             senders.push(tx);
             receivers.push(rx);
         }
+        // Telemetry probes: queue-depth sampling needs each worker's
+        // channel occupancy, so keep receiver clones around (they only
+        // ever call `len()`, never `recv`).
+        let probe_receivers: Vec<Receiver<Ev>> = receivers.iter().map(Receiver::clone).collect();
+        let tel_enabled = Arc::new(AtomicBool::new(false));
+        let active_ns: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let senders = Arc::new(senders);
         // Worker → logical-id map for event attribution.
         let mut owner = vec![NodeId(0); n];
@@ -285,6 +307,8 @@ impl NetBuilder {
             let lineage = Arc::clone(&lineages[i]);
             let router = router.clone();
             let me = owner[i];
+            let tel_enabled = Arc::clone(&tel_enabled);
+            let active_ns = Arc::clone(&active_ns[i]);
             joins.push(
                 std::thread::Builder::new()
                     .name(name)
@@ -299,6 +323,8 @@ impl NetBuilder {
                             timers: BinaryHeap::new(),
                             rng: SmallRng::seed_from_u64(i as u64),
                             busy_us: 0,
+                            tel_enabled,
+                            active_ns,
                         };
                         worker.with_ctx(|node, ctx| node.on_start(ctx), node.as_mut());
                         loop {
@@ -330,6 +356,13 @@ impl NetBuilder {
             metrics,
             lineages,
             logical,
+            epoch,
+            receivers: probe_receivers,
+            tel_enabled,
+            active_ns,
+            tel_metrics: Arc::new(Mutex::new(Metrics::default())),
+            sampler: None,
+            scrape: None,
         }
     }
 }
@@ -367,6 +400,13 @@ struct Worker {
     timers: BinaryHeap<TimerEntry>,
     rng: SmallRng,
     busy_us: u64,
+    /// Set once [`RunningNet::start_sampler`] arms telemetry; gates the
+    /// per-dispatch timing below so the hot path pays nothing otherwise.
+    tel_enabled: Arc<AtomicBool>,
+    /// Wall-clock nanoseconds this worker spent inside node callbacks
+    /// (shared with the sampler thread, which derives per-window
+    /// busy/idle utilization from its deltas).
+    active_ns: Arc<AtomicU64>,
 }
 
 impl Worker {
@@ -393,6 +433,11 @@ impl Worker {
     }
 
     fn with_ctx(&mut self, f: impl FnOnce(&mut dyn Node, &mut dyn NodeCtx), node: &mut dyn Node) {
+        // Service-time probe: only timed once telemetry is armed (an
+        // `Instant::now()` pair per dispatch is cheap but not free, so
+        // the un-sampled hot path skips it entirely).
+        let timed = self.tel_enabled.load(Ordering::Relaxed);
+        let started = timed.then(Instant::now);
         // Split borrows: move timers out so the ctx can push new ones.
         let mut pending_timers = Vec::new();
         {
@@ -401,6 +446,14 @@ impl Worker {
                 new_timers: &mut pending_timers,
             };
             f(node, &mut ctx);
+        }
+        if let Some(t0) = started {
+            let dt = t0.elapsed();
+            self.active_ns
+                .fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+            self.metrics
+                .lock()
+                .observe(names::TELEMETRY_SERVICE_TIME_US, dt.as_secs_f64() * 1e6);
         }
         for (delay, key) in pending_timers {
             self.timers.push(TimerEntry {
@@ -457,6 +510,10 @@ impl NodeCtx for ThreadCtx<'_> {
         self.worker.metrics.lock().observe(name, value);
     }
 
+    fn gauge(&mut self, name: &str, value: f64) {
+        self.worker.metrics.lock().set_gauge(name, value);
+    }
+
     fn trace(&mut self, event: TraceEvent) {
         // No ring buffer here (the threaded runtime is for throughput,
         // not post-mortems), but the protocol watchdogs still consume
@@ -475,6 +532,15 @@ impl NodeCtx for ThreadCtx<'_> {
     }
 }
 
+/// The background sampler thread started by [`RunningNet::start_sampler`].
+struct SamplerHandle {
+    /// Shared with the sampler thread; [`RunningNet::telemetry`] and
+    /// [`RunningNet::stop`] read the timeline out of it.
+    sampler: Arc<Mutex<Sampler>>,
+    stop: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<()>,
+}
+
 /// A started network; inject messages, then [`RunningNet::stop`].
 pub struct RunningNet {
     router: Router,
@@ -483,6 +549,61 @@ pub struct RunningNet {
     metrics: Vec<Arc<Mutex<Metrics>>>,
     lineages: Vec<Arc<Mutex<Lineage>>>,
     logical: Arc<Vec<LogicalEntry>>,
+    /// Wall-clock zero shared with every worker; telemetry windows are
+    /// stamped as microseconds since this instant.
+    epoch: Instant,
+    /// Receiver clones kept solely for occupancy probes (`len()`).
+    receivers: Vec<Receiver<Ev>>,
+    tel_enabled: Arc<AtomicBool>,
+    active_ns: Vec<Arc<AtomicU64>>,
+    /// Runtime-health gauges owned by the sampler thread (queue depth,
+    /// worker utilization) — a separate shard so the sampler never
+    /// writes into a worker's private metrics.
+    tel_metrics: Arc<Mutex<Metrics>>,
+    sampler: Option<SamplerHandle>,
+    scrape: Option<TextServer>,
+}
+
+/// Merges per-worker metric shards into one consistent snapshot.
+///
+/// Mid-run merge semantics (the live `/metrics` endpoint and
+/// [`RunningNet::metrics_snapshot`] both use this, so a scrape never
+/// sees half-merged values):
+///
+/// * shards are merged **in worker-index order**, same as the final
+///   [`RunningNet::stop`] merge — counters and histograms sum, series
+///   concatenate, same-named gauges add;
+/// * each shard's lock is held only while that shard is copied, so a
+///   snapshot is per-shard-atomic: it never tears an individual
+///   counter, but shards are copied at slightly different instants
+///   (unavoidable without a stop-the-world pause, and fine for
+///   monotone counters);
+/// * the telemetry shard (`tel_metrics`) merges **last**, and the
+///   momentary queue-depth gauges are re-probed and overwritten after
+///   the merge, so gauges reflect "now", not the sampler's last window.
+fn merged_snapshot(
+    metrics: &[Arc<Mutex<Metrics>>],
+    tel_metrics: &Arc<Mutex<Metrics>>,
+    receivers: &[Receiver<Ev>],
+) -> Metrics {
+    let mut merged = Metrics::default();
+    for m in metrics {
+        merged.merge(&m.lock());
+    }
+    merged.merge(&tel_metrics.lock());
+    let mut total = 0usize;
+    for (i, rx) in receivers.iter().enumerate() {
+        let depth = rx.len();
+        total += depth;
+        merged.set_gauge(
+            &format!("{}.w{i}", names::TELEMETRY_QUEUE_DEPTH),
+            depth as f64,
+        );
+    }
+    // set_gauge (not merge-add) so the aggregate overwrites whatever
+    // stale sum the per-shard merge produced.
+    merged.set_gauge(names::TELEMETRY_QUEUE_DEPTH, total as f64);
+    merged
 }
 
 impl RunningNet {
@@ -504,18 +625,143 @@ impl RunningNet {
         self.metrics.iter().map(|m| m.lock().counter(name)).sum()
     }
 
+    /// A consistent mid-run snapshot of all metric kinds (counters,
+    /// gauges, histograms, series) merged across every worker shard —
+    /// see `merged_snapshot` for the exact semantics. Safe to call at
+    /// any point; the live `/metrics` endpoint serves exactly this.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        merged_snapshot(&self.metrics, &self.tel_metrics, &self.receivers)
+    }
+
+    /// Arms telemetry and spawns a background sampler thread that every
+    /// `interval` probes each worker's channel occupancy
+    /// (`telemetry.queue_depth.w<i>`) and busy/idle utilization
+    /// (`telemetry.worker_utilization.w<i>`, fraction of the window
+    /// spent inside node callbacks), then feeds a merged snapshot to a
+    /// [`Sampler`] — the wall-clock twin of the simulator's
+    /// virtual-time sampler. Also enables per-dispatch service-time
+    /// histograms on every worker. Idempotent: a second call is a
+    /// no-op.
+    pub fn start_sampler(&mut self, interval: Duration) {
+        if self.sampler.is_some() {
+            return;
+        }
+        self.tel_enabled.store(true, Ordering::Relaxed);
+        let interval = interval.max(Duration::from_micros(1));
+        let sampler = Arc::new(Mutex::new(Sampler::new(interval.as_micros() as u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_sampler = Arc::clone(&sampler);
+        let thread_stop = Arc::clone(&stop);
+        let metrics = self.metrics.clone();
+        let tel_metrics = Arc::clone(&self.tel_metrics);
+        let receivers: Vec<Receiver<Ev>> = self.receivers.iter().map(Receiver::clone).collect();
+        let active_ns: Vec<Arc<AtomicU64>> = self.active_ns.iter().map(Arc::clone).collect();
+        let epoch = self.epoch;
+        let join = std::thread::Builder::new()
+            .name("telemetry-sampler".into())
+            .spawn(move || {
+                let mut last_active: Vec<u64> = vec![0; active_ns.len()];
+                let mut last_wall = Instant::now();
+                loop {
+                    std::thread::sleep(interval);
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let now = Instant::now();
+                    let window_ns = now.duration_since(last_wall).as_nanos() as u64;
+                    last_wall = now;
+                    {
+                        let mut tm = tel_metrics.lock();
+                        for (i, rx) in receivers.iter().enumerate() {
+                            tm.set_gauge(
+                                &format!("{}.w{i}", names::TELEMETRY_QUEUE_DEPTH),
+                                rx.len() as f64,
+                            );
+                        }
+                        for (i, a) in active_ns.iter().enumerate() {
+                            let cur = a.load(Ordering::Relaxed);
+                            let busy = cur.saturating_sub(last_active[i]);
+                            last_active[i] = cur;
+                            let util = if window_ns > 0 {
+                                (busy as f64 / window_ns as f64).min(1.0)
+                            } else {
+                                0.0
+                            };
+                            tm.set_gauge(
+                                &format!("{}.w{i}", names::TELEMETRY_WORKER_UTILIZATION),
+                                util,
+                            );
+                        }
+                    }
+                    let snapshot = merged_snapshot(&metrics, &tel_metrics, &receivers);
+                    let t_us = epoch.elapsed().as_micros() as u64;
+                    thread_sampler.lock().sample(t_us, &snapshot);
+                }
+            })
+            .expect("spawn telemetry sampler");
+        self.sampler = Some(SamplerHandle {
+            sampler,
+            stop,
+            join,
+        });
+    }
+
+    /// The telemetry timeline collected so far (a clone; `None` until
+    /// [`RunningNet::start_sampler`] has been called).
+    pub fn telemetry(&self) -> Option<Timeline> {
+        self.sampler
+            .as_ref()
+            .map(|h| h.sampler.lock().timeline().clone())
+    }
+
+    /// Serves the merged metrics snapshot as Prometheus text over a tiny
+    /// blocking-TCP endpoint (e.g. `addr = "127.0.0.1:0"`); returns the
+    /// bound address. The endpoint stays up until [`RunningNet::stop`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if `addr` cannot be bound.
+    pub fn serve_metrics(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let metrics = self.metrics.clone();
+        let tel_metrics = Arc::clone(&self.tel_metrics);
+        let receivers: Vec<Receiver<Ev>> = self.receivers.iter().map(Receiver::clone).collect();
+        let server = TextServer::serve(addr, move || {
+            gryphon_sim::lineage::prometheus_text(&merged_snapshot(
+                &metrics,
+                &tel_metrics,
+                &receivers,
+            ))
+        })?;
+        let bound = server.local_addr();
+        self.scrape = Some(server);
+        Ok(bound)
+    }
+
     /// Stops all node threads and returns their final states.
-    pub fn stop(self) -> NetResult {
+    pub fn stop(mut self) -> NetResult {
+        // Scrape endpoint and sampler go down first so neither observes
+        // a half-stopped net.
+        drop(self.scrape.take());
+        let telemetry = self.sampler.take().map(|h| {
+            h.stop.store(true, Ordering::Relaxed);
+            let _ = h.join.join();
+            Arc::try_unwrap(h.sampler)
+                .map(|m| m.into_inner().into_timeline())
+                .unwrap_or_else(|arc| arc.lock().timeline().clone())
+        });
         self.stop.store(true, Ordering::Relaxed);
         let workers: Vec<Box<dyn Node>> = self
             .joins
-            .into_iter()
+            .drain(..)
             .map(|j| j.join().expect("node thread"))
             .collect();
         let mut merged = Metrics::default();
         for m in &self.metrics {
             merged.merge(&m.lock());
         }
+        // The sampler's runtime-health gauges merge after the worker
+        // shards, same position they hold in live snapshots.
+        merged.merge(&self.tel_metrics.lock());
         // Lineage shards merge in worker-index order — the same
         // deterministic discipline as the metrics merge, so repeated
         // runs of a deterministic workload produce identical ledgers.
@@ -527,7 +773,8 @@ impl RunningNet {
             workers,
             metrics: merged,
             lineage,
-            logical: self.logical,
+            telemetry,
+            logical: Arc::clone(&self.logical),
         }
     }
 }
@@ -540,6 +787,9 @@ pub struct NetResult {
     /// Per-worker delivery-lineage shards merged into one run-wide
     /// ledger (worker-index order; see [`RunningNet::stop`]).
     pub lineage: Lineage,
+    /// Wall-clock telemetry timeline, present when
+    /// [`RunningNet::start_sampler`] ran during the net's lifetime.
+    pub telemetry: Option<Timeline>,
     logical: Arc<Vec<LogicalEntry>>,
 }
 
@@ -606,7 +856,7 @@ pub struct NetExecutor {
 
 enum ExecState {
     Building(NetBuilder),
-    Running(RunningNet),
+    Running(Box<RunningNet>),
     Done,
 }
 
@@ -631,7 +881,7 @@ impl NetExecutor {
             let ExecState::Building(b) = std::mem::replace(&mut self.state, ExecState::Done) else {
                 unreachable!()
             };
-            self.state = ExecState::Running(b.start());
+            self.state = ExecState::Running(Box::new(b.start()));
         }
         match &self.state {
             ExecState::Running(r) => r,
@@ -798,6 +1048,105 @@ mod tests {
         // Per-worker metrics merged on stop: 4 shards × 7 messages.
         assert_eq!(result.metrics.counter("echo.got"), 28.0);
         assert_eq!(result.watchdog_violations(), 0.0);
+    }
+
+    #[test]
+    fn sampler_collects_runtime_health_series() {
+        let mut b = NetBuilder::new();
+        let a = b.add_node(
+            "a",
+            Echo {
+                got: 0,
+                timer_fired: false,
+            },
+        );
+        let mut net = b.start();
+        net.start_sampler(Duration::from_millis(5));
+        for _ in 0..200 {
+            net.inject(a.id(), dummy());
+        }
+        net.run_for(Duration::from_millis(60));
+        // Live timeline is readable mid-run...
+        let live = net.telemetry().expect("sampler armed");
+        assert!(!live.is_empty(), "sampler took at least one window");
+        let result = net.stop();
+        // ...and the final timeline rides out on the NetResult.
+        let t = result.telemetry.expect("telemetry present after stop");
+        for series in [
+            "telemetry.queue_depth",
+            "telemetry.queue_depth.w0",
+            "telemetry.worker_utilization.w0",
+            "echo.got.rate",
+        ] {
+            assert!(
+                !t.series(series).is_empty(),
+                "series {series} missing; have {:?}",
+                t.series_names()
+            );
+        }
+        // Arming telemetry turns on the per-dispatch service-time
+        // histogram on every worker.
+        assert!(result
+            .metrics
+            .histogram_names()
+            .contains(&names::TELEMETRY_SERVICE_TIME_US));
+    }
+
+    #[test]
+    fn metrics_snapshot_is_consistent_mid_run() {
+        let mut b = NetBuilder::new();
+        let a = b.add_node(
+            "a",
+            Echo {
+                got: 0,
+                timer_fired: false,
+            },
+        );
+        let net = b.start();
+        for _ in 0..50 {
+            net.inject(a.id(), dummy());
+        }
+        net.run_for(Duration::from_millis(50));
+        let snap = net.metrics_snapshot();
+        // All three metric kinds come back in one consistent view:
+        // counters from the worker shard, plus freshly probed
+        // queue-depth gauges (drained by now, so zero).
+        assert_eq!(snap.counter("echo.got"), 50.0);
+        assert_eq!(snap.gauge("telemetry.queue_depth"), Some(0.0));
+        assert_eq!(snap.gauge("telemetry.queue_depth.w0"), Some(0.0));
+        net.stop();
+    }
+
+    #[test]
+    fn serve_metrics_scrapes_prometheus_text_mid_run() {
+        use std::io::{Read as _, Write as _};
+        let mut b = NetBuilder::new();
+        let a = b.add_node(
+            "a",
+            Echo {
+                got: 0,
+                timer_fired: false,
+            },
+        );
+        let mut net = b.start();
+        let addr = net.serve_metrics("127.0.0.1:0").expect("bind scrape");
+        for _ in 0..25 {
+            net.inject(a.id(), dummy());
+        }
+        net.run_for(Duration::from_millis(50));
+        let mut sock = std::net::TcpStream::connect(addr).expect("connect scrape");
+        sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("send request");
+        let mut resp = String::new();
+        sock.read_to_string(&mut resp).expect("read response");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "got: {resp}");
+        assert!(resp.contains("# TYPE echo_got counter"), "got: {resp}");
+        assert!(resp.contains("echo_got 25"), "got: {resp}");
+        assert!(
+            resp.contains("# TYPE telemetry_queue_depth gauge"),
+            "got: {resp}"
+        );
+        net.stop();
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod executor;
 pub mod lineage;
 mod metrics;
 mod runtime;
+pub mod telemetry;
 pub mod trace;
 
 pub use executor::Executor;

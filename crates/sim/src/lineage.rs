@@ -587,16 +587,24 @@ fn prom_num(v: f64) -> String {
 }
 
 /// Renders a [`Metrics`] snapshot in the Prometheus text exposition
-/// format: counters as `counter`, histograms as `summary` (quantile
-/// series plus `_sum`/`_count`), series as `gauge` holding the last
-/// sample. Names are sanitized (`.` → `_`); output is sorted by name,
-/// so snapshots diff cleanly.
+/// format: counters as `counter`, gauges as `gauge`, histograms as
+/// `summary` (quantile series plus `_sum`/`_count`), series as `gauge`
+/// holding the last sample. Names are sanitized (`.` → `_`); output is
+/// sorted by name within each kind, so snapshots diff cleanly.
 pub fn prometheus_text(metrics: &Metrics) -> String {
     let mut out = String::new();
     for name in metrics.counter_names() {
         let pn = prom_name(name);
         out.push_str(&format!("# TYPE {pn} counter\n"));
         out.push_str(&format!("{pn} {}\n", prom_num(metrics.counter(name))));
+    }
+    for name in metrics.gauge_names() {
+        let pn = prom_name(name);
+        out.push_str(&format!("# TYPE {pn} gauge\n"));
+        out.push_str(&format!(
+            "{pn} {}\n",
+            prom_num(metrics.gauge(name).unwrap_or(0.0))
+        ));
     }
     for name in metrics.histogram_names() {
         let Some(h) = metrics.histogram(name) else {
@@ -1100,9 +1108,12 @@ mod tests {
             m.observe("lineage.stage.deliver_us", v);
         }
         m.record(1_000, "lineage.lag.doubt_horizon_ticks", 4.0);
+        m.set_gauge("telemetry.queue_depth", 17.0);
         let text = prometheus_text(&m);
         assert!(text.contains("# TYPE shb_constream_delivered counter\n"));
         assert!(text.contains("shb_constream_delivered 10\n"));
+        assert!(text.contains("# TYPE telemetry_queue_depth gauge\n"));
+        assert!(text.contains("telemetry_queue_depth 17\n"));
         assert!(text.contains("# TYPE lineage_stage_deliver_us summary\n"));
         assert!(text.contains("lineage_stage_deliver_us{quantile=\"0.5\"}"));
         assert!(text.contains("lineage_stage_deliver_us_sum 30\n"));

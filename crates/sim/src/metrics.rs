@@ -103,6 +103,83 @@ pub mod names {
     pub const IB_KNOWLEDGE_FLUSH_WAIT_US: &str = "ib.knowledge_flush_wait_us";
     /// Counter: batched knowledge messages flushed downstream.
     pub const IB_KNOWLEDGE_BATCHES: &str = "ib.knowledge_batches";
+    /// Gauge: runtime queue depth. In the simulator this is the
+    /// scheduler's outstanding-event count at each sample; in the
+    /// threaded runtime each worker publishes its bounded-channel
+    /// occupancy under a `.w<i>` shard suffix and the sampler derives
+    /// the unsuffixed aggregate (see DESIGN.md §13).
+    pub const TELEMETRY_QUEUE_DEPTH: &str = "telemetry.queue_depth";
+    /// Gauge: fraction of wall time a threaded-runtime worker spent
+    /// processing messages/timers over the last sample window
+    /// (`.w<i>` shard suffix; aggregate is the mean-free *sum*, so
+    /// divide by worker count for a mean).
+    pub const TELEMETRY_WORKER_UTILIZATION: &str = "telemetry.worker_utilization";
+    /// Histogram: wall-clock µs a threaded-runtime worker spent inside
+    /// one `on_message` dispatch (message service time). Only recorded
+    /// while the telemetry sampler is enabled.
+    pub const TELEMETRY_SERVICE_TIME_US: &str = "telemetry.service_time_us";
+    /// Gauge: doubt-horizon width in ticks per hosted constream
+    /// (`frontier − processed_to`), published under `.n<node>.p<pubend>`
+    /// shard suffixes; the sampler derives the unsuffixed sum.
+    pub const TELEMETRY_DOUBT_WIDTH_TICKS: &str = "telemetry.doubt_width_ticks";
+    /// Gauge: outstanding catchup backlog in ticks summed over an SHB's
+    /// active per-subscriber catchup streams (`constream cursor −
+    /// delivered_to` per stream), published under a `.n<node>` shard
+    /// suffix; spikes after a crash/reconnect and drains to zero.
+    pub const TELEMETRY_CATCHUP_BACKLOG_TICKS: &str = "telemetry.catchup_backlog_ticks";
+    /// Gauge: active per-subscriber catchup streams at an SHB
+    /// (`.n<node>` shard suffix).
+    pub const TELEMETRY_CATCHUP_STREAMS: &str = "telemetry.catchup_streams";
+
+    /// Every registered metric name. Tests use this to verify the
+    /// registry is complete (no constant missing from the list, no
+    /// duplicates) and that telemetry series trace back to a registered
+    /// base name after stripping shard (`.n3`/`.p0`/`.w1`) and `.rate`
+    /// suffixes.
+    pub const fn all() -> &'static [&'static str] {
+        &[
+            PHB_LOG_BYTES,
+            PHB_LOG_EVENTS,
+            SHB_DOUBT_WIDTH,
+            SHB_CONSTREAM_DELIVERED,
+            SHB_CATCHUP_DELIVERED,
+            SHB_SWITCHOVER_LATENCY_US,
+            PFS_BATCH_READ_RECORDS,
+            PFS_BATCH_READ_QTICKS,
+            CURIOSITY_NACK_FANIN,
+            CURIOSITY_NACKS_SENT,
+            RELEASE_ADVANCES,
+            RELEASE_L_CONVERSIONS,
+            WATCHDOG_CONSTREAM_GAP,
+            WATCHDOG_DOUBT_REGRESSION,
+            WATCHDOG_DUPLICATE_LOG,
+            TRACE_DROPPED,
+            LINEAGE_STAGE_LOG_US,
+            LINEAGE_STAGE_IB_FORWARD_US,
+            LINEAGE_STAGE_SHB_INGEST_US,
+            LINEAGE_STAGE_CATCHUP_US,
+            LINEAGE_STAGE_CONSTREAM_US,
+            LINEAGE_STAGE_DELIVER_US,
+            LINEAGE_LEDGER_DUPLICATE,
+            LINEAGE_LEDGER_RECONNECT_DUPLICATE,
+            LINEAGE_LEDGER_GAP_BEYOND_RELEASE,
+            LINEAGE_SPANS_EVICTED,
+            LINEAGE_STAGE_ORPHANS,
+            LINEAGE_LAG_DOUBT_TICKS,
+            LINEAGE_LAG_CATCHUP_BACKLOG_TICKS,
+            LINEAGE_FLIGHT_DUMPS,
+            BROKER_UNEXPECTED_MSG,
+            IB_KNOWLEDGE_BATCH_PARTS,
+            IB_KNOWLEDGE_FLUSH_WAIT_US,
+            IB_KNOWLEDGE_BATCHES,
+            TELEMETRY_QUEUE_DEPTH,
+            TELEMETRY_WORKER_UTILIZATION,
+            TELEMETRY_SERVICE_TIME_US,
+            TELEMETRY_DOUBT_WIDTH_TICKS,
+            TELEMETRY_CATCHUP_BACKLOG_TICKS,
+            TELEMETRY_CATCHUP_STREAMS,
+        ]
+    }
 }
 
 /// Exponential histogram bucketing: each bucket boundary is a
@@ -261,6 +338,7 @@ pub struct Metrics {
     series: BTreeMap<String, Vec<(u64, f64)>>,
     counters: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, f64>,
 }
 
 impl Metrics {
@@ -315,6 +393,30 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Sets gauge `name` to its current `value` (last write wins within
+    /// one `Metrics`). Gauges are instantaneous levels — queue depth,
+    /// backlog width — snapshotted by the telemetry sampler, unlike
+    /// series which append every write.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Current value of gauge `name` (`None` if never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauge names (sorted), symmetric with
+    /// [`counter_names`](Self::counter_names) and
+    /// [`histogram_names`](Self::histogram_names).
+    pub fn gauge_names(&self) -> Vec<&str> {
+        self.gauges.keys().map(|s| s.as_str()).collect()
+    }
+
     /// All histogram names (sorted).
     pub fn histogram_names(&self) -> Vec<&str> {
         self.histograms.keys().map(|s| s.as_str()).collect()
@@ -361,10 +463,18 @@ impl Metrics {
         Some(var.sqrt())
     }
 
-    /// Folds `other` into `self`: counters add, histograms merge, and
-    /// series samples append (then re-sort by time so windowed reductions
-    /// stay correct). The threaded runtime keeps one `Metrics` per worker
-    /// shard and merges them into the run-wide view on shutdown.
+    /// Folds `other` into `self`: counters add, histograms merge,
+    /// series samples append (then re-sort by time so windowed
+    /// reductions stay correct), and gauges **add**. The threaded
+    /// runtime keeps one `Metrics` per worker shard and merges them —
+    /// always in worker-index order — into the run-wide view, both on
+    /// shutdown and for every mid-run snapshot.
+    ///
+    /// Gauge addition is the union-preserving choice: shards publish
+    /// disjoint per-entity names (`telemetry.queue_depth.w0`,
+    /// `telemetry.doubt_width_ticks.n3.p1`, …), so the merged value of
+    /// each name equals the single shard that owns it, and unsuffixed
+    /// aggregates computed by the sampler stay sums over entities.
     pub fn merge(&mut self, other: &Metrics) {
         for (name, samples) in &other.series {
             let s = self.series.entry(name.clone()).or_default();
@@ -376,6 +486,9 @@ impl Metrics {
         }
         for (name, h) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0.0) += v;
         }
     }
 }
@@ -421,9 +534,64 @@ mod tests {
         m.record(0, "a", 0.0);
         m.count("z", 1.0);
         m.observe("h", 1.0);
+        m.set_gauge("g2", 1.0);
+        m.set_gauge("g1", 2.0);
         assert_eq!(m.series_names(), vec!["a", "b"]);
         assert_eq!(m.counter_names(), vec!["z"]);
         assert_eq!(m.histogram_names(), vec!["h"]);
+        assert_eq!(m.gauge_names(), vec!["g1", "g2"]);
+    }
+
+    #[test]
+    fn gauges_last_write_wins_and_merge_adds() {
+        let mut m = Metrics::default();
+        assert_eq!(m.gauge("depth"), None);
+        m.set_gauge("depth", 3.0);
+        m.set_gauge("depth", 7.0);
+        assert_eq!(m.gauge("depth"), Some(7.0));
+
+        // Shards own disjoint names; merge is additive, so each merged
+        // name keeps its owning shard's value and overlapping names sum.
+        let mut w0 = Metrics::default();
+        w0.set_gauge("q.w0", 4.0);
+        w0.set_gauge("shared", 1.0);
+        let mut w1 = Metrics::default();
+        w1.set_gauge("q.w1", 9.0);
+        w1.set_gauge("shared", 2.0);
+        let mut merged = Metrics::default();
+        merged.merge(&w0);
+        merged.merge(&w1);
+        assert_eq!(merged.gauge("q.w0"), Some(4.0));
+        assert_eq!(merged.gauge("q.w1"), Some(9.0));
+        assert_eq!(merged.gauge("shared"), Some(3.0));
+    }
+
+    /// Registry completeness: `names::all()` lists every constant
+    /// exactly once, and the telemetry family is present so samplers and
+    /// exporters can trust the registry.
+    #[test]
+    fn name_registry_complete_and_unique() {
+        let all = names::all();
+        assert!(
+            all.len() >= 40,
+            "registry unexpectedly small: {}",
+            all.len()
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for name in all {
+            assert!(seen.insert(*name), "duplicate registered name {name}");
+        }
+        for telemetry in [
+            names::TELEMETRY_QUEUE_DEPTH,
+            names::TELEMETRY_WORKER_UTILIZATION,
+            names::TELEMETRY_SERVICE_TIME_US,
+            names::TELEMETRY_DOUBT_WIDTH_TICKS,
+            names::TELEMETRY_CATCHUP_BACKLOG_TICKS,
+            names::TELEMETRY_CATCHUP_STREAMS,
+        ] {
+            assert!(seen.contains(telemetry), "{telemetry} not registered");
+            assert!(telemetry.starts_with("telemetry."));
+        }
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub trait NodeCtx {
     /// Records one sample into a metrics histogram (see
     /// [`crate::metrics::names`] for the registry). Default: discarded.
     fn observe(&mut self, _name: &str, _value: f64) {}
+    /// Sets a metrics gauge to its current level (telemetry samplers
+    /// snapshot gauges each window; see DESIGN.md §13). Publishers that
+    /// exist per entity append a shard suffix (`.n<node>`, `.p<pubend>`,
+    /// `.w<worker>`) to the registered base name. Default: discarded.
+    fn gauge(&mut self, _name: &str, _value: f64) {}
     /// Emits a structured trace event attributed to this node. Default:
     /// discarded. Instrumentation sites should go through
     /// [`trace_event!`](crate::trace_event) rather than calling this
@@ -176,6 +181,10 @@ pub struct Sim {
     /// Fixed CPU charge per delivered message/timer (µs).
     pub base_event_cost_us: u64,
     events_processed: u64,
+    /// Windowed telemetry sampler (`None` = disabled). Fires between
+    /// scheduler events, never through them, so enabling it cannot
+    /// perturb protocol ordering.
+    telemetry: Option<crate::telemetry::Sampler>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -222,6 +231,7 @@ impl Sim {
             ledger_panic: cfg!(debug_assertions),
             base_event_cost_us: 0,
             events_processed: 0,
+            telemetry: None,
         }
     }
 
@@ -298,16 +308,22 @@ impl Sim {
     /// `until_us`. Returns the number of events processed.
     pub fn run_until(&mut self, until_us: u64) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > until_us {
-                break;
-            }
+        loop {
+            let head_time = match self.queue.peek() {
+                Some(Reverse(head)) if head.time <= until_us => head.time,
+                _ => break,
+            };
+            // Telemetry samples due strictly before (or at) the next
+            // event fire first, reading state as of that virtual moment
+            // without touching the queue.
+            self.fire_due_samples(head_time);
             let Reverse(ev) = self.queue.pop().expect("peeked");
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             self.dispatch(ev.kind);
             n += 1;
         }
+        self.fire_due_samples(until_us);
         self.now = self.now.max(until_us);
         self.events_processed += n;
         n
@@ -318,13 +334,53 @@ impl Sim {
     /// use [`Sim::run_until`] there.
     pub fn run_to_quiescence(&mut self) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.queue.pop() {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            let head_time = head.time;
+            self.fire_due_samples(head_time);
+            let Reverse(ev) = self.queue.pop().expect("peeked");
             self.now = ev.time;
             self.dispatch(ev.kind);
             n += 1;
         }
         self.events_processed += n;
         n
+    }
+
+    /// Enables the windowed telemetry sampler at a fixed virtual-time
+    /// `interval_us` (see [`crate::telemetry`]). Each due sample fires
+    /// between scheduler events: it snapshots the scheduler's
+    /// outstanding-event count as the
+    /// [`telemetry.queue_depth`](crate::names::TELEMETRY_QUEUE_DEPTH)
+    /// gauge, then lets the sampler read all gauges and counter rates.
+    /// Sampling appends only to metrics — traces and deliveries are
+    /// bit-identical with the sampler on or off.
+    pub fn enable_telemetry(&mut self, interval_us: u64) {
+        self.telemetry = Some(crate::telemetry::Sampler::new(interval_us));
+    }
+
+    /// The telemetry timeline collected so far (`None` when disabled).
+    pub fn telemetry(&self) -> Option<&crate::telemetry::Timeline> {
+        self.telemetry.as_ref().map(|s| s.timeline())
+    }
+
+    /// Takes the telemetry timeline out of the sim (disabling further
+    /// sampling), e.g. to attach it to a report.
+    pub fn take_telemetry(&mut self) -> Option<crate::telemetry::Timeline> {
+        self.telemetry.take().map(|s| s.into_timeline())
+    }
+
+    /// Fires every telemetry sample due at or before `upto_us`.
+    fn fire_due_samples(&mut self, upto_us: u64) {
+        let Some(mut sampler) = self.telemetry.take() else {
+            return;
+        };
+        while sampler.next_at_us() <= upto_us {
+            let at = sampler.next_at_us();
+            self.metrics
+                .set_gauge(crate::names::TELEMETRY_QUEUE_DEPTH, self.queue.len() as f64);
+            sampler.sample(at, &self.metrics);
+        }
+        self.telemetry = Some(sampler);
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -835,6 +891,10 @@ impl NodeCtx for SimCtx<'_> {
 
     fn observe(&mut self, name: &str, value: f64) {
         self.sim.metrics.observe(name, value);
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        self.sim.metrics.set_gauge(name, value);
     }
 
     #[cfg(feature = "trace")]

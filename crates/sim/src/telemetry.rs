@@ -1,0 +1,507 @@
+//! Time-resolved telemetry: windowed sampling of gauges and counter
+//! rates into a deterministic in-memory timeline (DESIGN.md §13).
+//!
+//! End-of-run snapshots (metrics, lineage, Prometheus dumps) cannot
+//! show the paper's *dynamics* — doubt-horizon width, catchup backlog
+//! and queue depth all spike around failures and drain afterwards. The
+//! [`Sampler`] closes that gap: on a fixed interval (virtual time under
+//! [`Sim`](crate::Sim), wall time under `gryphon-net`) it snapshots
+//! every registered gauge and converts every counter into a per-window
+//! rate, appending to a [`Timeline`] that exports as ndjson, CSV, or an
+//! ASCII sparkline block.
+//!
+//! Sampling never feeds back into the run: the simulator fires samples
+//! between scheduler events without enqueueing anything, so traces and
+//! deliveries stay bit-identical with the sampler on or off (the
+//! `golden_determinism` suite asserts this).
+//!
+//! # Shard suffixes and aggregates
+//!
+//! Gauge publishers that exist per entity append a shard suffix to the
+//! registered base name: `.w<i>` per worker, `.n<i>` per node, `.p<i>`
+//! per pubend (possibly chained, e.g.
+//! `telemetry.doubt_width_ticks.n3.p1`). The sampler records each
+//! suffixed series verbatim *and* derives the unsuffixed base series as
+//! the sum over shards, so `telemetry.catchup_backlog_ticks` is always
+//! present as the run-wide backlog no matter how many SHBs publish it.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::Metrics;
+
+/// A deterministic in-memory time series store: one sample vector per
+/// series name, ordered by sample time.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    interval_us: u64,
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl Timeline {
+    /// An empty timeline tagged with its sampling interval.
+    pub fn new(interval_us: u64) -> Timeline {
+        Timeline {
+            interval_us,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling interval this timeline was collected at.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Appends a `(t_us, value)` sample to `name`.
+    pub fn record(&mut self, t_us: u64, name: &str, value: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push((t_us, value));
+    }
+
+    /// All series names (sorted).
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// The samples of series `name` (empty if never recorded).
+    pub fn series(&self, name: &str) -> &[(u64, f64)] {
+        self.series.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total sample count across all series.
+    pub fn len(&self) -> usize {
+        self.series.values().map(|v| v.len()).sum()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds `other` into `self`, re-sorting each series by sample time.
+    ///
+    /// The sort is stable, so when shards carry equal timestamps the
+    /// merged order is the merge-call order — merging per-worker
+    /// timelines in worker-index order therefore yields one canonical
+    /// result regardless of thread interleaving.
+    pub fn merge(&mut self, other: &Timeline) {
+        if self.interval_us == 0 {
+            self.interval_us = other.interval_us;
+        }
+        for (name, samples) in &other.series {
+            let s = self.series.entry(name.clone()).or_default();
+            s.extend_from_slice(samples);
+            s.sort_by_key(|&(t, _)| t);
+        }
+    }
+
+    /// Renders every sample as one JSON object per line, sorted by
+    /// series name then time: `{"series":"…","t_us":N,"value":V}`.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for (name, samples) in &self.series {
+            for &(t, v) in samples {
+                out.push_str(&format!(
+                    "{{\"series\":\"{}\",\"t_us\":{},\"value\":{}}}\n",
+                    json_escape(name),
+                    t,
+                    json_num(v)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the timeline as RFC-4180-ish CSV with a
+    /// `series,t_us,value` header, sorted like
+    /// [`to_ndjson`](Timeline::to_ndjson).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,t_us,value\n");
+        for (name, samples) in &self.series {
+            let quoted = if name.contains([',', '"', '\n']) {
+                format!("\"{}\"", name.replace('"', "\"\""))
+            } else {
+                name.clone()
+            };
+            for &(t, v) in samples {
+                out.push_str(&format!("{quoted},{t},{v}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders `values` as a fixed-palette ASCII sparkline, resampled by
+/// bucket mean to at most `width` glyphs. Flat series render as a line
+/// of mid-height blocks rather than dividing by a zero range.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    // Resample to ≤ width columns: mean of each equal span.
+    let cols = width.min(values.len());
+    let mut sampled = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let lo = c * values.len() / cols;
+        let hi = ((c + 1) * values.len() / cols).max(lo + 1);
+        let span = &values[lo..hi];
+        sampled.push(span.iter().sum::<f64>() / span.len() as f64);
+    }
+    let min = sampled.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = sampled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    sampled
+        .iter()
+        .map(|&v| {
+            if !(max - min).is_normal() {
+                GLYPHS[3]
+            } else {
+                let frac = ((v - min) / (max - min)).clamp(0.0, 1.0);
+                GLYPHS[((frac * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Strips trailing shard segments (`.w<i>`, `.n<i>`, `.p<i>`, chained)
+/// from a gauge name; `None` when the name carries no shard suffix.
+///
+/// ```
+/// use gryphon_sim::telemetry::strip_shard_suffix;
+/// assert_eq!(
+///     strip_shard_suffix("telemetry.doubt_width_ticks.n3.p1"),
+///     Some("telemetry.doubt_width_ticks")
+/// );
+/// assert_eq!(strip_shard_suffix("telemetry.queue_depth"), None);
+/// ```
+pub fn strip_shard_suffix(name: &str) -> Option<&str> {
+    let mut base = name;
+    while let Some((head, tail)) = base.rsplit_once('.') {
+        let mut chars = tail.chars();
+        let is_shard = matches!(chars.next(), Some('w' | 'n' | 'p'))
+            && chars.clone().next().is_some()
+            && chars.all(|c| c.is_ascii_digit());
+        if !is_shard || head.is_empty() {
+            break;
+        }
+        base = head;
+    }
+    (base.len() < name.len()).then_some(base)
+}
+
+/// The registered base name a timeline series derives from: strips a
+/// `.rate` suffix (counter-rate series) and any shard segments.
+pub fn series_base_name(series: &str) -> &str {
+    let stem = series.strip_suffix(".rate").unwrap_or(series);
+    strip_shard_suffix(stem).unwrap_or(stem)
+}
+
+/// Windowed sampler: every `interval_us` it snapshots all gauges and
+/// turns counter deltas into per-second rates, appending to a
+/// [`Timeline`]. The caller owns the clock — the simulator fires due
+/// samples between scheduler events; the threaded runtime fires them
+/// from a wall-clock thread.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval_us: u64,
+    next_at_us: u64,
+    last_t_us: u64,
+    last_counters: BTreeMap<String, f64>,
+    timeline: Timeline,
+}
+
+impl Sampler {
+    /// A sampler firing every `interval_us` (clamped to ≥ 1).
+    pub fn new(interval_us: u64) -> Sampler {
+        let interval_us = interval_us.max(1);
+        Sampler {
+            interval_us,
+            next_at_us: interval_us,
+            last_t_us: 0,
+            last_counters: BTreeMap::new(),
+            timeline: Timeline::new(interval_us),
+        }
+    }
+
+    /// Time of the next due sample.
+    pub fn next_at_us(&self) -> u64 {
+        self.next_at_us
+    }
+
+    /// Takes one sample at `t_us` from `metrics`: every gauge becomes a
+    /// point on its own series (plus the shard-stripped aggregate sum),
+    /// and every counter becomes a point on `<name>.rate` holding its
+    /// per-second rate over the elapsed window.
+    pub fn sample(&mut self, t_us: u64, metrics: &Metrics) {
+        let mut aggregates: BTreeMap<&str, f64> = BTreeMap::new();
+        for name in metrics.gauge_names() {
+            let v = metrics.gauge(name).unwrap_or(0.0);
+            self.timeline.record(t_us, name, v);
+            if let Some(base) = strip_shard_suffix(name) {
+                *aggregates.entry(base).or_insert(0.0) += v;
+            }
+        }
+        let rendered: Vec<(String, f64)> = aggregates
+            .into_iter()
+            .map(|(base, v)| (base.to_owned(), v))
+            .collect();
+        for (base, v) in rendered {
+            self.timeline.record(t_us, &base, v);
+        }
+        let dt_s = t_us.saturating_sub(self.last_t_us) as f64 / 1e6;
+        for name in metrics.counter_names() {
+            let cur = metrics.counter(name);
+            let prev = self.last_counters.get(name).copied().unwrap_or(0.0);
+            let rate = if dt_s > 0.0 { (cur - prev) / dt_s } else { 0.0 };
+            self.timeline.record(t_us, &format!("{name}.rate"), rate);
+            self.last_counters.insert(name.to_owned(), cur);
+        }
+        self.last_t_us = t_us;
+        self.next_at_us = t_us.saturating_add(self.interval_us);
+    }
+
+    /// The timeline collected so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Consumes the sampler, yielding its timeline.
+    pub fn into_timeline(self) -> Timeline {
+        self.timeline
+    }
+}
+
+/// A tiny blocking-TCP text endpoint: serves whatever `content()`
+/// returns to every HTTP GET, `Connection: close` per request. Used for
+/// the live `/metrics` scrape (`RunningNet::serve_metrics`) and `xp
+/// --metrics-addr`; shuts its accept loop down on drop.
+pub struct TextServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TextServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `content()` from a
+    /// background thread until the server is dropped.
+    pub fn serve<F>(addr: &str, content: F) -> std::io::Result<TextServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = std::net::TcpListener::bind(addr)?;
+        // Nonblocking accept so the thread can observe the stop flag;
+        // each accepted socket is switched back to blocking I/O.
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("telemetry-scrape".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut sock, _)) => {
+                            let _ = sock.set_nonblocking(false);
+                            let _ =
+                                sock.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+                            drain_request(&mut sock);
+                            let body = content();
+                            let head = format!(
+                                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; \
+                                 version=0.0.4\r\nContent-Length: {}\r\nConnection: \
+                                 close\r\n\r\n",
+                                body.len()
+                            );
+                            let _ = sock.write_all(head.as_bytes());
+                            let _ = sock.write_all(body.as_bytes());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(TextServer {
+            local_addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the assigned port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for TextServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Reads the request until the header terminator, EOF, timeout, or a
+/// sanity cap — the endpoint serves the same body regardless.
+fn drain_request(sock: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 1024];
+    let mut seen: Vec<u8> = Vec::new();
+    loop {
+        match sock.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 8_192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::names;
+
+    #[test]
+    fn sampler_snapshots_gauges_and_counter_rates() {
+        let mut m = Metrics::default();
+        let mut s = Sampler::new(1_000_000);
+        m.set_gauge("telemetry.queue_depth", 4.0);
+        m.count("delivered", 100.0);
+        s.sample(1_000_000, &m);
+        m.set_gauge("telemetry.queue_depth", 9.0);
+        m.count("delivered", 50.0);
+        s.sample(2_000_000, &m);
+
+        let t = s.timeline();
+        assert_eq!(
+            t.series("telemetry.queue_depth"),
+            &[(1_000_000, 4.0), (2_000_000, 9.0)]
+        );
+        // First window rate covers t=0..1s (100 events), second 1..2s.
+        assert_eq!(
+            t.series("delivered.rate"),
+            &[(1_000_000, 100.0), (2_000_000, 50.0)]
+        );
+    }
+
+    #[test]
+    fn sharded_gauges_aggregate_to_base_name() {
+        let mut m = Metrics::default();
+        m.set_gauge("telemetry.queue_depth.w0", 3.0);
+        m.set_gauge("telemetry.queue_depth.w1", 5.0);
+        m.set_gauge("telemetry.doubt_width_ticks.n3.p1", 7.0);
+        let mut s = Sampler::new(500);
+        s.sample(500, &m);
+        let t = s.timeline();
+        assert_eq!(t.series("telemetry.queue_depth"), &[(500, 8.0)]);
+        assert_eq!(t.series("telemetry.queue_depth.w1"), &[(500, 5.0)]);
+        assert_eq!(t.series("telemetry.doubt_width_ticks"), &[(500, 7.0)]);
+    }
+
+    #[test]
+    fn shard_suffix_stripping() {
+        assert_eq!(strip_shard_suffix("a.b.w12"), Some("a.b"));
+        assert_eq!(strip_shard_suffix("a.n3.p4"), Some("a"));
+        assert_eq!(strip_shard_suffix("a.b"), None);
+        assert_eq!(strip_shard_suffix("a.w"), None); // no digits
+        assert_eq!(strip_shard_suffix("a.q4"), None); // unknown kind
+        assert_eq!(series_base_name("shb.delivered.rate"), "shb.delivered");
+        assert_eq!(
+            series_base_name("telemetry.catchup_backlog_ticks.n5"),
+            names::TELEMETRY_CATCHUP_BACKLOG_TICKS
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_parseable() {
+        let mut t = Timeline::new(250);
+        t.record(250, "b", 1.5);
+        t.record(500, "b", 2.5);
+        t.record(250, "a", f64::NAN);
+        let nd = t.to_ndjson();
+        assert_eq!(
+            nd,
+            "{\"series\":\"a\",\"t_us\":250,\"value\":null}\n\
+             {\"series\":\"b\",\"t_us\":250,\"value\":1.5}\n\
+             {\"series\":\"b\",\"t_us\":500,\"value\":2.5}\n"
+        );
+        let csv = t.to_csv();
+        assert!(csv.starts_with("series,t_us,value\n"));
+        assert!(csv.contains("b,250,1.5\n"));
+    }
+
+    #[test]
+    fn timeline_merge_is_worker_index_deterministic() {
+        let mut w0 = Timeline::new(100);
+        w0.record(100, "x", 1.0);
+        w0.record(200, "x", 2.0);
+        let mut w1 = Timeline::new(100);
+        w1.record(100, "x", 10.0);
+        let mut merged = Timeline::new(0);
+        merged.merge(&w0);
+        merged.merge(&w1);
+        // Stable sort: equal timestamps keep merge-call (worker-index)
+        // order.
+        assert_eq!(merged.series("x"), &[(100, 1.0), (100, 10.0), (200, 2.0)]);
+        assert_eq!(merged.interval_us(), 100);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[], 10), "");
+        let flat = sparkline(&[3.0, 3.0, 3.0], 10);
+        assert_eq!(flat.chars().count(), 3);
+        let ramp = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(ramp, "▁▂▃▄▅▆▇█");
+        // Resampling caps the width.
+        let wide: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&wide, 60).chars().count(), 60);
+    }
+
+    #[test]
+    fn text_server_serves_scrapes() {
+        let srv = TextServer::serve("127.0.0.1:0", || "# TYPE up gauge\nup 1\n".into()).unwrap();
+        let addr = srv.local_addr();
+        for _ in 0..2 {
+            let mut sock = std::net::TcpStream::connect(addr).unwrap();
+            sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut resp = String::new();
+            sock.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+            assert!(resp.ends_with("up 1\n"), "{resp}");
+        }
+    }
+}

@@ -133,6 +133,28 @@ macro_rules! count_metric {
     };
 }
 
+/// Sets a telemetry gauge through a [`NodeCtx`](crate::NodeCtx);
+/// compiled out with the `trace` feature like [`observe_metric!`].
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! gauge_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        $ctx.gauge($name, $v)
+    };
+}
+
+/// Disabled-variant of [`gauge_metric!`]: type-checks, compiles to
+/// nothing.
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! gauge_metric {
+    ($ctx:expr, $name:expr, $v:expr) => {
+        if false {
+            $ctx.gauge($name, $v);
+        }
+    };
+}
+
 /// Which SHB delivery path carried an event to a subscriber (§4.1):
 /// the shared consolidated stream, or the subscriber's private catchup
 /// stream while it closes its doubt interval after a reconnect.

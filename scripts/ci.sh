@@ -18,35 +18,66 @@ echo "== full stack with delivery ledger armed =="
 # duplicate or phantom delivery anywhere in these runs aborts the test.
 cargo test -q --test full_stack --test lineage
 
+# Validates Prometheus text exposition format: every line is a comment
+# (# HELP/# TYPE) or "name{labels} value"; every sample name must trace
+# back to a # TYPE declaration (summaries expose <name>_sum and
+# <name>_count series). Used for both the xp snapshot export and the
+# live mid-run scrape below.
+validate_prom() {
+  awk '
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { if ($2 == "TYPE") typed[$3]=1; next }
+    /^#/ { print "bad comment line " NR ": " $0; bad=1; next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$/ {
+      name=$1; sub(/\{.*/, "", name);
+      base=name; sub(/_(sum|count)$/, "", base);
+      if (!(name in typed) && !(base in typed)) {
+        print "undeclared sample " NR ": " $0; bad=1
+      }
+      next
+    }
+    /./ { print "malformed line " NR ": " $0; bad=1 }
+    END { exit bad }
+  ' "$1"
+}
+
 echo "== prometheus snapshot parses =="
 rm -rf target/ci-prom
 cargo run -q --release -p gryphon-bench --bin xp -- --quick --prom-out target/ci-prom fig4
 prom="target/ci-prom/fig4.prom"
 test -s "$prom" || { echo "missing $prom"; exit 1; }
-# Validate text exposition format: every line is a comment (# HELP/# TYPE)
-# or "name{labels} value"; every sample name must trace back to a # TYPE
-# declaration (summaries expose <name>_sum and <name>_count series).
-awk '
-  /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { if ($2 == "TYPE") typed[$3]=1; next }
-  /^#/ { print "bad comment line " NR ": " $0; bad=1; next }
-  /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$/ {
-    name=$1; sub(/\{.*/, "", name);
-    base=name; sub(/_(sum|count)$/, "", base);
-    if (!(name in typed) && !(base in typed)) {
-      print "undeclared sample " NR ": " $0; bad=1
-    }
-    next
-  }
-  /./ { print "malformed line " NR ": " $0; bad=1 }
-  END { exit bad }
-' "$prom"
+validate_prom "$prom"
 echo "ok: $(grep -c '^# TYPE' "$prom") metric families in $prom"
+
+echo "== live /metrics scrape (mid-run) =="
+# scrape_smoke runs a real threaded pipeline, fetches /metrics over TCP
+# while the net is still running, and prints the body; the same grammar
+# gate applies to the live endpoint as to the snapshot export.
+scrape="target/ci-prom/scrape.prom"
+cargo run -q --release -p gryphon-bench --bin scrape_smoke >"$scrape"
+test -s "$scrape" || { echo "missing $scrape"; exit 1; }
+validate_prom "$scrape"
+echo "ok: $(grep -c '^# TYPE' "$scrape") metric families served live"
 
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== benches compile =="
 cargo bench --workspace --no-run
+
+echo "== perf regression gate =="
+# Re-measures the checked-in baselines and fails on regressions past the
+# per-benchmark thresholds (perf_gate --help for the policy). Baselines
+# are machine-relative: after an intentional hot-path change, regenerate
+# them with scripts/bench.sh on the same machine and commit the result.
+rm -rf target/ci-bench
+mkdir -p target/ci-bench
+CRITERION_JSON="$PWD/target/ci-bench/matching.ndjson" \
+  cargo bench -p gryphon-bench --bench matching --bench matching_hot >/dev/null
+CRITERION_JSON="$PWD/target/ci-bench/rt_pipeline.ndjson" \
+  cargo bench -p gryphon-bench --bench rt_pipeline >/dev/null
+cargo run -q --release -p gryphon-bench --bin perf_gate -- --strict \
+  BENCH_matching.json target/ci-bench/matching.ndjson \
+  BENCH_rt_pipeline.json target/ci-bench/rt_pipeline.ndjson
 
 echo "== build with observability compiled out =="
 cargo build -p gryphon-bench --no-default-features
