@@ -102,7 +102,28 @@ fn fetch_metrics(addr: &str) -> std::io::Result<String> {
             format!("unexpected response: {}", resp.lines().next().unwrap_or("")),
         ));
     }
-    resp.split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_owned())
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator"))
+    let (headers, body) = resp.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+    })?;
+    // Prometheus scrapers key on these; assert the server sets them.
+    if !headers.contains("Content-Type: text/plain; version=0.0.4") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "missing Prometheus Content-Type header",
+        ));
+    }
+    let declared: usize = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing Content-Length")
+        })?;
+    if declared != body.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("Content-Length {declared} != body {}", body.len()),
+        ));
+    }
+    Ok(body.to_owned())
 }

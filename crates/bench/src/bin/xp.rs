@@ -3,7 +3,10 @@
 //! ```text
 //! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] [--prom-out DIR]
 //!    [--flight-dir DIR] [--telemetry-out DIR] [--sample-interval MS]
-//!    [--metrics-addr ADDR] <experiment>|all|list
+//!    [--metrics-addr ADDR] [--bundle-out DIR] [--seed-offset N]
+//!    [--degrade] <experiment>|all|list
+//! xp doctor inspect|check BUNDLE
+//! xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]
 //! ```
 //!
 //! * `list` prints the catalog;
@@ -30,11 +33,27 @@
 //!   `--sample-interval 500` unless one was given);
 //! * `--metrics-addr ADDR` serves the most recent experiment's
 //!   Prometheus snapshot live at `http://ADDR/metrics` (e.g.
-//!   `127.0.0.1:9090`) until xp exits.
+//!   `127.0.0.1:9090`) until xp exits;
+//! * `--bundle-out DIR` writes a complete self-describing run bundle per
+//!   experiment under `DIR/<id>/` (manifest, metrics, timeline, alerts,
+//!   Prometheus snapshot, report, flight recorder — DESIGN.md §14). It
+//!   subsumes the scattered `--*-out` flags, arms the sampler (500 ms
+//!   unless `--sample-interval` says otherwise) and the online health
+//!   engine, and points the flight recorder into the bundle;
+//! * `--seed-offset N` shifts every simulator seed by N (same workload,
+//!   different randomness — for A/B bundles fed to `xp doctor diff`);
+//! * `--degrade` deliberately worsens broker latency/batching config
+//!   (CI uses it to prove `xp doctor diff` catches real regressions);
+//! * `xp doctor inspect|diff|check` analyses bundles offline — see
+//!   `gryphon_harness::doctor`.
 
 use std::io::Write;
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("doctor") {
+        std::process::exit(gryphon_harness::doctor::run(&argv[1..]));
+    }
     let mut quick = false;
     let mut trace = false;
     let mut csv_dir: Option<String> = None;
@@ -42,10 +61,13 @@ fn main() {
     let mut prom_dir: Option<String> = None;
     let mut flight_dir: Option<String> = None;
     let mut telemetry_dir: Option<String> = None;
+    let mut bundle_dir: Option<String> = None;
     let mut sample_interval_ms: Option<u64> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut seed_offset: u64 = 0;
+    let mut degrade = false;
     let mut targets: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
@@ -99,10 +121,28 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--bundle-out" => {
+                bundle_dir = args.next();
+                if bundle_dir.is_none() {
+                    eprintln!("--bundle-out requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+            "--seed-offset" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed-offset requires an integer argument");
+                    std::process::exit(2);
+                };
+                seed_offset = n;
+            }
+            "--degrade" => degrade = true,
             "--help" | "-h" => {
                 println!(
                     "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] \
-                     [--prom-out DIR] [--flight-dir DIR] <experiment>|all|list"
+                     [--prom-out DIR] [--flight-dir DIR] [--bundle-out DIR] \
+                     [--seed-offset N] [--degrade] <experiment>|all|list\n\
+                     \x20      xp doctor inspect|check BUNDLE\n\
+                     \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]"
                 );
                 print_catalog();
                 return;
@@ -121,11 +161,17 @@ fn main() {
     gryphon_harness::topology::set_default_flight_dir(
         flight_dir.as_deref().map(std::path::PathBuf::from),
     );
-    // --telemetry-out without an explicit interval still needs the
-    // sampler armed; 500 ms windows match the experiments' timescales.
-    if telemetry_dir.is_some() && sample_interval_ms.is_none() {
+    // --telemetry-out / --bundle-out without an explicit interval still
+    // need the sampler armed; 500 ms windows match the experiments'
+    // timescales. A bundle additionally arms the online health engine.
+    if (telemetry_dir.is_some() || bundle_dir.is_some()) && sample_interval_ms.is_none() {
         sample_interval_ms = Some(500);
     }
+    if bundle_dir.is_some() {
+        gryphon_harness::topology::set_default_health(true);
+    }
+    gryphon_harness::topology::set_default_seed_offset(seed_offset);
+    gryphon_harness::topology::set_default_degrade(degrade);
     gryphon_harness::topology::set_default_sample_interval(
         sample_interval_ms.map(|ms| ms.saturating_mul(1_000).max(1)),
     );
@@ -154,6 +200,11 @@ fn main() {
         metrics_dir,
         prom_dir,
         telemetry_dir,
+        bundle_dir,
+        explicit_flight_dir: flight_dir.is_some(),
+        seed_offset,
+        degrade,
+        sample_interval_ms,
         live_prom,
     };
     for target in targets {
@@ -176,6 +227,11 @@ struct Options {
     metrics_dir: Option<String>,
     prom_dir: Option<String>,
     telemetry_dir: Option<String>,
+    bundle_dir: Option<String>,
+    explicit_flight_dir: bool,
+    seed_offset: u64,
+    degrade: bool,
+    sample_interval_ms: Option<u64>,
     live_prom: std::sync::Arc<std::sync::Mutex<String>>,
 }
 
@@ -200,6 +256,15 @@ fn write_file(dir: &str, name: &str, contents: &str) -> std::path::PathBuf {
 
 fn run_one(id: &str, opts: &Options) {
     let started = std::time::Instant::now();
+    if let Some(root) = opts.bundle_dir.as_deref() {
+        // Flight-recorder post-mortems belong inside this run's bundle
+        // (unless the user pinned them elsewhere with --flight-dir).
+        if !opts.explicit_flight_dir {
+            gryphon_harness::topology::set_default_flight_dir(Some(
+                gryphon_harness::bundle::flight_dir(std::path::Path::new(root), id),
+            ));
+        }
+    }
     match gryphon_harness::run(id, opts.quick) {
         Ok(report) => {
             println!("{}", report.render());
@@ -250,6 +315,28 @@ fn run_one(id: &str, opts: &Options) {
                         nd.display(),
                         csv.display()
                     );
+                }
+            }
+            if let Some(root) = opts.bundle_dir.as_deref() {
+                let meta = gryphon_harness::bundle::BundleMeta {
+                    quick: opts.quick,
+                    interval_us: opts
+                        .sample_interval_ms
+                        .map(|ms| ms.saturating_mul(1_000).max(1))
+                        .unwrap_or(0),
+                    seed_offset: opts.seed_offset,
+                    degrade: opts.degrade,
+                };
+                match gryphon_harness::bundle::write_bundle(
+                    std::path::Path::new(root),
+                    &report,
+                    &meta,
+                ) {
+                    Ok(dir) => println!("[bundle written to {}]", dir.display()),
+                    Err(e) => {
+                        eprintln!("error: cannot write bundle for {id}: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
             if let Some(prom) = report.prom.as_deref() {

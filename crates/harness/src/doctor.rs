@@ -1,0 +1,508 @@
+//! `xp doctor` — offline diagnosis over run bundles (DESIGN.md §14).
+//!
+//! Three verbs, all reading the bundle directories
+//! [`crate::bundle::write_bundle`] produces:
+//!
+//! * `inspect BUNDLE` — human summary: manifest, slowest latency
+//!   stages, key telemetry sparklines, the alert log;
+//! * `diff A B` — per-histogram-percentile and per-counter deltas with
+//!   configurable thresholds; exits nonzero naming every regressed
+//!   series (the offline complement of `perf_gate`);
+//! * `check BUNDLE` — replays the default health rules over the
+//!   bundle's timeline (reproducing the online engine's alert log
+//!   exactly — see [`gryphon_sim::health`]) and fails on any firing
+//!   alert or recorded invariant violation, for CI.
+
+use crate::bundle::parse_flat_json;
+use crate::report::HistogramSummary;
+use gryphon_sim::telemetry::{sparkline, Timeline};
+use gryphon_sim::{default_rules, AlertRecord, AlertState, HealthEngine};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A bundle loaded back into memory.
+#[derive(Debug)]
+pub struct Bundle {
+    /// The bundle directory.
+    pub dir: PathBuf,
+    /// Flat manifest key/values.
+    pub manifest: BTreeMap<String, String>,
+    /// Counter snapshot from `metrics.csv`.
+    pub counters: BTreeMap<String, f64>,
+    /// Histogram percentile rows from `metrics.csv`.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// The re-parsed telemetry timeline.
+    pub timeline: Timeline,
+    /// The recorded alert log.
+    pub alerts: Vec<AlertRecord>,
+}
+
+fn read(dir: &Path, name: &str) -> Result<String, String> {
+    std::fs::read_to_string(dir.join(name))
+        .map_err(|e| format!("{}: cannot read {name}: {e}", dir.display()))
+}
+
+/// Splits one CSV row into fields, honouring the RFC-4180 quoting the
+/// exporters use.
+fn csv_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Loads a bundle directory written by [`crate::bundle::write_bundle`].
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed artifact.
+pub fn load_bundle(dir: &Path) -> Result<Bundle, String> {
+    let manifest = parse_flat_json(&read(dir, "manifest.json")?)?;
+    let interval_us: u64 = manifest
+        .get("interval_us")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut counters = BTreeMap::new();
+    let mut histograms = BTreeMap::new();
+    let metrics_csv = read(dir, "metrics.csv")?;
+    let mut rows = metrics_csv.lines();
+    match rows.next() {
+        Some("kind,name,count,value,min,p50,p95,p99,max") => {}
+        other => return Err(format!("metrics.csv: bad header {other:?}")),
+    }
+    for line in rows {
+        if line.is_empty() {
+            continue;
+        }
+        let f = csv_fields(line);
+        if f.len() != 9 {
+            return Err(format!("metrics.csv: bad row {line}"));
+        }
+        let num = |s: &str| -> f64 { s.parse().unwrap_or(f64::NAN) };
+        match f[0].as_str() {
+            "counter" => {
+                counters.insert(f[1].clone(), num(&f[3]));
+            }
+            "histogram" => {
+                histograms.insert(
+                    f[1].clone(),
+                    HistogramSummary {
+                        name: f[1].clone(),
+                        count: f[2].parse().unwrap_or(0),
+                        min: num(&f[4]),
+                        p50: num(&f[5]),
+                        p95: num(&f[6]),
+                        p99: num(&f[7]),
+                        max: num(&f[8]),
+                    },
+                );
+            }
+            "series" => {}
+            other => return Err(format!("metrics.csv: unknown kind {other}")),
+        }
+    }
+    let timeline = Timeline::from_ndjson(&read(dir, "timeline.ndjson")?, interval_us)?;
+    let alerts = Timeline::alerts_from_ndjson(&read(dir, "alerts.ndjson")?)?;
+    Ok(Bundle {
+        dir: dir.to_path_buf(),
+        manifest,
+        counters,
+        histograms,
+        timeline,
+        alerts,
+    })
+}
+
+/// Replays the default health rules over a bundle's timeline at its
+/// recorded sample times, reproducing the online engine's alert log
+/// (the engine only ever reads samples at or before the evaluation
+/// time, so offline replay over the complete timeline is exact).
+pub fn replay_health(timeline: &Timeline) -> Vec<AlertRecord> {
+    let mut times: Vec<u64> = timeline
+        .series_names()
+        .iter()
+        .flat_map(|n| timeline.series(n).iter().map(|&(t, _)| t))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    let mut engine = HealthEngine::new(default_rules());
+    let mut out = Vec::new();
+    for t in times {
+        out.extend(engine.evaluate(t, timeline));
+    }
+    out
+}
+
+/// Entry point for `xp doctor <verb> …`; returns the process exit code
+/// (0 healthy, 1 regression/alerts found, 2 usage or read error).
+pub fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("inspect") if args.len() == 2 => match load_bundle(Path::new(&args[1])) {
+            Ok(b) => {
+                print!("{}", inspect(&b));
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        },
+        Some("check") if args.len() == 2 => match load_bundle(Path::new(&args[1])) {
+            Ok(b) => check(&b),
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        },
+        Some("diff") if args.len() >= 3 => {
+            let mut threshold_pct = 25.0;
+            let mut abs_floor_us = 1_000.0;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                let value = rest.next().and_then(|v| v.parse::<f64>().ok());
+                match (flag.as_str(), value) {
+                    ("--threshold-pct", Some(v)) => threshold_pct = v,
+                    ("--abs-floor-us", Some(v)) => abs_floor_us = v,
+                    _ => {
+                        eprintln!("error: unknown diff option {flag}");
+                        return 2;
+                    }
+                }
+            }
+            let (a, b) = match (
+                load_bundle(Path::new(&args[1])),
+                load_bundle(Path::new(&args[2])),
+            ) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            diff(&a, &b, threshold_pct, abs_floor_us)
+        }
+        _ => {
+            eprintln!(
+                "usage: xp doctor inspect BUNDLE\n\
+                 \x20      xp doctor check BUNDLE\n\
+                 \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]"
+            );
+            2
+        }
+    }
+}
+
+/// Renders the human `inspect` summary.
+pub fn inspect(b: &Bundle) -> String {
+    let get = |k: &str| b.manifest.get(k).map(String::as_str).unwrap_or("?");
+    let mut out = format!(
+        "# bundle: {} ({})\n  version {}  git {}  quick {}  seed_offset {}  degrade {}\n  \
+         sampling interval {} µs; {} timeline series; {} alert transitions\n",
+        get("experiment"),
+        b.dir.display(),
+        get("version"),
+        get("git"),
+        get("quick"),
+        get("seed_offset"),
+        get("degrade"),
+        get("interval_us"),
+        b.timeline.series_names().len(),
+        b.alerts.len(),
+    );
+
+    // Slowest pipeline stages first: the question inspect exists to
+    // answer is "where did the time go".
+    let mut stages: Vec<&HistogramSummary> = b
+        .histograms
+        .values()
+        .filter(|h| h.name.ends_with("_us"))
+        .collect();
+    stages.sort_by(|x, y| y.p99.total_cmp(&x.p99));
+    if !stages.is_empty() {
+        out.push_str("\n## latency stages (slowest p99 first)\n");
+        out.push_str(&format!(
+            "  {:<36} {:>9} {:>12} {:>12} {:>12}\n",
+            "histogram", "count", "p50_us", "p99_us", "max_us"
+        ));
+        for h in stages.iter().take(10) {
+            out.push_str(&format!(
+                "  {:<36} {:>9} {:>12.0} {:>12.0} {:>12.0}\n",
+                h.name, h.count, h.p50, h.p99, h.max
+            ));
+        }
+    }
+
+    let key_series: Vec<&str> = b
+        .timeline
+        .series_names()
+        .into_iter()
+        .filter(|n| {
+            n.starts_with("telemetry.") && !n.contains(".w") && !n.contains(".n")
+                || n.ends_with(".q99")
+        })
+        .collect();
+    if !key_series.is_empty() {
+        out.push_str("\n## timeline\n");
+        let width = key_series.iter().map(|n| n.len()).max().unwrap_or(0);
+        for name in key_series {
+            let values: Vec<f64> = b.timeline.series(name).iter().map(|&(_, v)| v).collect();
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!(
+                "  {name:<width$}  {}  max {max:.1}\n",
+                sparkline(&values, 40)
+            ));
+        }
+    }
+
+    out.push_str(&format!("\n## alerts ({})\n", b.alerts.len()));
+    if b.alerts.is_empty() {
+        out.push_str("  none\n");
+    }
+    for a in &b.alerts {
+        out.push_str(&format!(
+            "  [{:>9.3}s] {:<7} {} on {}: {}\n",
+            a.t_us as f64 / 1e6,
+            a.state.as_str().to_uppercase(),
+            a.rule,
+            a.series,
+            a.detail
+        ));
+    }
+    out
+}
+
+/// `check`: replay the health rules and fail on firing alerts or
+/// recorded invariant violations.
+fn check(b: &Bundle) -> i32 {
+    let replayed = replay_health(&b.timeline);
+    let firing: Vec<&AlertRecord> = replayed
+        .iter()
+        .filter(|a| a.state == AlertState::Firing)
+        .collect();
+    let mut bad = false;
+    for a in &firing {
+        println!(
+            "ALERT [{:.3}s] {} on {}: {}",
+            a.t_us as f64 / 1e6,
+            a.rule,
+            a.series,
+            a.detail
+        );
+        bad = true;
+    }
+    // Invariant counters must be zero regardless of rule thresholds.
+    for (name, v) in &b.counters {
+        let invariant = name.starts_with("watchdog.") || name.starts_with("lineage.ledger.");
+        if invariant && *v > 0.0 {
+            println!("VIOLATION {name} = {v:.0}");
+            bad = true;
+        }
+    }
+    if bad {
+        println!("doctor check: UNHEALTHY ({} firing alerts)", firing.len());
+        1
+    } else {
+        println!(
+            "doctor check: OK — {} sample series, 0 firing alerts, all invariants clean",
+            b.timeline.series_names().len()
+        );
+        0
+    }
+}
+
+/// `diff`: latency-histogram percentile and violation-counter deltas.
+/// A `*_us` histogram regresses when p50 or p99 rises by more than
+/// `threshold_pct` percent AND more than `abs_floor_us` µs (the floor
+/// keeps µs-scale jitter from flagging); a violation or alert counter
+/// regresses on any increase.
+fn diff(a: &Bundle, b: &Bundle, threshold_pct: f64, abs_floor_us: f64) -> i32 {
+    println!(
+        "diff: {} -> {}  (threshold {threshold_pct}% and {abs_floor_us} µs)",
+        a.dir.display(),
+        b.dir.display()
+    );
+    let mut regressions: Vec<String> = Vec::new();
+    println!(
+        "  {:<36} {:>6} {:>12} {:>12} {:>9}",
+        "histogram", "pct", "A_us", "B_us", "delta%"
+    );
+    for (name, ha) in &a.histograms {
+        if !name.ends_with("_us") {
+            continue;
+        }
+        let Some(hb) = b.histograms.get(name) else {
+            continue;
+        };
+        for (label, va, vb) in [("p50", ha.p50, hb.p50), ("p99", ha.p99, hb.p99)] {
+            let delta = vb - va;
+            let pct = if va > 0.0 { delta / va * 100.0 } else { 0.0 };
+            println!("  {name:<36} {label:>6} {va:>12.0} {vb:>12.0} {pct:>+8.1}%");
+            if pct > threshold_pct && delta > abs_floor_us {
+                regressions.push(format!(
+                    "{name} {label}: {va:.0} µs -> {vb:.0} µs ({pct:+.1}%)"
+                ));
+            }
+        }
+    }
+    for (name, va) in &a.counters {
+        let guarded = name.starts_with("watchdog.")
+            || name.starts_with("lineage.ledger.")
+            || name.starts_with("health.alert.");
+        if !guarded {
+            continue;
+        }
+        let vb = b.counters.get(name).copied().unwrap_or(0.0);
+        if vb > *va {
+            regressions.push(format!("{name}: {va:.0} -> {vb:.0}"));
+        }
+    }
+    // Counters guarded in B but absent from A are new failures too.
+    for (name, vb) in &b.counters {
+        let guarded = name.starts_with("watchdog.")
+            || name.starts_with("lineage.ledger.")
+            || name.starts_with("health.alert.");
+        if guarded && !a.counters.contains_key(name) && *vb > 0.0 {
+            regressions.push(format!("{name}: absent -> {vb:.0}"));
+        }
+    }
+    if regressions.is_empty() {
+        println!("doctor diff: OK — no regressions past thresholds");
+        0
+    } else {
+        for r in &regressions {
+            println!("REGRESSION: {r}");
+        }
+        println!("doctor diff: {} regression(s)", regressions.len());
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{write_bundle, BundleMeta};
+    use crate::report::Report;
+    use gryphon_sim::Metrics;
+
+    fn bundle_with(
+        tag: &str,
+        deliver_p: (f64, f64, f64),
+        backlog: &[(u64, f64)],
+    ) -> (PathBuf, Bundle) {
+        let root =
+            std::env::temp_dir().join(format!("gryphon-doctor-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut m = Metrics::default();
+        m.count("shb.constream_delivered", 1_000.0);
+        // Shape a histogram whose percentiles land near the requested
+        // values by observing them directly.
+        let (p50, p99, _max) = deliver_p;
+        for _ in 0..98 {
+            m.observe("lineage.stage.deliver_us", p50);
+        }
+        m.observe("lineage.stage.deliver_us", p99);
+        m.observe("lineage.stage.deliver_us", p99 * 1.01);
+        let mut t = gryphon_sim::telemetry::Timeline::new(500_000);
+        for &(ts, v) in backlog {
+            t.record(ts, "telemetry.catchup_backlog_ticks", v);
+        }
+        let mut r = Report::new("t");
+        r.attach_metrics(&m);
+        r.attach_telemetry(t);
+        let dir = write_bundle(
+            &root,
+            &r,
+            &BundleMeta {
+                interval_us: 500_000,
+                ..BundleMeta::default()
+            },
+        )
+        .unwrap();
+        let b = load_bundle(&dir).unwrap();
+        (root, b)
+    }
+
+    #[test]
+    fn load_round_trips_metrics_and_timeline() {
+        let (root, b) = bundle_with("load", (1_000.0, 5_000.0, 5_050.0), &[(500_000, 3.0)]);
+        assert_eq!(b.counters["shb.constream_delivered"], 1_000.0);
+        assert!(b.histograms.contains_key("lineage.stage.deliver_us"));
+        assert_eq!(
+            b.timeline.series("telemetry.catchup_backlog_ticks"),
+            &[(500_000, 3.0)]
+        );
+        assert!(b.alerts.is_empty());
+        let text = inspect(&b);
+        assert!(text.contains("lineage.stage.deliver_us"));
+        assert!(text.contains("none"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn diff_flags_real_regressions_only() {
+        let (ra, a) = bundle_with("diff-a", (1_000.0, 5_000.0, 5_050.0), &[]);
+        // ~Equal run: inside thresholds.
+        let (rb, b) = bundle_with("diff-b", (1_050.0, 5_200.0, 5_252.0), &[]);
+        assert_eq!(diff(&a, &b, 25.0, 1_000.0), 0);
+        // Clearly degraded run: 3× slower.
+        let (rc, c) = bundle_with("diff-c", (3_000.0, 15_000.0, 15_150.0), &[]);
+        assert_eq!(diff(&a, &c, 25.0, 1_000.0), 1);
+        // Improvement is not a regression.
+        assert_eq!(diff(&c, &a, 25.0, 1_000.0), 0);
+        for r in [ra, rb, rc] {
+            let _ = std::fs::remove_dir_all(&r);
+        }
+    }
+
+    #[test]
+    fn replay_health_fires_on_sustained_growth() {
+        // Growing backlog across 5 windows by 2400 ticks: the
+        // catchup_backlog rule must fire on replay.
+        let samples: Vec<(u64, f64)> = (1..=8)
+            .map(|i| (i * 500_000, (i as f64 - 1.0) * 600.0))
+            .collect();
+        let (root, b) = bundle_with("replay", (1_000.0, 5_000.0, 5_050.0), &samples);
+        let alerts = replay_health(&b.timeline);
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.rule == "catchup_backlog" && a.state == AlertState::Firing),
+            "got {alerts:?}"
+        );
+        assert_eq!(check(&b), 1);
+        // Flat backlog: quiet.
+        let (root2, quiet) = bundle_with(
+            "replay-quiet",
+            (1_000.0, 5_000.0, 5_050.0),
+            &[(500_000, 10.0), (1_000_000, 10.0)],
+        );
+        assert!(replay_health(&quiet.timeline).is_empty());
+        assert_eq!(check(&quiet), 0);
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_dir_all(&root2);
+    }
+
+    #[test]
+    fn run_usage_errors() {
+        assert_eq!(run(&[]), 2);
+        assert_eq!(run(&["inspect".into(), "/nonexistent-bundle".into()]), 2);
+        assert_eq!(run(&["verb".into()]), 2);
+    }
+}

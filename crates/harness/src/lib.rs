@@ -18,6 +18,8 @@
 //! saturates at ≈20 K deliveries/s, matching the paper's single-SHB
 //! capacity anchor; everything else is emergent.
 
+pub mod bundle;
+pub mod doctor;
 pub mod report;
 pub mod topology;
 pub mod workload;

@@ -265,6 +265,23 @@ impl Report {
             .unwrap_or_else(|| "series,t_us,value\n".to_owned())
     }
 
+    /// The health-alert transitions recorded on the attached timeline
+    /// (empty when no timeline is attached or nothing fired).
+    pub fn alerts(&self) -> &[gryphon_sim::AlertRecord] {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.alerts())
+            .unwrap_or_default()
+    }
+
+    /// Dumps the alert log as ndjson (the bundle's `alerts.ndjson`).
+    pub fn alerts_ndjson(&self) -> String {
+        self.telemetry
+            .as_ref()
+            .map(Timeline::alerts_ndjson)
+            .unwrap_or_default()
+    }
+
     /// Renders everything as text.
     pub fn render(&self) -> String {
         let mut out = format!("# experiment: {}\n\n", self.id);
@@ -338,6 +355,32 @@ impl Report {
                     t.row(&[name.clone(), format!("{v:.0}")]);
                 }
                 out.push_str(&t.render());
+            }
+        }
+        // ALERTS: present whenever the health engine was armed (its
+        // primed `health.alert.*` counters mark that) or anything
+        // actually fired, so "zero alerts" is a visible statement, not
+        // an absence.
+        let alerts = self.alerts();
+        let armed = self.metrics.as_ref().is_some_and(|m| {
+            m.counters
+                .iter()
+                .any(|(n, _)| n.starts_with("health.alert."))
+        });
+        if armed || !alerts.is_empty() {
+            out.push_str(&format!("\n## ALERTS ({} transitions)\n", alerts.len()));
+            if alerts.is_empty() {
+                out.push_str("  health engine armed; no alerts fired\n");
+            }
+            for a in alerts {
+                out.push_str(&format!(
+                    "  [{:>9.3}s] {:<7} {} on {}: {}\n",
+                    a.t_us as f64 / 1e6,
+                    a.state.as_str().to_uppercase(),
+                    a.rule,
+                    a.series,
+                    a.detail
+                ));
             }
         }
         if let Some(t) = &self.telemetry {
@@ -614,6 +657,45 @@ mod tests {
         let bare = Report::new("none");
         assert_eq!(bare.telemetry_ndjson(), "");
         assert_eq!(bare.telemetry_csv(), "series,t_us,value\n");
+    }
+
+    #[test]
+    fn alerts_section_renders_firing_and_armed_quiet() {
+        use gryphon_sim::{AlertRecord, AlertState};
+        // A fired alert renders in the ALERTS section.
+        let mut t = Timeline::new(500_000);
+        t.record(500_000, "telemetry.queue_depth", 1.0);
+        t.push_alert(AlertRecord {
+            t_us: 500_000,
+            rule: "catchup_backlog".into(),
+            series: "telemetry.catchup_backlog_ticks".into(),
+            value: 1234.0,
+            threshold: 500.0,
+            state: AlertState::Firing,
+            detail: "rose 1234 over 4 windows (min 500)".into(),
+        });
+        let mut r = Report::new("a");
+        r.attach_telemetry(t);
+        let text = r.render();
+        assert!(text.contains("## ALERTS (1 transitions)"), "{text}");
+        assert!(text.contains("FIRING"), "{text}");
+        assert!(text.contains("catchup_backlog"), "{text}");
+        assert_eq!(r.alerts().len(), 1);
+        assert_eq!(r.alerts_ndjson().lines().count(), 1);
+
+        // Armed-but-quiet: primed counters alone produce the section.
+        let mut m = Metrics::default();
+        m.count("health.alert.catchup_backlog", 0.0);
+        let mut quiet = Report::new("q");
+        quiet.attach_metrics(&m);
+        let text = quiet.render();
+        assert!(text.contains("## ALERTS (0 transitions)"), "{text}");
+        assert!(text.contains("no alerts fired"), "{text}");
+
+        // Engine off: no section at all.
+        let off = Report::new("off");
+        assert!(!off.render().contains("## ALERTS"));
+        assert_eq!(off.alerts_ndjson(), "");
     }
 
     #[test]

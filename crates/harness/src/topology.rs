@@ -12,6 +12,13 @@ use gryphon_storage::MemFactory;
 use gryphon_types::{NodeId, PubendId, SubscriberId};
 use std::sync::Mutex;
 
+/// Locks `m`, recovering the data if a previous holder panicked — the
+/// process-wide defaults below are shared across the whole test binary,
+/// and one panicking test must not poison them into cascading failures.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Process-wide flight-recorder directory applied to every [`Sim`] built
 /// by [`System::build`] — the `xp --flight-dir` plumbing. `None` (the
 /// default) disables post-mortem dumps.
@@ -20,7 +27,7 @@ static DEFAULT_FLIGHT_DIR: Mutex<Option<std::path::PathBuf>> = Mutex::new(None);
 /// Sets the flight-recorder directory future [`System::build`] calls
 /// hand to their simulator.
 pub fn set_default_flight_dir(dir: Option<std::path::PathBuf>) {
-    *DEFAULT_FLIGHT_DIR.lock().expect("flight-dir lock") = dir;
+    *lock_recover(&DEFAULT_FLIGHT_DIR) = dir;
 }
 
 /// Process-wide telemetry sampling interval (virtual µs) applied to
@@ -31,23 +38,75 @@ static DEFAULT_SAMPLE_INTERVAL: Mutex<Option<u64>> = Mutex::new(None);
 /// Sets the telemetry sampling interval future [`System::build`] calls
 /// enable on their simulator (`None` disables sampling).
 pub fn set_default_sample_interval(interval_us: Option<u64>) {
-    *DEFAULT_SAMPLE_INTERVAL
-        .lock()
-        .expect("sample-interval lock") = interval_us;
+    *lock_recover(&DEFAULT_SAMPLE_INTERVAL) = interval_us;
+}
+
+/// The current process-wide sampling interval (`None` = sampling off).
+pub fn default_sample_interval() -> Option<u64> {
+    *lock_recover(&DEFAULT_SAMPLE_INTERVAL)
+}
+
+/// Process-wide seed offset added to every [`TopologySpec::seed`] at
+/// build time — the `xp --seed-offset` plumbing that lets two runs of
+/// the same experiment differ only in their RNG stream.
+static DEFAULT_SEED_OFFSET: Mutex<u64> = Mutex::new(0);
+
+/// Sets the seed offset future [`System::build`] calls add to the
+/// spec's seed.
+pub fn set_default_seed_offset(offset: u64) {
+    *lock_recover(&DEFAULT_SEED_OFFSET) = offset;
+}
+
+/// The current process-wide seed offset.
+pub fn default_seed_offset() -> u64 {
+    *lock_recover(&DEFAULT_SEED_OFFSET)
+}
+
+/// Process-wide degrade switch (the `xp --degrade` plumbing): when set,
+/// [`System::build`] deliberately worsens the broker configuration —
+/// tripled PHB commit latency and a huge, slow-flushing knowledge batch
+/// budget — so latency percentiles regress measurably. Exists to give
+/// `xp doctor diff` a known-bad bundle to flag in CI.
+static DEFAULT_DEGRADE: Mutex<bool> = Mutex::new(false);
+
+/// Arms or disarms the deliberate config degrade.
+pub fn set_default_degrade(on: bool) {
+    *lock_recover(&DEFAULT_DEGRADE) = on;
+}
+
+/// Whether the deliberate config degrade is armed.
+pub fn default_degrade() -> bool {
+    *lock_recover(&DEFAULT_DEGRADE)
+}
+
+/// Process-wide health-engine switch: when set (and sampling is
+/// enabled), every [`Sim`] the harness builds arms the default health
+/// rule set (`gryphon_sim::default_rules`).
+static DEFAULT_HEALTH: Mutex<bool> = Mutex::new(false);
+
+/// Arms or disarms the online health engine on future builds.
+pub fn set_default_health(on: bool) {
+    *lock_recover(&DEFAULT_HEALTH) = on;
+}
+
+/// Whether the online health engine is armed for future builds.
+pub fn default_health() -> bool {
+    *lock_recover(&DEFAULT_HEALTH)
 }
 
 /// Applies the process-wide observability defaults (flight-recorder
-/// directory, telemetry sampling interval) to a freshly built [`Sim`].
-/// [`System::build`] calls this; experiments that assemble a raw `Sim`
-/// themselves (latency, jms) call it too so `xp --flight-dir` /
-/// `--sample-interval` cover every simulator a run builds.
+/// directory, telemetry sampling interval, health engine) to a freshly
+/// built [`Sim`]. [`System::build`] calls this; experiments that
+/// assemble a raw `Sim` themselves (latency, jms) call it too so `xp
+/// --flight-dir` / `--sample-interval` / `--bundle-out` cover every
+/// simulator a run builds.
 pub fn apply_sim_defaults(sim: &mut Sim) {
-    sim.set_flight_dir(DEFAULT_FLIGHT_DIR.lock().expect("flight-dir lock").clone());
-    if let Some(interval_us) = *DEFAULT_SAMPLE_INTERVAL
-        .lock()
-        .expect("sample-interval lock")
-    {
+    sim.set_flight_dir(lock_recover(&DEFAULT_FLIGHT_DIR).clone());
+    if let Some(interval_us) = default_sample_interval() {
         sim.enable_telemetry(interval_us);
+        if default_health() {
+            sim.enable_health(gryphon_sim::default_rules());
+        }
     }
 }
 
@@ -113,10 +172,22 @@ pub struct System {
 }
 
 impl System {
-    /// Builds the system.
+    /// Builds the system. The process-wide defaults apply here: the
+    /// seed offset shifts the RNG stream, and the degrade switch swaps
+    /// in a deliberately worsened broker configuration (see
+    /// [`set_default_degrade`]).
     pub fn build(spec: &TopologySpec, workload: &Workload) -> System {
-        let mut sim = Sim::new(spec.seed);
+        let mut sim = Sim::new(spec.seed.wrapping_add(default_seed_offset()));
         apply_sim_defaults(&mut sim);
+        let broker_config = if default_degrade() {
+            let mut c = spec.broker_config.clone();
+            c.phb_commit_latency_us *= 3;
+            c.knowledge_flush_interval_us = c.knowledge_flush_interval_us.max(1) * 200;
+            c.knowledge_batch_max_parts = c.knowledge_batch_max_parts.max(1) * 1_000;
+            c
+        } else {
+            spec.broker_config.clone()
+        };
         let broker_link = LinkParams {
             latency_us: spec.link_latency_us,
             jitter_us: 0,
@@ -135,7 +206,7 @@ impl System {
             let mut b = Broker::new(
                 next_broker,
                 Box::new(MemFactory::new()),
-                spec.broker_config.clone(),
+                broker_config.clone(),
             );
             next_broker += 1;
             if pubends {

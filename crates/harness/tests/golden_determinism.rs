@@ -28,12 +28,21 @@ fn run_once(seed: u64) -> Golden {
     run_with_sampler(seed, None).0
 }
 
-/// Runs the golden workload, optionally with the windowed telemetry
-/// sampler armed at `sample_interval_us`, returning the observables and
-/// the collected timeline (if any).
 fn run_with_sampler(
     seed: u64,
     sample_interval_us: Option<u64>,
+) -> (Golden, Option<gryphon_sim::telemetry::Timeline>) {
+    run_observed(seed, sample_interval_us, false)
+}
+
+/// Runs the golden workload, optionally with the windowed telemetry
+/// sampler armed at `sample_interval_us` (and, on top of it, the online
+/// health engine), returning the observables and the collected timeline
+/// (if any).
+fn run_observed(
+    seed: u64,
+    sample_interval_us: Option<u64>,
+    health: bool,
 ) -> (Golden, Option<gryphon_sim::telemetry::Timeline>) {
     // Fig. 4-style tree: one PHB hosting four pubends, two SHBs, with
     // disconnecting subscribers so catchup/PFS paths execute too.
@@ -50,6 +59,9 @@ fn run_with_sampler(
     let mut sys = System::build(&spec, &workload);
     if let Some(interval) = sample_interval_us {
         sys.sim.enable_telemetry(interval);
+    }
+    if health {
+        sys.sim.enable_health(gryphon_sim::default_rules());
     }
     sys.sim.run_until(6_000_000);
     let traces = sys
@@ -130,6 +142,44 @@ fn sampler_does_not_perturb_golden_run() {
     );
     // The simulator publishes its scheduler queue depth every window.
     assert!(!ta.series("telemetry.queue_depth").is_empty());
+}
+
+/// The health engine must also be a pure observer: it reads finished
+/// sampler windows and writes only its own alert counters/records, so
+/// arming it cannot perturb traces, deliveries, or the sample series —
+/// and two engine-on runs replay bit-identically, alert log included.
+#[test]
+fn health_engine_does_not_perturb_golden_run() {
+    let (plain, timeline_off) = run_observed(42, Some(250_000), false);
+    let (with_health_a, timeline_a) = run_observed(42, Some(250_000), true);
+    let (with_health_b, timeline_b) = run_observed(42, Some(250_000), true);
+
+    assert_eq!(
+        plain, with_health_a,
+        "health engine on vs off must not change traces or deliveries"
+    );
+    assert_eq!(
+        with_health_a, with_health_b,
+        "engine-on runs must replay identically"
+    );
+    let t_off = timeline_off.expect("sampler armed");
+    let ta = timeline_a.expect("sampler armed");
+    let tb = timeline_b.expect("sampler armed");
+    // Arming the engine adds exactly its own primed `health.alert.*`
+    // counters to the sampled timeline (their `.rate` series); every
+    // *other* sample series is untouched and identical across all three
+    // runs, and engine-on runs replay identically wholesale.
+    let sans_alert_counters = |t: &gryphon_sim::telemetry::Timeline| -> String {
+        t.to_ndjson()
+            .lines()
+            .filter(|l| !l.contains("\"series\":\"health.alert."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(sans_alert_counters(&t_off), sans_alert_counters(&ta));
+    assert_eq!(ta.to_ndjson(), tb.to_ndjson());
+    assert_eq!(ta.alerts(), tb.alerts());
+    assert!(t_off.alerts().is_empty(), "engine off records no alerts");
 }
 
 /// Telemetry series merge deterministically in worker-index order: a

@@ -649,6 +649,11 @@ impl RunningNet {
         self.tel_enabled.store(true, Ordering::Relaxed);
         let interval = interval.max(Duration::from_micros(1));
         let sampler = Arc::new(Mutex::new(Sampler::new(interval.as_micros() as u64)));
+        // Wall-clock twin of the simulator's health engine: judge every
+        // window with the default rule set, counters primed so the
+        // `health.alert.*` family is visible even when nothing fires.
+        let mut health = gryphon_sim::HealthEngine::new(gryphon_sim::default_rules());
+        health.prime(&mut self.tel_metrics.lock());
         let stop = Arc::new(AtomicBool::new(false));
         let thread_sampler = Arc::clone(&sampler);
         let thread_stop = Arc::clone(&stop);
@@ -695,7 +700,16 @@ impl RunningNet {
                     }
                     let snapshot = merged_snapshot(&metrics, &tel_metrics, &receivers);
                     let t_us = epoch.elapsed().as_micros() as u64;
-                    thread_sampler.lock().sample(t_us, &snapshot);
+                    let mut s = thread_sampler.lock();
+                    s.sample(t_us, &snapshot);
+                    for alert in health.evaluate(t_us, s.timeline()) {
+                        if alert.state == gryphon_sim::AlertState::Firing {
+                            tel_metrics
+                                .lock()
+                                .count(&format!("health.alert.{}", alert.rule), 1.0);
+                        }
+                        s.timeline_mut().push_alert(alert);
+                    }
                 }
             })
             .expect("spawn telemetry sampler");

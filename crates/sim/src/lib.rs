@@ -51,6 +51,7 @@
 //! ```
 
 mod executor;
+pub mod health;
 pub mod lineage;
 mod metrics;
 mod runtime;
@@ -58,6 +59,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use executor::Executor;
+pub use health::{default_rules, AlertRecord, AlertState, HealthEngine, HealthRule, RuleKind};
 pub use lineage::{LedgerAudit, Lineage, Span};
 pub use metrics::{names, Histogram, Metrics};
 pub use runtime::{Handle, LinkParams, Node, NodeCtx, Sim, TimerKey, CONTROL_NODE};

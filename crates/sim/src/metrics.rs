@@ -130,6 +130,23 @@ pub mod names {
     /// Gauge: active per-subscriber catchup streams at an SHB
     /// (`.n<node>` shard suffix).
     pub const TELEMETRY_CATCHUP_STREAMS: &str = "telemetry.catchup_streams";
+    /// Counter family: firing transitions of health-engine rules
+    /// (DESIGN.md §14). Each rule `<r>` bumps `health.alert.<r>`; the
+    /// constants below register the default rule set so exporters and
+    /// the registry test see the family even when it never fires.
+    pub const HEALTH_ALERT_CATCHUP_BACKLOG: &str = "health.alert.catchup_backlog";
+    /// Counter: firing transitions of the `queue_depth` gauge-ceiling rule.
+    pub const HEALTH_ALERT_QUEUE_DEPTH: &str = "health.alert.queue_depth";
+    /// Counter: firing transitions of the gap-free-constream rate rule.
+    pub const HEALTH_ALERT_WATCHDOG_CONSTREAM_GAP: &str = "health.alert.watchdog_constream_gap";
+    /// Counter: firing transitions of the monotone-doubt-horizon rate rule.
+    pub const HEALTH_ALERT_WATCHDOG_DOUBT_REGRESS: &str = "health.alert.watchdog_doubt_regress";
+    /// Counter: firing transitions of the only-once-logging rate rule.
+    pub const HEALTH_ALERT_WATCHDOG_DOUBLE_LOG: &str = "health.alert.watchdog_double_log";
+    /// Counter: firing transitions of the exactly-once-ledger rate rule.
+    pub const HEALTH_ALERT_LEDGER_DUPLICATE: &str = "health.alert.ledger_duplicate";
+    /// Counter: firing transitions of the delivery-latency SLO burn rule.
+    pub const HEALTH_ALERT_DELIVER_SLO: &str = "health.alert.deliver_slo";
 
     /// Every registered metric name. Tests use this to verify the
     /// registry is complete (no constant missing from the list, no
@@ -178,6 +195,13 @@ pub mod names {
             TELEMETRY_DOUBT_WIDTH_TICKS,
             TELEMETRY_CATCHUP_BACKLOG_TICKS,
             TELEMETRY_CATCHUP_STREAMS,
+            HEALTH_ALERT_CATCHUP_BACKLOG,
+            HEALTH_ALERT_QUEUE_DEPTH,
+            HEALTH_ALERT_WATCHDOG_CONSTREAM_GAP,
+            HEALTH_ALERT_WATCHDOG_DOUBT_REGRESS,
+            HEALTH_ALERT_WATCHDOG_DOUBLE_LOG,
+            HEALTH_ALERT_LEDGER_DUPLICATE,
+            HEALTH_ALERT_DELIVER_SLO,
         ]
     }
 }
@@ -300,6 +324,42 @@ impl Histogram {
             }
         }
         Some(self.max)
+    }
+
+    /// The window histogram between a past snapshot `prev` of this same
+    /// histogram and now: bucket-wise subtraction, so percentiles of the
+    /// result describe only the samples observed *since* `prev`. The
+    /// telemetry sampler uses this to turn cumulative stage histograms
+    /// into per-window quantile series.
+    ///
+    /// Exact `min`/`max` cannot be recovered for the window alone, so
+    /// they are re-estimated from the first/last non-empty delta bucket
+    /// bounds, clamped into the cumulative `[min, max]` — the same ~19%
+    /// bucket error as any other quantile read.
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::default();
+        let mut first = None;
+        let mut last = None;
+        for (i, (&cur, &old)) in self.buckets.iter().zip(&prev.buckets).enumerate() {
+            let d = cur.saturating_sub(old);
+            out.buckets[i] = d;
+            if d > 0 {
+                first.get_or_insert(i);
+                last = Some(i);
+            }
+        }
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = (self.sum - prev.sum).max(0.0);
+        if out.count > 0 {
+            let lo = match first {
+                Some(0) | None => 0.0,
+                Some(i) => bucket_upper(i - 1),
+            };
+            let hi = last.map(bucket_upper).unwrap_or(0.0);
+            out.min = lo.max(self.min);
+            out.max = hi.min(self.max).max(out.min);
+        }
+        out
     }
 
     /// Folds `other` into `self` (bucket-wise addition; exact side
@@ -748,6 +808,57 @@ mod tests {
         assert_eq!(single.max(), Some(8.0));
         let p50 = single.percentile(0.5).unwrap();
         assert!((3.5..=8.0).contains(&p50));
+    }
+
+    /// `delta_since` isolates the samples observed between two
+    /// snapshots: the window count/sum are exact, the window quantiles
+    /// carry the usual bucket error, and min/max stay inside both the
+    /// delta buckets and the cumulative bounds.
+    #[test]
+    fn histogram_delta_since_isolates_window() {
+        let mut h = Histogram::default();
+        for v in [10.0, 20.0, 30.0] {
+            h.observe(v);
+        }
+        let snap = h.clone();
+        for v in [1_000.0, 2_000.0, 4_000.0, 8_000.0] {
+            h.observe(v);
+        }
+        let w = h.delta_since(&snap);
+        assert_eq!(w.count(), 4);
+        assert!((w.sum() - 15_000.0).abs() < 1e-9);
+        // The window contains only the second batch; its quantiles must
+        // land in that batch's range (±bucket error), far above the
+        // first batch.
+        let p50 = w.percentile(0.5).unwrap();
+        assert!(
+            (800.0..=2_500.0).contains(&p50),
+            "window p50 {p50} should reflect only the new samples"
+        );
+        assert!(w.min().unwrap() >= 100.0, "old samples leaked into window");
+        assert!(w.max().unwrap() <= h.max().unwrap());
+
+        // No new samples: empty window.
+        let empty = h.delta_since(&h.clone());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.percentile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_delta_since_from_empty_equals_self() {
+        let mut h = Histogram::default();
+        for v in [5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let w = h.delta_since(&Histogram::default());
+        assert_eq!(w.count(), h.count());
+        assert_eq!(w.sum(), h.sum());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let a = w.percentile(q).unwrap();
+            let b = h.percentile(q).unwrap();
+            let rel = (a - b).abs() / b.max(1e-12);
+            assert!(rel < 0.25, "p{q}: window {a} vs cumulative {b}");
+        }
     }
 
     #[test]

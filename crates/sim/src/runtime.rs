@@ -185,6 +185,10 @@ pub struct Sim {
     /// scheduler events, never through them, so enabling it cannot
     /// perturb protocol ordering.
     telemetry: Option<crate::telemetry::Sampler>,
+    /// Online health engine (`None` = disabled). Evaluated right after
+    /// each telemetry sample against the timeline so far; a pure
+    /// observer like the sampler itself.
+    health: Option<crate::health::HealthEngine>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -232,6 +236,7 @@ impl Sim {
             base_event_cost_us: 0,
             events_processed: 0,
             telemetry: None,
+            health: None,
         }
     }
 
@@ -369,17 +374,57 @@ impl Sim {
         self.telemetry.take().map(|s| s.into_timeline())
     }
 
-    /// Fires every telemetry sample due at or before `upto_us`.
+    /// Arms the online health engine over `rules` (see
+    /// [`crate::health`]). Requires telemetry to be enabled — the engine
+    /// judges the sampler's timeline and is evaluated once per sample
+    /// window. Each rule's `health.alert.<rule>` counter is registered
+    /// at zero immediately so exports show the armed rule set even when
+    /// nothing ever fires. Like the sampler, the engine is a pure
+    /// observer: it never touches the event queue, and on a clean run it
+    /// emits no trace events at all.
+    pub fn enable_health(&mut self, rules: Vec<crate::health::HealthRule>) {
+        let engine = crate::health::HealthEngine::new(rules);
+        engine.prime(&mut self.metrics);
+        self.health = Some(engine);
+    }
+
+    /// The armed health engine (`None` when disabled).
+    pub fn health(&self) -> Option<&crate::health::HealthEngine> {
+        self.health.as_ref()
+    }
+
+    /// Fires every telemetry sample due at or before `upto_us`, then
+    /// lets the health engine judge each new window.
     fn fire_due_samples(&mut self, upto_us: u64) {
         let Some(mut sampler) = self.telemetry.take() else {
             return;
         };
+        let mut health = self.health.take();
         while sampler.next_at_us() <= upto_us {
             let at = sampler.next_at_us();
             self.metrics
                 .set_gauge(crate::names::TELEMETRY_QUEUE_DEPTH, self.queue.len() as f64);
             sampler.sample(at, &self.metrics);
+            if let Some(engine) = health.as_mut() {
+                for alert in engine.evaluate(at, sampler.timeline()) {
+                    if alert.state == crate::health::AlertState::Firing {
+                        self.metrics
+                            .count(&format!("health.alert.{}", alert.rule), 1.0);
+                    }
+                    #[cfg(feature = "trace")]
+                    self.push_trace(
+                        CONTROL_NODE,
+                        crate::trace::TraceEvent::HealthAlert {
+                            rule: alert.rule.clone(),
+                            series: alert.series.clone(),
+                            firing: alert.state == crate::health::AlertState::Firing,
+                        },
+                    );
+                    sampler.timeline_mut().push_alert(alert);
+                }
+            }
         }
+        self.health = health;
         self.telemetry = Some(sampler);
     }
 

@@ -30,14 +30,18 @@ use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::metrics::Metrics;
+use crate::health::{AlertRecord, AlertState};
+use crate::metrics::{Histogram, Metrics};
 
 /// A deterministic in-memory time series store: one sample vector per
-/// series name, ordered by sample time.
+/// series name, ordered by sample time, plus the structured health
+/// alerts raised while the timeline was collected (kept separate from
+/// the sample series so sample exports stay pure).
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
     interval_us: u64,
     series: BTreeMap<String, Vec<(u64, f64)>>,
+    alerts: Vec<AlertRecord>,
 }
 
 impl Timeline {
@@ -46,6 +50,7 @@ impl Timeline {
         Timeline {
             interval_us,
             series: BTreeMap::new(),
+            alerts: Vec::new(),
         }
     }
 
@@ -70,6 +75,19 @@ impl Timeline {
     /// The samples of series `name` (empty if never recorded).
     pub fn series(&self, name: &str) -> &[(u64, f64)] {
         self.series.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Appends a structured health-alert transition. Alerts live next
+    /// to — not inside — the sample series: `to_ndjson`/`to_csv` stay
+    /// sample-only and alerts export via
+    /// [`alerts_ndjson`](Timeline::alerts_ndjson).
+    pub fn push_alert(&mut self, alert: AlertRecord) {
+        self.alerts.push(alert);
+    }
+
+    /// The health-alert transitions recorded so far, in time order.
+    pub fn alerts(&self) -> &[AlertRecord] {
+        &self.alerts
     }
 
     /// Total sample count across all series.
@@ -97,6 +115,8 @@ impl Timeline {
             s.extend_from_slice(samples);
             s.sort_by_key(|&(t, _)| t);
         }
+        self.alerts.extend(other.alerts.iter().cloned());
+        self.alerts.sort_by_key(|a| a.t_us);
     }
 
     /// Renders every sample as one JSON object per line, sorted by
@@ -133,6 +153,220 @@ impl Timeline {
         }
         out
     }
+
+    /// Parses a timeline back from [`to_ndjson`](Timeline::to_ndjson)
+    /// output — the doctor's bundle-reader path. The writer pins the
+    /// exact line shape (`{"series":"…","t_us":N,"value":V}`) and Rust's
+    /// float `Display` is shortest-round-trip, so a parse of an export
+    /// reproduces the original samples bit-for-bit (`null` values come
+    /// back as NaN, matching what `to_ndjson` collapsed them from).
+    ///
+    /// `interval_us` is not stored in the ndjson stream; callers supply
+    /// it from the bundle manifest.
+    pub fn from_ndjson(s: &str, interval_us: u64) -> Result<Timeline, String> {
+        let mut t = Timeline::new(interval_us);
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("timeline ndjson line {}: {what}: {line}", ln + 1);
+            let rest = line
+                .strip_prefix("{\"series\":\"")
+                .ok_or_else(|| err("missing series prefix"))?;
+            let (name, rest) = take_json_string(rest).ok_or_else(|| err("unterminated series"))?;
+            let rest = rest
+                .strip_prefix(",\"t_us\":")
+                .ok_or_else(|| err("missing t_us"))?;
+            let digits_end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            let t_us: u64 = rest[..digits_end].parse().map_err(|_| err("bad t_us"))?;
+            let rest = rest[digits_end..]
+                .strip_prefix(",\"value\":")
+                .ok_or_else(|| err("missing value"))?;
+            let num = rest.strip_suffix('}').ok_or_else(|| err("missing }"))?;
+            let value = if num == "null" {
+                f64::NAN
+            } else {
+                num.parse().map_err(|_| err("bad value"))?
+            };
+            t.record(t_us, &name, value);
+        }
+        Ok(t)
+    }
+
+    /// Parses a timeline back from [`to_csv`](Timeline::to_csv) output
+    /// (the `series,t_us,value` header plus one row per sample; series
+    /// names containing `,`/`"`/newline arrive RFC-4180 quoted).
+    pub fn from_csv(s: &str, interval_us: u64) -> Result<Timeline, String> {
+        let mut t = Timeline::new(interval_us);
+        let mut lines = s.lines().enumerate();
+        match lines.next() {
+            Some((_, "series,t_us,value")) => {}
+            other => return Err(format!("timeline csv: bad header {other:?}")),
+        }
+        for (ln, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("timeline csv line {}: {what}: {line}", ln + 1);
+            let (name, rest) = if let Some(q) = line.strip_prefix('"') {
+                // Quoted name: scan for the closing quote, un-doubling "".
+                let mut name = String::new();
+                let mut chars = q.chars();
+                loop {
+                    match chars.next() {
+                        Some('"') => match chars.clone().next() {
+                            Some('"') => {
+                                chars.next();
+                                name.push('"');
+                            }
+                            _ => break,
+                        },
+                        Some(c) => name.push(c),
+                        None => return Err(err("unterminated quote")),
+                    }
+                }
+                let rest = chars.as_str();
+                let rest = rest.strip_prefix(',').ok_or_else(|| err("missing comma"))?;
+                (name, rest)
+            } else {
+                let (name, rest) = line.split_once(',').ok_or_else(|| err("missing comma"))?;
+                (name.to_owned(), rest)
+            };
+            let (t_str, v_str) = rest.split_once(',').ok_or_else(|| err("missing value"))?;
+            let t_us: u64 = t_str.parse().map_err(|_| err("bad t_us"))?;
+            let value: f64 = v_str.parse().map_err(|_| err("bad value"))?;
+            t.record(t_us, &name, value);
+        }
+        Ok(t)
+    }
+
+    /// Renders the alert log as one JSON object per line in time order:
+    /// `{"t_us":…,"rule":"…","series":"…","value":…,"threshold":…,
+    /// "state":"firing"|"cleared","detail":"…"}`.
+    pub fn alerts_ndjson(&self) -> String {
+        let mut out = String::new();
+        for a in &self.alerts {
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"rule\":\"{}\",\"series\":\"{}\",\"value\":{},\
+                 \"threshold\":{},\"state\":\"{}\",\"detail\":\"{}\"}}\n",
+                a.t_us,
+                json_escape(&a.rule),
+                json_escape(&a.series),
+                json_num(a.value),
+                json_num(a.threshold),
+                a.state.as_str(),
+                json_escape(&a.detail)
+            ));
+        }
+        out
+    }
+
+    /// Parses an alert log back from
+    /// [`alerts_ndjson`](Timeline::alerts_ndjson) output.
+    pub fn alerts_from_ndjson(s: &str) -> Result<Vec<AlertRecord>, String> {
+        let mut out = Vec::new();
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("alerts ndjson line {}: {what}: {line}", ln + 1);
+            let rest = line
+                .strip_prefix("{\"t_us\":")
+                .ok_or_else(|| err("missing t_us"))?;
+            let digits_end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            let t_us: u64 = rest[..digits_end].parse().map_err(|_| err("bad t_us"))?;
+            let rest = rest[digits_end..]
+                .strip_prefix(",\"rule\":\"")
+                .ok_or_else(|| err("missing rule"))?;
+            let (rule, rest) = take_json_string(rest).ok_or_else(|| err("unterminated rule"))?;
+            let rest = rest
+                .strip_prefix(",\"series\":\"")
+                .ok_or_else(|| err("missing series"))?;
+            let (series, rest) =
+                take_json_string(rest).ok_or_else(|| err("unterminated series"))?;
+            let rest = rest
+                .strip_prefix(",\"value\":")
+                .ok_or_else(|| err("missing value"))?;
+            let (value, rest) = take_json_number(rest).ok_or_else(|| err("bad value"))?;
+            let rest = rest
+                .strip_prefix(",\"threshold\":")
+                .ok_or_else(|| err("missing threshold"))?;
+            let (threshold, rest) = take_json_number(rest).ok_or_else(|| err("bad threshold"))?;
+            let rest = rest
+                .strip_prefix(",\"state\":\"")
+                .ok_or_else(|| err("missing state"))?;
+            let (state_str, rest) =
+                take_json_string(rest).ok_or_else(|| err("unterminated state"))?;
+            let state = match state_str.as_str() {
+                "firing" => AlertState::Firing,
+                "cleared" => AlertState::Cleared,
+                _ => return Err(err("unknown state")),
+            };
+            let rest = rest
+                .strip_prefix(",\"detail\":\"")
+                .ok_or_else(|| err("missing detail"))?;
+            let (detail, rest) =
+                take_json_string(rest).ok_or_else(|| err("unterminated detail"))?;
+            if rest != "}" {
+                return Err(err("trailing content"));
+            }
+            out.push(AlertRecord {
+                t_us,
+                rule,
+                series,
+                value,
+                threshold,
+                state,
+                detail,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Consumes an escaped JSON string body up to its closing quote,
+/// returning the unescaped content and the remainder after the quote.
+/// Only the escapes [`json_escape`] emits are understood.
+fn take_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Consumes a JSON number (or the `null` that [`json_num`] writes for
+/// non-finite values, returned as NaN), yielding the remainder.
+fn take_json_number(s: &str) -> Option<(f64, &str)> {
+    if let Some(rest) = s.strip_prefix("null") {
+        return Some((f64::NAN, rest));
+    }
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    s[..end].parse().ok().map(|v| (v, &s[end..]))
 }
 
 fn json_escape(s: &str) -> String {
@@ -215,9 +449,21 @@ pub fn strip_shard_suffix(name: &str) -> Option<&str> {
 }
 
 /// The registered base name a timeline series derives from: strips a
-/// `.rate` suffix (counter-rate series) and any shard segments.
+/// `.rate` suffix (counter-rate series) or a `.q<digits>` suffix
+/// (windowed histogram quantile series, e.g.
+/// `lineage.stage.deliver_us.q99`), then any shard segments.
 pub fn series_base_name(series: &str) -> &str {
     let stem = series.strip_suffix(".rate").unwrap_or(series);
+    let stem = match stem.rsplit_once('.') {
+        Some((head, tail))
+            if tail.len() > 1
+                && tail.starts_with('q')
+                && tail[1..].chars().all(|c| c.is_ascii_digit()) =>
+        {
+            head
+        }
+        _ => stem,
+    };
     strip_shard_suffix(stem).unwrap_or(stem)
 }
 
@@ -232,6 +478,7 @@ pub struct Sampler {
     next_at_us: u64,
     last_t_us: u64,
     last_counters: BTreeMap<String, f64>,
+    last_histograms: BTreeMap<String, Histogram>,
     timeline: Timeline,
 }
 
@@ -244,6 +491,7 @@ impl Sampler {
             next_at_us: interval_us,
             last_t_us: 0,
             last_counters: BTreeMap::new(),
+            last_histograms: BTreeMap::new(),
             timeline: Timeline::new(interval_us),
         }
     }
@@ -255,8 +503,13 @@ impl Sampler {
 
     /// Takes one sample at `t_us` from `metrics`: every gauge becomes a
     /// point on its own series (plus the shard-stripped aggregate sum),
-    /// and every counter becomes a point on `<name>.rate` holding its
-    /// per-second rate over the elapsed window.
+    /// every counter becomes a point on `<name>.rate` holding its
+    /// per-second rate over the elapsed window, and every histogram that
+    /// saw samples this window contributes `<name>.q50/.q95/.q99`
+    /// points from the window-only distribution (cumulative minus the
+    /// previous snapshot — see [`Histogram::delta_since`]). The `q`
+    /// spelling keeps quantile suffixes disjoint from `.p<i>` pubend
+    /// shard suffixes.
     pub fn sample(&mut self, t_us: u64, metrics: &Metrics) {
         let mut aggregates: BTreeMap<&str, f64> = BTreeMap::new();
         for name in metrics.gauge_names() {
@@ -281,6 +534,23 @@ impl Sampler {
             self.timeline.record(t_us, &format!("{name}.rate"), rate);
             self.last_counters.insert(name.to_owned(), cur);
         }
+        for name in metrics.histogram_names() {
+            let Some(hist) = metrics.histogram(name) else {
+                continue;
+            };
+            let window = match self.last_histograms.get(name) {
+                Some(prev) => hist.delta_since(prev),
+                None => hist.clone(),
+            };
+            if window.count() > 0 {
+                for (suffix, q) in [("q50", 0.5), ("q95", 0.95), ("q99", 0.99)] {
+                    if let Some(v) = window.percentile(q) {
+                        self.timeline.record(t_us, &format!("{name}.{suffix}"), v);
+                    }
+                }
+            }
+            self.last_histograms.insert(name.to_owned(), hist.clone());
+        }
         self.last_t_us = t_us;
         self.next_at_us = t_us.saturating_add(self.interval_us);
     }
@@ -288,6 +558,12 @@ impl Sampler {
     /// The timeline collected so far.
     pub fn timeline(&self) -> &Timeline {
         &self.timeline
+    }
+
+    /// Mutable access to the timeline, used by the health engine to
+    /// attach alert records to the run it judged.
+    pub fn timeline_mut(&mut self) -> &mut Timeline {
+        &mut self.timeline
     }
 
     /// Consumes the sampler, yielding its timeline.
@@ -329,16 +605,23 @@ impl TextServer {
                             let _ = sock.set_nonblocking(false);
                             let _ =
                                 sock.set_read_timeout(Some(std::time::Duration::from_millis(500)));
-                            drain_request(&mut sock);
-                            let body = content();
-                            let head = format!(
-                                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; \
-                                 version=0.0.4\r\nContent-Length: {}\r\nConnection: \
-                                 close\r\n\r\n",
-                                body.len()
-                            );
-                            let _ = sock.write_all(head.as_bytes());
-                            let _ = sock.write_all(body.as_bytes());
+                            let method = read_request_method(&mut sock);
+                            if method.as_deref() == Some("GET") {
+                                let body = content();
+                                let head = format!(
+                                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; \
+                                     version=0.0.4\r\nContent-Length: {}\r\nConnection: \
+                                     close\r\n\r\n",
+                                    body.len()
+                                );
+                                let _ = sock.write_all(head.as_bytes());
+                                let _ = sock.write_all(body.as_bytes());
+                            } else {
+                                let _ = sock.write_all(
+                                    b"HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\n\
+                                      Content-Length: 0\r\nConnection: close\r\n\r\n",
+                                );
+                            }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(10));
@@ -369,9 +652,10 @@ impl Drop for TextServer {
     }
 }
 
-/// Reads the request until the header terminator, EOF, timeout, or a
-/// sanity cap — the endpoint serves the same body regardless.
-fn drain_request(sock: &mut std::net::TcpStream) {
+/// Reads the request head until the header terminator, EOF, timeout, or
+/// a sanity cap, and returns the request-line method token (`None` on a
+/// garbled request, which the caller answers with 405).
+fn read_request_method(sock: &mut std::net::TcpStream) -> Option<String> {
     let mut buf = [0u8; 1024];
     let mut seen: Vec<u8> = Vec::new();
     loop {
@@ -386,6 +670,10 @@ fn drain_request(sock: &mut std::net::TcpStream) {
             Err(_) => break,
         }
     }
+    let head = std::str::from_utf8(&seen).ok()?;
+    let request_line = head.lines().next()?;
+    let method = request_line.split_whitespace().next()?;
+    (!method.is_empty()).then(|| method.to_owned())
 }
 
 #[cfg(test)]
@@ -442,6 +730,14 @@ mod tests {
             series_base_name("telemetry.catchup_backlog_ticks.n5"),
             names::TELEMETRY_CATCHUP_BACKLOG_TICKS
         );
+        // Quantile suffixes strip like .rate does, and stay disjoint
+        // from `.p<i>` pubend shard suffixes.
+        assert_eq!(
+            series_base_name("lineage.stage.deliver_us.q99"),
+            names::LINEAGE_STAGE_DELIVER_US
+        );
+        assert_eq!(series_base_name("a.q"), "a.q"); // no digits: not a quantile
+        assert_eq!(series_base_name("a.p99"), "a"); // pubend shard, not quantile
     }
 
     #[test]
@@ -490,6 +786,127 @@ mod tests {
         assert_eq!(sparkline(&wide, 60).chars().count(), 60);
     }
 
+    /// The bundle-format pin (ISSUE 6 satellite): a populated timeline
+    /// exported to ndjson and CSV must re-parse — the doctor's reader
+    /// path — into the identical sample store, byte-for-byte on
+    /// re-export.
+    #[test]
+    fn timeline_ndjson_and_csv_round_trip() {
+        let mut m = Metrics::default();
+        m.set_gauge("telemetry.queue_depth.w0", 3.0);
+        m.set_gauge("telemetry.queue_depth.w1", 5.0);
+        m.set_gauge("telemetry.doubt_width_ticks.n3.p1", 7.25);
+        m.count("shb.delivered", 123.0);
+        m.observe("lineage.stage.deliver_us", 1_234.5);
+        let mut s = Sampler::new(500_000);
+        s.sample(500_000, &m);
+        m.count("shb.delivered", 77.0);
+        m.set_gauge("telemetry.queue_depth.w0", 0.125);
+        s.sample(1_000_000, &m);
+        let original = s.into_timeline();
+        assert!(!original.is_empty());
+        assert!(!original.series("telemetry.queue_depth").is_empty());
+        assert!(!original.series("shb.delivered.rate").is_empty());
+
+        let nd = original.to_ndjson();
+        let parsed = Timeline::from_ndjson(&nd, original.interval_us()).unwrap();
+        assert_eq!(parsed.series_names(), original.series_names());
+        for name in original.series_names() {
+            assert_eq!(parsed.series(name), original.series(name), "series {name}");
+        }
+        // Byte-for-byte: re-export of the parse equals the export.
+        assert_eq!(parsed.to_ndjson(), nd);
+
+        let csv = original.to_csv();
+        let from_csv = Timeline::from_csv(&csv, original.interval_us()).unwrap();
+        assert_eq!(from_csv.to_csv(), csv);
+        assert_eq!(from_csv.to_ndjson(), nd);
+    }
+
+    #[test]
+    fn timeline_parsers_reject_garbage_and_handle_quoting() {
+        assert!(Timeline::from_ndjson("{\"nope\":1}\n", 500).is_err());
+        assert!(Timeline::from_csv("wrong,header\n", 500).is_err());
+        // Awkward series names survive both formats.
+        let mut t = Timeline::new(250);
+        t.record(250, "weird \"name\", with, commas", 1.5);
+        t.record(500, "tab\tseries", -0.75);
+        let nd = t.to_ndjson();
+        let parsed = Timeline::from_ndjson(&nd, 250).unwrap();
+        assert_eq!(parsed.to_ndjson(), nd);
+        let csv = t.to_csv();
+        let parsed_csv = Timeline::from_csv(&csv, 250).unwrap();
+        assert_eq!(parsed_csv.to_ndjson(), nd);
+        // Non-finite values collapse to null and come back NaN.
+        let mut nan = Timeline::new(250);
+        nan.record(250, "x", f64::NAN);
+        let back = Timeline::from_ndjson(&nan.to_ndjson(), 250).unwrap();
+        assert!(back.series("x")[0].1.is_nan());
+    }
+
+    #[test]
+    fn sampler_emits_windowed_histogram_quantiles() {
+        let mut m = Metrics::default();
+        for v in [100.0, 200.0, 300.0] {
+            m.observe("lat_us", v);
+        }
+        let mut s = Sampler::new(1_000_000);
+        s.sample(1_000_000, &m);
+        // Second window: much slower samples; the windowed q50 must
+        // reflect only them, not the cumulative distribution.
+        for v in [10_000.0, 20_000.0, 30_000.0] {
+            m.observe("lat_us", v);
+        }
+        s.sample(2_000_000, &m);
+        // Third window: no new samples → no new quantile points.
+        s.sample(3_000_000, &m);
+        let t = s.timeline();
+        let q50 = t.series("lat_us.q50");
+        assert_eq!(q50.len(), 2, "quiet windows must not emit points");
+        assert!(q50[0].1 < 1_000.0, "first window q50 {}", q50[0].1);
+        assert!(q50[1].1 > 5_000.0, "second window q50 {}", q50[1].1);
+        assert_eq!(t.series("lat_us.q95").len(), 2);
+        assert_eq!(t.series("lat_us.q99").len(), 2);
+    }
+
+    #[test]
+    fn alerts_live_beside_samples_and_round_trip() {
+        use crate::health::{AlertRecord, AlertState};
+        let mut t = Timeline::new(500);
+        t.record(500, "g", 1.0);
+        t.push_alert(AlertRecord {
+            t_us: 500,
+            rule: "queue_depth".into(),
+            series: "telemetry.queue_depth".into(),
+            value: 2e6,
+            threshold: 1e6,
+            state: AlertState::Firing,
+            detail: "level 2000000 > ceiling 1000000".into(),
+        });
+        t.push_alert(AlertRecord {
+            t_us: 1_000,
+            rule: "queue_depth".into(),
+            series: "telemetry.queue_depth".into(),
+            value: 10.0,
+            threshold: 0.0,
+            state: AlertState::Cleared,
+            detail: "back \"within\" bounds".into(),
+        });
+        // Sample exports stay alert-free.
+        assert_eq!(t.to_ndjson().lines().count(), 1);
+        assert_eq!(t.len(), 1);
+        let nd = t.alerts_ndjson();
+        assert_eq!(nd.lines().count(), 2);
+        let parsed = Timeline::alerts_from_ndjson(&nd).unwrap();
+        assert_eq!(parsed, t.alerts());
+        // Merge carries alerts across and keeps time order.
+        let mut merged = Timeline::new(0);
+        merged.merge(&t);
+        assert_eq!(merged.alerts().len(), 2);
+        assert!(merged.alerts()[0].t_us <= merged.alerts()[1].t_us);
+        assert!(Timeline::alerts_from_ndjson("{\"bogus\":1}").is_err());
+    }
+
     #[test]
     fn text_server_serves_scrapes() {
         let srv = TextServer::serve("127.0.0.1:0", || "# TYPE up gauge\nup 1\n".into()).unwrap();
@@ -501,7 +918,37 @@ mod tests {
             let mut resp = String::new();
             sock.read_to_string(&mut resp).unwrap();
             assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+            assert!(resp.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+            assert!(resp.contains("Content-Length: "), "{resp}");
             assert!(resp.ends_with("up 1\n"), "{resp}");
         }
+    }
+
+    #[test]
+    fn text_server_rejects_non_get() {
+        let srv = TextServer::serve("127.0.0.1:0", || "secret\n".into()).unwrap();
+        let addr = srv.local_addr();
+        for req in [
+            "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+            "DELETE / HTTP/1.1\r\nHost: x\r\n\r\n",
+        ] {
+            let mut sock = std::net::TcpStream::connect(addr).unwrap();
+            sock.write_all(req.as_bytes()).unwrap();
+            let mut resp = String::new();
+            sock.read_to_string(&mut resp).unwrap();
+            assert!(
+                resp.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+                "{resp}"
+            );
+            assert!(resp.contains("Allow: GET\r\n"), "{resp}");
+            assert!(!resp.contains("secret"), "body must not leak: {resp}");
+        }
+        // GET still works after rejected requests.
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        sock.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        sock.read_to_string(&mut resp).unwrap();
+        assert!(resp.ends_with("secret\n"), "{resp}");
     }
 }

@@ -343,6 +343,17 @@ pub enum TraceEvent {
         /// Wire tag of the dropped message (see `NetMsg::tag`).
         tag: &'static str,
     },
+    /// The online health engine transitioned a rule (DESIGN.md §14).
+    /// Attributed to the control pseudo-node; clean runs emit none of
+    /// these, so arming the engine never perturbs a healthy golden run.
+    HealthAlert {
+        /// Rule name (counter `health.alert.<rule>`).
+        rule: String,
+        /// The timeline series the rule watches.
+        series: String,
+        /// `true` on firing, `false` on clearing.
+        firing: bool,
+    },
 }
 
 impl TraceEvent {
@@ -384,6 +395,13 @@ impl TraceEvent {
             | TraceEvent::GapDelivered { .. }
             | TraceEvent::NodeRestarted
             | TraceEvent::UnexpectedMsg { .. } => Severity::Warn,
+            TraceEvent::HealthAlert { firing, .. } => {
+                if *firing {
+                    Severity::Warn
+                } else {
+                    Severity::Info
+                }
+            }
         }
     }
 }

@@ -48,6 +48,30 @@ test -s "$prom" || { echo "missing $prom"; exit 1; }
 validate_prom "$prom"
 echo "ok: $(grep -c '^# TYPE' "$prom") metric families in $prom"
 
+echo "== run bundles and doctor =="
+# One flag writes a complete diagnosis bundle; the doctor then proves
+# the run healthy (check: replayed health rules fire nothing, invariant
+# counters zero), proves a same-workload different-seed run inside the
+# diff thresholds, and proves the diff gate CAN fail by diffing against
+# a deliberately degraded broker config (--degrade).
+rm -rf target/ci-bundles
+xp() { cargo run -q --release -p gryphon-bench --bin xp -- "$@"; }
+xp --quick --bundle-out target/ci-bundles/clean latency fig4
+xp --quick --bundle-out target/ci-bundles/reseed --seed-offset 1 fig4
+xp --quick --bundle-out target/ci-bundles/degraded --degrade fig4
+for f in manifest.json metrics.csv timeline.ndjson alerts.ndjson snapshot.prom; do
+  test -s "target/ci-bundles/clean/latency/$f" || { echo "bundle missing $f"; exit 1; }
+done
+validate_prom target/ci-bundles/clean/latency/snapshot.prom
+grep -q '^health_alert_' target/ci-bundles/clean/latency/snapshot.prom \
+  || { echo "bundle snapshot missing health.alert.* families"; exit 1; }
+xp doctor check target/ci-bundles/clean/latency
+xp doctor diff target/ci-bundles/clean/fig4 target/ci-bundles/reseed/fig4
+if xp doctor diff target/ci-bundles/clean/fig4 target/ci-bundles/degraded/fig4; then
+  echo "doctor diff failed to flag the degraded run"; exit 1
+fi
+echo "ok: bundles written, check clean, diff gate proven able to fail"
+
 echo "== live /metrics scrape (mid-run) =="
 # scrape_smoke runs a real threaded pipeline, fetches /metrics over TCP
 # while the net is still running, and prints the body; the same grammar
