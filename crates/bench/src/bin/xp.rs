@@ -4,7 +4,7 @@
 //! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] [--prom-out DIR]
 //!    [--flight-dir DIR] [--telemetry-out DIR] [--sample-interval MS]
 //!    [--metrics-addr ADDR] [--bundle-out DIR] [--seed-offset N]
-//!    [--degrade] <experiment>|all|list
+//!    [--degrade] [--subs N] [--churn-pct P] <experiment>|all|list
 //! xp doctor inspect|check BUNDLE
 //! xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]
 //! ```
@@ -44,6 +44,10 @@
 //!   different randomness — for A/B bundles fed to `xp doctor diff`);
 //! * `--degrade` deliberately worsens broker latency/batching config
 //!   (CI uses it to prove `xp doctor diff` catches real regressions);
+//! * `--subs N` overrides the `mega_subs` durable-subscription
+//!   population (default 10^6, or 20 000 under `--quick`);
+//! * `--churn-pct P` overrides the `mega_subs` churn percentage
+//!   (default 1);
 //! * `xp doctor inspect|diff|check` analyses bundles offline — see
 //!   `gryphon_harness::doctor`.
 
@@ -66,6 +70,8 @@ fn main() {
     let mut metrics_addr: Option<String> = None;
     let mut seed_offset: u64 = 0;
     let mut degrade = false;
+    let mut subs: Option<u64> = None;
+    let mut churn_pct: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
@@ -136,11 +142,26 @@ fn main() {
                 seed_offset = n;
             }
             "--degrade" => degrade = true,
+            "--subs" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--subs requires an integer argument");
+                    std::process::exit(2);
+                };
+                subs = Some(n);
+            }
+            "--churn-pct" => {
+                let Some(p) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--churn-pct requires a numeric argument");
+                    std::process::exit(2);
+                };
+                churn_pct = Some(p);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] \
                      [--prom-out DIR] [--flight-dir DIR] [--bundle-out DIR] \
-                     [--seed-offset N] [--degrade] <experiment>|all|list\n\
+                     [--seed-offset N] [--degrade] [--subs N] [--churn-pct P] \
+                     <experiment>|all|list\n\
                      \x20      xp doctor inspect|check BUNDLE\n\
                      \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]"
                 );
@@ -172,6 +193,8 @@ fn main() {
     }
     gryphon_harness::topology::set_default_seed_offset(seed_offset);
     gryphon_harness::topology::set_default_degrade(degrade);
+    gryphon_harness::topology::set_default_mega_subs(subs);
+    gryphon_harness::topology::set_default_churn_pct(churn_pct);
     gryphon_harness::topology::set_default_sample_interval(
         sample_interval_ms.map(|ms| ms.saturating_mul(1_000).max(1)),
     );

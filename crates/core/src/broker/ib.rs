@@ -131,8 +131,8 @@ impl Broker {
                 .as_mut()
                 .expect("checked")
                 .distribute_to_catchup(p, &parts);
-            for sub in touched {
-                self.drive_catchup(sub, p, ctx);
+            for slot in touched {
+                self.drive_catchup(slot, p, ctx);
             }
         }
         // Forward downstream.
@@ -534,8 +534,8 @@ impl Broker {
                     .as_mut()
                     .expect("checked")
                     .distribute_to_catchup(p, &parts);
-                for sub in touched {
-                    self.drive_catchup(sub, p, ctx);
+                for slot in touched {
+                    self.drive_catchup(slot, p, ctx);
                 }
             }
             return;

@@ -35,10 +35,12 @@ mod shb;
 mod shb_role;
 #[cfg(test)]
 mod shb_tests;
+mod sub_table;
 
 pub use pubend::Pubend;
 pub use route::Route;
 pub use shb::{CatchupNeeds, Con, Conn, Shb};
+pub use sub_table::{ParkedStream, PubendMap, SubState, SubscriberTable};
 
 use crate::config::BrokerConfig;
 use crate::timer::{self, Kind};
@@ -289,6 +291,9 @@ impl Node for Broker {
             Kind::Release => self.on_release_timer(ctx),
             Kind::MetaPersist => {
                 if let Some(shb) = self.shb.state.as_mut() {
+                    // The slab-byte census is O(live subscriptions), so it
+                    // rides this periodic timer, never the delivery path.
+                    shb.update_memory_gauges(ctx);
                     shb.meta_persist(ctx);
                 }
                 ctx.set_timer(
@@ -338,9 +343,10 @@ impl Node for Broker {
             shb.post_restart();
         }
         ctx.count("broker.restarts", 1.0);
-        // Recovering constreams: open-ended nack from latestDelivered.
+        // Recovering constreams: open-ended nack from latestDelivered,
+        // in ascending pubend order (intrinsic — `con` is a BTreeMap).
         if self.shb.state.is_some() {
-            let mut pubends: Vec<(PubendId, Timestamp)> = self
+            let pubends: Vec<(PubendId, Timestamp)> = self
                 .shb
                 .state
                 .as_ref()
@@ -349,7 +355,6 @@ impl Node for Broker {
                 .iter()
                 .map(|(&p, c)| (p, c.latest_delivered))
                 .collect();
-            pubends.sort_by_key(|&(p, _)| p.0);
             for (p, ld) in pubends {
                 self.resolve_for_constream(p, vec![(ld.next(), Timestamp::MAX)], ctx);
             }

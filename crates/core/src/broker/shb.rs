@@ -1,7 +1,14 @@
 //! Subscriber hosting broker state (paper §4): the consolidated stream,
 //! per-subscriber catchup streams, durable release state, and the
 //! broker-managed checkpoint commit pool for JMS-style subscribers.
+//!
+//! All per-subscriber state lives in one dense [`SubscriberTable`] slab
+//! (DESIGN.md §15): the `SubscriberId → SubSlot` hash lookup happens only
+//! at the ingress edges (connect / subscribe / ack / disconnect); every
+//! interior path — constream delivery, catchup pumping, PFS reads —
+//! carries a [`SubSlot`] and indexes the slab directly.
 
+use super::sub_table::{ParkedStream, SubscriberTable};
 use crate::config::BrokerConfig;
 use crate::pfs::{Pfs, PfsMode};
 use gryphon_matching::{Filter, MatchScratch, SubscriptionIndex};
@@ -13,9 +20,11 @@ use gryphon_storage::{MediaFactory, MetaTable, TableConfig};
 use gryphon_streams::KnowledgeStream;
 use gryphon_types::{
     CheckpointToken, DeliveryKind, DeliveryMsg, EventRef, KnowledgePart, NodeId, PubendId,
-    ServerMsg, SubscriberId, SubscriptionSpec, Timestamp,
+    ServerMsg, SubSlot, SubscriberId, SubscriptionSpec, Timestamp,
 };
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use super::sub_table::PubendMap;
 
 /// Per-pubend consolidated-stream state.
 #[derive(Debug, Default, Clone, Copy)]
@@ -51,21 +60,51 @@ pub struct Catchup {
     pub started_at_us: u64,
 }
 
+impl Catchup {
+    /// Approximate heap bytes beyond the struct itself (the pending read
+    /// buffer; the knowledge stream's own heap is excluded — the
+    /// estimate errs low, which is fine for a regression gauge).
+    fn approx_heap_bytes(&self) -> usize {
+        self.pending_read
+            .as_ref()
+            .map(|r| r.q_ticks.capacity() * std::mem::size_of::<Timestamp>())
+            .unwrap_or(0)
+    }
+}
+
 /// A connected subscriber.
+///
+/// Per-pubend maps are [`PubendMap`]s (sorted vecs): subscribers touch a
+/// handful of pubends, and the intrinsic ascending iteration order means
+/// emission paths need no ad-hoc sorting for golden determinism.
 #[derive(Debug)]
 pub struct Conn {
     /// The client node to deliver to.
     pub client: NodeId,
     /// Outstanding catchup streams (empty ⇒ fully non-catchup).
-    pub catchup: HashMap<PubendId, Catchup>,
+    pub catchup: PubendMap<Catchup>,
     /// Monotone per-pubend delivery cursor (order enforcement).
-    pub last_sent: HashMap<PubendId, Timestamp>,
+    pub last_sent: PubendMap<Timestamp>,
     /// Queued deliveries for gated (JMS) subscribers.
     pub outbox: VecDeque<DeliveryMsg>,
     /// A delivery is awaiting its acknowledgment commit (gated only).
     pub in_flight: bool,
     /// When this connection was established (catchup-duration metric).
     pub connected_at_us: u64,
+}
+
+impl Conn {
+    /// Approximate heap bytes owned by this connection (slab accounting).
+    pub(crate) fn approx_heap_bytes(&self) -> usize {
+        self.catchup.approx_heap_bytes()
+            + self.last_sent.approx_heap_bytes()
+            + self.outbox.capacity() * std::mem::size_of::<DeliveryMsg>()
+            + self
+                .catchup
+                .iter()
+                .map(|(_, cu)| cu.approx_heap_bytes())
+                .sum::<usize>()
+    }
 }
 
 /// What a catchup stream needs from the broker after making progress.
@@ -90,6 +129,41 @@ struct CtWorker {
     committing: Vec<(SubscriberId, CheckpointToken)>,
 }
 
+/// Cached gauge-name strings. The constream publishes gauges on every
+/// knowledge ingest, and a `format!` per publish was the hot path's last
+/// steady-state allocation; names depend only on (node, pubend), so they
+/// are built once and reused.
+#[derive(Default)]
+struct GaugeNames {
+    node: Option<u32>,
+    backlog: String,
+    streams: String,
+    slab_bytes: String,
+    bytes_per_idle: String,
+    doubt_width: HashMap<PubendId, String>,
+}
+
+impl GaugeNames {
+    fn ensure(&mut self, node: u32) {
+        if self.node == Some(node) {
+            return;
+        }
+        self.node = Some(node);
+        self.backlog = format!("{}.n{node}", names::TELEMETRY_CATCHUP_BACKLOG_TICKS);
+        self.streams = format!("{}.n{node}", names::TELEMETRY_CATCHUP_STREAMS);
+        self.slab_bytes = format!("{}.n{node}", names::TELEMETRY_SHB_SLAB_BYTES);
+        self.bytes_per_idle = format!("{}.n{node}", names::TELEMETRY_SHB_BYTES_PER_IDLE_SUB);
+        self.doubt_width.clear();
+    }
+
+    fn doubt_width(&mut self, node: u32, p: PubendId) -> &str {
+        self.ensure(node);
+        self.doubt_width
+            .entry(p)
+            .or_insert_with(|| format!("{}.n{node}.p{}", names::TELEMETRY_DOUBT_WIDTH_TICKS, p.0))
+    }
+}
+
 /// The SHB role of a broker.
 pub struct Shb {
     name: String,
@@ -98,40 +172,37 @@ pub struct Shb {
     pub meta: MetaTable,
     /// The persistent filtering subsystem.
     pub pfs: Pfs,
-    /// All durable subscriptions hosted here (connected or not).
+    /// All durable subscriptions hosted here (connected or not); slot
+    /// assignment is shared with [`Shb::table`].
     pub index: SubscriptionIndex,
-    specs: HashMap<SubscriberId, SubscriptionSpec>,
-    filters: HashMap<SubscriberId, Filter>,
-    /// `released(s, p)` — survives disconnection; persisted periodically.
-    released: HashMap<(SubscriberId, PubendId), Timestamp>,
+    /// The dense per-subscriber slab: spec, filter, `released(s, p)`,
+    /// gated/broker-ct flags, live connection, parked streams.
+    pub table: SubscriberTable,
     dirty_released: bool,
-    /// Per-pubend constream cursors.
-    pub con: HashMap<PubendId, Con>,
-    /// Connected subscribers.
-    pub conns: HashMap<SubscriberId, Conn>,
-    /// Dense subscriber slots for timer parameters.
-    slots: Vec<SubscriberId>,
-    slot_of: HashMap<SubscriberId, u32>,
-    /// Subscribers whose deliveries are serialized on checkpoint commits
-    /// (JMS auto-acknowledge).
-    gated: HashSet<SubscriberId>,
-    /// Subscribers whose checkpoint the broker persists (all JMS modes).
-    broker_ct: HashSet<SubscriberId>,
+    /// Per-pubend constream cursors. A `BTreeMap` so every iteration is
+    /// intrinsically in ascending pubend order (golden determinism
+    /// without ad-hoc sorting).
+    pub con: BTreeMap<PubendId, Con>,
+    /// Connected subscribers: id → slab index, ascending-id iteration.
+    connected: BTreeMap<SubscriberId, u32>,
     workers: Vec<CtWorker>,
     /// Events delivered (constream + catchup), for counters.
     pub delivered: u64,
     /// Reusable matching scratch for the constream hot path.
     match_scratch: MatchScratch,
-    /// Reusable match-result buffer for the constream hot path.
-    match_buf: Vec<SubscriberId>,
+    /// Reusable match-result buffer (slab indices) for the hot path.
+    match_buf: Vec<u32>,
+    /// Reusable event buffer (`Arc` clones) for the hot path.
+    event_buf: Vec<EventRef>,
+    gauges: GaugeNames,
 }
 
 impl std::fmt::Debug for Shb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shb")
             .field("name", &self.name)
-            .field("subs", &self.specs.len())
-            .field("connected", &self.conns.len())
+            .field("subs", &self.table.len())
+            .field("connected", &self.connected.len())
             .field("pubends", &self.con.len())
             .finish()
     }
@@ -159,29 +230,25 @@ impl Shb {
             meta,
             pfs,
             index: SubscriptionIndex::new(),
-            specs: HashMap::new(),
-            filters: HashMap::new(),
-            released: HashMap::new(),
+            table: SubscriberTable::new(),
             dirty_released: false,
-            con: HashMap::new(),
-            conns: HashMap::new(),
-            slots: Vec::new(),
-            slot_of: HashMap::new(),
-            gated: HashSet::new(),
-            broker_ct: HashSet::new(),
+            con: BTreeMap::new(),
+            connected: BTreeMap::new(),
             workers: (0..config.ct_commit_workers.max(1))
                 .map(|_| CtWorker::default())
                 .collect(),
             delivered: 0,
             match_scratch: MatchScratch::new(),
             match_buf: Vec::new(),
+            event_buf: Vec::new(),
+            gauges: GaugeNames::default(),
         };
         shb.load_persistent();
         shb
     }
 
     fn load_persistent(&mut self) {
-        // Subscriptions.
+        // Subscriptions: slab + matching index share slot assignment.
         let specs: Vec<(SubscriberId, String)> = self
             .meta
             .iter_prefix("spec/")
@@ -192,9 +259,10 @@ impl Shb {
             .collect();
         for (sub, expr) in specs {
             if let Ok(filter) = Filter::parse(&expr) {
-                self.index.insert(sub, filter.clone());
-                self.filters.insert(sub, filter);
-                self.specs.insert(sub, SubscriptionSpec::new(expr));
+                let slot = self
+                    .table
+                    .insert(sub, SubscriptionSpec::new(expr), filter.clone());
+                self.index.insert_at(slot.index(), sub, filter);
             }
         }
         // Gated / broker-managed flags.
@@ -203,13 +271,21 @@ impl Shb {
             .iter_prefix("gated/")
             .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("gated/")?.parse().ok()?)))
             .collect();
-        self.gated.extend(gated);
+        for sub in gated {
+            if let Some(st) = self.table.slot_of(sub).and_then(|s| self.table.get_mut(s)) {
+                st.gated = true;
+            }
+        }
         let bct: Vec<SubscriberId> = self
             .meta
             .iter_prefix("bct/")
             .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("bct/")?.parse().ok()?)))
             .collect();
-        self.broker_ct.extend(bct);
+        for sub in bct {
+            if let Some(st) = self.table.slot_of(sub).and_then(|s| self.table.get_mut(s)) {
+                st.broker_ct = true;
+            }
+        }
         // latestDelivered per pubend.
         let lds: Vec<(PubendId, Timestamp)> = self
             .meta
@@ -231,7 +307,10 @@ impl Shb {
                 },
             );
         }
-        // released(s, p).
+        // released(s, p). Entries for subscribers with no live slot are
+        // dropped: they are exactly the dead (subscriber, pubend) pairs
+        // an unsubscribe-era leak would have left behind, and nothing
+        // may hold release back for a subscription that no longer exists.
         let rels: Vec<((SubscriberId, PubendId), Timestamp)> = self
             .meta
             .iter_prefix("rel/")
@@ -244,46 +323,88 @@ impl Shb {
                 ))
             })
             .collect();
-        self.released.extend(rels);
+        for ((sub, p), t) in rels {
+            if let Some(st) = self.table.slot_of(sub).and_then(|s| self.table.get_mut(s)) {
+                st.released.insert(p, t);
+            }
+        }
     }
 
     /// Number of durable subscriptions (connected or not).
     pub fn sub_count(&self) -> usize {
-        self.specs.len()
+        self.table.len()
+    }
+
+    /// Number of currently connected subscribers.
+    pub fn connected_count(&self) -> usize {
+        self.connected.len()
     }
 
     /// Number of catchup streams currently alive.
     pub fn catchup_streams(&self) -> usize {
-        self.conns.values().map(|c| c.catchup.len()).sum()
+        self.connected
+            .values()
+            .filter_map(|&i| self.table.get_at(i))
+            .filter_map(|(_, st)| st.conn.as_deref())
+            .map(|c| c.catchup.len())
+            .sum()
+    }
+
+    /// Number of parked catchup-stream records across all idle
+    /// subscribers (O(slab) — inspection only, not a gauge path).
+    pub fn parked_streams(&self) -> usize {
+        self.table.iter().map(|(_, st)| st.parked.len()).sum()
+    }
+
+    /// Approximate bytes held by the subscriber slab (see
+    /// [`SubscriberTable::approx_bytes`]).
+    pub fn slab_bytes(&self) -> usize {
+        self.table.approx_bytes()
+    }
+
+    /// Durable subscriptions with no live connection.
+    pub fn idle_subs(&self) -> usize {
+        self.table.len().saturating_sub(self.connected.len())
     }
 
     /// Current subscription set for upward interest aggregation.
     pub fn interest(&self) -> Vec<(SubscriberId, SubscriptionSpec)> {
-        self.specs
+        self.table
             .iter()
-            .map(|(&s, spec)| (s, spec.clone()))
+            .map(|(_, st)| (st.sub, st.spec.clone()))
             .collect()
     }
 
-    /// The dense slot of `sub` (assigning one if new).
-    pub fn slot(&mut self, sub: SubscriberId) -> u32 {
-        if let Some(&i) = self.slot_of.get(&sub) {
-            return i;
-        }
-        let i = self.slots.len() as u32;
-        self.slots.push(sub);
-        self.slot_of.insert(sub, i);
-        i
+    /// Edge lookup: the slab slot of `sub`, if registered.
+    pub fn slot_of_sub(&self, sub: SubscriberId) -> Option<SubSlot> {
+        self.table.slot_of(sub)
     }
 
-    /// Reverse slot lookup.
-    pub fn sub_at_slot(&self, slot: u32) -> Option<SubscriberId> {
-        self.slots.get(slot as usize).copied()
+    /// Reverse lookup by bare slab index (timer parameters): the current
+    /// slot handle and its subscriber.
+    pub fn sub_at_slot(&self, index: u32) -> Option<(SubSlot, SubscriberId)> {
+        self.table.get_at(index).map(|(slot, st)| (slot, st.sub))
+    }
+
+    /// Pubends `slot` currently has catchup streams on, ascending (the
+    /// `PubendMap` makes this order intrinsic — no sorting).
+    pub fn catchup_pubends(&self, slot: SubSlot) -> Vec<PubendId> {
+        self.table
+            .get(slot)
+            .and_then(|st| st.conn.as_deref())
+            .map(|c| c.catchup.keys().collect())
+            .unwrap_or_default()
     }
 
     /// Ensures constream state for `p` exists and returns it.
     pub fn con_entry(&mut self, p: PubendId) -> Con {
         *self.con.entry(p).or_default()
+    }
+
+    /// The live connection of `sub`, if connected (edge paths only).
+    fn conn_of_mut(&mut self, sub: SubscriberId) -> Option<&mut Conn> {
+        let slot = self.table.slot_of(sub)?;
+        self.table.get_mut(slot)?.conn.as_deref_mut()
     }
 
     // ------------------------------------------------------------------
@@ -314,29 +435,48 @@ impl Shb {
             con.processed_to
         };
         if dh > con.processed_to {
-            let events: Vec<EventRef> = cache.events_in(con.processed_to, dh).cloned().collect();
-            // Reusable scratch + output buffer: matching allocates nothing
-            // per event once both have warmed up to the index size.
+            // Reused buffers end to end — events (`Arc` clones), match
+            // slots, PFS scratch, gauge names — so the steady-state
+            // delivery path allocates nothing (pinned by
+            // core/tests/zero_alloc_deliver.rs).
+            let mut events = std::mem::take(&mut self.event_buf);
+            events.clear();
+            events.extend(cache.events_in(con.processed_to, dh).cloned());
             let mut matched = std::mem::take(&mut self.match_buf);
-            for event in events {
+            for event in &events {
                 ctx.work(config.costs.match_us);
                 self.index
-                    .matches_into(&event, &mut self.match_scratch, &mut matched);
+                    .matches_slots_into(event, &mut self.match_scratch, &mut matched);
                 if matched.is_empty() {
                     continue;
                 }
-                if self.pfs.write(p, event.ts, &matched).is_ok() {
+                // A match result is directly a slab index: the PFS
+                // resolves each slot once through the slab, not through
+                // a per-event id map.
+                let table = &self.table;
+                if self
+                    .pfs
+                    .write_slots(p, event.ts, &matched, |i| {
+                        let (slot, st) = table.get_at(i).expect("match result points at live slot");
+                        (st.sub, slot.generation())
+                    })
+                    .is_ok()
+                {
                     ctx.work(config.costs.pfs_record_us);
                 }
-                for &sub in &matched {
-                    let gated = self.gated.contains(&sub);
-                    let Some(conn) = self.conns.get_mut(&sub) else {
+                for &si in &matched {
+                    let Some((_, st)) = self.table.get_at_mut(si) else {
+                        continue;
+                    };
+                    let sub = st.sub;
+                    let gated = st.gated;
+                    let Some(conn) = st.conn.as_deref_mut() else {
                         continue; // disconnected: recovered later via PFS
                     };
-                    if conn.catchup.contains_key(&p) {
+                    if conn.catchup.contains_key(p) {
                         continue; // its catchup stream owns this range
                     }
-                    let last = conn.last_sent.entry(p).or_default();
+                    let last = conn.last_sent.get_or_default(p);
                     if event.ts <= *last {
                         continue;
                     }
@@ -353,6 +493,7 @@ impl Shb {
                 }
             }
             self.match_buf = matched;
+            self.event_buf = events;
             // The constream must advance over a contiguous prefix: the
             // gap-free watchdog (paper §4.1) checks that each advance
             // starts exactly where the previous one ended.
@@ -374,17 +515,10 @@ impl Shb {
             con.processed_to = dh;
             self.con.insert(p, con);
         }
-        record_metric!(
-            ctx,
-            names::SHB_DOUBT_WIDTH,
-            max_seen.saturating_sub(con.processed_to) as f64
-        );
+        let width = max_seen.saturating_sub(con.processed_to) as f64;
+        record_metric!(ctx, names::SHB_DOUBT_WIDTH, width);
         let node = ctx.me().0;
-        gauge_metric!(
-            ctx,
-            &format!("{}.n{node}.p{}", names::TELEMETRY_DOUBT_WIDTH_TICKS, p.0),
-            max_seen.saturating_sub(con.processed_to) as f64
-        );
+        gauge_metric!(ctx, self.gauges.doubt_width(node, p), width);
         self.update_telemetry_gauges(ctx);
         if max_seen > con.processed_to {
             cache.q_ranges(con.processed_to, max_seen)
@@ -399,31 +533,49 @@ impl Shb {
     /// Spikes when subscribers reconnect after a crash and drains to
     /// zero as streams switch over.
     pub fn catchup_backlog_ticks(&self) -> u64 {
-        self.conns
-            .values()
-            .flat_map(|conn| conn.catchup.iter())
-            .map(|(p, cu)| {
-                let cursor = self.con.get(p).map(|c| c.processed_to).unwrap_or_default();
-                cursor.saturating_sub(cu.delivered_to)
-            })
-            .sum()
+        let mut total = 0u64;
+        for (_, &si) in self.connected.iter() {
+            let Some((_, st)) = self.table.get_at(si) else {
+                continue;
+            };
+            let Some(conn) = st.conn.as_deref() else {
+                continue;
+            };
+            for (p, cu) in conn.catchup.iter() {
+                let cursor = self.con.get(&p).map(|c| c.processed_to).unwrap_or_default();
+                total += cursor.saturating_sub(cu.delivered_to);
+            }
+        }
+        total
     }
 
     /// Refreshes this SHB's telemetry gauges (DESIGN.md §13): catchup
     /// backlog and active catchup-stream count, published under this
     /// node's `.n<id>` shard suffix so several SHBs sharing one metrics
     /// sink stay distinct (the sampler derives the unsuffixed sum).
-    pub fn update_telemetry_gauges(&self, ctx: &mut dyn NodeCtx) {
+    pub fn update_telemetry_gauges(&mut self, ctx: &mut dyn NodeCtx) {
+        let backlog = self.catchup_backlog_ticks() as f64;
+        let streams = self.catchup_streams() as f64;
         let node = ctx.me().0;
+        self.gauges.ensure(node);
+        gauge_metric!(ctx, &self.gauges.backlog, backlog);
+        gauge_metric!(ctx, &self.gauges.streams, streams);
+    }
+
+    /// Publishes the slab-memory gauges (`telemetry.shb.slab_bytes`,
+    /// `telemetry.shb.bytes_per_idle_sub`, DESIGN.md §15). The byte
+    /// census is O(live subscriptions), so it rides the periodic
+    /// meta-persist timer rather than the delivery path.
+    pub fn update_memory_gauges(&mut self, ctx: &mut dyn NodeCtx) {
+        let bytes = self.table.approx_bytes();
+        let idle = self.idle_subs();
+        let node = ctx.me().0;
+        self.gauges.ensure(node);
+        gauge_metric!(ctx, &self.gauges.slab_bytes, bytes as f64);
         gauge_metric!(
             ctx,
-            &format!("{}.n{node}", names::TELEMETRY_CATCHUP_BACKLOG_TICKS),
-            self.catchup_backlog_ticks() as f64
-        );
-        gauge_metric!(
-            ctx,
-            &format!("{}.n{node}", names::TELEMETRY_CATCHUP_STREAMS),
-            self.catchup_streams() as f64
+            &self.gauges.bytes_per_idle,
+            bytes as f64 / idle.max(1) as f64
         );
     }
 
@@ -454,19 +606,16 @@ impl Shb {
     // Connections
     // ------------------------------------------------------------------
 
-    /// Handles a client connect. Returns the effective start checkpoint
-    /// (already sent to the client as `ConnectOk`) or an error string
-    /// (already sent as `ConnectErr`).
-    #[allow(clippy::too_many_arguments)]
     /// `true` when `sub` has never been registered here.
     pub fn is_new_subscription(&self, sub: SubscriberId) -> bool {
-        !self.specs.contains_key(&sub)
+        self.table.slot_of(sub).is_none()
     }
 
     /// Registers a brand-new durable subscription (filter parse +
-    /// persistence + matching-index insert) without attaching a client.
-    /// Used both by [`Shb::connect`] and by the broker when it parks a
-    /// connect while the subscription's interest propagates upstream.
+    /// persistence + slab slot + matching-index insert at the same slot)
+    /// without attaching a client. Used both by [`Shb::connect`] and by
+    /// the broker when it parks a connect while the subscription's
+    /// interest propagates upstream.
     ///
     /// # Errors
     ///
@@ -515,34 +664,37 @@ impl Shb {
         )];
         if broker_ct {
             batch.push((format!("bct/{}", sub.0), Some(vec![1])));
-            self.broker_ct.insert(sub);
         }
         // Only auto-acknowledge serializes delivery on commits; lazy
         // broker-managed subscribers stream freely.
         if broker_ct && auto_ack {
             batch.push((format!("gated/{}", sub.0), Some(vec![1])));
-            self.gated.insert(sub);
         }
+        let slot = self.table.insert(sub, spec.clone(), filter.clone());
+        self.index.insert_at(slot.index(), sub, filter);
+        let st = self.table.get_mut(slot).expect("just inserted");
+        st.broker_ct = broker_ct;
+        st.gated = broker_ct && auto_ack;
         // A new subscriber starts at the constream's delivery cursor (the
         // paper's "CT(s, p) = latestDelivered(p)" — in our split-cursor
         // design the delivery point is processed_to, with
         // latest_delivered as its durable shadow). The broker raises this
         // further with the interest-propagation floor when completing a
         // parked connect.
-        for (&p, con) in &self.con {
-            self.released.insert((sub, p), con.processed_to);
+        for (&p, con) in self.con.iter() {
+            st.released.insert(p, con.processed_to);
             batch.push((
                 format!("rel/{}/{}", sub.0, p.0),
                 Some(con.processed_to.0.to_le_bytes().to_vec()),
             ));
         }
         let _ = self.meta.commit(&batch);
-        self.index.insert(sub, filter.clone());
-        self.filters.insert(sub, filter);
-        self.specs.insert(sub, spec.clone());
         Ok(())
     }
 
+    /// Handles a client connect. Returns the catchup plans per pubend
+    /// (the `ConnectOk`/`ConnectErr` has already been sent) or an error
+    /// string.
     #[allow(clippy::too_many_arguments)]
     pub fn connect(
         &mut self,
@@ -565,27 +717,24 @@ impl Shb {
         let anywhere =
             anywhere_override.unwrap_or_else(|| self.is_new_subscription(sub) && ct.is_some());
         self.register_spec(sub, client, spec.as_ref(), broker_ct, auto_ack, ctx)?;
-        self.slot(sub);
+        let slot = self.table.slot_of(sub).expect("registered above");
 
         // Effective resumption point per pubend: the presented checkpoint,
         // else the broker-stored one (JMS), else released(s, p), else
-        // latestDelivered (fresh subscription).
+        // latestDelivered (fresh subscription). `con` is a BTreeMap, so
+        // catchup plans and CatchupStarted events are intrinsically in
+        // ascending pubend order (golden determinism, no sorting).
         let mut start = CheckpointToken::new();
         let mut plans: Vec<(PubendId, CatchupNeeds)> = Vec::new();
-        // Sorted: catchup plans and CatchupStarted events must not
-        // depend on constream-map iteration order (golden determinism).
-        let mut pubends: Vec<PubendId> = self.con.keys().copied().collect();
-        pubends.sort_unstable();
         let mut conn = Conn {
             client,
-            catchup: HashMap::new(),
-            last_sent: HashMap::new(),
+            catchup: PubendMap::new(),
+            last_sent: PubendMap::new(),
             outbox: VecDeque::new(),
             in_flight: false,
             connected_at_us: ctx.now_us(),
         };
-        for p in pubends {
-            let con = self.con_entry(p);
+        for (&p, pcon) in self.con.iter() {
             let stored_jct = self
                 .meta
                 .get_u64(&format!("jct/{}/{}", sub.0, p.0))
@@ -607,10 +756,11 @@ impl Shb {
                 // it may have been filtered upstream without this
                 // subscription's filter.
                 None => self
-                    .released
-                    .get(&(sub, p))
+                    .table
+                    .get(slot)
+                    .and_then(|st| st.released.get(p))
                     .copied()
-                    .unwrap_or(con.processed_to)
+                    .unwrap_or(pcon.processed_to)
                     .max(floors.get(&p).copied().unwrap_or(Timestamp::ZERO)),
             };
             start.advance(p, resume);
@@ -628,10 +778,12 @@ impl Shb {
             if anywhere {
                 // The migrated subscription only holds release back from
                 // its own checkpoint, not this SHB's cursor.
-                self.released.insert((sub, p), resume);
+                if let Some(st) = self.table.get_mut(slot) {
+                    st.released.insert(p, resume);
+                }
                 self.dirty_released = true;
             }
-            if resume < con.processed_to {
+            if resume < pcon.processed_to {
                 // Catchup needed. Reconnect-anywhere streams skip the PFS
                 // (no history here): mark its coverage exhausted so every
                 // unknown tick is nacked — authoritatively — instead.
@@ -674,39 +826,66 @@ impl Shb {
             client,
             gryphon_types::NetMsg::Server(ServerMsg::ConnectOk { sub, start }),
         );
-        self.conns.insert(sub, conn);
+        // Attach. Parked stream records from the previous connection are
+        // drained here: the streams above were rebuilt from the durable
+        // checkpoint protocol, so the parked positions have served their
+        // purpose (observability + bounded idle memory).
+        let st = self.table.get_mut(slot).expect("registered above");
+        let rehydrated = st.parked.len();
+        st.parked.clear();
+        st.conn = Some(Box::new(conn));
+        self.connected.insert(sub, slot.index());
+        if rehydrated > 0 {
+            ctx.count("shb.stream_rehydrations", rehydrated as f64);
+        }
         let _ = config;
         Ok(plans)
     }
 
     /// Handles a graceful disconnect (the subscription stays durable).
+    /// Active catchup streams are demoted to compact [`ParkedStream`]
+    /// records — an idle subscriber must not pin knowledge buffers.
     pub fn disconnect(&mut self, sub: SubscriberId) {
-        self.conns.remove(&sub);
+        self.connected.remove(&sub);
+        let Some(slot) = self.table.slot_of(sub) else {
+            return;
+        };
+        let Some(st) = self.table.get_mut(slot) else {
+            return;
+        };
+        if let Some(conn) = st.conn.take() {
+            let Conn { catchup, .. } = *conn;
+            for (p, cu) in catchup.into_iter() {
+                st.parked.insert(
+                    p,
+                    ParkedStream {
+                        position: cu.delivered_to,
+                        doubt_floor: cu.pfs_covered_to,
+                    },
+                );
+            }
+        }
     }
 
-    /// Destroys a durable subscription entirely.
+    /// Destroys a durable subscription entirely. The slab slot is
+    /// recycled (generation bumped), freeing every per-subscriber
+    /// structure with it — including the `released(s, p)` cursors, whose
+    /// durable twins are deleted in the same batch (no dead-pair leaks).
     pub fn unsubscribe(&mut self, sub: SubscriberId) {
-        self.conns.remove(&sub);
-        self.index.remove(sub);
-        self.filters.remove(&sub);
-        self.specs.remove(&sub);
-        self.gated.remove(&sub);
-        self.broker_ct.remove(&sub);
+        self.connected.remove(&sub);
         let mut batch = vec![
             (format!("spec/{}", sub.0), None),
             (format!("gated/{}", sub.0), None),
             (format!("bct/{}", sub.0), None),
         ];
-        let dead: Vec<PubendId> = self
-            .released
-            .keys()
-            .filter(|&&(s, _)| s == sub)
-            .map(|&(_, p)| p)
-            .collect();
-        for p in dead {
-            self.released.remove(&(sub, p));
-            batch.push((format!("rel/{}/{}", sub.0, p.0), None));
-            batch.push((format!("jct/{}/{}", sub.0, p.0), None));
+        if let Some(slot) = self.table.slot_of(sub) {
+            self.index.remove_at(slot.index());
+            if let Some(st) = self.table.remove(slot) {
+                for (p, _) in st.released.into_iter() {
+                    batch.push((format!("rel/{}/{}", sub.0, p.0), None));
+                    batch.push((format!("jct/{}/{}", sub.0, p.0), None));
+                }
+            }
         }
         let _ = self.meta.commit(&batch);
     }
@@ -714,15 +893,27 @@ impl Shb {
     /// Handles an acknowledgment: advances `released(s, p)` and, for
     /// gated (JMS) subscribers, enqueues the checkpoint commit. Returns
     /// `Some(worker)` when a commit worker should be started.
+    ///
+    /// Acknowledgments for subscriptions no longer registered here are
+    /// ignored: the release cursors live inside the slab slot, so a late
+    /// ack after an unsubscribe cannot resurrect a dead (subscriber,
+    /// pubend) pair and pin release forever.
     pub fn ack(&mut self, sub: SubscriberId, ct: &CheckpointToken) -> Option<usize> {
+        let slot = self.table.slot_of(sub)?;
+        let st = self.table.get_mut(slot).expect("slot_of returned live");
+        let mut dirty = false;
         for (p, t) in ct.iter() {
-            let e = self.released.entry((sub, p)).or_default();
+            let e = st.released.get_or_default(p);
             if t > *e {
                 *e = t;
-                self.dirty_released = true;
+                dirty = true;
             }
         }
-        if !self.broker_ct.contains(&sub) {
+        let broker_ct = st.broker_ct;
+        if dirty {
+            self.dirty_released = true;
+        }
+        if !broker_ct {
             return None;
         }
         let n = self.workers.len();
@@ -776,7 +967,7 @@ impl Shb {
             ctx.count("shb.ct_commit_updates", batch.len() as f64);
         }
         for (sub, _) in committing {
-            if let Some(conn) = self.conns.get_mut(&sub) {
+            if let Some(conn) = self.conn_of_mut(sub) {
                 conn.in_flight = false;
                 pump_outbox(conn, sub, ctx);
             }
@@ -786,32 +977,33 @@ impl Shb {
 
     /// Sends silence messages to idle connected subscribers so their
     /// checkpoint tokens keep advancing.
+    ///
+    /// Emission order is intrinsic — `connected` iterates ascending
+    /// subscriber id and `con` ascending pubend — so golden determinism
+    /// needs no ad-hoc sorting here.
     pub fn client_silence(&mut self, ctx: &mut dyn NodeCtx) {
-        // Both loops sorted: silence emission order must not depend on
-        // map iteration order (golden determinism).
-        let mut cons: Vec<(PubendId, Timestamp)> =
-            self.con.iter().map(|(&p, c)| (p, c.processed_to)).collect();
-        cons.sort_unstable_by_key(|&(p, _)| p);
-        let mut subs: Vec<SubscriberId> = self.conns.keys().copied().collect();
-        subs.sort_unstable();
-        for sub in &subs {
-            if self.gated.contains(sub) {
-                continue; // gated subscribers advance via their own acks
-            }
-            let Some(conn) = self.conns.get_mut(sub) else {
+        for (&sub, &si) in self.connected.iter() {
+            let Some((_, st)) = self.table.get_at_mut(si) else {
                 continue;
             };
-            for &(p, processed) in &cons {
-                if conn.catchup.contains_key(&p) {
+            if st.gated {
+                continue; // gated subscribers advance via their own acks
+            }
+            let Some(conn) = st.conn.as_deref_mut() else {
+                continue;
+            };
+            for (&p, c) in self.con.iter() {
+                let processed = c.processed_to;
+                if conn.catchup.contains_key(p) {
                     continue;
                 }
-                let last = conn.last_sent.entry(p).or_default();
+                let last = conn.last_sent.get_or_default(p);
                 if *last < processed {
                     *last = processed;
                     ctx.send(
                         conn.client,
                         gryphon_types::NetMsg::Server(ServerMsg::Deliver {
-                            sub: *sub,
+                            sub,
                             msg: DeliveryMsg {
                                 pubend: p,
                                 kind: DeliveryKind::Silence(processed),
@@ -824,22 +1016,22 @@ impl Shb {
     }
 
     /// Persists dirty `released(s, p)` values (the paper's periodic
-    /// 250 ms updates).
+    /// 250 ms updates). The batch iterates the slab in slot order — a
+    /// deterministic commit layout.
     pub fn meta_persist(&mut self, ctx: &mut dyn NodeCtx) {
         if !self.dirty_released {
             return;
         }
         self.dirty_released = false;
-        let batch: Vec<(String, Option<Vec<u8>>)> = self
-            .released
-            .iter()
-            .map(|(&(s, p), &t)| {
-                (
-                    format!("rel/{}/{}", s.0, p.0),
+        let mut batch: Vec<(String, Option<Vec<u8>>)> = Vec::new();
+        for (_, st) in self.table.iter() {
+            for (p, &t) in st.released.iter() {
+                batch.push((
+                    format!("rel/{}/{}", st.sub.0, p.0),
                     Some(t.0.to_le_bytes().to_vec()),
-                )
-            })
-            .collect();
+                ));
+            }
+        }
         if self.meta.commit(&batch).is_err() {
             ctx.count("shb.meta_err", 1.0);
         }
@@ -852,10 +1044,9 @@ impl Shb {
             .get(&p)
             .map(|c| c.latest_delivered)
             .unwrap_or(Timestamp::ZERO);
-        self.released
+        self.table
             .iter()
-            .filter(|(&(_, rp), _)| rp == p)
-            .map(|(_, &t)| t)
+            .filter_map(|(_, st)| st.released.get(p).copied())
             .fold(ld, Timestamp::min)
     }
 
@@ -888,30 +1079,37 @@ impl Shb {
     /// read is needed.
     pub fn start_pfs_read(
         &mut self,
-        sub: SubscriberId,
+        slot: SubSlot,
         p: PubendId,
         buffer: usize,
     ) -> Option<(usize, usize, bool)> {
         let ld = self.con_entry(p).latest_delivered;
-        let cu = self
-            .conns
-            .get_mut(&sub)
-            .and_then(|c| c.catchup.get_mut(&p))?;
-        if cu.reading {
-            return None;
-        }
-        let from = cu.pfs_covered_to.max(cu.delivered_to);
-        if from >= ld {
-            return None;
-        }
-        cu.reading = true;
-        let result = self.pfs.read(p, sub, from, ld, buffer).ok()?;
+        let (sub, from) = {
+            let st = self.table.get_mut(slot)?;
+            let sub = st.sub;
+            let cu = st.conn.as_deref_mut()?.catchup.get_mut(p)?;
+            if cu.reading {
+                return None;
+            }
+            let from = cu.pfs_covered_to.max(cu.delivered_to);
+            if from >= ld {
+                return None;
+            }
+            cu.reading = true;
+            (sub, from)
+        };
+        let result = self.pfs.read_slot(p, slot, sub, from, ld, buffer).ok()?;
         let visited = result.records_visited;
         let q_ticks = result.q_ticks.len();
         let full = result.full_read;
-        // Re-borrow to stash the result (pfs and conns are disjoint
+        // Re-borrow to stash the result (pfs and the slab are disjoint
         // fields, but the `cu` borrow had to end before the read).
-        if let Some(cu) = self.conns.get_mut(&sub).and_then(|c| c.catchup.get_mut(&p)) {
+        if let Some(cu) = self
+            .table
+            .get_mut(slot)
+            .and_then(|st| st.conn.as_deref_mut())
+            .and_then(|c| c.catchup.get_mut(p))
+        {
             cu.pending_read = Some(result);
         }
         Some((visited, q_ticks, full))
@@ -919,8 +1117,13 @@ impl Shb {
 
     /// Applies the stored read result when its latency timer fires;
     /// returns `true` if there was one.
-    pub fn finish_pfs_read(&mut self, sub: SubscriberId, p: PubendId) -> bool {
-        let Some(cu) = self.conns.get_mut(&sub).and_then(|c| c.catchup.get_mut(&p)) else {
+    pub fn finish_pfs_read(&mut self, slot: SubSlot, p: PubendId) -> bool {
+        let Some(cu) = self
+            .table
+            .get_mut(slot)
+            .and_then(|st| st.conn.as_deref_mut())
+            .and_then(|c| c.catchup.get_mut(p))
+        else {
             return false;
         };
         let Some(result) = cu.pending_read.take() else {
@@ -945,23 +1148,25 @@ impl Shb {
 
     /// Applies arriving knowledge parts to every catchup stream of `p`,
     /// filtered per subscriber (a data tick that does not match becomes
-    /// silence for that stream).
-    pub fn distribute_to_catchup(
-        &mut self,
-        p: PubendId,
-        parts: &[KnowledgePart],
-    ) -> Vec<SubscriberId> {
+    /// silence for that stream). Returns the touched slots in ascending
+    /// subscriber-id order (intrinsic — `connected` is a `BTreeMap`).
+    pub fn distribute_to_catchup(&mut self, p: PubendId, parts: &[KnowledgePart]) -> Vec<SubSlot> {
         let mut touched = Vec::new();
-        for (&sub, conn) in self.conns.iter_mut() {
-            let Some(cu) = conn.catchup.get_mut(&p) else {
+        for (_, &si) in self.connected.iter() {
+            let Some((slot, st)) = self.table.get_at_mut(si) else {
                 continue;
             };
-            let filter = self.filters.get(&sub);
+            let filter = &st.filter;
+            let Some(conn) = st.conn.as_deref_mut() else {
+                continue;
+            };
+            let Some(cu) = conn.catchup.get_mut(p) else {
+                continue;
+            };
             for part in parts {
                 match part {
                     KnowledgePart::Data(e) => {
-                        let matches = filter.map(|f| f.eval(e)).unwrap_or(false);
-                        if matches {
+                        if filter.eval(e) {
                             cu.knowledge.set_data(e.clone());
                         } else {
                             cu.knowledge.set_silence(e.ts, e.ts);
@@ -975,7 +1180,7 @@ impl Shb {
                     }
                 }
             }
-            touched.push(sub);
+            touched.push(slot);
         }
         touched
     }
@@ -984,29 +1189,29 @@ impl Shb {
     /// detects switchover, and reports holes / read needs.
     pub fn catchup_progress(
         &mut self,
-        sub: SubscriberId,
+        slot: SubSlot,
         p: PubendId,
         config: &BrokerConfig,
         ctx: &mut dyn NodeCtx,
     ) -> CatchupNeeds {
         let mut needs = CatchupNeeds::default();
         let con = self.con_entry(p);
-        let gated = self.gated.contains(&sub);
+        let Some(st) = self.table.get_mut(slot) else {
+            return needs;
+        };
+        let sub = st.sub;
+        let gated = st.gated;
         // Flow control (paper §4.1): catchup delivery and nack initiation
         // are bounded to a window beyond what the client has acknowledged,
         // so a reconnecting client is never overwhelmed and the SHB's
         // catchup work is paced by real consumption.
-        let acked = self
-            .released
-            .get(&(sub, p))
-            .copied()
-            .unwrap_or(Timestamp::ZERO);
+        let acked = st.released.get(p).copied().unwrap_or(Timestamp::ZERO);
         let pace_limit = acked + config.catchup_window_ticks;
-        let Some(conn) = self.conns.get_mut(&sub) else {
+        let Some(conn) = st.conn.as_deref_mut() else {
             return needs;
         };
         // Detach the stream so deliveries can borrow the connection.
-        let Some(mut cu) = conn.catchup.remove(&p) else {
+        let Some(mut cu) = conn.catchup.remove(p) else {
             return needs;
         };
         // 1. Deliver everything already known, in timestamp order — but
@@ -1128,10 +1333,15 @@ impl Shb {
     }
 
     /// Restores volatile invariants after the owning broker crashed:
-    /// every connection is gone; constreams resume from the durable
-    /// `latestDelivered`.
+    /// every connection (and every parked-stream record — they are
+    /// volatile observability state, rebuilt from durable checkpoints)
+    /// is gone; constreams resume from the durable `latestDelivered`.
     pub fn post_restart(&mut self) {
-        self.conns.clear();
+        self.connected.clear();
+        for (_, st) in self.table.iter_mut() {
+            st.conn = None;
+            st.parked.clear();
+        }
         for worker in &mut self.workers {
             worker.queue.clear();
             worker.committing.clear();

@@ -11,7 +11,8 @@ use super::{Broker, Shb};
 use crate::timer::{self, Kind};
 use gryphon_sim::{names, observe_metric, trace_event, NodeCtx, TraceEvent};
 use gryphon_types::{
-    CheckpointToken, ClientMsg, NodeId, PubendId, SubscriberId, SubscriptionSpec, Timestamp,
+    CheckpointToken, ClientMsg, NodeId, PubendId, SubSlot, SubscriberId, SubscriptionSpec,
+    Timestamp,
 };
 use std::collections::HashMap;
 
@@ -50,7 +51,7 @@ impl Broker {
     /// may hold knowledge filtered without this subscription.
     pub(crate) fn resolve_for_catchup(
         &mut self,
-        sub: SubscriberId,
+        slot: SubSlot,
         p: PubendId,
         holes: Vec<(Timestamp, Timestamp)>,
         needs_authoritative: bool,
@@ -71,10 +72,10 @@ impl Broker {
             if let Some(shb) = self.shb.state.as_mut() {
                 // Feed only this subscriber's stream; other streams will
                 // pull the same ranges when they need them.
-                let filtered: Vec<SubscriberId> = shb
+                let filtered: Vec<SubSlot> = shb
                     .distribute_to_catchup(p, &local_parts)
                     .into_iter()
-                    .filter(|&s| s == sub)
+                    .filter(|&s| s == slot)
                     .collect();
                 let _ = filtered;
             }
@@ -83,12 +84,12 @@ impl Broker {
     }
 
     /// Runs one catchup stream forward and services its needs.
-    pub(crate) fn drive_catchup(&mut self, sub: SubscriberId, p: PubendId, ctx: &mut dyn NodeCtx) {
+    pub(crate) fn drive_catchup(&mut self, slot: SubSlot, p: PubendId, ctx: &mut dyn NodeCtx) {
         let needs = {
             let Some(shb) = self.shb.state.as_mut() else {
                 return;
             };
-            let needs = shb.catchup_progress(sub, p, &self.config, ctx);
+            let needs = shb.catchup_progress(slot, p, &self.config, ctx);
             shb.update_telemetry_gauges(ctx);
             needs
         };
@@ -97,11 +98,11 @@ impl Broker {
             return;
         }
         if !needs.holes.is_empty() {
-            self.resolve_for_catchup(sub, p, needs.holes.clone(), needs.authoritative, ctx);
+            self.resolve_for_catchup(slot, p, needs.holes.clone(), needs.authoritative, ctx);
             // Local answers may have unblocked delivery immediately.
             let again = {
                 let shb = self.shb.state.as_mut().expect("checked");
-                let again = shb.catchup_progress(sub, p, &self.config, ctx);
+                let again = shb.catchup_progress(slot, p, &self.config, ctx);
                 shb.update_telemetry_gauges(ctx);
                 again
             };
@@ -110,30 +111,28 @@ impl Broker {
                 return;
             }
             if again.want_read || needs.want_read {
-                self.schedule_pfs_read(sub, p, ctx);
+                self.schedule_pfs_read(slot, p, ctx);
             }
             self.nack_upstream(p, again.holes, needs.authoritative, ctx);
             return;
         }
         if needs.want_read {
-            self.schedule_pfs_read(sub, p, ctx);
+            self.schedule_pfs_read(slot, p, ctx);
         }
     }
 
-    pub(crate) fn schedule_pfs_read(
-        &mut self,
-        sub: SubscriberId,
-        p: PubendId,
-        ctx: &mut dyn NodeCtx,
-    ) {
+    pub(crate) fn schedule_pfs_read(&mut self, slot: SubSlot, p: PubendId, ctx: &mut dyn NodeCtx) {
         let Some(shb) = self.shb.state.as_mut() else {
             return;
         };
         let buffer = self.config.catchup_read_buffer;
-        let Some((visited, q_ticks, full)) = shb.start_pfs_read(sub, p, buffer) else {
+        let Some((visited, q_ticks, full)) = shb.start_pfs_read(slot, p, buffer) else {
             return;
         };
-        let slot = shb.slot(sub);
+        let sub = shb
+            .sub_at_slot(slot.index())
+            .map(|(_, s)| s)
+            .unwrap_or(SubscriberId(0));
         ctx.work(self.config.costs.pfs_read_record_us * visited as u64);
         ctx.count("shb.pfs_reads", 1.0);
         if full {
@@ -153,9 +152,15 @@ impl Broker {
         observe_metric!(ctx, names::PFS_BATCH_READ_QTICKS, q_ticks as f64);
         let latency =
             self.config.pfs_read_base_us + self.config.pfs_read_per_record_us * visited as u64;
+        // The timer parameter carries only the bare slab index (32 bits —
+        // no room for the generation). If the slot is recycled before the
+        // timer fires, the new tenant's own pending read (if any) is
+        // applied slightly early — a harmless, deterministic outcome —
+        // and otherwise `finish_pfs_read` finds no pending read and
+        // no-ops.
         ctx.set_timer(
             latency,
-            timer::pack(Kind::CatchupRead, self.epoch, p.0 as u16, slot),
+            timer::pack(Kind::CatchupRead, self.epoch, p.0 as u16, slot.index()),
         );
     }
 
@@ -269,9 +274,14 @@ impl Broker {
         let Ok(plans) = plans else {
             return;
         };
+        // Edge boundary: resolve the id → slot mapping once; everything
+        // below carries the slot.
+        let Some(slot) = self.shb.state.as_ref().and_then(|s| s.slot_of_sub(sub)) else {
+            return;
+        };
         let had_plans = !plans.is_empty();
         for (p, _) in plans {
-            self.drive_catchup(sub, p, ctx);
+            self.drive_catchup(slot, p, ctx);
         }
         if had_plans {
             ctx.count("shb.reconnect_catchups", 1.0);
@@ -350,15 +360,17 @@ impl Broker {
                 }
                 // The acknowledgment may have opened the flow-control
                 // window of this subscriber's catchup streams.
-                let catching_up: Vec<PubendId> = self
-                    .shb
-                    .state
-                    .as_ref()
-                    .and_then(|s| s.conns.get(&sub))
-                    .map(|c| c.catchup.keys().copied().collect())
-                    .unwrap_or_default();
-                for p in catching_up {
-                    self.drive_catchup(sub, p, ctx);
+                let slot = self.shb.state.as_ref().and_then(|s| s.slot_of_sub(sub));
+                if let Some(slot) = slot {
+                    let catching_up = self
+                        .shb
+                        .state
+                        .as_ref()
+                        .map(|s| s.catchup_pubends(slot))
+                        .unwrap_or_default();
+                    for p in catching_up {
+                        self.drive_catchup(slot, p, ctx);
+                    }
                 }
             }
             ClientMsg::Disconnect { sub } => {
@@ -386,17 +398,22 @@ impl Broker {
 
     /// A PFS batch read's modeled latency elapsed: apply it and keep the
     /// catchup stream moving.
-    pub(crate) fn on_catchup_read(&mut self, p: PubendId, slot: u32, ctx: &mut dyn NodeCtx) {
-        let sub = self.shb.state.as_ref().and_then(|s| s.sub_at_slot(slot));
-        if let Some(sub) = sub {
+    pub(crate) fn on_catchup_read(&mut self, p: PubendId, index: u32, ctx: &mut dyn NodeCtx) {
+        let slot = self
+            .shb
+            .state
+            .as_ref()
+            .and_then(|s| s.sub_at_slot(index))
+            .map(|(slot, _)| slot);
+        if let Some(slot) = slot {
             let applied = self
                 .shb
                 .state
                 .as_mut()
                 .expect("checked")
-                .finish_pfs_read(sub, p);
+                .finish_pfs_read(slot, p);
             if applied {
-                self.drive_catchup(sub, p, ctx);
+                self.drive_catchup(slot, p, ctx);
             }
         }
     }

@@ -139,11 +139,13 @@ fn constream_delivers_matching_events_and_records_pfs() {
         .map(|&(_, _, t)| t)
         .collect();
     assert_eq!(events, vec![5, 9]);
-    // PFS recorded both matched ticks.
+    // PFS recorded both matched ticks (the constream writes slot-keyed,
+    // so the oracle reads slot-keyed too).
     shb.pfs.sync().unwrap();
+    let slot = shb.slot_of_sub(SubscriberId(1)).expect("registered");
     let r = shb
         .pfs
-        .read(P, SubscriberId(1), Timestamp::ZERO, Timestamp(12), 10)
+        .read_slot(P, slot, SubscriberId(1), Timestamp::ZERO, Timestamp(12), 10)
         .unwrap();
     assert_eq!(r.q_ticks, vec![Timestamp(5), Timestamp(9)]);
     // The cursor advanced to the doubt horizon.
@@ -222,14 +224,14 @@ fn reconnect_with_checkpoint_creates_catchup_and_switches_over() {
     assert_eq!(shb.catchup_streams(), 1);
 
     // PFS read → apply → progress: the Q ticks become nack holes.
-    let (visited, q_ticks, full) = shb
-        .start_pfs_read(SubscriberId(1), P, 100)
-        .expect("read needed");
+    // Interior paths carry the slab slot, resolved once at the edge.
+    let slot = shb.slot_of_sub(SubscriberId(1)).expect("registered");
+    let (visited, q_ticks, full) = shb.start_pfs_read(slot, P, 100).expect("read needed");
     assert!(visited > 0);
     assert_eq!(q_ticks, 3, "one matching Q tick per recovered event");
     assert!(full, "small history fits the buffer");
-    assert!(shb.finish_pfs_read(SubscriberId(1), P));
-    let needs = shb.catchup_progress(SubscriberId(1), P, &config, &mut ctx);
+    assert!(shb.finish_pfs_read(slot, P));
+    let needs = shb.catchup_progress(slot, P, &config, &mut ctx);
     assert!(!needs.switched);
     assert_eq!(
         needs.holes,
@@ -248,7 +250,7 @@ fn reconnect_with_checkpoint_creates_catchup_and_switches_over() {
             .build_ref(Timestamp(t));
         shb.distribute_to_catchup(P, &[gryphon_types::KnowledgePart::Data(e)]);
     }
-    let needs = shb.catchup_progress(SubscriberId(1), P, &config, &mut ctx);
+    let needs = shb.catchup_progress(slot, P, &config, &mut ctx);
     assert!(needs.switched, "caught up to processed_to");
     assert_eq!(shb.catchup_streams(), 0);
     let events: Vec<u64> = ctx
@@ -296,7 +298,8 @@ fn catchup_delivery_is_paced_by_acknowledgments() {
             },
         ],
     );
-    let needs = shb.catchup_progress(SubscriberId(1), P, &config, &mut ctx);
+    let slot = shb.slot_of_sub(SubscriberId(1)).expect("registered");
+    let needs = shb.catchup_progress(slot, P, &config, &mut ctx);
     assert!(!needs.switched, "flow control must hold delivery back");
     // Nothing beyond acked(1) + window(10) was delivered.
     let max_ts = ctx
@@ -311,7 +314,7 @@ fn catchup_delivery_is_paced_by_acknowledgments() {
         SubscriberId(1),
         &CheckpointToken::from_pairs([(P, Timestamp(95))]),
     );
-    let needs = shb.catchup_progress(SubscriberId(1), P, &config, &mut ctx);
+    let needs = shb.catchup_progress(slot, P, &config, &mut ctx);
     assert!(needs.switched);
     let events: Vec<u64> = ctx
         .deliveries(CLIENT)
@@ -402,13 +405,84 @@ fn post_restart_resumes_from_durable_cursor() {
     assert_eq!(shb.con_entry(P).processed_to, Timestamp(10));
     assert_eq!(shb.released_local(P), Timestamp(8));
     assert_eq!(shb.sub_count(), 1, "subscription survived");
-    assert_eq!(shb.conns.len(), 0, "connections did not");
+    assert_eq!(shb.connected_count(), 0, "connections did not");
     // The PFS chains survived too.
     let r = shb
         .pfs
         .read(P, SubscriberId(1), Timestamp::ZERO, Timestamp(10), 10)
         .unwrap();
     assert_eq!(r.q_ticks, vec![Timestamp(4), Timestamp(8)]);
+}
+
+#[test]
+fn teardown_frees_released_state_for_dead_pairs() {
+    let (mut shb, config, mut ctx) = fresh_shb();
+    let (cache, upto) = cache_with(&[2, 6], 10);
+    connect(&mut shb, &mut ctx, 1, None, &config);
+    connect(&mut shb, &mut ctx, 2, None, &config);
+    shb.constream_advance(P, &cache, upto, &config, &mut ctx);
+    shb.pfs_sync(&mut ctx);
+    shb.ack(
+        SubscriberId(1),
+        &CheckpointToken::from_pairs([(P, Timestamp(9))]),
+    );
+    shb.ack(
+        SubscriberId(2),
+        &CheckpointToken::from_pairs([(P, Timestamp(3))]),
+    );
+    assert_eq!(shb.released_local(P), Timestamp(3));
+    shb.unsubscribe(SubscriberId(2));
+    // The dead (sub 2, P) pair must not hold release back...
+    assert_eq!(shb.released_local(P), Timestamp(9));
+    // ...and a straggler ack for it must not resurrect the pair (the
+    // pre-slab `released` map leaked exactly this way).
+    assert_eq!(
+        shb.ack(
+            SubscriberId(2),
+            &CheckpointToken::from_pairs([(P, Timestamp(4))])
+        ),
+        None
+    );
+    assert_eq!(shb.released_local(P), Timestamp(9));
+    assert_eq!(shb.sub_count(), 1);
+    // Nor does the durable table keep rel/ rows for the dead pair: a
+    // reopened SHB sees only sub 1's cursor.
+    shb.meta_persist(&mut ctx);
+    assert!(shb.meta.iter_prefix("rel/2/").next().is_none());
+}
+
+#[test]
+fn disconnect_parks_catchup_streams_and_reconnect_drains_them() {
+    let (mut shb, config, mut ctx) = fresh_shb();
+    connect(&mut shb, &mut ctx, 1, None, &config);
+    let (cache, upto) = cache_with(&[5, 9], 20);
+    shb.constream_advance(P, &cache, upto, &config, &mut ctx);
+    shb.pfs_sync(&mut ctx);
+    shb.disconnect(SubscriberId(1));
+    // Reconnect mid-catchup, then disconnect with the stream still open:
+    // it must demote to a compact parked record, not a live stream.
+    connect(
+        &mut shb,
+        &mut ctx,
+        1,
+        Some(CheckpointToken::from_pairs([(P, Timestamp(4))])),
+        &config,
+    );
+    assert_eq!(shb.catchup_streams(), 1);
+    shb.disconnect(SubscriberId(1));
+    assert_eq!(shb.catchup_streams(), 0, "no live stream while idle");
+    assert_eq!(shb.parked_streams(), 1, "parked record kept instead");
+    // Reconnect rehydrates from the durable checkpoint protocol and
+    // drains the parked record.
+    connect(
+        &mut shb,
+        &mut ctx,
+        1,
+        Some(CheckpointToken::from_pairs([(P, Timestamp(4))])),
+        &config,
+    );
+    assert_eq!(shb.parked_streams(), 0);
+    assert_eq!(shb.catchup_streams(), 1);
 }
 
 #[test]

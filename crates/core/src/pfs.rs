@@ -42,7 +42,7 @@ use gryphon_storage::{
     LogIndex, LogVolume, MediaFactory, MetaTable, StorageError, StreamId, TableConfig,
     VolumeConfig, VolumeStats,
 };
-use gryphon_types::{PubendId, SubscriberId, Timestamp};
+use gryphon_types::{PubendId, SubSlot, SubscriberId, Timestamp};
 use std::collections::{BTreeMap, HashMap};
 
 const IMPRECISE_FLAG: u64 = 1 << 63;
@@ -86,6 +86,15 @@ struct PendingWindow {
     subs: BTreeMap<SubscriberId, LogIndex>,
 }
 
+/// Newest backpointer-chain head for one slab slot (the dense-index
+/// mirror of `lastIndex(s)` used by the slot-keyed hot path).
+#[derive(Debug, Clone, Copy)]
+struct SlotHead {
+    generation: u32,
+    idx: LogIndex,
+    ts: Timestamp,
+}
+
 /// The Persistent Filtering Subsystem of one SHB.
 ///
 /// # Examples
@@ -124,6 +133,15 @@ pub struct Pfs {
     floor: HashMap<PubendId, Timestamp>,
     /// Imprecise-mode buffered window per pubend.
     pending: HashMap<PubendId, PendingWindow>,
+    /// pubend → dense per-slab-slot chain heads, generation-stamped.
+    /// Purely an in-memory accelerator over `last_index`: misses (slot
+    /// recycled, post-recovery, chopped) fall back to the id-keyed map.
+    slot_heads: HashMap<PubendId, Vec<Option<SlotHead>>>,
+    /// Reusable write-path buffers (the constream hot path must not
+    /// allocate per event).
+    scratch_pairs: Vec<(SubscriberId, LogIndex)>,
+    scratch_gens: Vec<u32>,
+    scratch_data: Vec<u8>,
 }
 
 impl std::fmt::Debug for Pfs {
@@ -166,6 +184,10 @@ impl Pfs {
             ts_index: HashMap::new(),
             floor: HashMap::new(),
             pending: HashMap::new(),
+            slot_heads: HashMap::new(),
+            scratch_pairs: Vec::new(),
+            scratch_gens: Vec::new(),
+            scratch_data: Vec::new(),
         };
         pfs.rebuild()?;
         Ok(pfs)
@@ -260,6 +282,91 @@ impl Pfs {
         Ok(())
     }
 
+    /// Slot-keyed variant of [`Pfs::write`] for the SHB's constream hot
+    /// path: `slots` are slab indices (a match result), and `resolve`
+    /// maps one to its `(SubscriberId, generation)` via the slab.
+    ///
+    /// The backpointer for each slot comes from a dense generation-stamped
+    /// head vector — no per-subscriber hash lookup per event. A
+    /// generation miss (slot recycled since the last write, or freshly
+    /// recovered) falls back to the id-keyed `lastIndex` map. Replays at
+    /// or below `lastTimestamp(p)` return without touching anything, so
+    /// crash-recovery re-processing is allocation-free.
+    ///
+    /// Do not interleave the id-keyed [`Pfs::write`]/[`Pfs::read`] pair
+    /// and the slot-keyed pair on the same pubend within one run:
+    /// `write_slots` maintains only the slot heads (the id-keyed
+    /// `lastIndex` map is rebuilt from the log on recovery), and a plain
+    /// `write` would leave the slot heads stale. The id-keyed pair
+    /// remains for the microbenchmarks and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying volume fails.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts a non-empty slot list.
+    pub fn write_slots(
+        &mut self,
+        p: PubendId,
+        ts: Timestamp,
+        slots: &[u32],
+        resolve: impl Fn(u32) -> (SubscriberId, u32),
+    ) -> Result<(), StorageError> {
+        debug_assert!(!slots.is_empty(), "PFS write with no matching slots");
+        if self.last_timestamp.get(&p).is_some_and(|&lt| ts <= lt) {
+            return Ok(()); // idempotent replay after recovery
+        }
+        if let PfsMode::Imprecise { .. } = self.mode {
+            // Imprecise windows buffer by subscriber id; resolve and
+            // delegate (this mode is off the hot path).
+            let subs: Vec<SubscriberId> = slots.iter().map(|&si| resolve(si).0).collect();
+            return self.write(p, ts, &subs);
+        }
+        let mut pairs = std::mem::take(&mut self.scratch_pairs);
+        let mut gens = std::mem::take(&mut self.scratch_gens);
+        let mut data = std::mem::take(&mut self.scratch_data);
+        pairs.clear();
+        gens.clear();
+        let heads = self.slot_heads.entry(p).or_default();
+        let max = slots.iter().copied().max().unwrap_or(0) as usize;
+        if heads.len() <= max {
+            heads.resize(max + 1, None);
+        }
+        for &si in slots {
+            let (sub, generation) = resolve(si);
+            let prev = match heads[si as usize] {
+                Some(h) if h.generation == generation => h.idx,
+                _ => self
+                    .last_index
+                    .get(&(p, sub))
+                    .map(|&(i, _)| i)
+                    .unwrap_or(LogIndex::NONE),
+            };
+            pairs.push((sub, prev));
+            gens.push(generation);
+        }
+        encode_record_into(&mut data, ts, ts, &pairs);
+        let idx = self.volume.append(stream_for(p), &data)?;
+        for (&si, &generation) in slots.iter().zip(gens.iter()) {
+            heads[si as usize] = Some(SlotHead {
+                generation,
+                idx,
+                ts,
+            });
+        }
+        self.last_timestamp
+            .entry(p)
+            .and_modify(|lt| *lt = (*lt).max(ts))
+            .or_insert(ts);
+        self.ts_index.entry(p).or_default().insert(ts, idx);
+        self.scratch_pairs = pairs;
+        self.scratch_gens = gens;
+        self.scratch_data = data;
+        Ok(())
+    }
+
     fn emit_record(
         &mut self,
         p: PubendId,
@@ -326,12 +433,51 @@ impl Pfs {
         to: Timestamp,
         max_q: usize,
     ) -> Result<PfsReadResult, StorageError> {
+        let head = self.last_index.get(&(p, sub)).map(|&(i, _)| i);
+        self.read_walk(p, sub, head, from, to, max_q)
+    }
+
+    /// Slot-keyed variant of [`Pfs::read`]: starts the backpointer walk
+    /// from the slab slot's cached chain head when its generation still
+    /// matches, falling back to the id-keyed `lastIndex` map otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying volume fails.
+    pub fn read_slot(
+        &mut self,
+        p: PubendId,
+        slot: SubSlot,
+        sub: SubscriberId,
+        from: Timestamp,
+        to: Timestamp,
+        max_q: usize,
+    ) -> Result<PfsReadResult, StorageError> {
+        let head = self
+            .slot_heads
+            .get(&p)
+            .and_then(|hs| hs.get(slot.index() as usize).copied().flatten())
+            .filter(|h| h.generation == slot.generation())
+            .map(|h| h.idx)
+            .or_else(|| self.last_index.get(&(p, sub)).map(|&(i, _)| i));
+        self.read_walk(p, sub, head, from, to, max_q)
+    }
+
+    fn read_walk(
+        &mut self,
+        p: PubendId,
+        sub: SubscriberId,
+        head: Option<LogIndex>,
+        from: Timestamp,
+        to: Timestamp,
+        max_q: usize,
+    ) -> Result<PfsReadResult, StorageError> {
         let max_q = max_q.max(1); // a zero-sized buffer still reads one tick
         let floor = self.floor.get(&p).copied().unwrap_or(Timestamp::ZERO);
         let mut known_from = from.max(floor);
         let mut collected: Vec<Timestamp> = Vec::new(); // newest → oldest
         let mut visited = 0usize;
-        let mut cursor = self.last_index.get(&(p, sub)).map(|&(i, _)| i);
+        let mut cursor = head;
         let stream = stream_for(p);
         while let Some(idx) = cursor {
             if idx == LogIndex::NONE {
@@ -421,9 +567,19 @@ impl Pfs {
         self.volume.chop(stream_for(p), boundary)?;
         // Prune subscribers whose entire chain (on this pubend) is gone:
         // their newest record was below the chop, so every surviving tick
-        // is S for them — exactly what an absent last_index means.
+        // is S for them — exactly what an absent last_index means. The
+        // slot heads mirror that: a head pointing below the chop must be
+        // cleared, or a later read would walk into chopped records and
+        // report undetermined instead of all-silence.
         self.last_index
             .retain(|&(rp, _), &mut (_, ts)| rp != p || ts >= below);
+        if let Some(heads) = self.slot_heads.get_mut(&p) {
+            for h in heads.iter_mut() {
+                if h.is_some_and(|sh| sh.ts < below) {
+                    *h = None;
+                }
+            }
+        }
         self.floor.insert(p, new_floor);
         self.meta.put_u64(&format!("floor/{}", p.0), new_floor.0)?;
         Ok(())
@@ -451,8 +607,21 @@ struct Record {
 }
 
 fn encode_record(start: Timestamp, end: Timestamp, pairs: &[(SubscriberId, LogIndex)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_record_into(&mut out, start, end, pairs);
+    out
+}
+
+/// Encodes into a caller-owned buffer so the hot path can reuse it.
+fn encode_record_into(
+    out: &mut Vec<u8>,
+    start: Timestamp,
+    end: Timestamp,
+    pairs: &[(SubscriberId, LogIndex)],
+) {
     let imprecise = end != start;
-    let mut out = Vec::with_capacity(8 + 16 * pairs.len() + if imprecise { 8 } else { 0 });
+    out.clear();
+    out.reserve(8 + 16 * pairs.len() + if imprecise { 8 } else { 0 });
     if imprecise {
         out.extend_from_slice(&(start.0 | IMPRECISE_FLAG).to_le_bytes());
         out.extend_from_slice(&end.0.to_le_bytes());
@@ -463,7 +632,6 @@ fn encode_record(start: Timestamp, end: Timestamp, pairs: &[(SubscriberId, LogIn
         out.extend_from_slice(&s.0.to_le_bytes());
         out.extend_from_slice(&prev.0.to_le_bytes());
     }
-    out
 }
 
 fn decode_record(data: &[u8]) -> Result<Record, StorageError> {
@@ -709,6 +877,123 @@ mod tests {
         assert_eq!(rec.start, Timestamp(9));
         assert_eq!(rec.end, Timestamp(9));
         assert_eq!(rec.subs, pairs);
+    }
+
+    #[test]
+    fn slot_writes_match_id_writes_and_survive_recycle() {
+        let (_f, mut pfs) = fresh(PfsMode::Precise);
+        // Slot 0 = S1 (gen 0), slot 1 = S2 (gen 0).
+        let resolve = |si: u32| (SubscriberId(si as u64 + 1), 0u32);
+        pfs.write_slots(P, Timestamp(1), &[0, 1], resolve).unwrap();
+        pfs.write_slots(P, Timestamp(3), &[1], resolve).unwrap();
+        pfs.write_slots(P, Timestamp(4), &[0], resolve).unwrap();
+        pfs.sync().unwrap();
+        let slot0 = SubSlot::new(0, 0);
+        let r = pfs
+            .read_slot(P, slot0, S1, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
+        assert_eq!(r.q_ticks, vec![Timestamp(1), Timestamp(4)]);
+        // Recycle slot 0 to a new subscriber (generation bump): its chain
+        // must start fresh, not chain onto S1's records.
+        let resolve2 = |si: u32| {
+            if si == 0 {
+                (SubscriberId(9), 1u32)
+            } else {
+                (SubscriberId(si as u64 + 1), 0u32)
+            }
+        };
+        pfs.write_slots(P, Timestamp(7), &[0], resolve2).unwrap();
+        pfs.sync().unwrap();
+        let r = pfs
+            .read_slot(
+                P,
+                SubSlot::new(0, 1),
+                SubscriberId(9),
+                Timestamp::ZERO,
+                Timestamp(10),
+                100,
+            )
+            .unwrap();
+        assert_eq!(r.q_ticks, vec![Timestamp(7)]);
+        // A stale handle to the old tenant sees nothing in-run (the dead
+        // chain is unreachable, exactly like an unsubscribed id).
+        let r = pfs
+            .read_slot(P, slot0, S1, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
+        assert!(r.q_ticks.is_empty());
+    }
+
+    #[test]
+    fn recovery_rebuilds_id_chains_from_slot_writes() {
+        let f = MemFactory::new();
+        {
+            let mut pfs = Pfs::open(Box::new(f.clone()), "t", PfsMode::Precise).unwrap();
+            let resolve = |si: u32| (SubscriberId(si as u64 + 1), 0u32);
+            pfs.write_slots(P, Timestamp(1), &[0, 1], resolve).unwrap();
+            pfs.write_slots(P, Timestamp(4), &[0], resolve).unwrap();
+            pfs.sync().unwrap();
+        }
+        // Records are identical on disk regardless of write path: the
+        // rebuilt id-keyed chains serve both read flavors after a crash.
+        let mut pfs = Pfs::open(Box::new(f), "t", PfsMode::Precise).unwrap();
+        let r = pfs
+            .read(P, S1, Timestamp::ZERO, Timestamp(10), 100)
+            .unwrap();
+        assert_eq!(r.q_ticks, vec![Timestamp(1), Timestamp(4)]);
+        let r = pfs
+            .read_slot(
+                P,
+                SubSlot::new(0, 0),
+                S1,
+                Timestamp::ZERO,
+                Timestamp(10),
+                100,
+            )
+            .unwrap();
+        assert_eq!(r.q_ticks, vec![Timestamp(1), Timestamp(4)]);
+        // Post-recovery slot writes chain onto the rebuilt id map.
+        let resolve = |si: u32| (SubscriberId(si as u64 + 1), 0u32);
+        pfs.write_slots(P, Timestamp(7), &[0], resolve).unwrap();
+        pfs.sync().unwrap();
+        let r = pfs
+            .read_slot(P, SubSlot::new(0, 0), S1, Timestamp(2), Timestamp(10), 100)
+            .unwrap();
+        assert_eq!(r.q_ticks, vec![Timestamp(4), Timestamp(7)]);
+    }
+
+    #[test]
+    fn chop_clears_stale_slot_heads() {
+        let (_f, mut pfs) = fresh(PfsMode::Precise);
+        let resolve = |si: u32| (SubscriberId(si as u64 + 1), 0u32);
+        pfs.write_slots(P, Timestamp(1), &[0], resolve).unwrap();
+        pfs.write_slots(P, Timestamp(5), &[1], resolve).unwrap();
+        pfs.sync().unwrap();
+        pfs.chop_below(P, Timestamp(3)).unwrap();
+        // Slot 0's whole chain was chopped: all-silence, not a broken
+        // walk into chopped records.
+        let r = pfs
+            .read_slot(P, SubSlot::new(0, 0), S1, Timestamp(3), Timestamp(10), 100)
+            .unwrap();
+        assert!(r.q_ticks.is_empty());
+        assert!(r.full_read);
+        // Slot 1 unaffected.
+        let r = pfs
+            .read_slot(P, SubSlot::new(1, 0), S2, Timestamp(3), Timestamp(10), 100)
+            .unwrap();
+        assert_eq!(r.q_ticks, vec![Timestamp(5)]);
+    }
+
+    #[test]
+    fn slot_write_replay_is_idempotent() {
+        let (_f, mut pfs) = fresh(PfsMode::Precise);
+        let resolve = |si: u32| (SubscriberId(si as u64 + 1), 0u32);
+        pfs.write_slots(P, Timestamp(1), &[0], resolve).unwrap();
+        pfs.write_slots(P, Timestamp(2), &[0], resolve).unwrap();
+        let records = pfs.stats().records;
+        // Re-processing the same span after recovery must not append.
+        pfs.write_slots(P, Timestamp(1), &[0], resolve).unwrap();
+        pfs.write_slots(P, Timestamp(2), &[0], resolve).unwrap();
+        assert_eq!(pfs.stats().records, records);
     }
 
     #[test]

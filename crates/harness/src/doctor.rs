@@ -327,11 +327,17 @@ fn check(b: &Bundle) -> i32 {
     }
 }
 
+/// Timeline gauge series `diff` additionally guards (ISSUE 7): each is
+/// compared at its final sample with the same relative threshold as the
+/// histograms plus a small absolute floor.
+const GUARDED_SERIES: &[&str] = &["telemetry.shb.bytes_per_idle_sub"];
+
 /// `diff`: latency-histogram percentile and violation-counter deltas.
 /// A `*_us` histogram regresses when p50 or p99 rises by more than
 /// `threshold_pct` percent AND more than `abs_floor_us` µs (the floor
 /// keeps µs-scale jitter from flagging); a violation or alert counter
-/// regresses on any increase.
+/// regresses on any increase; the [`GUARDED_SERIES`] timeline gauges
+/// regress when their final sample grows past the threshold.
 fn diff(a: &Bundle, b: &Bundle, threshold_pct: f64, abs_floor_us: f64) -> i32 {
     println!(
         "diff: {} -> {}  (threshold {threshold_pct}% and {abs_floor_us} µs)",
@@ -359,6 +365,26 @@ fn diff(a: &Bundle, b: &Bundle, threshold_pct: f64, abs_floor_us: f64) -> i32 {
                     "{name} {label}: {va:.0} µs -> {vb:.0} µs ({pct:+.1}%)"
                 ));
             }
+        }
+    }
+    // Guarded timeline gauges: gauges are sampled onto the timeline,
+    // not into metrics.csv, so they diff here. The SHB memory model is
+    // held by its final sample (the steady-state footprint after the
+    // run): B regresses when it grows past the relative threshold AND
+    // a 64-byte floor (allocator/capacity jitter stays quiet).
+    for name in GUARDED_SERIES {
+        let last = |x: &Bundle| x.timeline.series(name).last().map(|&(_, v)| v);
+        let (Some(va), Some(vb)) = (last(a), last(b)) else {
+            continue;
+        };
+        let delta = vb - va;
+        let pct = if va > 0.0 { delta / va * 100.0 } else { 0.0 };
+        println!(
+            "  {name:<36} {:>6} {va:>12.0} {vb:>12.0} {pct:>+8.1}%",
+            "last"
+        );
+        if pct > threshold_pct && delta > 64.0 {
+            regressions.push(format!("{name}: {va:.0} B -> {vb:.0} B ({pct:+.1}%)"));
         }
     }
     for (name, va) in &a.counters {
@@ -463,6 +489,54 @@ mod tests {
         assert_eq!(diff(&a, &b, 25.0, 1_000.0), 0);
         // Clearly degraded run: 3× slower.
         let (rc, c) = bundle_with("diff-c", (3_000.0, 15_000.0, 15_150.0), &[]);
+        assert_eq!(diff(&a, &c, 25.0, 1_000.0), 1);
+        // Improvement is not a regression.
+        assert_eq!(diff(&c, &a, 25.0, 1_000.0), 0);
+        for r in [ra, rb, rc] {
+            let _ = std::fs::remove_dir_all(&r);
+        }
+    }
+
+    fn bundle_with_idle_bytes(tag: &str, bytes_per_idle: f64) -> (PathBuf, Bundle) {
+        let root =
+            std::env::temp_dir().join(format!("gryphon-doctor-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut t = gryphon_sim::telemetry::Timeline::new(500_000);
+        t.record(
+            500_000,
+            "telemetry.shb.bytes_per_idle_sub",
+            bytes_per_idle * 1.2,
+        );
+        t.record(
+            1_000_000,
+            "telemetry.shb.bytes_per_idle_sub",
+            bytes_per_idle,
+        );
+        let mut r = Report::new("t");
+        r.attach_metrics(&Metrics::default());
+        r.attach_telemetry(t);
+        let dir = write_bundle(
+            &root,
+            &r,
+            &BundleMeta {
+                interval_us: 500_000,
+                ..BundleMeta::default()
+            },
+        )
+        .unwrap();
+        let b = load_bundle(&dir).unwrap();
+        (root, b)
+    }
+
+    #[test]
+    fn diff_guards_bytes_per_idle_sub_series() {
+        let (ra, a) = bundle_with_idle_bytes("idle-a", 240.0);
+        // Within threshold and floor: quiet (the final sample counts,
+        // not the transient earlier one).
+        let (rb, b) = bundle_with_idle_bytes("idle-b", 250.0);
+        assert_eq!(diff(&a, &b, 25.0, 1_000.0), 0);
+        // 2× the idle footprint: flagged.
+        let (rc, c) = bundle_with_idle_bytes("idle-c", 480.0);
         assert_eq!(diff(&a, &c, 25.0, 1_000.0), 1);
         // Improvement is not a regression.
         assert_eq!(diff(&c, &a, 25.0, 1_000.0), 0);

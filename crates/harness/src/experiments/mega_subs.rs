@@ -1,0 +1,343 @@
+//! `mega_subs` — the million-durable-subscription memory workload
+//! (DESIGN.md §15).
+//!
+//! The paper's motivating scale is "millions of durable subscriptions",
+//! almost all of them *idle* at any moment. What bounds that scale is
+//! not throughput but bytes-per-idle-subscription in the SHB: the slab
+//! must hold a disconnected durable subscription in a compact record
+//! (spec + filter + release cursors + parked stream positions), not a
+//! live connection. This workload direct-drives one [`Shb`] (no
+//! simulator — pfs_micro-style) through four phases and reports the
+//! census after each:
+//!
+//! 1. **register** — N durable subscriptions (`--subs`, default 10^6;
+//!    quick 20 000), all idle;
+//! 2. **traffic** — a small fraction connects and the constream
+//!    advances through a fully-known cache, proving delivery still
+//!    flows while the idle mass sits in the slab;
+//! 3. **churn** — `--churn-pct` percent of the population unsubscribes
+//!    and re-registers, recycling slab slots (generation bumps);
+//! 4. **storm** — a reconnect storm: a batch of idle subscribers
+//!    connects with old checkpoints (catchup streams open), drops
+//!    (streams park into compact records), and reconnects (parked
+//!    records drain, counted by `shb.stream_rehydrations`).
+//!
+//! The headline figure is `telemetry.shb.bytes_per_idle_sub`, published
+//! exactly as the broker publishes it (through
+//! [`Shb::update_memory_gauges`]) and sampled onto the report timeline
+//! so run bundles carry it and `xp doctor diff` can guard it.
+
+use crate::report::{Report, Table};
+use crate::topology;
+use gryphon::broker::Shb;
+use gryphon::config::BrokerConfig;
+use gryphon_sim::telemetry::Sampler;
+use gryphon_sim::{Metrics, NodeCtx, TimerKey};
+use gryphon_storage::MemFactory;
+use gryphon_streams::KnowledgeStream;
+use gryphon_types::{
+    CheckpointToken, Event, NetMsg, NodeId, PubendId, SubscriberId, SubscriptionSpec, Timestamp,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+const P: PubendId = PubendId(0);
+const CLIENT: NodeId = NodeId(9);
+
+struct WorkloadSpec {
+    /// Durable subscription population (`--subs`).
+    subs: u64,
+    /// Subscribers connected during the traffic phase.
+    connected: u64,
+    /// Idle subscribers thrown into the reconnect storm.
+    storm: u64,
+    /// Constream ticks of traffic (one event per tick).
+    ticks: u64,
+    /// Filter classes (`class = i % classes`).
+    classes: u64,
+    /// Percent of the population churned (`--churn-pct`).
+    churn_pct: f64,
+}
+
+/// Direct-drive context: counters/gauges land in a [`Metrics`] the
+/// report snapshots, everything else is inert. `me()` is node 1, so the
+/// gauge shards match a single-broker run (`telemetry.shb.*.n1`).
+struct DriveCtx {
+    now_us: u64,
+    metrics: Metrics,
+    rng: SmallRng,
+}
+
+impl NodeCtx for DriveCtx {
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+    fn me(&self) -> NodeId {
+        NodeId(1)
+    }
+    fn send(&mut self, _to: NodeId, _msg: NetMsg) {}
+    fn set_timer(&mut self, _delay_us: u64, _key: TimerKey) {}
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+    fn work(&mut self, _cost_us: u64) {}
+    fn record(&mut self, series: &str, value: f64) {
+        let now = self.now_us;
+        self.metrics.record(now, series, value);
+    }
+    fn count(&mut self, counter: &str, delta: f64) {
+        self.metrics.count(counter, delta);
+    }
+    fn observe(&mut self, name: &str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+    fn gauge(&mut self, name: &str, value: f64) {
+        self.metrics.set_gauge(name, value);
+    }
+}
+
+fn filter_for(i: u64, spec: &WorkloadSpec) -> SubscriptionSpec {
+    SubscriptionSpec::new(format!("class = {}", i % spec.classes))
+}
+
+fn connect_one(
+    shb: &mut Shb,
+    sub: SubscriberId,
+    ct: Option<CheckpointToken>,
+    config: &BrokerConfig,
+    ctx: &mut DriveCtx,
+) {
+    shb.connect(
+        sub,
+        CLIENT,
+        ct,
+        None,
+        false,
+        false,
+        &HashMap::new(),
+        None,
+        config,
+        ctx,
+    )
+    .expect("registered subscription must connect");
+}
+
+/// One census row: phase label, wall time, and the slab statistics the
+/// phase left behind.
+fn census(
+    table: &mut Table,
+    phase: &str,
+    wall_ms: f64,
+    shb: &mut Shb,
+    ctx: &mut DriveCtx,
+    sampler: &mut Sampler,
+) -> f64 {
+    // Publish through the broker's own gauge path, then sample the
+    // timeline window — the bundle carries exactly what a live broker
+    // would publish on its meta-persist timer.
+    ctx.now_us += 500_000;
+    shb.update_telemetry_gauges(ctx);
+    shb.update_memory_gauges(ctx);
+    sampler.sample(ctx.now_us, &ctx.metrics);
+    let bytes = shb.slab_bytes();
+    let idle = shb.idle_subs().max(1);
+    let per_idle = bytes as f64 / idle as f64;
+    table.row(&[
+        phase.into(),
+        format!("{wall_ms:.0}"),
+        shb.sub_count().to_string(),
+        shb.connected_count().to_string(),
+        shb.catchup_streams().to_string(),
+        shb.parked_streams().to_string(),
+        format!("{:.1}", bytes as f64 / 1e6),
+        format!("{per_idle:.0}"),
+    ]);
+    per_idle
+}
+
+/// Runs the workload. `--subs` / `--churn-pct` override the defaults
+/// (see [`topology::default_mega_subs`]).
+pub fn run(quick: bool) -> Report {
+    let spec = WorkloadSpec {
+        subs: topology::default_mega_subs().unwrap_or(if quick { 20_000 } else { 1_000_000 }),
+        connected: if quick { 256 } else { 512 },
+        storm: if quick { 128 } else { 256 },
+        ticks: if quick { 128 } else { 256 },
+        classes: if quick { 128 } else { 256 },
+        churn_pct: topology::default_churn_pct().unwrap_or(1.0),
+    };
+    let config = BrokerConfig::default();
+    let mut ctx = DriveCtx {
+        now_us: 0,
+        metrics: Metrics::default(),
+        rng: SmallRng::seed_from_u64(7),
+    };
+    let mut sampler = Sampler::new(500_000);
+    let mut shb = Shb::open(&MemFactory::new(), "mega", &config);
+    let mut t = Table::new(
+        format!(
+            "§15 subscriber memory model ({} durable subs, {} classes, churn {:.1}%)",
+            spec.subs, spec.classes, spec.churn_pct
+        ),
+        &[
+            "phase",
+            "wall (ms)",
+            "subs",
+            "connected",
+            "catchup",
+            "parked",
+            "slab (MB)",
+            "B/idle sub",
+        ],
+    );
+
+    // Phase 1: register the idle mass.
+    let start = Instant::now();
+    for i in 0..spec.subs {
+        shb.register_spec(
+            SubscriberId(i + 1),
+            CLIENT,
+            Some(&filter_for(i, &spec)),
+            false,
+            false,
+            &mut ctx,
+        )
+        .expect("register");
+    }
+    let register_ms = start.elapsed().as_secs_f64() * 1e3;
+    let idle_bytes = census(
+        &mut t,
+        "register",
+        register_ms,
+        &mut shb,
+        &mut ctx,
+        &mut sampler,
+    );
+
+    // Phase 2: a small fraction connects and traffic flows through the
+    // constream. Each tick's event matches `connected / classes` of the
+    // connected batch (plus idle slots, which the deliver loop skips).
+    let start = Instant::now();
+    for i in 0..spec.connected {
+        connect_one(&mut shb, SubscriberId(i + 1), None, &config, &mut ctx);
+    }
+    let mut cache = KnowledgeStream::new();
+    for tick in 1..=spec.ticks {
+        let e = Event::builder(P)
+            .attr("class", (tick % spec.classes) as i64)
+            .build_ref(Timestamp(tick));
+        assert!(cache.set_data(e));
+    }
+    cache.set_silence(Timestamp(1), Timestamp(spec.ticks));
+    shb.constream_advance(P, &cache, Timestamp(spec.ticks), &config, &mut ctx);
+    let delivered = shb.delivered;
+    assert_eq!(
+        delivered,
+        spec.ticks * (spec.connected / spec.classes),
+        "traffic must reach every connected matching subscriber"
+    );
+    let traffic_ms = start.elapsed().as_secs_f64() * 1e3;
+    census(
+        &mut t,
+        "traffic",
+        traffic_ms,
+        &mut shb,
+        &mut ctx,
+        &mut sampler,
+    );
+
+    // Phase 3: churn — unsubscribe + re-register recycles slab slots
+    // (generation bumps keep stale handles dead). Drawn from the idle
+    // region above the connected/storm batches.
+    let churned = ((spec.subs as f64) * spec.churn_pct / 100.0) as u64;
+    let churn_base = spec.connected + spec.storm;
+    let churned = churned.min(spec.subs.saturating_sub(churn_base));
+    let start = Instant::now();
+    for k in 0..churned {
+        let i = churn_base + k;
+        let sub = SubscriberId(i + 1);
+        shb.unsubscribe(sub);
+        shb.register_spec(
+            sub,
+            CLIENT,
+            Some(&filter_for(i, &spec)),
+            false,
+            false,
+            &mut ctx,
+        )
+        .expect("re-register");
+    }
+    let churn_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        shb.sub_count() as u64,
+        spec.subs,
+        "churn preserves the population"
+    );
+    census(&mut t, "churn", churn_ms, &mut shb, &mut ctx, &mut sampler);
+
+    // Phase 4: reconnect storm. A batch of idle subscribers presents an
+    // old checkpoint, so each connect opens a PFS catchup stream; the
+    // drop parks every stream into a compact record; the reconnect
+    // drains the parked records (counted as rehydrations) and rebuilds
+    // the streams from the checkpoint protocol.
+    let storm_ct = || {
+        let mut ct = CheckpointToken::new();
+        ct.advance(P, Timestamp::ZERO);
+        Some(ct)
+    };
+    let start = Instant::now();
+    let storm_subs: Vec<SubscriberId> = (0..spec.storm)
+        .map(|k| SubscriberId(spec.connected + k + 1))
+        .collect();
+    for &sub in &storm_subs {
+        connect_one(&mut shb, sub, storm_ct(), &config, &mut ctx);
+    }
+    let streams_open = shb.catchup_streams();
+    for &sub in &storm_subs {
+        shb.disconnect(sub);
+    }
+    let parked_peak = shb.parked_streams();
+    for &sub in &storm_subs {
+        connect_one(&mut shb, sub, storm_ct(), &config, &mut ctx);
+    }
+    let storm_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        streams_open as u64, spec.storm,
+        "storm connects open catchup streams"
+    );
+    assert_eq!(
+        parked_peak as u64, spec.storm,
+        "disconnects park every stream"
+    );
+    assert_eq!(
+        shb.parked_streams(),
+        0,
+        "reconnects drain the parked records"
+    );
+    census(&mut t, "storm", storm_ms, &mut shb, &mut ctx, &mut sampler);
+
+    let rehydrations = ctx.metrics.counter("shb.stream_rehydrations");
+    let mut report = Report::new("mega_subs");
+    report.table(t);
+    report.note(format!(
+        "idle footprint after registration: {idle_bytes:.0} B per idle durable subscription \
+         across {} subscribers (telemetry.shb.bytes_per_idle_sub — guarded by xp doctor diff)",
+        spec.subs
+    ));
+    report.note(format!(
+        "traffic: {delivered} deliveries to the {}-sub connected fraction while {} idle subs \
+         sat in the slab",
+        spec.connected,
+        spec.subs - spec.connected
+    ));
+    report.note(format!(
+        "storm: {} catchup streams opened, {} parked on disconnect, {rehydrations:.0} parked \
+         records rehydrated on reconnect",
+        streams_open, parked_peak
+    ));
+    report.attach_metrics(&ctx.metrics);
+    report.attach_telemetry(sampler.into_timeline());
+    report
+}

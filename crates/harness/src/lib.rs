@@ -32,6 +32,7 @@ pub mod experiments {
     pub mod fig78;
     pub mod jms;
     pub mod latency;
+    pub mod mega_subs;
     pub mod pfs_micro;
 }
 
@@ -86,6 +87,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "ablation_cache",
             "paper §7 future work: cache window vs catchup rate and PHB load",
         ),
+        (
+            "mega_subs",
+            "DESIGN.md §15: 10^6 durable subscriptions — slab bytes/idle sub, churn, reconnect storm",
+        ),
     ]
 }
 
@@ -107,6 +112,7 @@ pub fn run(id: &str, quick: bool) -> Result<Report, String> {
         "ablation_consol" => Ok(experiments::ablation::run_consolidation(quick)),
         "ablation_pfs_mode" => Ok(experiments::ablation::run_pfs_mode(quick)),
         "ablation_cache" => Ok(experiments::ablation::run_cache_sweep(quick)),
+        "mega_subs" => Ok(experiments::mega_subs::run(quick)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             catalog()

@@ -79,6 +79,38 @@ pub fn default_degrade() -> bool {
     *lock_recover(&DEFAULT_DEGRADE)
 }
 
+/// Process-wide subscriber-population override for the `mega_subs`
+/// workload — the `xp --subs` plumbing. `None` (the default) uses the
+/// workload's built-in scale (10^6, or 20 000 under `--quick`).
+static DEFAULT_MEGA_SUBS: Mutex<Option<u64>> = Mutex::new(None);
+
+/// Overrides the `mega_subs` subscriber population (`None` restores the
+/// built-in default).
+pub fn set_default_mega_subs(subs: Option<u64>) {
+    *lock_recover(&DEFAULT_MEGA_SUBS) = subs;
+}
+
+/// The current `mega_subs` population override, if any.
+pub fn default_mega_subs() -> Option<u64> {
+    *lock_recover(&DEFAULT_MEGA_SUBS)
+}
+
+/// Process-wide churn-percentage override for the `mega_subs` workload
+/// — the `xp --churn-pct` plumbing. `None` (the default) churns 1% of
+/// the population.
+static DEFAULT_CHURN_PCT: Mutex<Option<f64>> = Mutex::new(None);
+
+/// Overrides the `mega_subs` churn percentage (`None` restores the
+/// built-in default).
+pub fn set_default_churn_pct(pct: Option<f64>) {
+    *lock_recover(&DEFAULT_CHURN_PCT) = pct;
+}
+
+/// The current `mega_subs` churn-percentage override, if any.
+pub fn default_churn_pct() -> Option<f64> {
+    *lock_recover(&DEFAULT_CHURN_PCT)
+}
+
 /// Process-wide health-engine switch: when set (and sampling is
 /// enabled), every [`Sim`] the harness builds arms the default health
 /// rule set (`gryphon_sim::default_rules`).

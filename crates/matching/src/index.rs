@@ -179,6 +179,48 @@ impl SubscriptionIndex {
                 (self.slots.len() - 1) as u32
             }
         };
+        self.link(slot, sub, filter);
+    }
+
+    /// Registers (or replaces) the filter for `sub` at the caller-chosen
+    /// `slot`.
+    ///
+    /// This is the slot-sharing entry point for callers that keep their
+    /// own dense per-subscriber slab (the SHB's `SubscriberTable`): the
+    /// slab assigns slots and the index mirrors them, so a match result
+    /// is directly a slab index — no per-event id→slot hop. An index is
+    /// either caller-slotted (`insert_at`/`remove_at`) or self-slotted
+    /// (`insert`/`remove`); mixing the two on one index is unsupported
+    /// (the internal free list only tracks self-assigned slots).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use gryphon_matching::{Filter, MatchScratch, SubscriptionIndex};
+    /// # use gryphon_types::{Event, PubendId, SubscriberId, Timestamp};
+    /// let mut idx = SubscriptionIndex::new();
+    /// idx.insert_at(7, SubscriberId(42), Filter::parse("a = 1").unwrap());
+    /// let e = Event::builder(PubendId(0)).attr("a", 1i64).build(Timestamp(1));
+    /// let (mut scratch, mut out) = (MatchScratch::new(), Vec::new());
+    /// idx.matches_slots_into(&e, &mut scratch, &mut out);
+    /// assert_eq!(out, vec![7]);
+    /// assert_eq!(idx.sub_at(7), Some(SubscriberId(42)));
+    /// ```
+    pub fn insert_at(&mut self, slot: u32, sub: SubscriberId, filter: Filter) {
+        if let Some(&old) = self.slot_of.get(&sub) {
+            self.detach(old);
+        }
+        self.detach(slot);
+        if self.slots.len() <= slot as usize {
+            self.slots.resize(slot as usize + 1, None);
+        }
+        self.link(slot, sub, filter);
+    }
+
+    /// Links a compiled filter into the predicate indexes at `slot`
+    /// (which must be empty).
+    fn link(&mut self, slot: u32, sub: SubscriberId, filter: Filter) {
+        debug_assert!(self.slots[slot as usize].is_none(), "occupied slot");
         let total = filter.predicates().len() as u32;
         if total == 0 {
             self.match_all.push(slot);
@@ -203,10 +245,11 @@ impl SubscriptionIndex {
         self.slot_of.insert(sub, slot);
     }
 
-    /// Removes `sub`; returns its filter if it was registered.
-    pub fn remove(&mut self, sub: SubscriberId) -> Option<Filter> {
-        let slot = self.slot_of.remove(&sub)?;
-        let compiled = self.slots[slot as usize].take().expect("live slot");
+    /// Unlinks whatever occupies `slot` without recycling the index —
+    /// the caller owns slot assignment (see [`Self::insert_at`]).
+    fn detach(&mut self, slot: u32) -> Option<Filter> {
+        let compiled = self.slots.get_mut(slot as usize)?.take()?;
+        self.slot_of.remove(&compiled.sub);
         if compiled.total == 0 {
             self.match_all.retain(|&s| s != slot);
         } else {
@@ -231,8 +274,27 @@ impl SubscriptionIndex {
                 }
             }
         }
-        self.free.push(slot);
         Some(compiled.filter)
+    }
+
+    /// Removes `sub`; returns its filter if it was registered.
+    pub fn remove(&mut self, sub: SubscriberId) -> Option<Filter> {
+        let slot = self.slot_of.get(&sub).copied()?;
+        let filter = self.detach(slot)?;
+        self.free.push(slot);
+        Some(filter)
+    }
+
+    /// Removes whatever occupies caller-assigned `slot`; returns its
+    /// filter. The slot is *not* pushed on the internal free list — the
+    /// caller's slab recycles it (see [`Self::insert_at`]).
+    pub fn remove_at(&mut self, slot: u32) -> Option<Filter> {
+        self.detach(slot)
+    }
+
+    /// The subscriber registered at `slot`, if any.
+    pub fn sub_at(&self, slot: u32) -> Option<SubscriberId> {
+        self.slots.get(slot as usize)?.as_ref().map(|s| s.sub)
     }
 
     /// Returns the filter registered for `sub`, if any.
@@ -304,6 +366,52 @@ impl SubscriptionIndex {
             }
         }
         out.sort_unstable();
+    }
+
+    /// Like [`SubscriptionIndex::matches_into`] but emits raw **slot**
+    /// indices instead of subscriber ids — the hot path for callers whose
+    /// per-subscriber state is a dense slab sharing slot assignment with
+    /// this index ([`Self::insert_at`]): each result is directly a slab
+    /// index, with no id→slot map hop per matched subscriber.
+    ///
+    /// `out` is cleared and filled in ascending [`SubscriberId`] order of
+    /// the slots' tenants — the same specified emission order as
+    /// [`Self::matches_into`], so downstream delivery order stays
+    /// independent of slot recycling history. Performs no heap allocation
+    /// once `scratch` and `out` have warmed up to the index size.
+    pub fn matches_slots_into(
+        &self,
+        event: &Event,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        out.extend_from_slice(&self.match_all);
+        if self.slot_of.len() > self.match_all.len() {
+            scratch.begin(self.slots.len());
+            for (attr, value) in &event.attrs {
+                if let Some(slots) = self.eq_index.get(attr).and_then(|m| m.get(value)) {
+                    for &slot in slots {
+                        scratch.bump(slot);
+                    }
+                }
+                if let Some(cands) = self.attr_index.get(attr) {
+                    for &(slot, pi) in cands {
+                        let s = self.slot(slot);
+                        if s.filter.predicates()[pi as usize].eval_value(value) {
+                            scratch.bump(slot);
+                        }
+                    }
+                }
+            }
+            for i in 0..scratch.touched.len() {
+                let slot = scratch.touched[i];
+                if scratch.counts[slot as usize] == self.slot(slot).total {
+                    out.push(slot);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&slot| self.slot(slot).sub);
     }
 
     /// Reference implementation: linear scan over every subscription.

@@ -130,6 +130,18 @@ pub mod names {
     /// Gauge: active per-subscriber catchup streams at an SHB
     /// (`.n<node>` shard suffix).
     pub const TELEMETRY_CATCHUP_STREAMS: &str = "telemetry.catchup_streams";
+    /// Gauge: approximate heap bytes of an SHB's `SubscriberTable` slab
+    /// (all per-subscriber state: specs, filters, release cursors,
+    /// parked-stream records, live connections), published under a
+    /// `.n<node>` shard suffix; shard-local slabs add on merge.
+    pub const TELEMETRY_SHB_SLAB_BYTES: &str = "telemetry.shb.slab_bytes";
+    /// Gauge: `SubscriberTable::approx_bytes()` divided by the number of
+    /// *idle* (registered but disconnected) durable subscribers at an
+    /// SHB — the paper-scale memory figure a million-subscriber broker
+    /// is sized by (`.n<node>` shard suffix; DESIGN.md §15). Guarded by
+    /// `xp doctor diff` so memory-per-subscriber regressions fail the
+    /// gate.
+    pub const TELEMETRY_SHB_BYTES_PER_IDLE_SUB: &str = "telemetry.shb.bytes_per_idle_sub";
     /// Counter family: firing transitions of health-engine rules
     /// (DESIGN.md §14). Each rule `<r>` bumps `health.alert.<r>`; the
     /// constants below register the default rule set so exporters and
@@ -195,6 +207,8 @@ pub mod names {
             TELEMETRY_DOUBT_WIDTH_TICKS,
             TELEMETRY_CATCHUP_BACKLOG_TICKS,
             TELEMETRY_CATCHUP_STREAMS,
+            TELEMETRY_SHB_SLAB_BYTES,
+            TELEMETRY_SHB_BYTES_PER_IDLE_SUB,
             HEALTH_ALERT_CATCHUP_BACKLOG,
             HEALTH_ALERT_QUEUE_DEPTH,
             HEALTH_ALERT_WATCHDOG_CONSTREAM_GAP,
@@ -648,6 +662,8 @@ mod tests {
             names::TELEMETRY_DOUBT_WIDTH_TICKS,
             names::TELEMETRY_CATCHUP_BACKLOG_TICKS,
             names::TELEMETRY_CATCHUP_STREAMS,
+            names::TELEMETRY_SHB_SLAB_BYTES,
+            names::TELEMETRY_SHB_BYTES_PER_IDLE_SUB,
         ] {
             assert!(seen.contains(telemetry), "{telemetry} not registered");
             assert!(telemetry.starts_with("telemetry."));

@@ -98,6 +98,62 @@ impl std::fmt::Display for SubscriberId {
     }
 }
 
+/// Dense slot of a durable subscription inside one SHB's subscriber
+/// slab (`SubscriberTable` in `gryphon`).
+///
+/// A slot is the *volatile* twin of a [`SubscriberId`]: assigned when the
+/// subscription is registered on a broker, recycled through a free list
+/// when it unsubscribes, and never written to disk or the wire (slot
+/// assignment is rebuilt from the durable subscription set on recovery).
+/// Interior broker paths — constream delivery, catchup pumping, PFS
+/// backpointer resolution — carry slots and index the slab directly; the
+/// id→slot hash lookup happens only at the edges (connect, subscribe,
+/// ack ingress).
+///
+/// The `generation` makes recycled indices safe: it is bumped every time
+/// the index is returned to the free list, so a stale `SubSlot` held
+/// across an unsubscribe (e.g. by a pending timer) can never alias the
+/// slot's next tenant — the slab rejects the mismatched generation.
+///
+/// # Examples
+///
+/// ```
+/// use gryphon_types::SubSlot;
+/// let s = SubSlot::new(3, 1);
+/// assert_eq!(s.index(), 3);
+/// assert_eq!(s.generation(), 1);
+/// assert_eq!(s.to_string(), "slot-3g1");
+/// assert_ne!(s, SubSlot::new(3, 2), "recycled slot is a different slot");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubSlot {
+    index: u32,
+    generation: u32,
+}
+
+impl SubSlot {
+    /// Builds a slot from its slab index and generation stamp.
+    pub const fn new(index: u32, generation: u32) -> Self {
+        SubSlot { index, generation }
+    }
+
+    /// The dense slab index.
+    pub const fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The free-list generation stamp this slot was assigned under.
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for SubSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot-{}g{}", self.index, self.generation)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@ pub mod time;
 
 pub use ct::CheckpointToken;
 pub use event::{AttrValue, Attributes, Event, EventRef};
-pub use ids::{BrokerId, NodeId, PubendId, SubscriberId};
+pub use ids::{BrokerId, NodeId, PubendId, SubSlot, SubscriberId};
 pub use lineage::LineageKey;
 pub use msg::{
     ClientMsg, CuriosityMsg, DeliveryKind, DeliveryMsg, KnowledgeMsg, KnowledgePart, NetMsg,

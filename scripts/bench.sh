@@ -10,6 +10,9 @@
 #                             counter, plus naive-scan reference)
 #   BENCH_rt_pipeline.json  — publish→delivery burst, single child and
 #                             2-way fan-out with/without knowledge batching
+#   BENCH_shb_scale.json    — SHB slab hot paths (steady delivery,
+#                             park/rehydrate, slot-recycling churn) at
+#                             10k and 100k idle durable subscriptions
 #
 # Numbers are machine-relative: compare against the baseline re-run on the
 # same machine, not across machines. See EXPERIMENTS.md for how to read
@@ -41,4 +44,10 @@ CRITERION_JSON="$tmp/rt_pipeline.ndjson" \
   cargo bench -p gryphon-bench --bench rt_pipeline
 ndjson_to_array "$tmp/rt_pipeline.ndjson" BENCH_rt_pipeline.json
 
-echo "wrote BENCH_matching.json and BENCH_rt_pipeline.json"
+echo "== shb_scale bench =="
+: >"$tmp/shb_scale.ndjson"
+CRITERION_JSON="$tmp/shb_scale.ndjson" \
+  cargo bench -p gryphon-bench --bench shb_scale
+ndjson_to_array "$tmp/shb_scale.ndjson" BENCH_shb_scale.json
+
+echo "wrote BENCH_matching.json, BENCH_rt_pipeline.json and BENCH_shb_scale.json"

@@ -67,6 +67,16 @@ grep -q '^health_alert_' target/ci-bundles/clean/latency/snapshot.prom \
   || { echo "bundle snapshot missing health.alert.* families"; exit 1; }
 xp doctor check target/ci-bundles/clean/latency
 xp doctor diff target/ci-bundles/clean/fig4 target/ci-bundles/reseed/fig4
+
+# Million-subscriber memory model, scaled down (--quick: 20k durable
+# subs): the bundle must carry the bytes-per-idle-sub gauge on its
+# timeline, and doctor diff guards that series between runs.
+xp --quick --bundle-out target/ci-bundles/clean mega_subs
+xp --quick --bundle-out target/ci-bundles/rerun mega_subs
+grep -q 'telemetry.shb.bytes_per_idle_sub' target/ci-bundles/clean/mega_subs/timeline.ndjson \
+  || { echo "mega_subs bundle missing bytes_per_idle_sub series"; exit 1; }
+xp doctor check target/ci-bundles/clean/mega_subs
+xp doctor diff target/ci-bundles/clean/mega_subs target/ci-bundles/rerun/mega_subs
 if xp doctor diff target/ci-bundles/clean/fig4 target/ci-bundles/degraded/fig4; then
   echo "doctor diff failed to flag the degraded run"; exit 1
 fi
@@ -99,9 +109,12 @@ CRITERION_JSON="$PWD/target/ci-bench/matching.ndjson" \
   cargo bench -p gryphon-bench --bench matching --bench matching_hot >/dev/null
 CRITERION_JSON="$PWD/target/ci-bench/rt_pipeline.ndjson" \
   cargo bench -p gryphon-bench --bench rt_pipeline >/dev/null
+CRITERION_JSON="$PWD/target/ci-bench/shb_scale.ndjson" \
+  cargo bench -p gryphon-bench --bench shb_scale >/dev/null
 cargo run -q --release -p gryphon-bench --bin perf_gate -- --strict \
   BENCH_matching.json target/ci-bench/matching.ndjson \
-  BENCH_rt_pipeline.json target/ci-bench/rt_pipeline.ndjson
+  BENCH_rt_pipeline.json target/ci-bench/rt_pipeline.ndjson \
+  BENCH_shb_scale.json target/ci-bench/shb_scale.ndjson
 
 echo "== build with observability compiled out =="
 cargo build -p gryphon-bench --no-default-features
