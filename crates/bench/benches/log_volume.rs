@@ -45,7 +45,7 @@ fn bench_log_volume(c: &mut Criterion) {
             "bench",
             VolumeConfig {
                 segment_bytes: 64 * 1024,
-                sync_every_append: false,
+                ..VolumeConfig::default()
             },
         )
         .expect("volume");

@@ -1,0 +1,148 @@
+//! Group-commit throughput (ISSUE 8 acceptance): N concurrent committers
+//! through the [`CommitPipeline`] vs serialized per-caller sync, on the
+//! same device.
+//!
+//! Two devices:
+//!
+//! * `mem` — [`MemFactory`] with a fixed modeled flush latency (the
+//!   simulator's deterministic device). The latency dominates, so the
+//!   serial/grouped ratio approaches the committer count: serial pays
+//!   `commits × latency`, grouped pays `fsyncs × latency`.
+//! * `file` — [`FileFactory`] on a scratch directory: real appends, real
+//!   `fsync`s. Absolute numbers are filesystem-relative; the
+//!   serial-vs-grouped *ratio* is the quantity of interest.
+//!
+//! One benchmark iteration = one committed 64-byte batch (durability
+//! waited on), so the printed elem/s is committed-batches/sec — the
+//! number the ≥ 3× acceptance bar and `BENCH_log_volume.json` refer to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gryphon_storage::{
+    CommitPipeline, FileFactory, LogVolume, MediaFactory, MemFactory, StreamId, VolumeConfig,
+};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Modeled device flush latency for the `mem` variants (slept outside
+/// the media's namespace lock, so concurrent committers genuinely
+/// overlap the way they would on hardware).
+const MODELED_LATENCY_US: u64 = 300;
+const PAYLOAD: [u8; 64] = [0xC3; 64];
+
+/// Runs `total` commits split across `threads` workers (worker `t` gets
+/// the ids `t, t + threads, t + 2·threads, …`) and returns the wall time
+/// from the start barrier to the last join.
+fn run_split(
+    threads: usize,
+    total: u64,
+    commit: impl Fn(usize) + Send + Sync + 'static,
+) -> Duration {
+    let commit = Arc::new(commit);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let commit = Arc::clone(&commit);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut i = t as u64;
+                while i < total {
+                    commit(t);
+                    i += threads as u64;
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("committer thread");
+    }
+    t0.elapsed()
+}
+
+/// Serialized per-caller sync: every commit locks the volume, appends,
+/// and pays its own flush — the pre-pipeline behavior.
+fn bench_serial(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    tag: &str,
+    threads: usize,
+    vol: LogVolume,
+) {
+    let vol = Arc::new(Mutex::new(vol));
+    group.bench_with_input(
+        BenchmarkId::new("serial_sync", format!("{tag}{threads}")),
+        &threads,
+        |b, &threads| {
+            b.iter_custom(|iters| {
+                let vol = Arc::clone(&vol);
+                run_split(threads, iters, move |t| {
+                    let mut v = vol.lock().expect("volume lock");
+                    v.append(StreamId(t as u32), &PAYLOAD).expect("append");
+                    v.sync().expect("sync");
+                })
+            });
+        },
+    );
+}
+
+/// Group commit: same workload, same device, one flush per round-trip
+/// shared by every committer that appended in the window.
+fn bench_grouped(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    tag: &str,
+    threads: usize,
+    vol: LogVolume,
+) {
+    let pipe = CommitPipeline::new(vol);
+    group.bench_with_input(
+        BenchmarkId::new("group_commit", format!("{tag}{threads}")),
+        &threads,
+        |b, &threads| {
+            b.iter_custom(|iters| {
+                let pipe = pipe.clone();
+                run_split(threads, iters, move |t| {
+                    pipe.commit_with(|v| v.append(StreamId(t as u32), &PAYLOAD))
+                        .expect("commit");
+                })
+            });
+        },
+    );
+}
+
+fn mem_volume(name: &str) -> LogVolume {
+    LogVolume::create(
+        Box::new(MemFactory::with_sync_latency_us(MODELED_LATENCY_US)),
+        name,
+        VolumeConfig::default(),
+    )
+    .expect("mem volume")
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_volume_commit");
+    group.throughput(Throughput::Elements(1));
+    group.measurement_time(Duration::from_millis(400));
+
+    // Modeled device: the deterministic ratio the CI gate
+    // (`group_commit_speedup.rs`) asserts at ≥ 3×.
+    bench_serial(&mut group, "mem", 8, mem_volume("serial"));
+    bench_grouped(&mut group, "mem", 1, mem_volume("grouped1"));
+    bench_grouped(&mut group, "mem", 8, mem_volume("grouped8"));
+
+    // Real files, real fsyncs (the threaded runtime's storage profile).
+    let dir = std::env::temp_dir().join(format!("gryphon-lvc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let file_volume = |name: &str| {
+        let factory: Box<dyn MediaFactory> =
+            Box::new(FileFactory::new(dir.clone()).expect("file factory"));
+        LogVolume::create(factory, name, VolumeConfig::default()).expect("file volume")
+    };
+    bench_serial(&mut group, "file", 8, file_volume("serial"));
+    bench_grouped(&mut group, "file", 8, file_volume("grouped8"));
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

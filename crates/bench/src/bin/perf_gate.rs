@@ -14,8 +14,9 @@
 //! * in-process CPU benches get `--threshold-pct` (default 100, i.e.
 //!   fail beyond 2× the baseline — generous because baselines are
 //!   machine-relative);
-//! * wall-clock pipeline benches (names starting with `rt_`) get twice
-//!   that, since thread scheduling adds real variance.
+//! * wall-clock thread benches (names starting with `rt_`, and the
+//!   `log_volume_commit/` committer fan-out) get twice that, since
+//!   thread scheduling adds real variance.
 //!
 //! Without `--strict` regressions are printed as warnings and the exit
 //! code stays 0 (the local workflow); with `--strict` any regression —
@@ -97,11 +98,11 @@ struct Verdict {
     regressed: bool,
 }
 
-/// Per-benchmark regression threshold: wall-clock pipeline benches (the
-/// `rt_*` groups run real threads) are allowed twice the slack of
-/// in-process CPU benches.
+/// Per-benchmark regression threshold: wall-clock thread benches (the
+/// `rt_*` groups and the `log_volume_commit` committer fan-out both run
+/// real threads) are allowed twice the slack of in-process CPU benches.
 fn limit_for(name: &str, base_threshold_pct: f64) -> f64 {
-    if name.starts_with("rt_") {
+    if name.starts_with("rt_") || name.starts_with("log_volume_commit/") {
         base_threshold_pct * 2.0
     } else {
         base_threshold_pct

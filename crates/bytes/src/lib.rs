@@ -1,17 +1,22 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Provides [`Bytes`]: an immutable, cheaply cloneable byte buffer backed
-//! by an `Arc<[u8]>`. Clones are reference-count bumps, so sharing a
-//! payload across thousands of subscribers never copies it — the one
-//! property of the real crate this workspace relies on. Slicing views
-//! and `BytesMut` are not needed here and are omitted.
+//! by an `Arc<[u8]>` plus an (offset, len) window. Clones and
+//! [`Bytes::slice`] views are reference-count bumps, so sharing a payload
+//! across thousands of subscribers — or handing out sub-ranges of a log
+//! segment — never copies it. `BytesMut` is not needed here and is
+//! omitted.
 
+use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// An immutable, reference-counted byte buffer (possibly a view into a
+/// larger shared allocation).
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -22,7 +27,11 @@ impl Bytes {
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes {
+            offset: 0,
+            len: data.len(),
+            data: data.into(),
+        }
     }
 
     /// Creates a buffer from a static slice (copies; the real crate
@@ -33,31 +42,91 @@ impl Bytes {
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Returns a view of `range` within this buffer sharing the same
+    /// backing allocation — no copy, just a reference-count bump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching the
+    /// real crate's behaviour.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice out of bounds: {start}..{end} of {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
     }
 }
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        Bytes {
+            offset: 0,
+            len: v.len(),
+            data: v.into(),
+        }
     }
 }
 
@@ -82,13 +151,13 @@ impl From<&str> for Bytes {
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(32) {
+        for &b in self.iter().take(32) {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
         }
-        if self.data.len() > 32 {
-            write!(f, "…(+{})", self.data.len() - 32)?;
+        if self.len > 32 {
+            write!(f, "…(+{})", self.len - 32)?;
         }
         write!(f, "\"")
     }
@@ -121,5 +190,27 @@ mod tests {
         assert_eq!(Bytes::from("ab").as_ref(), b"ab");
         let deref: &[u8] = &Bytes::from(vec![9u8]);
         assert_eq!(deref, &[9u8]);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = a.slice(2..5);
+        assert_eq!(mid.as_ref(), &[2, 3, 4]);
+        assert!(std::sync::Arc::ptr_eq(&a.data, &mid.data));
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(1..);
+        assert_eq!(inner.as_ref(), &[3, 4]);
+        assert!(std::sync::Arc::ptr_eq(&a.data, &inner.data));
+        // Equality compares the visible window, not the allocation.
+        assert_eq!(inner, Bytes::from(vec![3u8, 4]));
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from(vec![1u8, 2]).slice(1..4);
     }
 }

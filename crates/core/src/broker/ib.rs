@@ -377,8 +377,8 @@ impl Broker {
         to: Timestamp,
     ) -> (Vec<KnowledgePart>, Vec<(Timestamp, Timestamp)>) {
         let pe = self.pipelines.get(&p).and_then(|pl| pl.pubend.as_ref());
-        if let (Some(pe), Some(log)) = (pe, self.phb.log.as_mut()) {
-            let parts = pe.answer(from, to, log).unwrap_or_default();
+        if let (Some(pe), Some(log)) = (pe, self.phb.log.as_ref()) {
+            let parts = log.with(|l| pe.answer(from, to, l)).unwrap_or_default();
             (parts, Vec::new())
         } else {
             let route = &mut self.pipeline_mut(p).route;
@@ -716,10 +716,14 @@ impl Broker {
                 // Root: run the release decision.
                 let advanced = {
                     let pe = self.pipelines.get_mut(&p).and_then(|pl| pl.pubend.as_mut());
-                    let (Some(pe), Some(log)) = (pe, self.phb.log.as_mut()) else {
+                    let (Some(pe), Some(log)) = (pe, self.phb.log.as_ref()) else {
                         continue;
                     };
-                    pe.apply_release(released, latest, now, &self.config, log)
+                    // `with` (not `commit_with`): the chop forces its own
+                    // sync whenever it deletes a segment file, and a chop
+                    // frame still in the tail is allowed to be lost (the
+                    // release decision is then forgotten atomically).
+                    log.with(|l| pe.apply_release(released, latest, now, &self.config, l))
                         .unwrap_or(None)
                 };
                 if let Some(lost) = advanced {

@@ -46,7 +46,7 @@ use crate::config::BrokerConfig;
 use crate::timer::{self, Kind};
 use gryphon_matching::MatchScratch;
 use gryphon_sim::{names, trace_event, Node, NodeCtx, TimerKey, TraceEvent};
-use gryphon_storage::{EventLog, MediaFactory, VolumeConfig};
+use gryphon_storage::{CommitPipeline, EventLog, MediaFactory, VolumeConfig};
 use gryphon_types::{NetMsg, NodeId, PubendId, Timestamp};
 use ib::IbRole;
 use phb::PhbRole;
@@ -176,7 +176,10 @@ impl Broker {
                 VolumeConfig::default(),
             )
             .expect("PHB event log must open");
-            self.phb.log = Some(log);
+            // Deterministic pipeline (no wall-clock timing): the
+            // simulator's golden tests hash metric output, and timing
+            // fields are zero without `with_timing`.
+            self.phb.log = Some(CommitPipeline::new(log));
             let declared = self.phb.declared.clone();
             for p in declared {
                 let mut pe = Pubend::new(p, now);
@@ -208,7 +211,7 @@ impl Broker {
                 let Some(pe) = pl.pubend.as_mut() else {
                     continue;
                 };
-                let chopped = log.chopped_below_ts(pe.id);
+                let chopped = log.with(|l| l.chopped_below_ts(pe.id));
                 if chopped > Timestamp::ZERO {
                     pe.restore_lost_to(chopped.prev());
                 }

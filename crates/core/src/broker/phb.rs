@@ -8,8 +8,8 @@
 
 use super::{now_ticks, Broker};
 use crate::timer::{self, Kind};
-use gryphon_sim::{count_metric, names, trace_event, NodeCtx, TraceEvent};
-use gryphon_storage::EventLog;
+use gryphon_sim::{count_metric, names, observe_metric, trace_event, NodeCtx, TraceEvent};
+use gryphon_storage::{CommitPipeline, EventLog};
 use gryphon_types::{KnowledgePart, PubendId, PublishMsg};
 
 /// State owned by the PHB role.
@@ -17,8 +17,14 @@ use gryphon_types::{KnowledgePart, PubendId, PublishMsg};
 pub(crate) struct PhbRole {
     /// Pubends this broker hosts (instantiated lazily at start/restart).
     pub(crate) declared: Vec<PubendId>,
-    /// The only-once event log shared by all hosted pubends.
-    pub(crate) log: Option<EventLog>,
+    /// The only-once event log shared by all hosted pubends, behind the
+    /// group-commit pipeline: every durability point goes through
+    /// [`CommitPipeline::commit_with`], so concurrent committers (the
+    /// threaded runtime processes different pubends on different
+    /// workers) share one device flush per round-trip. In the
+    /// single-threaded simulator the pipeline degenerates to exactly one
+    /// flush per batch — deterministic, timing fields zero.
+    pub(crate) log: Option<CommitPipeline<EventLog>>,
 }
 
 impl Broker {
@@ -64,13 +70,13 @@ impl Broker {
     /// The disk write became durable: log, emit knowledge, and open the
     /// next batch if publishes accumulated meanwhile.
     pub(crate) fn on_phb_commit_done(&mut self, p: PubendId, ctx: &mut dyn NodeCtx) {
-        let parts = {
+        let (parts, receipt) = {
             let pe = self.pipelines.get_mut(&p).and_then(|pl| pl.pubend.as_mut());
-            let (Some(pe), Some(log)) = (pe, self.phb.log.as_mut()) else {
+            let (Some(pe), Some(pipe)) = (pe, self.phb.log.as_ref()) else {
                 return;
             };
-            match pe.finish_commit(log) {
-                Ok(parts) => parts,
+            match pipe.commit_with(|log| pe.finish_commit_appends(log)) {
+                Ok(pr) => pr,
                 Err(_) => {
                     ctx.count("phb.commit_err", 1.0);
                     return;
@@ -78,6 +84,22 @@ impl Broker {
             }
         };
         ctx.count("phb.commits", 1.0);
+        let records = parts
+            .iter()
+            .filter(|part| matches!(part, KnowledgePart::Data(_)))
+            .count();
+        observe_metric!(ctx, names::STORAGE_COMMIT_BATCH_RECORDS, records as f64);
+        observe_metric!(
+            ctx,
+            names::STORAGE_COMMIT_GROUP_SIZE,
+            receipt.group_size as f64
+        );
+        observe_metric!(
+            ctx,
+            names::STORAGE_COMMIT_SYNC_WAIT_US,
+            receipt.sync_wait_us as f64
+        );
+        observe_metric!(ctx, names::STORAGE_COMMIT_FSYNC_US, receipt.fsync_us as f64);
         for part in &parts {
             if let KnowledgePart::Data(e) = part {
                 let bytes = e.encoded_len();

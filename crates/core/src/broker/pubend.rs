@@ -105,12 +105,30 @@ impl Pubend {
         &mut self,
         log: &mut EventLog,
     ) -> Result<Vec<KnowledgePart>, StorageError> {
+        let parts = self.finish_commit_appends(log)?;
+        log.sync()?;
+        Ok(parts)
+    }
+
+    /// The append half of [`finish_commit`]: appends the oldest in-flight
+    /// batch and builds its knowledge parts **without** syncing. The
+    /// caller owns the durability point — the PHB runs this inside a
+    /// [`CommitPipeline`](gryphon_storage::CommitPipeline) so one device
+    /// flush covers every pubend that committed in the same window, and
+    /// must not emit the parts downstream until that flush returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an append fails.
+    pub fn finish_commit_appends(
+        &mut self,
+        log: &mut EventLog,
+    ) -> Result<Vec<KnowledgePart>, StorageError> {
         let batch = self.committing.pop_front().unwrap_or_default();
         for e in &batch {
             log.append(e)?;
             self.log_bytes += e.encoded_len() as u64;
         }
-        log.sync()?;
         let mut parts = Vec::with_capacity(batch.len() * 2);
         let mut cursor = self.emitted_to;
         for e in batch {

@@ -16,7 +16,7 @@ use gryphon_sim::{
     count_metric, gauge_metric, names, observe_metric, record_metric, trace_event, DeliveryPath,
     NodeCtx, TraceEvent,
 };
-use gryphon_storage::{MediaFactory, MetaTable, TableConfig};
+use gryphon_storage::{MediaFactory, SharedMetaTable, TableConfig};
 use gryphon_streams::KnowledgeStream;
 use gryphon_types::{
     CheckpointToken, DeliveryKind, DeliveryMsg, EventRef, KnowledgePart, NodeId, PubendId,
@@ -169,7 +169,10 @@ pub struct Shb {
     name: String,
     /// Durable tables: `ld/{p}`, `rel/{sub}/{p}`, `spec/{sub}`,
     /// `gated/{sub}`, `jct/{sub}/{p}`, `lost/{p}` (PHB side shares it).
-    pub meta: MetaTable,
+    /// Behind the group-commit pipeline: JMS checkpoint-transaction
+    /// workers committing concurrently (threaded runtime) share device
+    /// flushes instead of serializing on their own.
+    pub meta: SharedMetaTable,
     /// The persistent filtering subsystem.
     pub pfs: Pfs,
     /// All durable subscriptions hosted here (connected or not); slot
@@ -217,7 +220,7 @@ impl Shb {
     /// its durable state (mirrors a database-less DB2 broker refusing to
     /// boot).
     pub fn open(factory: &dyn MediaFactory, name: &str, config: &BrokerConfig) -> Self {
-        let meta = MetaTable::open(
+        let meta = SharedMetaTable::open(
             factory.clone_box(),
             &format!("{name}-meta"),
             TableConfig::default(),
@@ -249,14 +252,14 @@ impl Shb {
 
     fn load_persistent(&mut self) {
         // Subscriptions: slab + matching index share slot assignment.
-        let specs: Vec<(SubscriberId, String)> = self
-            .meta
-            .iter_prefix("spec/")
-            .filter_map(|(k, v)| {
-                let id: u64 = k.strip_prefix("spec/")?.parse().ok()?;
-                Some((SubscriberId(id), String::from_utf8(v.to_vec()).ok()?))
-            })
-            .collect();
+        let specs: Vec<(SubscriberId, String)> = self.meta.with(|m| {
+            m.iter_prefix("spec/")
+                .filter_map(|(k, v)| {
+                    let id: u64 = k.strip_prefix("spec/")?.parse().ok()?;
+                    Some((SubscriberId(id), String::from_utf8(v.to_vec()).ok()?))
+                })
+                .collect()
+        });
         for (sub, expr) in specs {
             if let Ok(filter) = Filter::parse(&expr) {
                 let slot = self
@@ -266,38 +269,38 @@ impl Shb {
             }
         }
         // Gated / broker-managed flags.
-        let gated: Vec<SubscriberId> = self
-            .meta
-            .iter_prefix("gated/")
-            .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("gated/")?.parse().ok()?)))
-            .collect();
+        let gated: Vec<SubscriberId> = self.meta.with(|m| {
+            m.iter_prefix("gated/")
+                .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("gated/")?.parse().ok()?)))
+                .collect()
+        });
         for sub in gated {
             if let Some(st) = self.table.slot_of(sub).and_then(|s| self.table.get_mut(s)) {
                 st.gated = true;
             }
         }
-        let bct: Vec<SubscriberId> = self
-            .meta
-            .iter_prefix("bct/")
-            .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("bct/")?.parse().ok()?)))
-            .collect();
+        let bct: Vec<SubscriberId> = self.meta.with(|m| {
+            m.iter_prefix("bct/")
+                .filter_map(|(k, _)| Some(SubscriberId(k.strip_prefix("bct/")?.parse().ok()?)))
+                .collect()
+        });
         for sub in bct {
             if let Some(st) = self.table.slot_of(sub).and_then(|s| self.table.get_mut(s)) {
                 st.broker_ct = true;
             }
         }
         // latestDelivered per pubend.
-        let lds: Vec<(PubendId, Timestamp)> = self
-            .meta
-            .iter_prefix("ld/")
-            .filter_map(|(k, v)| {
-                let p: u32 = k.strip_prefix("ld/")?.parse().ok()?;
-                Some((
-                    PubendId(p),
-                    Timestamp(u64::from_le_bytes(v.try_into().ok()?)),
-                ))
-            })
-            .collect();
+        let lds: Vec<(PubendId, Timestamp)> = self.meta.with(|m| {
+            m.iter_prefix("ld/")
+                .filter_map(|(k, v)| {
+                    let p: u32 = k.strip_prefix("ld/")?.parse().ok()?;
+                    Some((
+                        PubendId(p),
+                        Timestamp(u64::from_le_bytes(v.try_into().ok()?)),
+                    ))
+                })
+                .collect()
+        });
         for (p, t) in lds {
             self.con.insert(
                 p,
@@ -311,18 +314,18 @@ impl Shb {
         // dropped: they are exactly the dead (subscriber, pubend) pairs
         // an unsubscribe-era leak would have left behind, and nothing
         // may hold release back for a subscription that no longer exists.
-        let rels: Vec<((SubscriberId, PubendId), Timestamp)> = self
-            .meta
-            .iter_prefix("rel/")
-            .filter_map(|(k, v)| {
-                let rest = k.strip_prefix("rel/")?;
-                let (s, p) = rest.split_once('/')?;
-                Some((
-                    (SubscriberId(s.parse().ok()?), PubendId(p.parse().ok()?)),
-                    Timestamp(u64::from_le_bytes(v.try_into().ok()?)),
-                ))
-            })
-            .collect();
+        let rels: Vec<((SubscriberId, PubendId), Timestamp)> = self.meta.with(|m| {
+            m.iter_prefix("rel/")
+                .filter_map(|(k, v)| {
+                    let rest = k.strip_prefix("rel/")?;
+                    let (s, p) = rest.split_once('/')?;
+                    Some((
+                        (SubscriberId(s.parse().ok()?), PubendId(p.parse().ok()?)),
+                        Timestamp(u64::from_le_bytes(v.try_into().ok()?)),
+                    ))
+                })
+                .collect()
+        });
         for ((sub, p), t) in rels {
             if let Some(st) = self.table.slot_of(sub).and_then(|s| self.table.get_mut(s)) {
                 st.released.insert(p, t);
@@ -962,9 +965,25 @@ impl Shb {
             }
         }
         if !batch.is_empty() {
-            let _ = self.meta.commit(&batch);
-            ctx.count("shb.ct_commits", 1.0);
-            ctx.count("shb.ct_commit_updates", batch.len() as f64);
+            match self.meta.commit(&batch) {
+                Ok(receipt) => {
+                    ctx.count("shb.ct_commits", 1.0);
+                    ctx.count("shb.ct_commit_updates", batch.len() as f64);
+                    observe_metric!(ctx, names::STORAGE_COMMIT_BATCH_RECORDS, batch.len() as f64);
+                    observe_metric!(
+                        ctx,
+                        names::STORAGE_COMMIT_GROUP_SIZE,
+                        receipt.group_size as f64
+                    );
+                    observe_metric!(
+                        ctx,
+                        names::STORAGE_COMMIT_SYNC_WAIT_US,
+                        receipt.sync_wait_us as f64
+                    );
+                    observe_metric!(ctx, names::STORAGE_COMMIT_FSYNC_US, receipt.fsync_us as f64);
+                }
+                Err(_) => ctx.count("shb.meta_err", 1.0),
+            }
         }
         for (sub, _) in committing {
             if let Some(conn) = self.conn_of_mut(sub) {

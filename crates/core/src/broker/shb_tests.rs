@@ -448,7 +448,7 @@ fn teardown_frees_released_state_for_dead_pairs() {
     // Nor does the durable table keep rel/ rows for the dead pair: a
     // reopened SHB sees only sub 1's cursor.
     shb.meta_persist(&mut ctx);
-    assert!(shb.meta.iter_prefix("rel/2/").next().is_none());
+    assert!(shb.meta.with(|m| m.iter_prefix("rel/2/").next().is_none()));
 }
 
 #[test]

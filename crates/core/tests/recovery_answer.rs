@@ -1,0 +1,213 @@
+//! ISSUE 8 acceptance: a chopped or crash-lost tick is never answered
+//! `S` after recovery.
+//!
+//! The dangerous window is release-time garbage collection: chopping a
+//! prefix deletes whole segment files (immediately durable) while the
+//! chop record itself sits in the unsynced tail. A crash inside that
+//! window used to leave the events gone but the boundary forgotten — and
+//! the pubend would then answer `S` ("there was never an event here")
+//! for ticks it had once emitted as `D`. The storage layer now orders
+//! marker → chop frame → sync → file deletion, so recovery always lands
+//! in one of two consistent worlds: the chop fully applied (`L`) or
+//! fully forgotten (`D`).
+
+use gryphon::broker::Pubend;
+use gryphon::config::BrokerConfig;
+use gryphon_storage::{EventLog, MemFactory, VolumeConfig};
+use gryphon_types::{KnowledgePart, PubendId, PublishMsg, TickKind, Timestamp};
+
+const P: PubendId = PubendId(0);
+
+fn small_segments() -> VolumeConfig {
+    VolumeConfig {
+        // ~60-byte event frames: a few events per segment, so a prefix
+        // chop reliably kills whole segments and triggers GC.
+        segment_bytes: 192,
+        ..VolumeConfig::default()
+    }
+}
+
+fn publish(p: &mut Pubend, now: u64) {
+    p.publish(
+        PublishMsg {
+            pubend: P,
+            attrs: Default::default(),
+            payload: bytes::Bytes::from(vec![now as u8; 16]),
+        },
+        Timestamp(now),
+    );
+}
+
+fn kind_at(parts: &[KnowledgePart], t: u64) -> Option<TickKind> {
+    for part in parts {
+        let (f, to) = part.range();
+        if f.0 <= t && t <= to.0 {
+            return Some(match part {
+                KnowledgePart::Silence { .. } => TickKind::S,
+                KnowledgePart::Data(_) => TickKind::D,
+                KnowledgePart::Lost { .. } => TickKind::L,
+            });
+        }
+    }
+    None
+}
+
+/// Rebuilds the pubend the way `Broker::boot` does after a crash:
+/// reopen the log, seed cursors at the (advanced) wall clock, restore
+/// the lost prefix from the recovered chop boundary.
+fn recover(factory: &MemFactory, now: u64) -> (Pubend, EventLog) {
+    let log = EventLog::open(Box::new(factory.clone()), "el", small_segments()).unwrap();
+    let mut pe = Pubend::new(P, Timestamp(now));
+    let chopped = log.chopped_below_ts(P);
+    if chopped > Timestamp::ZERO {
+        pe.restore_lost_to(chopped.prev());
+    }
+    (pe, log)
+}
+
+/// Crash immediately after a release chopped (and GC'd) a prefix: the
+/// chopped ticks must answer `L`, the surviving ticks `D` — no tick in
+/// the emitted range may answer `S`.
+#[test]
+fn crash_after_release_gc_answers_lost_not_silence() {
+    for chop_at in [4u64, 9, 12, 19] {
+        let factory = MemFactory::new();
+        {
+            let mut log =
+                EventLog::open(Box::new(factory.clone()), "el", small_segments()).unwrap();
+            let mut pe = Pubend::new(P, Timestamp::ZERO);
+            for t in 1..=20 {
+                publish(&mut pe, t);
+            }
+            pe.commit(&mut log).unwrap(); // durable + emitted
+            let cfg = BrokerConfig::default();
+            pe.apply_release(
+                Timestamp(chop_at),
+                Timestamp(20),
+                Timestamp(25),
+                &cfg,
+                &mut log,
+            )
+            .unwrap();
+            // No explicit sync: the kill happens right here. Whole-segment
+            // GC inside the chop must have made the boundary durable on
+            // its own.
+        }
+        factory.crash_lose_unsynced();
+
+        let (pe, mut log) = recover(&factory, 25);
+        let parts = pe.answer(Timestamp(1), Timestamp(20), &mut log).unwrap();
+        for t in 1..=20 {
+            let kind = kind_at(&parts, t);
+            assert_ne!(
+                kind,
+                Some(TickKind::S),
+                "tick {t} answered S after chop-at-{chop_at} crash"
+            );
+            let expect = if t <= chop_at {
+                TickKind::L
+            } else {
+                TickKind::D
+            };
+            assert_eq!(kind, Some(expect), "tick {t} (chop at {chop_at})");
+        }
+    }
+}
+
+/// Crash that loses an unsynced chop *entirely* (no segment died, so no
+/// forced sync): recovery must forget the chop atomically — every tick
+/// still answers `D`, never a half-applied state with `S` holes.
+#[test]
+fn crash_losing_whole_chop_forgets_it_atomically() {
+    let factory = MemFactory::new();
+    {
+        // Big segments: the chop below cannot kill a whole segment, so
+        // nothing forces a sync and the whole chop sits in the torn tail.
+        let mut log =
+            EventLog::open(Box::new(factory.clone()), "el", VolumeConfig::default()).unwrap();
+        let mut pe = Pubend::new(P, Timestamp::ZERO);
+        for t in 1..=10 {
+            publish(&mut pe, t);
+        }
+        pe.commit(&mut log).unwrap();
+        let cfg = BrokerConfig::default();
+        pe.apply_release(Timestamp(6), Timestamp(10), Timestamp(15), &cfg, &mut log)
+            .unwrap();
+    }
+    factory.crash_lose_unsynced();
+
+    let factory2 = factory.clone();
+    let log = EventLog::open(Box::new(factory2), "el", VolumeConfig::default()).unwrap();
+    assert_eq!(
+        log.chopped_below_ts(P),
+        Timestamp::ZERO,
+        "unsynced chop must vanish"
+    );
+    let (pe, mut log) = recover(&factory, 15);
+    let parts = pe.answer(Timestamp(1), Timestamp(10), &mut log).unwrap();
+    for t in 1..=10 {
+        assert_eq!(
+            kind_at(&parts, t),
+            Some(TickKind::D),
+            "tick {t} must still be answerable from the log"
+        );
+    }
+}
+
+/// A torn tail of never-committed events: those ticks were never emitted
+/// as knowledge (emission happens only after the durable sync), so after
+/// recovery they are simply absent — and everything durable still
+/// answers exactly as before the crash.
+#[test]
+fn torn_uncommitted_tail_leaves_durable_answers_intact() {
+    let factory = MemFactory::new();
+    {
+        let mut log = EventLog::open(Box::new(factory.clone()), "el", small_segments()).unwrap();
+        let mut pe = Pubend::new(P, Timestamp::ZERO);
+        for t in 1..=8 {
+            publish(&mut pe, t);
+        }
+        pe.commit(&mut log).unwrap();
+        // Torn: appended to the log but never synced, never emitted.
+        for t in 9..=11 {
+            publish(&mut pe, t);
+        }
+        assert!(pe.begin_commit());
+        // The crash lands between the appends and the sync: replicate
+        // finish_commit's appends without its durability point.
+        for t in 9..=11u64 {
+            let e = std::sync::Arc::new(
+                gryphon_types::Event::builder(P)
+                    .payload(vec![t as u8; 16])
+                    .build(Timestamp(t)),
+            );
+            log.append(&e).unwrap();
+        }
+    }
+    factory.crash_lose_unsynced();
+
+    let (pe, mut log) = recover(&factory, 20);
+    let parts = pe.answer(Timestamp(1), Timestamp(8), &mut log).unwrap();
+    for t in 1..=8 {
+        assert_eq!(kind_at(&parts, t), Some(TickKind::D), "durable tick {t}");
+    }
+    // The torn ticks never became knowledge. What survives of them is
+    // whatever a segment roll happened to seal (sealing syncs) — always
+    // a contiguous prefix, never a hole.
+    let mut lost_from = None;
+    for t in 9..=11u64 {
+        match log.read_at(P, Timestamp(t)).unwrap() {
+            Some(e) => {
+                assert!(lost_from.is_none(), "hole before torn tick {t}");
+                assert_eq!(e.ts, Timestamp(t));
+            }
+            None => {
+                lost_from.get_or_insert(t);
+            }
+        }
+    }
+    assert!(
+        lost_from.is_some(),
+        "the unsynced tail cannot be fully durable"
+    );
+}

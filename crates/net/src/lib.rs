@@ -88,6 +88,28 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Storage profile for threaded-runtime processes: real files — and real
+/// fsyncs through the group-commit pipeline — when `GRYPHON_STORAGE_DIR`
+/// is set, heap-backed media otherwise.
+///
+/// The simulator always builds its brokers on
+/// [`MemFactory`](gryphon_storage::MemFactory) (deterministic, modeled
+/// latency); the threaded runtime is where the durability engine meets an
+/// actual device. Benches and integration runs opt in by exporting
+/// `GRYPHON_STORAGE_DIR=/path/to/dir`; each call gets its own `tag`
+/// subdirectory under that root so concurrent nodes never share a
+/// namespace.
+pub fn storage_factory(tag: &str) -> Box<dyn gryphon_storage::MediaFactory> {
+    match std::env::var_os("GRYPHON_STORAGE_DIR") {
+        Some(root) => {
+            let dir = std::path::Path::new(&root).join(tag);
+            std::fs::create_dir_all(&dir).expect("GRYPHON_STORAGE_DIR must be writable");
+            Box::new(gryphon_storage::FileFactory::new(dir).expect("storage dir must open"))
+        }
+        None => Box::new(gryphon_storage::MemFactory::new()),
+    }
+}
+
 enum Ev {
     Msg(NodeId, NetMsg),
 }

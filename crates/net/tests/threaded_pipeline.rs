@@ -2,8 +2,7 @@
 //! the simulator drives, now under true concurrency.
 
 use gryphon::{Broker, BrokerConfig, PublisherClient, SubscriberClient, SubscriberConfig};
-use gryphon_net::NetBuilder;
-use gryphon_storage::MemFactory;
+use gryphon_net::{storage_factory, NetBuilder};
 use gryphon_types::{NodeId, PubendId, SubscriberId};
 use std::time::Duration;
 
@@ -20,11 +19,13 @@ fn publish_to_delivery_over_threads() {
     };
     // Ids are assigned in registration order: phb=0, shb=1, sub=2, pub=3.
     let mut builder = NetBuilder::new();
+    // `storage_factory`: heap media by default; real files + real fsyncs
+    // through the group-commit pipeline with GRYPHON_STORAGE_DIR set.
     let mut phb_node =
-        Broker::new(0, Box::new(MemFactory::new()), config.clone()).hosting_pubends([PubendId(0)]);
+        Broker::new(0, storage_factory("tp-phb"), config.clone()).hosting_pubends([PubendId(0)]);
     phb_node.add_child(NodeId(1));
     let _phb = builder.add_node("phb", phb_node);
-    let mut shb_node = Broker::new(1, Box::new(MemFactory::new()), config).hosting_subscribers();
+    let mut shb_node = Broker::new(1, storage_factory("tp-shb"), config).hosting_subscribers();
     shb_node.set_parent(NodeId(0));
     let shb = builder.add_node("shb", shb_node);
     let sub = builder.add_node(

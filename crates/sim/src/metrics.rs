@@ -159,6 +159,22 @@ pub mod names {
     pub const HEALTH_ALERT_LEDGER_DUPLICATE: &str = "health.alert.ledger_duplicate";
     /// Counter: firing transitions of the delivery-latency SLO burn rule.
     pub const HEALTH_ALERT_DELIVER_SLO: &str = "health.alert.deliver_slo";
+    /// Histogram: records appended by one group-committed batch through
+    /// the storage `CommitPipeline` (PHB event batches, JMS checkpoint
+    /// transactions).
+    pub const STORAGE_COMMIT_BATCH_RECORDS: &str = "storage.commit.batch_records";
+    /// Histogram: commits made durable by the single device flush that
+    /// covered this commit (group-commit coalescing factor; 1 = the
+    /// commit paid its own flush).
+    pub const STORAGE_COMMIT_GROUP_SIZE: &str = "storage.commit.group_size";
+    /// Histogram: wall-clock µs a committer waited from append completion
+    /// to durability (zero in deterministic simulator runs — the pipeline
+    /// only measures time under `with_timing`).
+    pub const STORAGE_COMMIT_SYNC_WAIT_US: &str = "storage.commit.sync_wait_us";
+    /// Histogram: wall-clock µs the covering device flush took (zero in
+    /// deterministic simulator runs and for followers that joined after
+    /// the flush completed).
+    pub const STORAGE_COMMIT_FSYNC_US: &str = "storage.commit.fsync_us";
 
     /// Every registered metric name. Tests use this to verify the
     /// registry is complete (no constant missing from the list, no
@@ -216,6 +232,10 @@ pub mod names {
             HEALTH_ALERT_WATCHDOG_DOUBLE_LOG,
             HEALTH_ALERT_LEDGER_DUPLICATE,
             HEALTH_ALERT_DELIVER_SLO,
+            STORAGE_COMMIT_BATCH_RECORDS,
+            STORAGE_COMMIT_GROUP_SIZE,
+            STORAGE_COMMIT_SYNC_WAIT_US,
+            STORAGE_COMMIT_FSYNC_US,
         ]
     }
 }

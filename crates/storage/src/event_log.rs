@@ -208,12 +208,16 @@ impl EventLog {
         for t in dead {
             map.remove(&t);
         }
-        self.volume.chop(stream_for(pubend), chop_to)?;
-        // Persist the boundary so recovery reports L (not S) below it.
+        // Persist the boundary *before* the volume chop: if the chop GCs
+        // a whole segment it syncs first, and the marker must ride that
+        // sync — otherwise a crash leaves the events deleted but the
+        // boundary forgotten, and recovery would report the range as `S`
+        // instead of `L`.
         let mut marker = Vec::with_capacity(12);
         marker.extend_from_slice(&pubend.0.to_le_bytes());
         marker.extend_from_slice(&below.0.to_le_bytes());
         self.volume.append(CHOP_META_STREAM, &marker)?;
+        self.volume.chop(stream_for(pubend), chop_to)?;
         // Bound marker-stream growth: re-emit the newest marker of every
         // pubend, then drop everything older.
         let boundary = self.volume.next_index(CHOP_META_STREAM);

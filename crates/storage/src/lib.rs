@@ -38,18 +38,39 @@
 //! ```
 
 mod codec;
+mod commit;
 mod event_log;
 mod log_volume;
 mod media;
 mod meta_table;
 #[cfg(test)]
 mod prop_tests;
+mod segment;
 
 pub use codec::{decode_event, encode_event, CodecError};
+pub use commit::{CommitPipeline, CommitPipelineStats, CommitReceipt, Commitable};
 pub use event_log::EventLog;
 pub use log_volume::{LogIndex, LogVolume, StreamId, VolumeConfig, VolumeStats};
 pub use media::{FileFactory, Media, MediaFactory, MediaStats, MemFactory};
-pub use meta_table::{MetaTable, TableConfig};
+pub use meta_table::{MetaTable, SharedMetaTable, TableConfig, TableStats};
+
+impl Commitable for LogVolume {
+    fn sync_commit(&mut self) -> Result<(), StorageError> {
+        self.sync()
+    }
+}
+
+impl Commitable for EventLog {
+    fn sync_commit(&mut self) -> Result<(), StorageError> {
+        self.sync()
+    }
+}
+
+impl Commitable for MetaTable {
+    fn sync_commit(&mut self) -> Result<(), StorageError> {
+        self.sync_wal()
+    }
+}
 
 /// Errors from the storage layer.
 #[derive(Debug)]

@@ -16,10 +16,18 @@
 //!
 //! Chops are themselves logged (tiny control frames), so recovery replays
 //! them and a crash never resurrects reclaimed records.
+//!
+//! Rolling writes a synced [`seal footer`](crate::segment) into the old
+//! segment. Sealed segments are immutable, which recovery exploits
+//! (corruption inside one is an error, never a "torn tail") and the read
+//! path exploits too: a sealed segment is cached as one immutable
+//! [`Bytes`] buffer and reads hand out zero-copy slices of it.
 
 use crate::media::{Media, MediaFactory};
-use crate::{crc32c, StorageError};
-use std::collections::{BTreeMap, HashMap};
+use crate::segment::{encode_frame, scan, ScanEnd, FRAME_CHOP, FRAME_DATA, HEADER_LEN};
+use crate::StorageError;
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Identifies one log stream within a volume (the PFS uses one per pubend).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -59,6 +67,9 @@ pub struct VolumeConfig {
     /// Sync after every append (useful for tests; real deployments group
     /// commit by calling [`LogVolume::sync`] on a policy).
     pub sync_every_append: bool,
+    /// How many sealed segments to keep cached in memory for zero-copy
+    /// reads (0 disables caching).
+    pub cached_segments: usize,
 }
 
 impl Default for VolumeConfig {
@@ -66,6 +77,7 @@ impl Default for VolumeConfig {
         VolumeConfig {
             segment_bytes: 4 * 1024 * 1024,
             sync_every_append: false,
+            cached_segments: 4,
         }
     }
 }
@@ -77,7 +89,7 @@ pub struct VolumeStats {
     pub records: u64,
     /// Payload bytes appended (what the paper's "data logged" counts).
     pub payload_bytes: u64,
-    /// Total bytes appended including frame headers and chop frames.
+    /// Total bytes appended including frame headers and control frames.
     pub total_bytes: u64,
     /// Explicit sync calls.
     pub syncs: u64,
@@ -89,11 +101,6 @@ pub struct VolumeStats {
     pub segments_deleted: u64,
 }
 
-const FRAME_DATA: u8 = 0xA7;
-const FRAME_CHOP: u8 = 0xA8;
-/// frame-type (1) + stream (4) + index (8) + len (4) + crc (4)
-const HEADER_LEN: usize = 21;
-
 #[derive(Debug, Clone, Copy)]
 struct RecLoc {
     seg: u64,
@@ -104,6 +111,8 @@ struct RecLoc {
 struct Segment {
     media: Box<dyn Media>,
     live: u64,
+    sealed: bool,
+    cache: Option<Bytes>,
 }
 
 #[derive(Debug, Default)]
@@ -123,6 +132,7 @@ pub struct LogVolume {
     segments: BTreeMap<u64, Segment>,
     active: u64,
     streams: HashMap<u32, StreamState>,
+    cache_fifo: VecDeque<u64>,
     stats: VolumeStats,
 }
 
@@ -160,6 +170,7 @@ impl LogVolume {
             segments: BTreeMap::new(),
             active: 0,
             streams: HashMap::new(),
+            cache_fifo: VecDeque::new(),
             stats: VolumeStats::default(),
         };
         vol.open_segment(0)?;
@@ -171,8 +182,9 @@ impl LogVolume {
     ///
     /// Recovery scans every segment in order, verifies each frame's CRC,
     /// rebuilds per-stream indexes and replays chop frames. A torn tail in
-    /// the *last* segment is truncated away; corruption anywhere else is
-    /// reported as [`StorageError::Corrupt`].
+    /// the *last, unsealed* segment is truncated away; corruption anywhere
+    /// else — including inside a sealed segment — is reported as
+    /// [`StorageError::Corrupt`].
     ///
     /// # Errors
     ///
@@ -197,6 +209,7 @@ impl LogVolume {
             segments: BTreeMap::new(),
             active: *seg_nos.last().expect("nonempty"),
             streams: HashMap::new(),
+            cache_fifo: VecDeque::new(),
             stats: VolumeStats::default(),
         };
         let last = vol.active;
@@ -213,6 +226,16 @@ impl LogVolume {
             .collect();
         for no in dead {
             vol.delete_segment(no)?;
+        }
+        // A crash between sealing and creating the next segment can leave
+        // the last segment sealed; appends need an open one.
+        if vol
+            .segments
+            .get(&vol.active)
+            .map(|s| s.sealed)
+            .unwrap_or(false)
+        {
+            vol.open_segment(vol.active + 1)?;
         }
         Ok(vol)
     }
@@ -232,7 +255,15 @@ impl LogVolume {
 
     fn open_segment(&mut self, no: u64) -> Result<(), StorageError> {
         let media = self.factory.open(&self.segment_name(no))?;
-        self.segments.insert(no, Segment { media, live: 0 });
+        self.segments.insert(
+            no,
+            Segment {
+                media,
+                live: 0,
+                sealed: false,
+                cache: None,
+            },
+        );
         self.active = no;
         self.stats.segments_created += 1;
         Ok(())
@@ -240,6 +271,7 @@ impl LogVolume {
 
     fn delete_segment(&mut self, no: u64) -> Result<(), StorageError> {
         self.segments.remove(&no);
+        self.cache_fifo.retain(|&n| n != no);
         self.factory.remove(&self.segment_name(no))?;
         self.stats.segments_deleted += 1;
         Ok(())
@@ -248,98 +280,84 @@ impl LogVolume {
     fn recover_segment(&mut self, no: u64, is_last: bool) -> Result<(), StorageError> {
         let media_name = self.segment_name(no);
         let mut media = self.factory.open(&media_name)?;
-        let len = media.len();
-        let mut offset = 0u64;
         let mut live = 0u64;
-        let mut valid_end = 0u64;
-        loop {
-            if offset + HEADER_LEN as u64 > len {
-                break;
-            }
-            let mut header = [0u8; HEADER_LEN];
-            media.read_at(offset, &mut header)?;
-            let ftype = header[0];
-            let stream = u32::from_le_bytes(header[1..5].try_into().expect("slice"));
-            let index = u64::from_le_bytes(header[5..13].try_into().expect("slice"));
-            let plen = u32::from_le_bytes(header[13..17].try_into().expect("slice"));
-            let crc = u32::from_le_bytes(header[17..21].try_into().expect("slice"));
-            if ftype != FRAME_DATA && ftype != FRAME_CHOP {
-                if is_last {
-                    break; // torn tail
-                }
-                return Err(StorageError::Corrupt {
-                    media: media_name,
-                    offset,
-                    detail: format!("bad frame type {ftype:#x}"),
-                });
-            }
-            let body_end = offset + HEADER_LEN as u64 + plen as u64;
-            if body_end > len {
-                if is_last {
-                    break;
-                }
-                return Err(StorageError::Corrupt {
-                    media: media_name,
-                    offset,
-                    detail: "frame extends past segment".into(),
-                });
-            }
-            let mut payload = vec![0u8; plen as usize];
-            media.read_at(offset + HEADER_LEN as u64, &mut payload)?;
-            let mut crc_input = Vec::with_capacity(13 + payload.len());
-            crc_input.push(ftype);
-            crc_input.extend_from_slice(&header[1..17]);
-            crc_input.extend_from_slice(&payload);
-            if crc32c(&crc_input) != crc {
-                if is_last {
-                    break;
-                }
-                return Err(StorageError::Corrupt {
-                    media: media_name,
-                    offset,
-                    detail: "crc mismatch".into(),
-                });
-            }
-            let state = self.streams.entry(stream).or_default();
-            match ftype {
+        let streams = &mut self.streams;
+        let segments = &mut self.segments;
+        let end = scan(media.as_mut(), |frame| {
+            let state = streams.entry(frame.stream).or_default();
+            match frame.ftype {
                 FRAME_DATA => {
-                    state.next_index = state.next_index.max(index + 1);
-                    if index >= state.chopped_to {
+                    state.next_index = state.next_index.max(frame.index + 1);
+                    if frame.index >= state.chopped_to {
                         state.locs.insert(
-                            index,
+                            frame.index,
                             RecLoc {
                                 seg: no,
-                                offset: offset + HEADER_LEN as u64,
-                                len: plen,
+                                offset: frame.payload_offset,
+                                len: frame.payload_len,
                             },
                         );
                         live += 1;
                     }
                 }
                 FRAME_CHOP => {
-                    state.chopped_to = state.chopped_to.max(index);
-                    state.next_index = state.next_index.max(index);
+                    state.chopped_to = state.chopped_to.max(frame.index);
+                    state.next_index = state.next_index.max(frame.index);
                     // Remove resurrected earlier records (and fix live
                     // counts in their segments).
-                    let dead: Vec<u64> = state.locs.range(..index).map(|(&i, _)| i).collect();
+                    let dead: Vec<u64> = state.locs.range(..frame.index).map(|(&i, _)| i).collect();
                     for i in dead {
                         let loc = state.locs.remove(&i).expect("key from range");
                         if loc.seg == no {
                             live -= 1;
-                        } else if let Some(seg) = self.segments.get_mut(&loc.seg) {
+                        } else if let Some(seg) = segments.get_mut(&loc.seg) {
                             seg.live -= 1;
                         }
                     }
                 }
-                _ => unreachable!(),
+                _ => {} // seal footer carries no stream state
             }
-            offset = body_end;
-            valid_end = body_end;
-        }
-        if is_last && valid_end < len {
-            media.truncate(valid_end)?;
-        }
-        self.segments.insert(no, Segment { media, live });
+        })?;
+        let sealed = match end {
+            ScanEnd::Sealed { .. } => true,
+            ScanEnd::CleanOpen { .. } => false,
+            ScanEnd::Torn {
+                valid_end,
+                offset,
+                detail,
+            } => {
+                if !is_last {
+                    return Err(StorageError::Corrupt {
+                        media: media_name,
+                        offset,
+                        detail,
+                    });
+                }
+                media.truncate(valid_end)?;
+                false
+            }
+        };
+        self.segments.insert(
+            no,
+            Segment {
+                media,
+                live,
+                sealed,
+                cache: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Appends the seal footer to the active segment and flushes it; the
+    /// segment is immutable from here on.
+    fn seal_active(&mut self) -> Result<(), StorageError> {
+        let seg = self.segments.get_mut(&self.active).expect("active segment");
+        let frame = encode_frame(crate::segment::FRAME_SEAL, 0, 0, &[]);
+        seg.media.append(&frame)?;
+        seg.media.sync()?;
+        seg.sealed = true;
+        self.stats.total_bytes += frame.len() as u64;
         Ok(())
     }
 
@@ -350,7 +368,8 @@ impl LogVolume {
         index: u64,
         payload: &[u8],
     ) -> Result<(u64, u64), StorageError> {
-        // Roll the active segment if it is full.
+        // Roll the active segment if it is full: seal it (synced footer),
+        // then open the next one.
         let active_len = self
             .segments
             .get(&self.active)
@@ -360,28 +379,15 @@ impl LogVolume {
         if active_len > 0
             && active_len + (HEADER_LEN + payload.len()) as u64 > self.config.segment_bytes
         {
+            self.seal_active()?;
             let old = self.active;
-            self.segments
-                .get_mut(&old)
-                .expect("active segment exists")
-                .media
-                .sync()?;
             self.open_segment(old + 1)?;
-            // The just-rolled segment may already be fully dead.
+            // The just-sealed segment may already be fully dead.
             if self.segments.get(&old).map(|s| s.live) == Some(0) {
                 self.delete_segment(old)?;
             }
         }
-        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
-        frame.push(ftype);
-        frame.extend_from_slice(&stream.to_le_bytes());
-        frame.extend_from_slice(&index.to_le_bytes());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        let mut crc_input = Vec::with_capacity(17 + payload.len());
-        crc_input.extend_from_slice(&frame);
-        crc_input.extend_from_slice(payload);
-        frame.extend_from_slice(&crc32c(&crc_input).to_le_bytes());
-        frame.extend_from_slice(payload);
+        let frame = encode_frame(ftype, stream, index, payload);
         let seg = self.segments.get_mut(&self.active).expect("active segment");
         let offset = seg.media.len();
         seg.media.append(&frame)?;
@@ -417,8 +423,41 @@ impl LogVolume {
         Ok(LogIndex(index))
     }
 
+    fn read_loc(&mut self, loc: RecLoc) -> Result<Bytes, StorageError> {
+        let want_cache = self.config.cached_segments > 0;
+        {
+            let seg = self
+                .segments
+                .get_mut(&loc.seg)
+                .ok_or_else(|| StorageError::MissingMedia(format!("segment {}", loc.seg)))?;
+            if want_cache && seg.sealed && seg.cache.is_none() {
+                let len = seg.media.len() as usize;
+                let mut buf = vec![0u8; len];
+                seg.media.read_at(0, &mut buf)?;
+                seg.cache = Some(Bytes::from(buf));
+                self.cache_fifo.push_back(loc.seg);
+                while self.cache_fifo.len() > self.config.cached_segments {
+                    let evict = self.cache_fifo.pop_front().expect("nonempty fifo");
+                    if let Some(s) = self.segments.get_mut(&evict) {
+                        s.cache = None;
+                    }
+                }
+            }
+        }
+        let seg = self.segments.get_mut(&loc.seg).expect("checked above");
+        if let Some(cache) = &seg.cache {
+            let start = loc.offset as usize;
+            Ok(cache.slice(start..start + loc.len as usize))
+        } else {
+            let mut buf = vec![0u8; loc.len as usize];
+            seg.media.read_at(loc.offset, &mut buf)?;
+            Ok(Bytes::from(buf))
+        }
+    }
+
     /// Reads the record at `index` in `stream`; `None` if it was chopped
-    /// or never written.
+    /// or never written. Records in sealed segments are served as
+    /// zero-copy slices of the cached segment buffer.
     ///
     /// # Errors
     ///
@@ -427,20 +466,14 @@ impl LogVolume {
         &mut self,
         stream: StreamId,
         index: LogIndex,
-    ) -> Result<Option<Vec<u8>>, StorageError> {
+    ) -> Result<Option<Bytes>, StorageError> {
         let Some(state) = self.streams.get(&stream.0) else {
             return Ok(None);
         };
         let Some(loc) = state.locs.get(&index.0).copied() else {
             return Ok(None);
         };
-        let seg = self
-            .segments
-            .get_mut(&loc.seg)
-            .ok_or_else(|| StorageError::MissingMedia(format!("segment {}", loc.seg)))?;
-        let mut buf = vec![0u8; loc.len as usize];
-        seg.media.read_at(loc.offset, &mut buf)?;
-        Ok(Some(buf))
+        self.read_loc(loc).map(Some)
     }
 
     /// Discards all records of `stream` with index `< up_to`.
@@ -460,6 +493,11 @@ impl LogVolume {
         }
         state.chopped_to = up_to.0;
         state.next_index = state.next_index.max(up_to.0);
+        // Log the chop *before* touching live counts: a segment roll
+        // inside this append may GC a fully-dead segment, and that is
+        // only safe for deaths already on (durable) record.
+        self.write_frame(FRAME_CHOP, stream.0, up_to.0, &[])?;
+        let state = self.streams.get_mut(&stream.0).expect("checked above");
         let dead: Vec<u64> = state.locs.range(..up_to.0).map(|(&i, _)| i).collect();
         let mut touched = Vec::new();
         for i in dead {
@@ -470,12 +508,17 @@ impl LogVolume {
                 touched.push(loc.seg);
             }
         }
-        self.write_frame(FRAME_CHOP, stream.0, up_to.0, &[])?;
         self.stats.chops += 1;
         touched.sort_unstable();
         touched.dedup();
+        if !touched.is_empty() {
+            // Deleting a segment file is immediately durable; the chop
+            // frame justifying it must be too, or a crash between the two
+            // resurrects the chopped range as silence (`S`) instead of
+            // lost (`L`).
+            self.sync()?;
+        }
         for no in touched {
-            // Re-check: the chop frame may have rolled segments.
             if self.segments.get(&no).map(|s| s.live) == Some(0) && no != self.active {
                 self.delete_segment(no)?;
             }
@@ -527,20 +570,19 @@ impl LogVolume {
     }
 
     /// Reads all live records of `stream` in index order (recovery helper).
+    /// Like [`LogVolume::read`], sealed-segment records are zero-copy.
     ///
     /// # Errors
     ///
     /// Returns an error if the underlying media fails.
-    pub fn read_all(&mut self, stream: StreamId) -> Result<Vec<(LogIndex, Vec<u8>)>, StorageError> {
-        let indexes: Vec<u64> = match self.streams.get(&stream.0) {
-            Some(s) => s.locs.keys().copied().collect(),
+    pub fn read_all(&mut self, stream: StreamId) -> Result<Vec<(LogIndex, Bytes)>, StorageError> {
+        let locs: Vec<(u64, RecLoc)> = match self.streams.get(&stream.0) {
+            Some(s) => s.locs.iter().map(|(&i, &loc)| (i, loc)).collect(),
             None => return Ok(Vec::new()),
         };
-        let mut out = Vec::with_capacity(indexes.len());
-        for i in indexes {
-            if let Some(data) = self.read(stream, LogIndex(i))? {
-                out.push((LogIndex(i), data));
-            }
+        let mut out = Vec::with_capacity(locs.len());
+        for (i, loc) in locs {
+            out.push((LogIndex(i), self.read_loc(loc)?));
         }
         Ok(out)
     }
@@ -559,6 +601,11 @@ impl LogVolume {
     /// Number of live segments.
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Number of sealed segments currently cached for zero-copy reads.
+    pub fn cached_segment_count(&self) -> usize {
+        self.cache_fifo.len()
     }
 }
 
@@ -612,7 +659,7 @@ mod tests {
     fn segments_roll_and_are_reclaimed() {
         let (f, mut vol) = mem_volume(VolumeConfig {
             segment_bytes: 256,
-            sync_every_append: false,
+            ..VolumeConfig::default()
         });
         let s = StreamId(0);
         let mut last = LogIndex(0);
@@ -628,6 +675,35 @@ mod tests {
             "chop should reclaim segments ({before} -> {after})"
         );
         assert_eq!(vol.read(s, last).unwrap().as_deref(), Some(&[7u8; 40][..]));
+    }
+
+    #[test]
+    fn sealed_segments_serve_cached_zero_copy_reads() {
+        let (_f, mut vol) = mem_volume(VolumeConfig {
+            segment_bytes: 256,
+            cached_segments: 2,
+            ..VolumeConfig::default()
+        });
+        let s = StreamId(0);
+        let mut idx = Vec::new();
+        for i in 0..20u8 {
+            idx.push(vol.append(s, &[i; 40]).unwrap());
+        }
+        assert!(vol.segment_count() > 3, "expected several sealed segments");
+        assert_eq!(vol.cached_segment_count(), 0);
+        // Reads across all segments stay correct while the FIFO caps the
+        // cache at 2 sealed segments.
+        for (i, &ix) in idx.iter().enumerate() {
+            assert_eq!(
+                vol.read(s, ix).unwrap().as_deref(),
+                Some(&[i as u8; 40][..])
+            );
+        }
+        assert!(vol.cached_segment_count() <= 2);
+        // A second read of a cached record shares storage with the cache.
+        let first = vol.read(s, idx[0]).unwrap().unwrap();
+        let again = vol.read(s, idx[0]).unwrap().unwrap();
+        assert_eq!(first, again);
     }
 
     #[test]
@@ -695,9 +771,9 @@ mod tests {
         // Flip a payload bit of the first record (inside the frame body).
         f.corrupt_bit("v-00000000.seg", HEADER_LEN as u64 + 2);
         // The first record is not the tail, but scanning stops at the first
-        // bad frame in the last segment: since this IS the last segment the
-        // volume treats it as torn tail and truncates — both records lost
-        // but the volume stays usable.
+        // bad frame in the last segment: since this IS the last (unsealed)
+        // segment the volume treats it as torn tail and truncates — both
+        // records lost but the volume stays usable.
         let mut vol = LogVolume::open(Box::new(f), "v", VolumeConfig::default()).unwrap();
         assert_eq!(vol.read(StreamId(0), LogIndex(0)).unwrap(), None);
         assert_eq!(vol.read(StreamId(0), LogIndex(1)).unwrap(), None);
@@ -714,6 +790,7 @@ mod tests {
                 VolumeConfig {
                     segment_bytes: 64,
                     sync_every_append: true,
+                    ..VolumeConfig::default()
                 },
             )
             .unwrap();
@@ -725,6 +802,41 @@ mod tests {
         f.corrupt_bit("v-00000000.seg", 3);
         let res = LogVolume::open(Box::new(f), "v", VolumeConfig::default());
         assert!(matches!(res, Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn recovery_reopens_after_seal_crash() {
+        // Crash immediately after a roll: the last on-media segment is the
+        // fresh empty one; delete it to simulate dying between seal and
+        // segment creation — recovery must open a new active segment past
+        // the sealed tail.
+        let f = MemFactory::new();
+        {
+            let mut vol = LogVolume::create(
+                Box::new(f.clone()),
+                "v",
+                VolumeConfig {
+                    segment_bytes: 64,
+                    ..VolumeConfig::default()
+                },
+            )
+            .unwrap();
+            for _ in 0..3 {
+                vol.append(StreamId(0), &[5u8; 40]).unwrap();
+            }
+            assert!(vol.segment_count() >= 2);
+        }
+        let mut names = f.list().unwrap();
+        names.sort();
+        let newest = names.last().unwrap().clone();
+        f.remove(&newest).unwrap();
+        let mut vol = LogVolume::open(Box::new(f), "v", VolumeConfig::default()).unwrap();
+        // The sealed segment's record is intact and appends still work.
+        assert_eq!(
+            vol.read(StreamId(0), LogIndex(0)).unwrap().as_deref(),
+            Some(&[5u8; 40][..])
+        );
+        vol.append(StreamId(0), b"after-recovery").unwrap();
     }
 
     #[test]
@@ -750,8 +862,10 @@ mod tests {
         vol.chop(s, LogIndex(2)).unwrap();
         let all = vol.read_all(s).unwrap();
         assert_eq!(all.len(), 3);
-        assert_eq!(all[0], (LogIndex(2), vec![2u8]));
-        assert_eq!(all[2], (LogIndex(4), vec![4u8]));
+        assert_eq!(all[0].0, LogIndex(2));
+        assert_eq!(all[0].1.as_ref(), &[2u8]);
+        assert_eq!(all[2].0, LogIndex(4));
+        assert_eq!(all[2].1.as_ref(), &[4u8]);
     }
 
     #[test]

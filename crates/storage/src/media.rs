@@ -146,12 +146,27 @@ struct MemInner {
 #[derive(Debug, Clone, Default)]
 pub struct MemFactory {
     inner: Arc<Mutex<MemInner>>,
+    /// Modeled device flush latency in microseconds (0 = instantaneous).
+    sync_latency_us: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl MemFactory {
     /// Creates an empty namespace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a namespace whose media sleep `us` microseconds on every
+    /// [`Media::sync`], modeling a device flush round-trip. The sleep
+    /// happens *outside* the namespace lock, so other media (and reads of
+    /// this one) proceed during the modeled flush. Keep this at the
+    /// default 0 anywhere determinism matters — the simulator models
+    /// commit latency with its own timers.
+    pub fn with_sync_latency_us(us: u64) -> Self {
+        let f = Self::default();
+        f.sync_latency_us
+            .store(us, std::sync::atomic::Ordering::Relaxed);
+        f
     }
 
     /// Simulates a crash: every media loses bytes appended after its last
@@ -192,6 +207,7 @@ impl MemFactory {
 struct MemMedia {
     factory: Arc<Mutex<MemInner>>,
     name: String,
+    sync_latency_us: Arc<std::sync::atomic::AtomicU64>,
     stats: MediaStats,
 }
 
@@ -235,12 +251,29 @@ impl Media for MemMedia {
     }
 
     fn sync(&mut self) -> Result<(), StorageError> {
+        // Capture the durable horizon, then model the device round-trip
+        // without holding the namespace lock.
+        let horizon = {
+            let inner = self.factory.lock();
+            inner
+                .media
+                .get(&self.name)
+                .ok_or_else(|| StorageError::MissingMedia(self.name.clone()))?
+                .0
+                .len()
+        };
+        let latency = self
+            .sync_latency_us
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if latency > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(latency));
+        }
         let mut inner = self.factory.lock();
         let (bytes, synced) = inner
             .media
             .get_mut(&self.name)
             .ok_or_else(|| StorageError::MissingMedia(self.name.clone()))?;
-        *synced = bytes.len();
+        *synced = (*synced).max(horizon.min(bytes.len()));
         self.stats.syncs += 1;
         Ok(())
     }
@@ -277,6 +310,7 @@ impl MediaFactory for MemFactory {
         Ok(Box::new(MemMedia {
             factory: Arc::clone(&self.inner),
             name: name.to_owned(),
+            sync_latency_us: Arc::clone(&self.sync_latency_us),
             stats: MediaStats::default(),
         }))
     }

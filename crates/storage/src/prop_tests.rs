@@ -2,8 +2,8 @@
 //! crash injection.
 
 use crate::{
-    decode_event, encode_event, LogIndex, LogVolume, MemFactory, MetaTable, StreamId, TableConfig,
-    VolumeConfig,
+    decode_event, encode_event, EventLog, LogIndex, LogVolume, MediaFactory, MemFactory,
+    MetaTable, StreamId, TableConfig, VolumeConfig,
 };
 use gryphon_types::{AttrValue, Event, PubendId, Timestamp};
 use proptest::prelude::*;
@@ -38,7 +38,7 @@ proptest! {
         let mut vol = LogVolume::create(
             Box::new(factory.clone()),
             "v",
-            VolumeConfig { segment_bytes: 512, sync_every_append: false },
+            VolumeConfig { segment_bytes: 512, ..VolumeConfig::default() },
         ).unwrap();
         // Model: per stream, (index → payload) of records; `synced_next`
         // = next index as of last sync; `chopped_to` per stream.
@@ -89,7 +89,7 @@ proptest! {
                     vol = LogVolume::open(
                         Box::new(factory.clone()),
                         "v",
-                        VolumeConfig { segment_bytes: 512, sync_every_append: false },
+                        VolumeConfig { segment_bytes: 512, ..VolumeConfig::default() },
                     ).unwrap();
                 }
             }
@@ -98,7 +98,7 @@ proptest! {
                 let m = model.get(&s).cloned().unwrap_or_default();
                 let got = vol.read_all(StreamId(s as u32)).unwrap();
                 let got_map: BTreeMap<u64, Vec<u8>> =
-                    got.into_iter().map(|(i, d)| (i.0, d)).collect();
+                    got.into_iter().map(|(i, d)| (i.0, d.to_vec())).collect();
                 prop_assert_eq!(&got_map, &m, "stream {} contents", s);
                 prop_assert_eq!(
                     vol.next_index(StreamId(s as u32)).0,
@@ -184,5 +184,152 @@ proptest! {
             prop_assert_eq!(table.get_u64(k), Some(*v), "key {}", k);
         }
         prop_assert_eq!(table.len(), model.len());
+    }
+
+    /// Torn-write safety: any truncation or single-bit corruption of the
+    /// unsealed tail recovers to *exactly* the longest valid frame prefix
+    /// — records before the tamper point survive byte-for-byte, records
+    /// at/after it are gone, and the volume accepts new appends.
+    #[test]
+    fn tampered_tail_recovers_to_durable_prefix(
+        lens in prop::collection::vec(1usize..60, 1..20),
+        tamper_seed in 0usize..1_000_000,
+        flip_bit in any::<bool>(),
+    ) {
+        const HDR: usize = 21; // segment frame header (type+stream+index+len+crc)
+        let factory = MemFactory::new();
+        let s = StreamId(0);
+        {
+            let mut vol = LogVolume::create(
+                Box::new(factory.clone()),
+                "v",
+                VolumeConfig::default(), // 4 MiB segments: everything in segment 0
+            ).unwrap();
+            for (i, &len) in lens.iter().enumerate() {
+                vol.append(s, &vec![i as u8; len]).unwrap();
+            }
+            vol.sync().unwrap();
+        }
+        // Frame i occupies [ends[i-1], ends[i]) in the segment.
+        let mut ends = Vec::with_capacity(lens.len());
+        let mut off = 0usize;
+        for &len in &lens {
+            off += HDR + len;
+            ends.push(off);
+        }
+        let total = off;
+        let pos = tamper_seed % total;
+        if flip_bit {
+            factory.corrupt_bit("v-00000000.seg", pos as u64);
+        } else {
+            let mut m = factory.open("v-00000000.seg").unwrap();
+            m.truncate(pos as u64).unwrap();
+        }
+        // Exactly the frames that end at or before the tamper point must
+        // survive recovery (the frame containing `pos` and everything
+        // after it is the torn tail).
+        let k = ends.iter().filter(|&&e| e <= pos).count();
+        let mut vol = LogVolume::open(
+            Box::new(factory.clone()),
+            "v",
+            VolumeConfig::default(),
+        ).unwrap();
+        for (i, &len) in lens.iter().enumerate() {
+            let got = vol.read(s, LogIndex(i as u64)).unwrap();
+            if i < k {
+                prop_assert_eq!(got.as_deref(), Some(&vec![i as u8; len][..]), "record {}", i);
+            } else {
+                prop_assert!(got.is_none(), "record {} should be truncated", i);
+            }
+        }
+        prop_assert_eq!(vol.next_index(s), LogIndex(k as u64));
+        // The recovered volume is immediately writable again.
+        let idx = vol.append(s, b"post-recovery").unwrap();
+        prop_assert_eq!(idx, LogIndex(k as u64));
+        vol.sync().unwrap();
+        prop_assert_eq!(vol.read(s, idx).unwrap().as_deref(), Some(&b"post-recovery"[..]));
+    }
+
+    /// A synced chop boundary survives a crash that loses the unsynced
+    /// tail: chopped events stay gone (never re-surface), synced live
+    /// events stay readable, and lost-tail events read as absent — the
+    /// broker answers `L`, never a wrong `S`, for both.
+    #[test]
+    fn event_log_chop_boundary_survives_crash(
+        n in 2u64..24,
+        chop_seed in 1u64..24,
+        extra in 0u64..4,
+    ) {
+        let chop_ts = chop_seed.min(n);
+        let p = PubendId(3);
+        let factory = MemFactory::new();
+        let config = || VolumeConfig { segment_bytes: 256, ..VolumeConfig::default() };
+        let ev = |ts: u64| {
+            std::sync::Arc::new(
+                Event::builder(p).payload(vec![ts as u8; 8]).build(Timestamp(ts)),
+            )
+        };
+        {
+            let mut log = EventLog::open(Box::new(factory.clone()), "el", config()).unwrap();
+            for ts in 1..=n {
+                log.append(&ev(ts)).unwrap();
+            }
+            log.chop_below(p, Timestamp(chop_ts)).unwrap();
+            log.sync().unwrap();
+            for ts in n + 1..=n + extra {
+                log.append(&ev(ts)).unwrap(); // unsynced tail, lost below
+            }
+        }
+        factory.crash_lose_unsynced();
+        let mut log = EventLog::open(Box::new(factory), "el", config()).unwrap();
+        prop_assert_eq!(log.chopped_below_ts(p), Timestamp(chop_ts));
+        for ts in 1..chop_ts {
+            prop_assert!(log.read_at(p, Timestamp(ts)).unwrap().is_none(), "chopped ts {}", ts);
+        }
+        for ts in chop_ts..=n {
+            let got = log.read_at(p, Timestamp(ts)).unwrap();
+            prop_assert!(got.is_some(), "synced ts {}", ts);
+            prop_assert_eq!(got.unwrap().ts, Timestamp(ts));
+        }
+        // The unsynced tail may be partially durable (a segment roll
+        // seals — and therefore syncs — the filled segment), but what
+        // survives must be a contiguous prefix: no holes, no reordering.
+        let mut lost_from = None;
+        for ts in n + 1..=n + extra {
+            match log.read_at(p, Timestamp(ts)).unwrap() {
+                Some(got) => {
+                    prop_assert!(lost_from.is_none(), "hole before ts {}", ts);
+                    prop_assert_eq!(got.ts, Timestamp(ts));
+                }
+                None => {
+                    lost_from.get_or_insert(ts);
+                }
+            }
+        }
+    }
+
+    /// Every strict prefix of an encoded event is rejected — a torn event
+    /// record can never decode to a different valid event.
+    #[test]
+    fn codec_rejects_every_truncation(
+        pubend in 0u32..8,
+        ts in 0u64..1_000_000,
+        key in "[a-z]{1,8}",
+        payload in prop::collection::vec(any::<u8>(), 0..120),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let e = Event::builder(PubendId(pubend))
+            .attr(key, AttrValue::Int(ts as i64))
+            .payload(payload)
+            .build(Timestamp(ts));
+        let bytes = encode_event(&e);
+        let cut = cut_seed % bytes.len(); // strict prefix: 0 ≤ cut < len
+        prop_assert!(decode_event(&bytes[..cut]).is_err());
+    }
+
+    /// The decoder never panics on arbitrary input, only errors.
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_event(&bytes);
     }
 }

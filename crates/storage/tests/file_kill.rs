@@ -1,0 +1,225 @@
+//! Kill-style recovery tests against the real file backend.
+//!
+//! The in-crate property tests exercise torn tails on [`MemFactory`];
+//! these tests repeat the story on actual files: a process that dies
+//! mid-append leaves a partially written frame on disk (simulated here by
+//! truncating / bit-flipping the segment file out-of-band with `std::fs`),
+//! and `open()` must come back with exactly the synced prefix and accept
+//! new appends.
+
+use gryphon_storage::{
+    EventLog, FileFactory, LogIndex, LogVolume, StreamId, VolumeConfig, VolumeStats,
+};
+use gryphon_types::{Event, PubendId, Timestamp};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A scratch dir that cleans up after itself.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "gryphon-kill-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        Scratch(dir)
+    }
+
+    fn factory(&self) -> FileFactory {
+        FileFactory::new(&self.0).unwrap()
+    }
+
+    fn file_len(&self, name: &str) -> u64 {
+        std::fs::metadata(self.0.join(name)).unwrap().len()
+    }
+
+    fn truncate_file(&self, name: &str, len: u64) {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.0.join(name))
+            .unwrap();
+        f.set_len(len).unwrap();
+    }
+
+    fn flip_bit(&self, name: &str, offset: u64) {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.0.join(name))
+            .unwrap();
+        let mut b = [0u8; 1];
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        f.read_exact(&mut b).unwrap();
+        b[0] ^= 0x10;
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        f.write_all(&b).unwrap();
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+const S: StreamId = StreamId(0);
+
+fn cfg() -> VolumeConfig {
+    VolumeConfig {
+        segment_bytes: 4096,
+        ..VolumeConfig::default()
+    }
+}
+
+/// Kill mid-append: the tail frame is half on disk. Recovery truncates
+/// back to the synced prefix and the volume keeps working.
+#[test]
+fn killed_mid_append_recovers_synced_prefix() {
+    let scratch = Scratch::new("midappend");
+    {
+        let mut vol = LogVolume::create(Box::new(scratch.factory()), "vol", cfg()).unwrap();
+        for i in 0..8u8 {
+            vol.append(S, &[i; 32]).unwrap();
+        }
+        vol.sync().unwrap();
+        // Unsynced appends the "kill" will tear.
+        vol.append(S, &[8; 32]).unwrap();
+        vol.append(S, &[9; 32]).unwrap();
+    }
+    // The synced prefix is 8 equal-sized frames; chop the file mid-way
+    // through the 9th frame (a torn final write).
+    let seg = "vol-00000000.seg";
+    let full = scratch.file_len(seg);
+    let frame = full / 10;
+    scratch.truncate_file(seg, frame * 8 + frame / 2);
+
+    let mut vol = LogVolume::open(Box::new(scratch.factory()), "vol", cfg()).unwrap();
+    for i in 0..8u8 {
+        assert_eq!(
+            vol.read(S, LogIndex(i as u64)).unwrap().as_deref(),
+            Some(&[i; 32][..]),
+            "synced record {i}"
+        );
+    }
+    assert_eq!(vol.read(S, LogIndex(8)).unwrap(), None, "torn record");
+    assert_eq!(vol.next_index(S), LogIndex(8));
+    let idx = vol.append(S, b"after recovery").unwrap();
+    vol.sync().unwrap();
+    assert_eq!(idx, LogIndex(8));
+    assert_eq!(
+        vol.read(S, idx).unwrap().as_deref(),
+        Some(&b"after recovery"[..])
+    );
+}
+
+/// A bit rots inside the unsealed tail: the CRC catches it and recovery
+/// keeps exactly the frames before the rotten one.
+#[test]
+fn bit_flip_in_tail_truncates_from_bad_frame() {
+    let scratch = Scratch::new("bitflip");
+    {
+        let mut vol = LogVolume::create(Box::new(scratch.factory()), "vol", cfg()).unwrap();
+        for i in 0..6u8 {
+            vol.append(S, &[i; 48]).unwrap();
+        }
+        vol.sync().unwrap();
+    }
+    let seg = "vol-00000000.seg";
+    let full = scratch.file_len(seg);
+    let frame = full / 6;
+    // Flip a payload bit inside frame 4.
+    scratch.flip_bit(seg, frame * 4 + frame - 3);
+
+    let mut vol = LogVolume::open(Box::new(scratch.factory()), "vol", cfg()).unwrap();
+    for i in 0..4u8 {
+        assert!(vol.read(S, LogIndex(i as u64)).unwrap().is_some());
+    }
+    assert_eq!(vol.read(S, LogIndex(4)).unwrap(), None);
+    assert_eq!(vol.read(S, LogIndex(5)).unwrap(), None);
+    assert_eq!(vol.next_index(S), LogIndex(4));
+    vol.append(S, b"fresh").unwrap();
+    vol.sync().unwrap();
+}
+
+/// Killed right after a segment sealed but before anything landed in the
+/// next one: reopen continues in a fresh segment after the seal.
+#[test]
+fn killed_after_seal_reopens_next_segment() {
+    let scratch = Scratch::new("seal");
+    let small = VolumeConfig {
+        segment_bytes: 256,
+        ..VolumeConfig::default()
+    };
+    let n = {
+        let mut vol = LogVolume::create(Box::new(scratch.factory()), "vol", small).unwrap();
+        // Enough records to roll (and therefore seal) at least two
+        // segments; every roll syncs the sealed segment.
+        for i in 0..24u8 {
+            vol.append(S, &[i; 40]).unwrap();
+        }
+        vol.sync().unwrap();
+        let stats: VolumeStats = vol.stats();
+        assert!(stats.segments_created >= 3, "expected rolls, got {stats:?}");
+        vol.next_index(S)
+    };
+    let small2 = VolumeConfig {
+        segment_bytes: 256,
+        ..VolumeConfig::default()
+    };
+    let mut vol = LogVolume::open(Box::new(scratch.factory()), "vol", small2).unwrap();
+    assert_eq!(vol.next_index(S), n);
+    for i in 0..24u8 {
+        assert_eq!(
+            vol.read(S, LogIndex(i as u64)).unwrap().as_deref(),
+            Some(&[i; 40][..])
+        );
+    }
+    let idx = vol.append(S, b"resumed").unwrap();
+    vol.sync().unwrap();
+    assert_eq!(idx, n);
+}
+
+/// The event log on real files: a torn tail after the last sync must
+/// never resurrect as answerable data — lost ticks read as absent.
+#[test]
+fn event_log_torn_tail_reads_absent_after_recovery() {
+    let scratch = Scratch::new("eventlog");
+    let p = PubendId(1);
+    let ev = |ts: u64| {
+        Arc::new(
+            Event::builder(p)
+                .payload(vec![ts as u8; 24])
+                .build(Timestamp(ts)),
+        )
+    };
+    {
+        let mut log = EventLog::open(Box::new(scratch.factory()), "el", cfg()).unwrap();
+        for ts in 1..=6 {
+            log.append(&ev(ts)).unwrap();
+        }
+        log.sync().unwrap();
+        log.append(&ev(7)).unwrap(); // the kill tears this one
+    }
+    let seg = "el-00000000.seg";
+    let full = scratch.file_len(seg);
+    scratch.truncate_file(seg, full - 11);
+
+    let mut log = EventLog::open(Box::new(scratch.factory()), "el", cfg()).unwrap();
+    for ts in 1..=6 {
+        assert!(
+            log.read_at(p, Timestamp(ts)).unwrap().is_some(),
+            "synced ts {ts}"
+        );
+    }
+    assert!(
+        log.read_at(p, Timestamp(7)).unwrap().is_none(),
+        "torn tick must be absent (the broker answers L, never S)"
+    );
+    log.append(&ev(7)).unwrap();
+    log.sync().unwrap();
+    assert!(log.read_at(p, Timestamp(7)).unwrap().is_some());
+}

@@ -1,0 +1,90 @@
+//! CI gate for the group-commit win (ISSUE 8 acceptance): with 8
+//! concurrent committers on a device with a fixed modeled flush latency,
+//! the pipeline must beat serialized per-caller sync by ≥ 3× in
+//! committed-batches/sec.
+//!
+//! The modeled latency (800 µs per flush, slept outside the media's
+//! namespace lock) dominates every other cost, so the ratio is stable
+//! even on loaded CI machines: serial pays `commits × latency`, grouped
+//! pays `fsyncs × latency` with `fsyncs ≪ commits`. The fsync count is
+//! asserted too, as a scheduler-independent backstop.
+
+use gryphon_storage::{CommitPipeline, LogVolume, MemFactory, StreamId, VolumeConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const THREADS: usize = 8;
+const COMMITS_PER_THREAD: usize = 16;
+const LATENCY_US: u64 = 800;
+
+fn volume(factory: MemFactory) -> LogVolume {
+    LogVolume::create(Box::new(factory), "v", VolumeConfig::default()).unwrap()
+}
+
+fn run_threads(f: impl Fn(usize) + Send + Sync + 'static) {
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f(t))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn eight_committers_beat_serial_sync_by_3x() {
+    let total = (THREADS * COMMITS_PER_THREAD) as u64;
+
+    // Baseline: every committer locks the volume and pays its own flush.
+    let serial = Arc::new(Mutex::new(volume(MemFactory::with_sync_latency_us(
+        LATENCY_US,
+    ))));
+    let t0 = Instant::now();
+    {
+        let serial = Arc::clone(&serial);
+        run_threads(move |t| {
+            for i in 0..COMMITS_PER_THREAD {
+                let mut vol = serial.lock().unwrap();
+                vol.append(StreamId(t as u32), &[i as u8; 64]).unwrap();
+                vol.sync().unwrap();
+            }
+        });
+    }
+    let serial_elapsed = t0.elapsed();
+
+    // Pipeline: same workload, same modeled device, group commit.
+    let pipe = CommitPipeline::new(volume(MemFactory::with_sync_latency_us(LATENCY_US)));
+    let t1 = Instant::now();
+    {
+        let pipe = pipe.clone();
+        run_threads(move |t| {
+            for i in 0..COMMITS_PER_THREAD {
+                pipe.commit_with(|vol| vol.append(StreamId(t as u32), &[i as u8; 64]))
+                    .unwrap();
+            }
+        });
+    }
+    let grouped_elapsed = t1.elapsed();
+
+    let stats = pipe.stats();
+    assert_eq!(stats.commits, total);
+    assert!(
+        stats.fsyncs * 3 <= total,
+        "grouping must cut flushes ≥ 3×: {} fsyncs for {} commits",
+        stats.fsyncs,
+        total
+    );
+    let speedup = serial_elapsed.as_secs_f64() / grouped_elapsed.as_secs_f64();
+    assert!(
+        speedup >= 3.0,
+        "expected ≥ 3× committed-batches/sec: serial {:?}, grouped {:?} ({speedup:.2}×, \
+         {} fsyncs, max group {})",
+        serial_elapsed,
+        grouped_elapsed,
+        stats.fsyncs,
+        stats.max_group
+    );
+}

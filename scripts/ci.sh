@@ -13,6 +13,17 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== durability: crash recovery + codec fuzz =="
+# The on-disk format gate: torn-tail / bit-flip recovery property tests
+# and the codec truncation/garbage fuzz (storage lib proptests), real-file
+# kill-style recovery, the ≥3× group-commit win, and the broker-level
+# "a chopped or lost tick is never answered S after recovery" acceptance
+# test. Runs a second time here so a failure is attributed to the
+# durability engine even if an earlier suite also trips over it.
+cargo test -q -p gryphon-storage --lib prop_tests
+cargo test -q -p gryphon-storage --test file_kill --test group_commit_speedup
+cargo test -q -p gryphon --test recovery_answer
+
 echo "== full stack with delivery ledger armed =="
 # Debug profile arms the exactly-once ledger (panic on violation), so a
 # duplicate or phantom delivery anywhere in these runs aborts the test.
@@ -111,10 +122,13 @@ CRITERION_JSON="$PWD/target/ci-bench/rt_pipeline.ndjson" \
   cargo bench -p gryphon-bench --bench rt_pipeline >/dev/null
 CRITERION_JSON="$PWD/target/ci-bench/shb_scale.ndjson" \
   cargo bench -p gryphon-bench --bench shb_scale >/dev/null
+CRITERION_JSON="$PWD/target/ci-bench/log_volume.ndjson" \
+  cargo bench -p gryphon-bench --bench log_volume --bench log_volume_commit >/dev/null
 cargo run -q --release -p gryphon-bench --bin perf_gate -- --strict \
   BENCH_matching.json target/ci-bench/matching.ndjson \
   BENCH_rt_pipeline.json target/ci-bench/rt_pipeline.ndjson \
-  BENCH_shb_scale.json target/ci-bench/shb_scale.ndjson
+  BENCH_shb_scale.json target/ci-bench/shb_scale.ndjson \
+  BENCH_log_volume.json target/ci-bench/log_volume.ndjson
 
 echo "== build with observability compiled out =="
 cargo build -p gryphon-bench --no-default-features
