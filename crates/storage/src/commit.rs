@@ -85,6 +85,9 @@ pub struct CommitReceipt {
 struct CommitState {
     appended_seq: u64,
     durable_seq: u64,
+    /// Commits covered by the most recent successful flush — what a
+    /// follower reports as its covering group size.
+    last_group: u64,
     syncing: bool,
     poisoned: bool,
     stats: CommitPipelineStats,
@@ -233,7 +236,11 @@ impl<T: Commitable> CommitPipeline<T> {
                 st.stats.sync_wait_us_total += sync_wait_us;
                 let receipt = CommitReceipt {
                     seq,
-                    group_size: st.durable_seq - seq + 1,
+                    // The flush that advanced `durable_seq` past us set
+                    // `last_group`; reporting the distance to the horizon
+                    // instead would skew the group-size histogram low for
+                    // early members of a group.
+                    group_size: st.last_group,
                     leader: false,
                     sync_wait_us,
                     fsync_us: 0,
@@ -273,6 +280,7 @@ impl<T: Commitable> CommitPipeline<T> {
                     Ok(()) => {
                         st.durable_seq = st.durable_seq.max(horizon);
                         let group = horizon - prev_durable;
+                        st.last_group = group;
                         let sync_wait_us = self.elapsed_us(wait_start);
                         st.stats.commits += 1;
                         st.stats.fsyncs += 1;

@@ -68,7 +68,12 @@ impl Commitable for EventLog {
 
 impl Commitable for MetaTable {
     fn sync_commit(&mut self) -> Result<(), StorageError> {
-        self.sync_wal()
+        self.sync_wal()?;
+        // Compaction rides the flush, never the staging path: an error
+        // from a committer's stage() therefore always means "batch not
+        // applied", and a compaction failure only surfaces (poisoning the
+        // pipeline) when the table itself became poisoned.
+        self.compact_if_needed()
     }
 }
 

@@ -194,9 +194,10 @@ impl LogVolume {
         name: &str,
         config: VolumeConfig,
     ) -> Result<Self, StorageError> {
-        let mut seg_nos: Vec<u64> = Self::segment_names(factory.as_ref(), name)?
+        let mut seg_nos: Vec<u64> = factory
+            .list()?
             .iter()
-            .filter_map(|n| n.rsplit('-').next()?.strip_suffix(".seg")?.parse().ok())
+            .filter_map(|n| Self::segment_no(name, n))
             .collect();
         seg_nos.sort_unstable();
         if seg_nos.is_empty() {
@@ -240,12 +241,26 @@ impl LogVolume {
         Ok(vol)
     }
 
+    /// Parses the segment number out of `{volume}-{no:08}.seg`. `None`
+    /// for anything else — in particular segments of a volume whose name
+    /// shares a prefix: `v-x-00000001.seg` is *not* a segment of volume
+    /// `v`, so creating or recovering `v` never touches `v-x`'s files.
+    fn segment_no(volume: &str, file: &str) -> Option<u64> {
+        let digits = file
+            .strip_prefix(volume)?
+            .strip_prefix('-')?
+            .strip_suffix(".seg")?;
+        if digits.len() < 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
     fn segment_names(factory: &dyn MediaFactory, name: &str) -> Result<Vec<String>, StorageError> {
-        let prefix = format!("{name}-");
         Ok(factory
             .list()?
             .into_iter()
-            .filter(|n| n.starts_with(&prefix) && n.ends_with(".seg"))
+            .filter(|n| Self::segment_no(name, n).is_some())
             .collect())
     }
 
@@ -837,6 +852,35 @@ mod tests {
             Some(&[5u8; 40][..])
         );
         vol.append(StreamId(0), b"after-recovery").unwrap();
+    }
+
+    #[test]
+    fn volume_names_sharing_a_prefix_do_not_collide() {
+        let f = MemFactory::new();
+        let mut inner =
+            LogVolume::create(Box::new(f.clone()), "v-x", VolumeConfig::default()).unwrap();
+        inner.append(StreamId(0), b"keep").unwrap();
+        inner.sync().unwrap();
+        drop(inner);
+        // Creating (and thereby wiping) volume "v" must not delete
+        // "v-x"'s segments…
+        let mut outer =
+            LogVolume::create(Box::new(f.clone()), "v", VolumeConfig::default()).unwrap();
+        outer.append(StreamId(0), b"other").unwrap();
+        outer.sync().unwrap();
+        drop(outer);
+        // …and recovery of each volume sees only its own segments.
+        let mut inner =
+            LogVolume::open(Box::new(f.clone()), "v-x", VolumeConfig::default()).unwrap();
+        assert_eq!(
+            inner.read(StreamId(0), LogIndex(0)).unwrap().as_deref(),
+            Some(&b"keep"[..])
+        );
+        let mut outer = LogVolume::open(Box::new(f), "v", VolumeConfig::default()).unwrap();
+        assert_eq!(
+            outer.read(StreamId(0), LogIndex(0)).unwrap().as_deref(),
+            Some(&b"other"[..])
+        );
     }
 
     #[test]

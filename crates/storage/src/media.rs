@@ -3,7 +3,9 @@
 //! Two backends are provided:
 //!
 //! * [`FileFactory`] — real files in a directory, with `sync_data` on
-//!   [`Media::sync`]; used by the wall-clock microbenchmarks;
+//!   [`Media::sync`] and a directory fsync after every file creation and
+//!   removal (so the namespace survives power loss, not just a process
+//!   kill); used by the wall-clock microbenchmarks;
 //! * [`MemFactory`] — named in-memory byte buffers that **outlive the
 //!   `Media` handle**: reopening a name after dropping the handle sees the
 //!   previously written bytes, which is exactly the durability model a
@@ -362,6 +364,15 @@ impl FileFactory {
         debug_assert!(!name.contains('/') && !name.contains(".."));
         self.dir.join(name)
     }
+
+    /// Flushes the directory itself, making file creation/removal durable
+    /// against power loss (a synced file's *bytes* surviving is useless if
+    /// its directory entry vanishes, and a deleted segment that reappears
+    /// would resurrect chopped records).
+    fn sync_dir(&self) -> Result<(), StorageError> {
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
 }
 
 struct FileMedia {
@@ -414,12 +425,17 @@ impl MediaFactory for FileFactory {
     }
 
     fn open(&self, name: &str) -> Result<Box<dyn Media>, StorageError> {
+        let path = self.path(name);
+        let existed = path.exists();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(self.path(name))?;
+            .open(path)?;
+        if !existed {
+            self.sync_dir()?;
+        }
         let len = file.metadata()?.len();
         Ok(Box::new(FileMedia {
             file,
@@ -430,7 +446,7 @@ impl MediaFactory for FileFactory {
 
     fn remove(&self, name: &str) -> Result<(), StorageError> {
         match std::fs::remove_file(self.path(name)) {
-            Ok(()) => Ok(()),
+            Ok(()) => self.sync_dir(),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e.into()),
         }

@@ -62,6 +62,9 @@ pub struct TableStats {
     pub wal_bytes: u64,
     /// Compactions performed.
     pub compactions: u64,
+    /// Compactions that failed before their generation switch. The table
+    /// stays consistent and retries at the next threshold crossing.
+    pub compaction_errors: u64,
 }
 
 /// A durable string-keyed map with atomic batched commits.
@@ -96,6 +99,11 @@ pub struct MetaTable {
     /// key → size of its most recent entry in the *current* WAL, so an
     /// overwrite knows how much garbage it creates.
     wal_entry: HashMap<String, u32>,
+    /// Set when a compaction failed *after* its snapshot became durable:
+    /// recovery would prefer that snapshot and ignore the old WAL, so
+    /// further commits cannot be guaranteed to survive. All subsequent
+    /// staging fails until the table is reopened.
+    poisoned: bool,
     stats: TableStats,
 }
 
@@ -107,6 +115,7 @@ impl std::fmt::Debug for MetaTable {
             .field("generation", &self.generation)
             .field("live_bytes", &self.live_bytes)
             .field("wal_garbage", &self.wal_garbage)
+            .field("poisoned", &self.poisoned)
             .field("stats", &self.stats)
             .finish()
     }
@@ -114,6 +123,12 @@ impl std::fmt::Debug for MetaTable {
 
 fn pair_bytes(key: &str, value: &[u8]) -> u64 {
     2 + key.len() as u64 + 4 + value.len() as u64
+}
+
+fn poisoned_table_error() -> StorageError {
+    StorageError::Io(std::io::Error::other(
+        "meta table poisoned by a failed generation switch",
+    ))
 }
 
 impl MetaTable {
@@ -165,9 +180,10 @@ impl MetaTable {
             live_bytes,
             wal_garbage,
             wal_entry,
+            poisoned: false,
             stats: TableStats::default(),
         };
-        table.gc_old_generations()?;
+        table.gc_stale_generations()?;
         Ok(table)
     }
 
@@ -307,9 +323,13 @@ impl MetaTable {
     ///
     /// # Errors
     ///
-    /// Returns an error if the WAL write (or a triggered compaction)
-    /// fails.
+    /// Returns an error if the WAL write fails or the table is poisoned;
+    /// in both cases the batch was **not** applied (no compaction runs on
+    /// this path — see [`MetaTable::compact_if_needed`]).
     pub fn stage(&mut self, batch: &[(String, Option<Vec<u8>>)]) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(poisoned_table_error());
+        }
         let mut buf = Vec::new();
         let mut entry_sizes = Vec::with_capacity(batch.len());
         for (k, v) in batch {
@@ -357,11 +377,6 @@ impl MetaTable {
                 }
             }
         }
-        // Dirty-bytes compaction policy: rewrite the snapshot only when
-        // the garbage reclaimed pays for the O(live) rewrite.
-        if self.wal_garbage >= self.config.compact_wal_bytes.max(self.live_bytes / 4) {
-            self.compact()?;
-        }
         Ok(())
     }
 
@@ -379,10 +394,13 @@ impl MetaTable {
     ///
     /// # Errors
     ///
-    /// Returns an error if the WAL write or sync fails.
+    /// Returns an error if the WAL write or sync fails (batch not
+    /// durable), or if the post-commit compaction poisoned the table — in
+    /// that case the batch *is* durable but the table must be reopened.
     pub fn commit(&mut self, batch: &[(String, Option<Vec<u8>>)]) -> Result<(), StorageError> {
         self.stage(batch)?;
-        self.sync_wal()
+        self.sync_wal()?;
+        self.compact_if_needed()
     }
 
     /// Convenience single-key set (its own commit).
@@ -461,9 +479,43 @@ impl MetaTable {
         self.wal_garbage
     }
 
+    /// Runs the dirty-bytes compaction policy: rewrite the snapshot once
+    /// the reclaimed garbage pays for the O(live) rewrite. Called *after*
+    /// a successful flush — never from the staging path — so an error
+    /// from [`MetaTable::stage`] always means the batch was not applied.
+    ///
+    /// A compaction failure before the generation switch leaves the table
+    /// fully consistent and is only counted
+    /// ([`TableStats::compaction_errors`]); the garbage threshold still
+    /// holds, so the next flush retries. A failure *after* the new
+    /// snapshot became durable poisons the table, and only that error is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the table became poisoned.
+    pub fn compact_if_needed(&mut self) -> Result<(), StorageError> {
+        if self.wal_garbage < self.config.compact_wal_bytes.max(self.live_bytes / 4) {
+            return Ok(());
+        }
+        match self.compact() {
+            Ok(()) => Ok(()),
+            Err(e) if self.poisoned => Err(e),
+            Err(_) => {
+                self.stats.compaction_errors += 1;
+                Ok(())
+            }
+        }
+    }
+
     fn compact(&mut self) -> Result<(), StorageError> {
         let next = self.generation + 1;
         let snap_name = format!("{}-snap-{next}", self.name);
+        // A compaction that crashed mid-write can leave a partial file
+        // under this name (written-but-unsynced bytes survive a process
+        // kill on the file backend); appending after that garbage would
+        // make the snapshot permanently CRC-invalid. Clear it first.
+        self.factory.remove(&snap_name)?;
         let mut snap = self.factory.open(&snap_name)?;
         let mut body = Vec::new();
         for (k, v) in &self.map {
@@ -477,27 +529,47 @@ impl MetaTable {
         body.extend_from_slice(&crc.to_le_bytes());
         snap.append(&body)?;
         snap.sync()?;
-        // Point of no return: the new snapshot is durable. Switch WALs.
-        self.wal = self.factory.open(&format!("{}-wal-{next}", self.name))?;
+        // Point of no return: the new snapshot is durable and recovery
+        // will prefer it. Failing to switch WALs now would send future
+        // commits to a WAL recovery ignores — poison the table rather
+        // than lose them silently.
+        let wal_name = format!("{}-wal-{next}", self.name);
+        self.wal = match self
+            .factory
+            .remove(&wal_name)
+            .and_then(|()| self.factory.open(&wal_name))
+        {
+            Ok(w) => w,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
         self.generation = next;
         self.wal_entry.clear();
         self.wal_garbage = 0;
         self.stats.compactions += 1;
-        self.gc_old_generations()?;
+        // Best effort: stale files only cost space; the next open or
+        // compaction retries their removal.
+        let _ = self.gc_stale_generations();
         Ok(())
     }
 
-    fn gc_old_generations(&mut self) -> Result<(), StorageError> {
+    /// Removes snapshot/WAL files of every generation other than the
+    /// current one: older generations are superseded, newer ones are
+    /// partial leftovers of a crashed compaction (a *valid* newer
+    /// snapshot would have been chosen at open).
+    fn gc_stale_generations(&mut self) -> Result<(), StorageError> {
         let snap_prefix = format!("{}-snap-", self.name);
         let wal_prefix = format!("{}-wal-", self.name);
         for n in self.factory.list()? {
-            let old = n
+            let stale = n
                 .strip_prefix(&snap_prefix)
                 .or_else(|| n.strip_prefix(&wal_prefix))
                 .and_then(|g| g.parse::<u64>().ok())
-                .map(|g| g < self.generation)
+                .map(|g| g != self.generation)
                 .unwrap_or(false);
-            if old {
+            if stale {
                 self.factory.remove(&n)?;
             }
         }
@@ -822,6 +894,58 @@ mod tests {
         .unwrap();
         assert_eq!(t.wal_garbage_bytes(), garbage, "garbage rebuilt by replay");
         assert_eq!(t.live_bytes(), live);
+    }
+
+    #[test]
+    fn open_clears_stale_future_generation_files() {
+        let f = MemFactory::new();
+        let mut t = MetaTable::open(Box::new(f.clone()), "t", TableConfig::default()).unwrap();
+        t.put_u64("stable", 7).unwrap();
+        drop(t);
+        // A compaction that crashed mid-write leaves a partial (CRC-less)
+        // snapshot for the next generation; the file backend keeps
+        // written-but-unsynced bytes after a process kill.
+        f.open("t-snap-1")
+            .unwrap()
+            .append(b"partial snapshot garbage")
+            .unwrap();
+        f.open("t-wal-9").unwrap();
+        let t = MetaTable::open(Box::new(f.clone()), "t", TableConfig::default()).unwrap();
+        assert_eq!(t.get_u64("stable"), Some(7));
+        assert!(!f.exists("t-snap-1"), "stale future snapshot must be GC'd");
+        assert!(!f.exists("t-wal-9"), "stale future WAL must be GC'd");
+    }
+
+    #[test]
+    fn compaction_overwrites_stale_partial_snapshot() {
+        let f = MemFactory::new();
+        let mut t = MetaTable::open(
+            Box::new(f.clone()),
+            "t",
+            TableConfig {
+                compact_wal_bytes: 64,
+            },
+        )
+        .unwrap();
+        t.put_u64("stable", 7).unwrap();
+        // Simulate an in-process compaction that failed mid-write (after
+        // open's GC ran): the retry must not append after its garbage.
+        f.open("t-snap-1")
+            .unwrap()
+            .append(b"partial snapshot garbage")
+            .unwrap();
+        for i in 0..200u64 {
+            t.put_u64("hot", i).unwrap();
+        }
+        assert!(t.stats().compactions > 0, "churn must have compacted");
+        drop(t);
+        // The snapshot written over the stale file must be valid: nothing
+        // may be lost on reopen (before the fix the garbage prefix made
+        // every generation-1 snapshot permanently CRC-invalid while GC
+        // deleted generation 0, silently emptying the table).
+        let t = MetaTable::open(Box::new(f), "t", TableConfig::default()).unwrap();
+        assert_eq!(t.get_u64("stable"), Some(7));
+        assert_eq!(t.get_u64("hot"), Some(199));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! crash injection.
 
 use crate::{
-    decode_event, encode_event, EventLog, LogIndex, LogVolume, MediaFactory, MemFactory,
-    MetaTable, StreamId, TableConfig, VolumeConfig,
+    decode_event, encode_event, EventLog, LogIndex, LogVolume, MediaFactory, MemFactory, MetaTable,
+    StreamId, TableConfig, VolumeConfig,
 };
 use gryphon_types::{AttrValue, Event, PubendId, Timestamp};
 use proptest::prelude::*;
