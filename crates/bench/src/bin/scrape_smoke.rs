@@ -7,8 +7,11 @@
 //! TCP **while the net is still running** (the curl-equivalent) and
 //! prints the response body to stdout. CI pipes that body through the
 //! same awk Prometheus-grammar validator it applies to `xp --prom-out`
-//! snapshots. Exits non-zero if the pipeline delivers nothing, the
-//! scrape fails, or the body is missing the telemetry gauge families.
+//! snapshots. Also probes `/healthz` (must answer 200 with an `alerts N`
+//! body) and, after `net.stop()`, asserts the endpoint actually went
+//! away — the accept thread is joined, not leaked. Exits non-zero if
+//! the pipeline delivers nothing, a fetch fails, or the body is missing
+//! the telemetry gauge families.
 
 use gryphon::{Broker, BrokerConfig, SubscriberClient, SubscriberConfig};
 use gryphon_net::NetBuilder;
@@ -68,11 +71,26 @@ fn main() {
         std::thread::sleep(Duration::from_millis(2));
     }
     // The curl-equivalent: raw HTTP GET against the live endpoint.
-    let body = fetch_metrics(&addr.to_string()).unwrap_or_else(|e| {
+    let body = fetch(&addr.to_string(), "/metrics", true).unwrap_or_else(|e| {
         eprintln!("error: scrape failed: {e}");
         std::process::exit(1);
     });
+    // Liveness probe: 200 with a machine-readable alert count.
+    let health = fetch(&addr.to_string(), "/healthz", false).unwrap_or_else(|e| {
+        eprintln!("error: health probe failed: {e}");
+        std::process::exit(1);
+    });
+    if !health.starts_with("alerts ") {
+        eprintln!("error: /healthz body is not an alert count: {health:?}");
+        std::process::exit(1);
+    }
     net.stop();
+    // Clean shutdown: the accept thread is joined, so the port must
+    // refuse further connections (no half-dead endpoint lingering).
+    if std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_ok() {
+        eprintln!("error: scrape endpoint still accepting after net.stop()");
+        std::process::exit(1);
+    }
     // The aggregate queue depth is unsuffixed (merged_snapshot derives
     // it); per-worker gauges keep their shard suffix (`.w0` → `_w0`).
     for family in [
@@ -90,10 +108,13 @@ fn main() {
 }
 
 /// Minimal HTTP GET: one request, `Connection: close`, returns the body.
-fn fetch_metrics(addr: &str) -> std::io::Result<String> {
+/// `prom` additionally enforces the Prometheus exposition headers.
+fn fetch(addr: &str, path: &str, prom: bool) -> std::io::Result<String> {
     let mut sock = std::net::TcpStream::connect(addr)?;
     sock.set_read_timeout(Some(Duration::from_secs(5)))?;
-    sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")?;
+    sock.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
     let mut resp = String::new();
     sock.read_to_string(&mut resp)?;
     if !resp.starts_with("HTTP/1.1 200") {
@@ -106,7 +127,7 @@ fn fetch_metrics(addr: &str) -> std::io::Result<String> {
         std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
     })?;
     // Prometheus scrapers key on these; assert the server sets them.
-    if !headers.contains("Content-Type: text/plain; version=0.0.4") {
+    if prom && !headers.contains("Content-Type: text/plain; version=0.0.4") {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "missing Prometheus Content-Type header",

@@ -3,10 +3,13 @@
 //! ```text
 //! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] [--prom-out DIR]
 //!    [--flight-dir DIR] [--telemetry-out DIR] [--sample-interval MS]
-//!    [--metrics-addr ADDR] [--bundle-out DIR] [--seed-offset N]
-//!    [--degrade] [--subs N] [--churn-pct P] <experiment>|all|list
-//! xp doctor inspect|check BUNDLE
+//!    [--metrics-addr ADDR] [--bundle-out DIR] [--chrome-trace DIR]
+//!    [--seed-offset N] [--degrade] [--subs N] [--churn-pct P]
+//!    <experiment>|all|list
+//! xp doctor inspect BUNDLE [--exemplars]
+//! xp doctor check BUNDLE
 //! xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]
+//! xp doctor export-trace BUNDLE -o trace.json
 //! ```
 //!
 //! * `list` prints the catalog;
@@ -40,6 +43,10 @@
 //!   subsumes the scattered `--*-out` flags, arms the sampler (500 ms
 //!   unless `--sample-interval` says otherwise) and the online health
 //!   engine, and points the flight recorder into the bundle;
+//! * `--chrome-trace DIR` writes each experiment's forensics streams as
+//!   `<id>.trace.json` in Chrome trace-event format — open it in
+//!   Perfetto or chrome://tracing (implies `--sample-interval 500`
+//!   unless one was given; see DESIGN.md §17);
 //! * `--seed-offset N` shifts every simulator seed by N (same workload,
 //!   different randomness — for A/B bundles fed to `xp doctor diff`);
 //! * `--degrade` deliberately worsens broker latency/batching config
@@ -66,6 +73,7 @@ fn main() {
     let mut flight_dir: Option<String> = None;
     let mut telemetry_dir: Option<String> = None;
     let mut bundle_dir: Option<String> = None;
+    let mut chrome_trace_dir: Option<String> = None;
     let mut sample_interval_ms: Option<u64> = None;
     let mut metrics_addr: Option<String> = None;
     let mut seed_offset: u64 = 0;
@@ -134,6 +142,13 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--chrome-trace" => {
+                chrome_trace_dir = args.next();
+                if chrome_trace_dir.is_none() {
+                    eprintln!("--chrome-trace requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
             "--seed-offset" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("--seed-offset requires an integer argument");
@@ -160,10 +175,12 @@ fn main() {
                 println!(
                     "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] \
                      [--prom-out DIR] [--flight-dir DIR] [--bundle-out DIR] \
-                     [--seed-offset N] [--degrade] [--subs N] [--churn-pct P] \
-                     <experiment>|all|list\n\
-                     \x20      xp doctor inspect|check BUNDLE\n\
-                     \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]"
+                     [--chrome-trace DIR] [--seed-offset N] [--degrade] [--subs N] \
+                     [--churn-pct P] <experiment>|all|list\n\
+                     \x20      xp doctor inspect BUNDLE [--exemplars]\n\
+                     \x20      xp doctor check BUNDLE\n\
+                     \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]\n\
+                     \x20      xp doctor export-trace BUNDLE -o trace.json"
                 );
                 print_catalog();
                 return;
@@ -185,7 +202,9 @@ fn main() {
     // --telemetry-out / --bundle-out without an explicit interval still
     // need the sampler armed; 500 ms windows match the experiments'
     // timescales. A bundle additionally arms the online health engine.
-    if (telemetry_dir.is_some() || bundle_dir.is_some()) && sample_interval_ms.is_none() {
+    if (telemetry_dir.is_some() || bundle_dir.is_some() || chrome_trace_dir.is_some())
+        && sample_interval_ms.is_none()
+    {
         sample_interval_ms = Some(500);
     }
     if bundle_dir.is_some() {
@@ -224,6 +243,7 @@ fn main() {
         prom_dir,
         telemetry_dir,
         bundle_dir,
+        chrome_trace_dir,
         explicit_flight_dir: flight_dir.is_some(),
         seed_offset,
         degrade,
@@ -251,6 +271,7 @@ struct Options {
     prom_dir: Option<String>,
     telemetry_dir: Option<String>,
     bundle_dir: Option<String>,
+    chrome_trace_dir: Option<String>,
     explicit_flight_dir: bool,
     seed_offset: u64,
     degrade: bool,
@@ -339,6 +360,28 @@ fn run_one(id: &str, opts: &Options) {
                         csv.display()
                     );
                 }
+            }
+            if let Some(dir) = opts.chrome_trace_dir.as_deref() {
+                let (intervals, exemplars): (Vec<_>, Vec<_>) = report
+                    .telemetry
+                    .as_ref()
+                    .map(|t| {
+                        (
+                            t.intervals().copied().collect(),
+                            t.exemplars().cloned().collect(),
+                        )
+                    })
+                    .unwrap_or_default();
+                let json = gryphon_harness::trace_export::chrome_trace_json(
+                    &intervals,
+                    &exemplars,
+                    report.alerts(),
+                );
+                let path = write_file(dir, &format!("{id}.trace.json"), &json);
+                println!(
+                    "[chrome trace written to {} — open in https://ui.perfetto.dev]",
+                    path.display()
+                );
             }
             if let Some(root) = opts.bundle_dir.as_deref() {
                 let meta = gryphon_harness::bundle::BundleMeta {

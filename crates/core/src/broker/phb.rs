@@ -99,7 +99,23 @@ impl Broker {
             names::STORAGE_COMMIT_SYNC_WAIT_US,
             receipt.sync_wait_us as f64
         );
+        // Leader/follower split: the group leader pays the fsync, the
+        // followers pay only the wait. Separating the two histograms is
+        // what lets the exported trace tell queueing from device time.
+        let wait_name = if receipt.leader {
+            names::STORAGE_COMMIT_SYNC_WAIT_LEADER_US
+        } else {
+            names::STORAGE_COMMIT_SYNC_WAIT_FOLLOWER_US
+        };
+        observe_metric!(ctx, wait_name, receipt.sync_wait_us as f64);
         observe_metric!(ctx, names::STORAGE_COMMIT_FSYNC_US, receipt.fsync_us as f64);
+        ctx.interval(
+            gryphon_sim::forensics::KIND_COMMIT,
+            self.config.phb_commit_latency_us.max(receipt.fsync_us),
+        );
+        if receipt.leader && receipt.fsync_us > 0 {
+            ctx.interval(gryphon_sim::forensics::KIND_FSYNC, receipt.fsync_us);
+        }
         for part in &parts {
             if let KnowledgePart::Data(e) = part {
                 let bytes = e.encoded_len();

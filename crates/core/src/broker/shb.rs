@@ -980,7 +980,21 @@ impl Shb {
                         names::STORAGE_COMMIT_SYNC_WAIT_US,
                         receipt.sync_wait_us as f64
                     );
+                    // Leader pays the device flush; followers only wait.
+                    let wait_name = if receipt.leader {
+                        names::STORAGE_COMMIT_SYNC_WAIT_LEADER_US
+                    } else {
+                        names::STORAGE_COMMIT_SYNC_WAIT_FOLLOWER_US
+                    };
+                    observe_metric!(ctx, wait_name, receipt.sync_wait_us as f64);
                     observe_metric!(ctx, names::STORAGE_COMMIT_FSYNC_US, receipt.fsync_us as f64);
+                    ctx.interval(
+                        gryphon_sim::forensics::KIND_COMMIT,
+                        receipt.sync_wait_us + receipt.fsync_us,
+                    );
+                    if receipt.leader && receipt.fsync_us > 0 {
+                        ctx.interval(gryphon_sim::forensics::KIND_FSYNC, receipt.fsync_us);
+                    }
                 }
                 Err(_) => ctx.count("shb.meta_err", 1.0),
             }

@@ -11,6 +11,8 @@
 //!   timeline.ndjson   # the windowed telemetry timeline (exact samples)
 //!   timeline.csv      # the same timeline as CSV
 //!   alerts.ndjson     # health-engine alert transitions (may be empty)
+//!   exemplars.ndjson  # tail exemplars with lineage anchors (may be empty)
+//!   intervals.ndjson  # contention-profiler busy intervals (may be empty)
 //!   snapshot.prom     # Prometheus text exposition of the snapshot
 //!   report.txt        # the rendered human report
 //!   flight/           # flight-recorder post-mortems, when any fired
@@ -178,6 +180,8 @@ pub fn write_bundle(root: &Path, report: &Report, meta: &BundleMeta) -> std::io:
     write("timeline.ndjson", &report.telemetry_ndjson())?;
     write("timeline.csv", &report.telemetry_csv())?;
     write("alerts.ndjson", &report.alerts_ndjson())?;
+    write("exemplars.ndjson", &report.exemplars_ndjson())?;
+    write("intervals.ndjson", &report.intervals_ndjson())?;
     write("snapshot.prom", report.prom.as_deref().unwrap_or(""))?;
     write("report.txt", &report.render())?;
     Ok(dir)
@@ -225,6 +229,8 @@ mod tests {
             "timeline.ndjson",
             "timeline.csv",
             "alerts.ndjson",
+            "exemplars.ndjson",
+            "intervals.ndjson",
             "snapshot.prom",
             "report.txt",
         ] {

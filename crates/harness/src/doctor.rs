@@ -3,20 +3,25 @@
 //! Three verbs, all reading the bundle directories
 //! [`crate::bundle::write_bundle`] produces:
 //!
-//! * `inspect BUNDLE` — human summary: manifest, slowest latency
-//!   stages, key telemetry sparklines, the alert log;
+//! * `inspect BUNDLE [--exemplars]` — human summary: manifest, slowest
+//!   latency stages, the worst tail exemplars rendered end-to-end
+//!   stage-by-stage, key telemetry sparklines, the alert log;
 //! * `diff A B` — per-histogram-percentile and per-counter deltas with
 //!   configurable thresholds; exits nonzero naming every regressed
-//!   series (the offline complement of `perf_gate`);
+//!   series (the offline complement of `perf_gate`) plus the exemplar
+//!   behind each regressed latency histogram when one was captured;
 //! * `check BUNDLE` — replays the default health rules over the
 //!   bundle's timeline (reproducing the online engine's alert log
 //!   exactly — see [`gryphon_sim::health`]) and fails on any firing
-//!   alert or recorded invariant violation, for CI.
+//!   alert or recorded invariant violation, for CI;
+//! * `export-trace BUNDLE -o OUT.json` — Chrome/Perfetto trace-event
+//!   export of the forensics streams ([`crate::trace_export`]).
 
 use crate::bundle::parse_flat_json;
 use crate::report::HistogramSummary;
+use gryphon_sim::forensics::BusyInterval;
 use gryphon_sim::telemetry::{sparkline, Timeline};
-use gryphon_sim::{default_rules, AlertRecord, AlertState, HealthEngine};
+use gryphon_sim::{default_rules, AlertRecord, AlertState, Exemplar, HealthEngine};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -35,6 +40,13 @@ pub struct Bundle {
     pub timeline: Timeline,
     /// The recorded alert log.
     pub alerts: Vec<AlertRecord>,
+    /// Tail exemplars captured by the forensics reservoir (empty for
+    /// bundles written before the artifact existed, or with forensics
+    /// disarmed).
+    pub exemplars: Vec<Exemplar>,
+    /// Contention-profiler busy intervals (empty under the same
+    /// conditions as the exemplars).
+    pub intervals: Vec<BusyInterval>,
 }
 
 fn read(dir: &Path, name: &str) -> Result<String, String> {
@@ -120,6 +132,16 @@ pub fn load_bundle(dir: &Path) -> Result<Bundle, String> {
     }
     let timeline = Timeline::from_ndjson(&read(dir, "timeline.ndjson")?, interval_us)?;
     let alerts = Timeline::alerts_from_ndjson(&read(dir, "alerts.ndjson")?)?;
+    // Forensics artifacts are newer than the bundle schema itself:
+    // tolerate their absence (pre-§17 bundles) but not malformation.
+    let exemplars = match std::fs::read_to_string(dir.join("exemplars.ndjson")) {
+        Ok(s) => Timeline::exemplars_from_ndjson(&s)?,
+        Err(_) => Vec::new(),
+    };
+    let intervals = match std::fs::read_to_string(dir.join("intervals.ndjson")) {
+        Ok(s) => Timeline::intervals_from_ndjson(&s)?,
+        Err(_) => Vec::new(),
+    };
     Ok(Bundle {
         dir: dir.to_path_buf(),
         manifest,
@@ -127,6 +149,8 @@ pub fn load_bundle(dir: &Path) -> Result<Bundle, String> {
         histograms,
         timeline,
         alerts,
+        exemplars,
+        intervals,
     })
 }
 
@@ -154,16 +178,57 @@ pub fn replay_health(timeline: &Timeline) -> Vec<AlertRecord> {
 /// (0 healthy, 1 regression/alerts found, 2 usage or read error).
 pub fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
-        Some("inspect") if args.len() == 2 => match load_bundle(Path::new(&args[1])) {
-            Ok(b) => {
-                print!("{}", inspect(&b));
-                0
+        Some("inspect") if args.len() == 2 || args.len() == 3 => {
+            let full_exemplars = match args.get(2).map(String::as_str) {
+                Some("--exemplars") => true,
+                None => false,
+                Some(other) => {
+                    eprintln!("error: unknown inspect option {other}");
+                    return 2;
+                }
+            };
+            match load_bundle(Path::new(&args[1])) {
+                Ok(b) => {
+                    print!("{}", inspect(&b, full_exemplars));
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                2
+        }
+        Some("export-trace") if args.len() == 4 && args[2] == "-o" => {
+            match load_bundle(Path::new(&args[1])) {
+                Ok(b) => {
+                    let json = crate::trace_export::chrome_trace_json(
+                        &b.intervals,
+                        &b.exemplars,
+                        &b.alerts,
+                    );
+                    match std::fs::write(&args[3], json) {
+                        Ok(()) => {
+                            println!(
+                                "wrote {} ({} intervals, {} exemplars, {} alerts)",
+                                args[3],
+                                b.intervals.len(),
+                                b.exemplars.len(),
+                                b.alerts.len()
+                            );
+                            0
+                        }
+                        Err(e) => {
+                            eprintln!("error: cannot write {}: {e}", args[3]);
+                            2
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
             }
-        },
+        }
         Some("check") if args.len() == 2 => match load_bundle(Path::new(&args[1])) {
             Ok(b) => check(&b),
             Err(e) => {
@@ -200,17 +265,28 @@ pub fn run(args: &[String]) -> i32 {
         }
         _ => {
             eprintln!(
-                "usage: xp doctor inspect BUNDLE\n\
+                "usage: xp doctor inspect BUNDLE [--exemplars]\n\
                  \x20      xp doctor check BUNDLE\n\
-                 \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]"
+                 \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]\n\
+                 \x20      xp doctor export-trace BUNDLE -o OUT.json"
             );
             2
         }
     }
 }
 
-/// Renders the human `inspect` summary.
-pub fn inspect(b: &Bundle) -> String {
+/// `true` for histograms `inspect` lists in its slowest-stage table.
+/// Everything latency-shaped (`*_us`) plus the whole commit-pipeline
+/// family (whose `batch_records`/`group_size` members are not µs but
+/// explain *why* the `_us` members moved). The registry-coverage test
+/// below keeps this predicate honest as histograms are added.
+pub fn inspect_histogram(name: &str) -> bool {
+    name.ends_with("_us") || name.starts_with("storage.commit.")
+}
+
+/// Renders the human `inspect` summary. `full_exemplars` lists every
+/// captured tail exemplar instead of the three worst.
+pub fn inspect(b: &Bundle, full_exemplars: bool) -> String {
     let get = |k: &str| b.manifest.get(k).map(String::as_str).unwrap_or("?");
     let mut out = format!(
         "# bundle: {} ({})\n  version {}  git {}  quick {}  seed_offset {}  degrade {}\n  \
@@ -232,20 +308,47 @@ pub fn inspect(b: &Bundle) -> String {
     let mut stages: Vec<&HistogramSummary> = b
         .histograms
         .values()
-        .filter(|h| h.name.ends_with("_us"))
+        .filter(|h| inspect_histogram(&h.name))
         .collect();
     stages.sort_by(|x, y| y.p99.total_cmp(&x.p99));
     if !stages.is_empty() {
         out.push_str("\n## latency stages (slowest p99 first)\n");
         out.push_str(&format!(
             "  {:<36} {:>9} {:>12} {:>12} {:>12}\n",
-            "histogram", "count", "p50_us", "p99_us", "max_us"
+            "histogram", "count", "p50", "p99", "max"
         ));
-        for h in stages.iter().take(10) {
+        for h in stages.iter().take(12) {
             out.push_str(&format!(
                 "  {:<36} {:>9} {:>12.0} {:>12.0} {:>12.0}\n",
                 h.name, h.count, h.p50, h.p99, h.max
             ));
+        }
+    }
+
+    // The worst end-to-end spans, worst first: the exemplar reservoir
+    // captured these *because* they landed in a stage histogram's tail,
+    // so each renders the full timestamped→delivered walk.
+    if !b.exemplars.is_empty() {
+        let mut worst: Vec<&Exemplar> = b.exemplars.iter().collect();
+        worst.sort_by(|x, y| y.value.total_cmp(&x.value));
+        let shown = if full_exemplars {
+            worst.len()
+        } else {
+            3.min(worst.len())
+        };
+        out.push_str(&format!(
+            "\n## tail exemplars ({} captured, {shown} shown{})\n",
+            b.exemplars.len(),
+            if full_exemplars {
+                ""
+            } else {
+                "; --exemplars for all"
+            },
+        ));
+        for ex in worst.iter().take(shown) {
+            for line in ex.render().lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
         }
     }
 
@@ -327,6 +430,14 @@ fn check(b: &Bundle) -> i32 {
     }
 }
 
+/// The largest-valued exemplar captured for `series` in bundle `b`.
+fn worst_exemplar<'a>(b: &'a Bundle, series: &str) -> Option<&'a Exemplar> {
+    b.exemplars
+        .iter()
+        .filter(|e| e.series == series)
+        .max_by(|x, y| x.value.total_cmp(&y.value))
+}
+
 /// Timeline gauge series `diff` additionally guards (ISSUE 7): each is
 /// compared at its final sample with the same relative threshold as the
 /// histograms plus a small absolute floor.
@@ -361,9 +472,16 @@ fn diff(a: &Bundle, b: &Bundle, threshold_pct: f64, abs_floor_us: f64) -> i32 {
             let pct = if va > 0.0 { delta / va * 100.0 } else { 0.0 };
             println!("  {name:<36} {label:>6} {va:>12.0} {vb:>12.0} {pct:>+8.1}%");
             if pct > threshold_pct && delta > abs_floor_us {
-                regressions.push(format!(
-                    "{name} {label}: {va:.0} µs -> {vb:.0} µs ({pct:+.1}%)"
-                ));
+                let mut r = format!("{name} {label}: {va:.0} µs -> {vb:.0} µs ({pct:+.1}%)");
+                // Attribute the regression: the worst exemplar B
+                // captured for this histogram shows where, stage by
+                // stage, that tail latency was actually spent.
+                if let Some(ex) = worst_exemplar(b, name) {
+                    for line in ex.render().lines() {
+                        r.push_str(&format!("\n    {line}"));
+                    }
+                }
+                regressions.push(r);
             }
         }
     }
@@ -475,7 +593,7 @@ mod tests {
             &[(500_000, 3.0)]
         );
         assert!(b.alerts.is_empty());
-        let text = inspect(&b);
+        let text = inspect(&b, false);
         assert!(text.contains("lineage.stage.deliver_us"));
         assert!(text.contains("none"));
         let _ = std::fs::remove_dir_all(&root);
@@ -577,6 +695,157 @@ mod tests {
     fn run_usage_errors() {
         assert_eq!(run(&[]), 2);
         assert_eq!(run(&["inspect".into(), "/nonexistent-bundle".into()]), 2);
+        assert_eq!(run(&["inspect".into(), "x".into(), "--bogus".into()]), 2);
         assert_eq!(run(&["verb".into()]), 2);
+        assert_eq!(run(&["export-trace".into(), "x".into()]), 2);
+    }
+
+    /// Registry-completeness guard (ISSUE 9): every latency-shaped or
+    /// commit-pipeline histogram in the metric registry must pass the
+    /// inspect filter, so newly registered histograms can't silently
+    /// fall out of `doctor inspect`'s slowest-stage listing.
+    #[test]
+    fn inspect_filter_covers_registered_histograms() {
+        for name in gryphon_sim::names::all() {
+            if name.ends_with("_us") || name.starts_with("storage.commit.") {
+                assert!(
+                    inspect_histogram(name),
+                    "{name} would fall out of doctor inspect"
+                );
+            }
+        }
+        // The two commit-family members that are *not* µs-valued are
+        // exactly why the filter is broader than `ends_with("_us")`.
+        assert!(inspect_histogram("storage.commit.batch_records"));
+        assert!(inspect_histogram("storage.commit.group_size"));
+        assert!(!inspect_histogram("phb.log_bytes"));
+    }
+
+    /// A bundle observing the PR-8 commit histograms must show them in
+    /// the inspect listing end-to-end (not just pass the predicate).
+    #[test]
+    fn inspect_lists_commit_pipeline_histograms() {
+        let root =
+            std::env::temp_dir().join(format!("gryphon-doctor-test-{}-commit", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut m = Metrics::default();
+        for name in [
+            gryphon_sim::names::STORAGE_COMMIT_BATCH_RECORDS,
+            gryphon_sim::names::STORAGE_COMMIT_GROUP_SIZE,
+            gryphon_sim::names::STORAGE_COMMIT_SYNC_WAIT_US,
+            gryphon_sim::names::STORAGE_COMMIT_SYNC_WAIT_LEADER_US,
+            gryphon_sim::names::STORAGE_COMMIT_SYNC_WAIT_FOLLOWER_US,
+            gryphon_sim::names::STORAGE_COMMIT_FSYNC_US,
+        ] {
+            m.observe(name, 42.0);
+        }
+        let mut r = Report::new("t");
+        r.attach_metrics(&m);
+        r.attach_telemetry(gryphon_sim::telemetry::Timeline::new(500_000));
+        let dir = write_bundle(&root, &r, &BundleMeta::default()).unwrap();
+        let text = inspect(&load_bundle(&dir).unwrap(), false);
+        for name in ["storage.commit.batch_records", "storage.commit.fsync_us"] {
+            assert!(text.contains(name), "{name} missing from:\n{text}");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    fn forensic_bundle(tag: &str) -> (PathBuf, PathBuf) {
+        let root =
+            std::env::temp_dir().join(format!("gryphon-doctor-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut m = Metrics::default();
+        // Same 98 + 2 shape as `bundle_with`, so the p99 rank lands on
+        // the tail values rather than the body.
+        for _ in 0..98 {
+            m.observe("lineage.stage.deliver_us", 1_000.0);
+        }
+        m.observe("lineage.stage.deliver_us", 50_000.0);
+        m.observe("lineage.stage.deliver_us", 50_500.0);
+        let mut t = gryphon_sim::telemetry::Timeline::new(500_000);
+        t.record(500_000, "lineage.stage.deliver_us.q99", 50_000.0);
+        t.push_exemplar(Exemplar {
+            t_us: 451_000,
+            series: "lineage.stage.deliver_us".into(),
+            value: 50_000.0,
+            pubend: 2,
+            ts: 9,
+            birth_us: Some(400_000),
+            log_us: Some(402_000),
+            forward_us: Some(405_000),
+            ingest_us: Some(430_000),
+        });
+        t.push_interval(BusyInterval {
+            track: 1,
+            kind: gryphon_sim::forensics::KIND_BUSY,
+            start_us: 400_000,
+            dur_us: 2_000,
+        });
+        let mut r = Report::new("t");
+        r.attach_metrics(&m);
+        r.attach_telemetry(t);
+        let dir = write_bundle(
+            &root,
+            &r,
+            &BundleMeta {
+                interval_us: 500_000,
+                ..BundleMeta::default()
+            },
+        )
+        .unwrap();
+        (root, dir)
+    }
+
+    #[test]
+    fn exemplars_and_intervals_round_trip_through_bundles() {
+        let (root, dir) = forensic_bundle("forensic");
+        let b = load_bundle(&dir).unwrap();
+        assert_eq!(b.exemplars.len(), 1);
+        assert_eq!(b.exemplars[0].value, 50_000.0);
+        assert_eq!(b.intervals.len(), 1);
+        assert_eq!(b.intervals[0].kind, "busy");
+        let text = inspect(&b, false);
+        assert!(text.contains("tail exemplars"), "{text}");
+        assert!(text.contains("lineage.stage.deliver_us"), "{text}");
+        // Stage walk renders from the resolved anchors.
+        assert!(text.contains("timestamped"), "{text}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn diff_names_the_exemplar_behind_a_regressed_histogram() {
+        let (ra, a) = bundle_with("exdiff-a", (1_000.0, 5_000.0, 5_050.0), &[]);
+        let (rb, dir_b) = forensic_bundle("exdiff-b");
+        let b = load_bundle(&dir_b).unwrap();
+        // deliver_us p99 5_000 → ~50_000: regression, and the pushed
+        // exemplar for that series is named in the regression output.
+        assert_eq!(diff(&a, &b, 25.0, 1_000.0), 1);
+        assert!(worst_exemplar(&b, "lineage.stage.deliver_us").is_some());
+        assert!(worst_exemplar(&b, "lineage.stage.log_us").is_none());
+        for r in [ra, rb] {
+            let _ = std::fs::remove_dir_all(&r);
+        }
+    }
+
+    #[test]
+    fn export_trace_writes_valid_event_json() {
+        let (root, dir) = forensic_bundle("export");
+        let out = root.join("trace.json");
+        let code = run(&[
+            "export-trace".into(),
+            dir.display().to_string(),
+            "-o".into(),
+            out.display().to_string(),
+        ]);
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.starts_with("[\n") && json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""), "worker slice present");
+        assert!(json.contains("\"cat\":\"lineage\""), "async span present");
+        assert_eq!(
+            json.matches("\"ph\":\"b\"").count(),
+            json.matches("\"ph\":\"e\"").count()
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -22,6 +22,7 @@ pub mod bundle;
 pub mod doctor;
 pub mod report;
 pub mod topology;
+pub mod trace_export;
 pub mod workload;
 
 pub mod experiments {

@@ -282,6 +282,24 @@ impl Report {
             .unwrap_or_default()
     }
 
+    /// Dumps the tail-exemplar log as ndjson (the bundle's
+    /// `exemplars.ndjson`; empty when forensics was disarmed).
+    pub fn exemplars_ndjson(&self) -> String {
+        self.telemetry
+            .as_ref()
+            .map(Timeline::exemplars_ndjson)
+            .unwrap_or_default()
+    }
+
+    /// Dumps the busy-interval log as ndjson (the bundle's
+    /// `intervals.ndjson`; empty when forensics was disarmed).
+    pub fn intervals_ndjson(&self) -> String {
+        self.telemetry
+            .as_ref()
+            .map(Timeline::intervals_ndjson)
+            .unwrap_or_default()
+    }
+
     /// Renders everything as text.
     pub fn render(&self) -> String {
         let mut out = format!("# experiment: {}\n\n", self.id);

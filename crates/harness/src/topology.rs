@@ -139,6 +139,10 @@ pub fn apply_sim_defaults(sim: &mut Sim) {
         if default_health() {
             sim.enable_health(gryphon_sim::default_rules());
         }
+        // Tail forensics ride on the sampler: exemplar reservoirs and
+        // the contention-profiler interval ring drain into the timeline
+        // each window, so any sampled run can export a Perfetto trace.
+        sim.enable_forensics(gryphon_sim::ForensicsConfig::default());
     }
 }
 

@@ -44,6 +44,22 @@ fn run_observed(
     sample_interval_us: Option<u64>,
     health: bool,
 ) -> (Golden, Option<gryphon_sim::telemetry::Timeline>) {
+    run_instrumented(seed, sample_interval_us, health, None).0
+}
+
+/// Like [`run_observed`] but optionally arming tail forensics (exemplar
+/// reservoirs + the contention-profiler interval ring) with the given
+/// config, and returning the final forensics drop counters
+/// `(exemplar_dropped, interval_dropped)` alongside.
+fn run_instrumented(
+    seed: u64,
+    sample_interval_us: Option<u64>,
+    health: bool,
+    forensics: Option<gryphon_sim::ForensicsConfig>,
+) -> (
+    (Golden, Option<gryphon_sim::telemetry::Timeline>),
+    (f64, f64),
+) {
     // Fig. 4-style tree: one PHB hosting four pubends, two SHBs, with
     // disconnecting subscribers so catchup/PFS paths execute too.
     let spec = TopologySpec {
@@ -62,6 +78,9 @@ fn run_observed(
     }
     if health {
         sys.sim.enable_health(gryphon_sim::default_rules());
+    }
+    if let Some(cfg) = forensics {
+        sys.sim.enable_forensics(cfg);
     }
     sys.sim.run_until(6_000_000);
     let traces = sys
@@ -88,7 +107,15 @@ fn run_observed(
         violations: sys.total_order_violations(),
         watchdogs: sys.sim.watchdog_violations(),
     };
-    (golden, sys.sim.take_telemetry())
+    let dropped = (
+        sys.sim
+            .metrics()
+            .counter(gryphon_sim::names::FORENSICS_EXEMPLAR_DROPPED),
+        sys.sim
+            .metrics()
+            .counter(gryphon_sim::names::FORENSICS_INTERVAL_DROPPED),
+    );
+    ((golden, sys.sim.take_telemetry()), dropped)
 }
 
 #[test]
@@ -219,6 +246,81 @@ fn sharded_timelines_merge_in_worker_index_order() {
     }
     assert_eq!(merged.to_ndjson(), single.to_ndjson());
     assert_eq!(merged.interval_us(), 1_000);
+}
+
+/// Tail forensics must also be pure observers: arming exemplar capture
+/// and the contention profiler cannot perturb traces or deliveries, the
+/// ordinary sample series stay untouched, and the forensics streams
+/// themselves replay bit-identically across armed runs.
+#[test]
+fn forensics_do_not_perturb_golden_run() {
+    let (plain, timeline_off) = run_observed(42, Some(250_000), false);
+    let ((armed_a, timeline_a), _) = run_instrumented(
+        42,
+        Some(250_000),
+        false,
+        Some(gryphon_sim::ForensicsConfig::default()),
+    );
+    let ((armed_b, timeline_b), _) = run_instrumented(
+        42,
+        Some(250_000),
+        false,
+        Some(gryphon_sim::ForensicsConfig::default()),
+    );
+
+    assert_eq!(
+        plain, armed_a,
+        "forensics on vs off must not change traces or deliveries"
+    );
+    assert_eq!(armed_a, armed_b, "armed runs must replay identically");
+    let t_off = timeline_off.expect("sampler armed");
+    let ta = timeline_a.expect("sampler armed");
+    let tb = timeline_b.expect("sampler armed");
+    // The sampled series are byte-identical with forensics on or off —
+    // forensics append only to their own timeline streams plus the
+    // `forensics.*` drop counters (same carve-out the health engine
+    // gets for its `health.alert.*` counters above).
+    let sans_forensics_counters = |t: &gryphon_sim::telemetry::Timeline| -> String {
+        t.to_ndjson()
+            .lines()
+            .filter(|l| !l.contains("\"series\":\"forensics."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        sans_forensics_counters(&t_off),
+        sans_forensics_counters(&ta)
+    );
+    assert_eq!(ta.exemplars_ndjson(), tb.exemplars_ndjson());
+    assert_eq!(ta.intervals_ndjson(), tb.intervals_ndjson());
+    // The contention profiler observed real work: every charged busy
+    // interval lands in the timeline.
+    assert!(ta.intervals().len() > 0, "no busy intervals collected");
+    assert_eq!(t_off.intervals().len(), 0, "disarmed run collects none");
+}
+
+/// Forensics memory is bounded even under a pathologically small
+/// config: the interval ring evicts (counting each loss into
+/// `forensics.interval_dropped`) instead of growing, and what reaches
+/// the timeline respects the timeline's own cap.
+#[test]
+fn forensics_stay_bounded_and_count_drops() {
+    let tiny = gryphon_sim::ForensicsConfig {
+        interval_capacity: 8,
+        ..gryphon_sim::ForensicsConfig::default()
+    };
+    let ((golden, timeline), (_, interval_dropped)) =
+        run_instrumented(42, Some(2_000_000), false, Some(tiny));
+    assert!(golden.events > 100);
+    let t = timeline.expect("sampler armed");
+    // With room for only 8 intervals per window the ring must have
+    // evicted, and every eviction is accounted for.
+    assert!(
+        interval_dropped > 0.0,
+        "tiny ring never dropped — bound not exercised"
+    );
+    assert!(t.intervals().len() <= gryphon_sim::telemetry::TIMELINE_INTERVAL_CAP);
+    assert!(t.exemplars().len() <= gryphon_sim::telemetry::TIMELINE_EXEMPLAR_CAP);
 }
 
 #[test]

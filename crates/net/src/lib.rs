@@ -74,9 +74,11 @@
 //! ```
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use gryphon_sim::forensics::{self, BusyInterval, Exemplar, ExemplarReservoir, IntervalRing};
 use gryphon_sim::telemetry::{Sampler, TextServer, Timeline};
 use gryphon_sim::{
-    names, Executor, Lineage, Metrics, Node, NodeCtx, TimerKey, TraceEvent, TraceRecord, Watchdogs,
+    names, Executor, ForensicsConfig, Lineage, Metrics, Node, NodeCtx, TimerKey, TraceEvent,
+    TraceRecord, Watchdogs,
 };
 use gryphon_types::{NetMsg, NodeId};
 use parking_lot::Mutex;
@@ -111,7 +113,11 @@ pub fn storage_factory(tag: &str) -> Box<dyn gryphon_storage::MediaFactory> {
 }
 
 enum Ev {
-    Msg(NodeId, NetMsg),
+    /// A message plus its enqueue instant (stamped only while telemetry
+    /// is armed, so the un-profiled hot path never reads the clock) —
+    /// the dequeuing worker turns the stamp into `net.queue_wait_us`
+    /// and a `queue` interval on its forensics track.
+    Msg(NodeId, NetMsg, Option<Instant>),
 }
 
 /// Typed handle to a node registered with [`NetBuilder::add_node`] or
@@ -169,6 +175,9 @@ struct LogicalEntry {
 struct Router {
     senders: Arc<Vec<Sender<Ev>>>,
     logical: Arc<Vec<LogicalEntry>>,
+    /// Shared with [`RunningNet`]: when armed, sends carry an enqueue
+    /// stamp so queue-wait can be attributed at dequeue.
+    tel_enabled: Arc<AtomicBool>,
 }
 
 impl Router {
@@ -209,10 +218,11 @@ impl Router {
 
     fn send_to(&self, w: usize, from: NodeId, msg: NetMsg, blocking: bool) {
         if let Some(tx) = self.senders.get(w) {
+            let enq = self.tel_enabled.load(Ordering::Relaxed).then(Instant::now);
             if blocking {
-                let _ = tx.send(Ev::Msg(from, msg));
+                let _ = tx.send(Ev::Msg(from, msg, enq));
             } else {
-                let _ = tx.try_send(Ev::Msg(from, msg));
+                let _ = tx.try_send(Ev::Msg(from, msg, enq));
             }
         }
     }
@@ -301,8 +311,20 @@ impl NetBuilder {
         // channel occupancy, so keep receiver clones around (they only
         // ever call `len()`, never `recv`).
         let probe_receivers: Vec<Receiver<Ev>> = receivers.iter().map(Receiver::clone).collect();
-        let tel_enabled = Arc::new(AtomicBool::new(false));
+        // `GRYPHON_PROFILE=1` arms the contention profiler from the very
+        // first dispatch (bench baselines run with it on); otherwise
+        // profiling turns on when `start_sampler` arms telemetry.
+        let profile_env = std::env::var_os("GRYPHON_PROFILE").is_some_and(|v| v != "0");
+        let tel_enabled = Arc::new(AtomicBool::new(profile_env));
         let active_ns: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let forensics_cfg = ForensicsConfig::default();
+        let intervals: Vec<Arc<Mutex<IntervalRing>>> = (0..n)
+            .map(|_| {
+                Arc::new(Mutex::new(IntervalRing::new(
+                    forensics_cfg.interval_capacity,
+                )))
+            })
+            .collect();
         let senders = Arc::new(senders);
         // Worker → logical-id map for event attribution.
         let mut owner = vec![NodeId(0); n];
@@ -315,12 +337,21 @@ impl NetBuilder {
         let router = Router {
             senders: Arc::clone(&senders),
             logical: Arc::clone(&logical),
+            tel_enabled: Arc::clone(&tel_enabled),
         };
         let metrics: Vec<Arc<Mutex<Metrics>>> = (0..n)
             .map(|_| Arc::new(Mutex::new(Metrics::default())))
             .collect();
+        // Always-on tail forensics: every worker's lineage shard carries
+        // an exemplar reservoir from the start (offers are two compares
+        // against a cached threshold in steady state), so the slowest
+        // end-to-end spans of any run are attributable after the fact.
         let lineages: Vec<Arc<Mutex<Lineage>>> = (0..n)
-            .map(|_| Arc::new(Mutex::new(Lineage::default())))
+            .map(|_| {
+                let mut l = Lineage::default();
+                l.arm_exemplars(ExemplarReservoir::new(&forensics_cfg));
+                Arc::new(Mutex::new(l))
+            })
             .collect();
         let mut joins = Vec::with_capacity(n);
         for (i, ((name, mut node), rx)) in self.workers.into_iter().zip(receivers).enumerate() {
@@ -331,12 +362,14 @@ impl NetBuilder {
             let me = owner[i];
             let tel_enabled = Arc::clone(&tel_enabled);
             let active_ns = Arc::clone(&active_ns[i]);
+            let intervals = Arc::clone(&intervals[i]);
             joins.push(
                 std::thread::Builder::new()
                     .name(name)
                     .spawn(move || {
                         let mut worker = Worker {
                             me,
+                            index: i as u32,
                             router,
                             metrics,
                             watchdogs: Watchdogs::default(),
@@ -347,6 +380,7 @@ impl NetBuilder {
                             busy_us: 0,
                             tel_enabled,
                             active_ns,
+                            intervals,
                         };
                         worker.with_ctx(|node, ctx| node.on_start(ctx), node.as_mut());
                         loop {
@@ -355,7 +389,8 @@ impl NetBuilder {
                             }
                             let timeout = worker.next_deadline(Duration::from_millis(20));
                             match rx.recv_timeout(timeout) {
-                                Ok(Ev::Msg(from, msg)) => {
+                                Ok(Ev::Msg(from, msg, enq)) => {
+                                    worker.note_queue_wait(enq);
                                     worker.with_ctx(
                                         |node, ctx| node.on_message(from, msg, ctx),
                                         node.as_mut(),
@@ -382,6 +417,7 @@ impl NetBuilder {
             receivers: probe_receivers,
             tel_enabled,
             active_ns,
+            intervals,
             tel_metrics: Arc::new(Mutex::new(Metrics::default())),
             sampler: None,
             scrape: None,
@@ -409,6 +445,8 @@ impl PartialOrd for TimerEntry {
 struct Worker {
     /// Logical id of the node this worker backs (shared by all shards).
     me: NodeId,
+    /// Worker-thread index — the forensics track id in exported traces.
+    index: u32,
     router: Router,
     /// This worker's private metrics shard (uncontended in steady state;
     /// [`RunningNet::counter`] locks it briefly to read).
@@ -429,6 +467,9 @@ struct Worker {
     /// (shared with the sampler thread, which derives per-window
     /// busy/idle utilization from its deltas).
     active_ns: Arc<AtomicU64>,
+    /// Bounded per-worker busy-interval ring (dispatch/queue slices for
+    /// the exported trace); drained at [`RunningNet::stop`].
+    intervals: Arc<Mutex<IntervalRing>>,
 }
 
 impl Worker {
@@ -454,6 +495,30 @@ impl Worker {
         }
     }
 
+    /// Attributes the time a just-dequeued message spent in this
+    /// worker's channel: the `net.queue_wait_us` histogram plus a
+    /// `queue` slice on the worker's forensics track. No-op for
+    /// unstamped messages (telemetry was off at enqueue).
+    fn note_queue_wait(&mut self, enq: Option<Instant>) {
+        let Some(t0) = enq else {
+            return;
+        };
+        let wait = t0.elapsed();
+        self.metrics
+            .lock()
+            .observe(names::NET_QUEUE_WAIT_US, wait.as_secs_f64() * 1e6);
+        let start_us = t0.duration_since(self.epoch).as_micros() as u64;
+        let dur_us = wait.as_micros() as u64;
+        if dur_us > 0 {
+            self.intervals.lock().push(BusyInterval {
+                track: self.index,
+                kind: forensics::KIND_QUEUE,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+
     fn with_ctx(&mut self, f: impl FnOnce(&mut dyn Node, &mut dyn NodeCtx), node: &mut dyn Node) {
         // Service-time probe: only timed once telemetry is armed (an
         // `Instant::now()` pair per dispatch is cheap but not free, so
@@ -476,6 +541,15 @@ impl Worker {
             self.metrics
                 .lock()
                 .observe(names::TELEMETRY_SERVICE_TIME_US, dt.as_secs_f64() * 1e6);
+            let dur_us = dt.as_micros() as u64;
+            if dur_us > 0 {
+                self.intervals.lock().push(BusyInterval {
+                    track: self.index,
+                    kind: forensics::KIND_DISPATCH,
+                    start_us: t0.duration_since(self.epoch).as_micros() as u64,
+                    dur_us,
+                });
+            }
         }
         for (delay, key) in pending_timers {
             self.timers.push(TimerEntry {
@@ -552,6 +626,19 @@ impl NodeCtx for ThreadCtx<'_> {
         // during a stop()-time merge.
         self.worker.lineage.lock().observe(&rec, &mut m);
     }
+
+    fn interval(&mut self, kind: &'static str, dur_us: u64) {
+        if dur_us == 0 || !self.worker.tel_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = self.worker.epoch.elapsed().as_micros() as u64;
+        self.worker.intervals.lock().push(BusyInterval {
+            track: self.worker.index,
+            kind,
+            start_us: now.saturating_sub(dur_us),
+            dur_us,
+        });
+    }
 }
 
 /// The background sampler thread started by [`RunningNet::start_sampler`].
@@ -578,6 +665,9 @@ pub struct RunningNet {
     receivers: Vec<Receiver<Ev>>,
     tel_enabled: Arc<AtomicBool>,
     active_ns: Vec<Arc<AtomicU64>>,
+    /// Per-worker forensics interval rings, drained into the telemetry
+    /// timeline (worker-index order) at [`RunningNet::stop`].
+    intervals: Vec<Arc<Mutex<IntervalRing>>>,
     /// Runtime-health gauges owned by the sampler thread (queue depth,
     /// worker utilization) — a separate shard so the sampler never
     /// writes into a worker's private metrics.
@@ -761,13 +851,23 @@ impl RunningNet {
         let metrics = self.metrics.clone();
         let tel_metrics = Arc::clone(&self.tel_metrics);
         let receivers: Vec<Receiver<Ev>> = self.receivers.iter().map(Receiver::clone).collect();
-        let server = TextServer::serve(addr, move || {
-            gryphon_sim::lineage::prometheus_text(&merged_snapshot(
-                &metrics,
-                &tel_metrics,
-                &receivers,
-            ))
-        })?;
+        // `/healthz` reports the live alert count — arm the sampler
+        // before serving if health-rule evaluation should feed it.
+        let health_sampler = self.sampler.as_ref().map(|h| Arc::clone(&h.sampler));
+        let server = TextServer::serve_with_health(
+            addr,
+            move || {
+                gryphon_sim::lineage::prometheus_text(&merged_snapshot(
+                    &metrics,
+                    &tel_metrics,
+                    &receivers,
+                ))
+            },
+            move || match &health_sampler {
+                Some(s) => format!("alerts {}\n", s.lock().timeline().alerts().len()),
+                None => "alerts 0\n".to_owned(),
+            },
+        )?;
         let bound = server.local_addr();
         self.scrape = Some(server);
         Ok(bound)
@@ -778,7 +878,7 @@ impl RunningNet {
         // Scrape endpoint and sampler go down first so neither observes
         // a half-stopped net.
         drop(self.scrape.take());
-        let telemetry = self.sampler.take().map(|h| {
+        let mut telemetry = self.sampler.take().map(|h| {
             h.stop.store(true, Ordering::Relaxed);
             let _ = h.join.join();
             Arc::try_unwrap(h.sampler)
@@ -801,9 +901,42 @@ impl RunningNet {
         // Lineage shards merge in worker-index order — the same
         // deterministic discipline as the metrics merge, so repeated
         // runs of a deterministic workload produce identical ledgers.
+        // The merge also absorbs every worker's exemplar reservoir.
         let mut lineage = Lineage::default();
         for l in &self.lineages {
             lineage.merge(&l.lock());
+        }
+        // Drain forensics into the timeline: exemplars resolve against
+        // the *merged* lineage (a span whose stages ran on different
+        // workers still renders end-to-end), intervals drain in
+        // worker-index order. Shed records surface as counters.
+        if let Some(t) = telemetry.as_mut() {
+            let mut dropped = 0;
+            let drained = match lineage.exemplars_mut() {
+                Some(r) => {
+                    dropped += r.take_dropped();
+                    r.drain_sorted()
+                }
+                None => Vec::new(),
+            };
+            for s in drained {
+                let ex = Exemplar::resolve(&s, lineage.span(s.key));
+                dropped += t.push_exemplar(ex);
+            }
+            if dropped > 0 {
+                merged.count(names::FORENSICS_EXEMPLAR_DROPPED, dropped as f64);
+            }
+            let mut dropped = 0;
+            for ring in &self.intervals {
+                let mut ring = ring.lock();
+                dropped += ring.take_dropped();
+                for iv in ring.drain() {
+                    dropped += t.push_interval(iv);
+                }
+            }
+            if dropped > 0 {
+                merged.count(names::FORENSICS_INTERVAL_DROPPED, dropped as f64);
+            }
         }
         NetResult {
             workers,

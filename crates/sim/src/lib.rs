@@ -51,6 +51,7 @@
 //! ```
 
 mod executor;
+pub mod forensics;
 pub mod health;
 pub mod lineage;
 mod metrics;
@@ -59,6 +60,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use executor::Executor;
+pub use forensics::{BusyInterval, Exemplar, ExemplarReservoir, ForensicsConfig, IntervalRing};
 pub use health::{default_rules, AlertRecord, AlertState, HealthEngine, HealthRule, RuleKind};
 pub use lineage::{LedgerAudit, Lineage, Span};
 pub use metrics::{names, Histogram, Metrics};

@@ -44,6 +44,7 @@
 //! string, and leaves arming to the runtime — the simulator dumps a
 //! flight-recorder post-mortem *before* aborting on an armed violation.
 
+use crate::forensics::ExemplarReservoir;
 use crate::metrics::names;
 use crate::trace::{DeliveryPath, TraceEvent, TraceRecord};
 use crate::Metrics;
@@ -189,6 +190,10 @@ pub struct Lineage {
     reconnect_duplicates: u64,
     gap_beyond_release: u64,
     last_violation: Option<String>,
+    /// Tail-exemplar reservoir (DESIGN.md §17); `None` until armed via
+    /// [`Lineage::arm_exemplars`]. Pure observer: arming it changes no
+    /// span, ledger, or histogram state.
+    exemplars: Option<ExemplarReservoir>,
 }
 
 impl Default for Lineage {
@@ -207,6 +212,7 @@ impl Default for Lineage {
             reconnect_duplicates: 0,
             gap_beyond_release: 0,
             last_violation: None,
+            exemplars: None,
         }
     }
 }
@@ -229,6 +235,18 @@ impl Lineage {
     /// counted as `lineage.spans_evicted`).
     pub fn set_max_spans(&mut self, max: usize) {
         self.max_spans = max.max(1);
+    }
+
+    /// Arms tail-exemplar capture: every stage-histogram observation is
+    /// offered to `reservoir`, and samples above its cached tail
+    /// quantile survive for the runtime to drain each sampler window.
+    pub fn arm_exemplars(&mut self, reservoir: ExemplarReservoir) {
+        self.exemplars = Some(reservoir);
+    }
+
+    /// The armed exemplar reservoir, for the runtime's window drain.
+    pub fn exemplars_mut(&mut self) -> Option<&mut ExemplarReservoir> {
+        self.exemplars.as_mut()
     }
 
     /// Total ledger violations observed online.
@@ -274,6 +292,24 @@ impl Lineage {
         self.last_violation = Some(detail);
     }
 
+    /// Observes one stage latency and, when exemplar capture is armed,
+    /// offers the sample to the tail reservoir — after the observation,
+    /// so the cumulative distribution the threshold derives from
+    /// already includes it.
+    fn observe_stage(
+        &mut self,
+        series: &'static str,
+        value: f64,
+        t: u64,
+        key: LineageKey,
+        metrics: &mut Metrics,
+    ) {
+        metrics.observe(series, value);
+        if let Some(r) = self.exemplars.as_mut() {
+            r.offer(t, series, value, key, metrics);
+        }
+    }
+
     fn span_entry(&mut self, key: LineageKey, metrics: &mut Metrics) -> &mut Span {
         if !self.spans.contains_key(&key) && self.spans.len() >= self.max_spans {
             self.spans.pop_first();
@@ -296,25 +332,34 @@ impl Lineage {
                 if self.full_audit {
                     self.logged.entry(pubend).or_default().insert(ts);
                 }
-                let span = self.span_entry(LineageKey::new(pubend, ts), metrics);
+                let key = LineageKey::new(pubend, ts);
+                let span = self.span_entry(key, metrics);
                 if span.log_us.is_none() {
                     span.log_us = Some(t);
                     match span.birth_us {
-                        Some(b) => {
-                            metrics.observe(names::LINEAGE_STAGE_LOG_US, t.saturating_sub(b) as f64)
-                        }
+                        Some(b) => self.observe_stage(
+                            names::LINEAGE_STAGE_LOG_US,
+                            t.saturating_sub(b) as f64,
+                            t,
+                            key,
+                            metrics,
+                        ),
                         None => metrics.count(names::LINEAGE_STAGE_ORPHANS, 1.0),
                     }
                 }
             }
             TraceEvent::IbForwarded { pubend, ts } => {
-                let span = self.span_entry(LineageKey::new(pubend, ts), metrics);
+                let key = LineageKey::new(pubend, ts);
+                let span = self.span_entry(key, metrics);
                 if span.forward_us.is_none() {
                     span.forward_us = Some(t);
                     match span.log_us.or(span.birth_us) {
-                        Some(a) => metrics.observe(
+                        Some(a) => self.observe_stage(
                             names::LINEAGE_STAGE_IB_FORWARD_US,
                             t.saturating_sub(a) as f64,
+                            t,
+                            key,
+                            metrics,
                         ),
                         None => metrics.count(names::LINEAGE_STAGE_ORPHANS, 1.0),
                     }
@@ -322,13 +367,17 @@ impl Lineage {
             }
             TraceEvent::ShbIngested { pubend, ts } => {
                 let node = rec.node;
-                let span = self.span_entry(LineageKey::new(pubend, ts), metrics);
+                let key = LineageKey::new(pubend, ts);
+                let span = self.span_entry(key, metrics);
                 if let std::collections::btree_map::Entry::Vacant(e) = span.ingest_us.entry(node) {
                     e.insert(t);
                     match span.forward_us.or(span.log_us).or(span.birth_us) {
-                        Some(a) => metrics.observe(
+                        Some(a) => self.observe_stage(
                             names::LINEAGE_STAGE_SHB_INGEST_US,
                             t.saturating_sub(a) as f64,
+                            t,
+                            key,
+                            metrics,
                         ),
                         None => metrics.count(names::LINEAGE_STAGE_ORPHANS, 1.0),
                     }
@@ -347,9 +396,13 @@ impl Lineage {
                 let birth = span.birth_us;
                 let ingest = span.ingest_us.get(&node).copied();
                 match birth {
-                    Some(b) => {
-                        metrics.observe(names::LINEAGE_STAGE_DELIVER_US, t.saturating_sub(b) as f64)
-                    }
+                    Some(b) => self.observe_stage(
+                        names::LINEAGE_STAGE_DELIVER_US,
+                        t.saturating_sub(b) as f64,
+                        t,
+                        key,
+                        metrics,
+                    ),
                     None => metrics.count(names::LINEAGE_STAGE_ORPHANS, 1.0),
                 }
                 if let Some(i) = ingest {
@@ -357,7 +410,7 @@ impl Lineage {
                         DeliveryPath::Catchup => names::LINEAGE_STAGE_CATCHUP_US,
                         DeliveryPath::Constream => names::LINEAGE_STAGE_CONSTREAM_US,
                     };
-                    metrics.observe(stage, t.saturating_sub(i) as f64);
+                    self.observe_stage(stage, t.saturating_sub(i) as f64, t, key, metrics);
                 }
                 // Lag gauge: how far behind this SHB's doubt horizon the
                 // subscriber runs (deterministically subsampled).
@@ -543,6 +596,11 @@ impl Lineage {
                 .entry(p)
                 .or_default()
                 .extend(set.iter().copied());
+        }
+        match (self.exemplars.as_mut(), other.exemplars.as_ref()) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (None, Some(theirs)) => self.exemplars = Some(theirs.clone()),
+            _ => {}
         }
         self.full_audit |= other.full_audit;
         self.violations += other.violations;

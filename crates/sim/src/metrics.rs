@@ -175,6 +175,29 @@ pub mod names {
     /// deterministic simulator runs and for followers that joined after
     /// the flush completed).
     pub const STORAGE_COMMIT_FSYNC_US: &str = "storage.commit.fsync_us";
+    /// Histogram: `sync_wait_us` restricted to commits that performed
+    /// the covering flush themselves (group-commit **leaders**). The
+    /// leader's wait is the device flush plus the group window, so the
+    /// leader/follower split attributes commit latency to contention vs
+    /// the device (DESIGN.md §17).
+    pub const STORAGE_COMMIT_SYNC_WAIT_LEADER_US: &str = "storage.commit.sync_wait_leader_us";
+    /// Histogram: `sync_wait_us` restricted to commits that rode on
+    /// another committer's flush (group-commit **followers**) — pure
+    /// queueing/contention time, no device work of their own.
+    pub const STORAGE_COMMIT_SYNC_WAIT_FOLLOWER_US: &str = "storage.commit.sync_wait_follower_us";
+    /// Histogram: wall-clock µs a threaded-runtime message waited in a
+    /// worker's bounded channel between enqueue and dispatch. Only
+    /// recorded while the telemetry sampler is armed; together with
+    /// `telemetry.service_time_us` it splits worker latency into
+    /// queueing vs CPU time (DESIGN.md §17).
+    pub const NET_QUEUE_WAIT_US: &str = "net.queue_wait_us";
+    /// Counter: tail exemplars rejected because the per-window reservoir
+    /// was full — the forensics layer bounds memory by dropping (and
+    /// counting) instead of growing.
+    pub const FORENSICS_EXEMPLAR_DROPPED: &str = "forensics.exemplar_dropped";
+    /// Counter: busy-interval records evicted from the bounded interval
+    /// ring (oldest first); the retained ring is the run's tail.
+    pub const FORENSICS_INTERVAL_DROPPED: &str = "forensics.interval_dropped";
 
     /// Every registered metric name. Tests use this to verify the
     /// registry is complete (no constant missing from the list, no
@@ -236,6 +259,11 @@ pub mod names {
             STORAGE_COMMIT_GROUP_SIZE,
             STORAGE_COMMIT_SYNC_WAIT_US,
             STORAGE_COMMIT_FSYNC_US,
+            STORAGE_COMMIT_SYNC_WAIT_LEADER_US,
+            STORAGE_COMMIT_SYNC_WAIT_FOLLOWER_US,
+            NET_QUEUE_WAIT_US,
+            FORENSICS_EXEMPLAR_DROPPED,
+            FORENSICS_INTERVAL_DROPPED,
         ]
     }
 }
@@ -687,6 +715,17 @@ mod tests {
         ] {
             assert!(seen.contains(telemetry), "{telemetry} not registered");
             assert!(telemetry.starts_with("telemetry."));
+        }
+        // The tail-forensics family (PR 9) must be registered so the
+        // doctor-coverage test in gryphon-harness can see it.
+        for forensics in [
+            names::STORAGE_COMMIT_SYNC_WAIT_LEADER_US,
+            names::STORAGE_COMMIT_SYNC_WAIT_FOLLOWER_US,
+            names::NET_QUEUE_WAIT_US,
+            names::FORENSICS_EXEMPLAR_DROPPED,
+            names::FORENSICS_INTERVAL_DROPPED,
+        ] {
+            assert!(seen.contains(forensics), "{forensics} not registered");
         }
     }
 

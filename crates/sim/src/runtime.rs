@@ -55,6 +55,12 @@ pub trait NodeCtx {
     /// [`trace_event!`](crate::trace_event) rather than calling this
     /// directly, so the `trace` feature can compile the overhead out.
     fn trace(&mut self, _event: crate::trace::TraceEvent) {}
+    /// Records a busy interval of `dur_us` ending *now* on this node's
+    /// timeline track, tagged with a forensics kind (one of the
+    /// `KIND_*` constants in [`crate::forensics`]). Pure observation for
+    /// the exported Perfetto trace — never affects scheduling. Default:
+    /// discarded (also when the contention profiler is disarmed).
+    fn interval(&mut self, _kind: &'static str, _dur_us: u64) {}
 }
 
 /// A state machine hosted by a runtime.
@@ -149,6 +155,15 @@ struct NodeSlot {
     type_id: Option<std::any::TypeId>,
 }
 
+/// Armed tail-forensics state: the interval ring collecting per-node
+/// busy/commit/fsync slices between sampler windows. The exemplar
+/// reservoir itself lives inside the lineage assembler (where the stage
+/// histograms are observed); this only holds the profiler side.
+struct ForensicsState {
+    config: crate::forensics::ForensicsConfig,
+    intervals: crate::forensics::IntervalRing,
+}
+
 /// The deterministic simulator. See the [crate docs](crate) for an
 /// overview and example.
 pub struct Sim {
@@ -189,6 +204,12 @@ pub struct Sim {
     /// each telemetry sample against the timeline so far; a pure
     /// observer like the sampler itself.
     health: Option<crate::health::HealthEngine>,
+    /// Tail-forensics profiler (`None` = disarmed). Collects bounded
+    /// busy-interval records and (with the `trace` feature) arms the
+    /// lineage exemplar reservoir; both drain into the telemetry
+    /// timeline each sampler window. Pure observer: arming it leaves
+    /// traces and deliveries bit-identical.
+    forensics: Option<ForensicsState>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -237,6 +258,7 @@ impl Sim {
             events_processed: 0,
             telemetry: None,
             health: None,
+            forensics: None,
         }
     }
 
@@ -393,6 +415,32 @@ impl Sim {
         self.health.as_ref()
     }
 
+    /// Arms tail forensics: an exemplar reservoir on the lineage stage
+    /// histograms (with the `trace` feature) and a bounded busy-interval
+    /// recorder fed by [`Sim::charge`] / [`NodeCtx::interval`]. Both
+    /// streams drain into the telemetry timeline once per sampler window
+    /// (so telemetry should be enabled too; without it the interval ring
+    /// simply fills and evicts). Pure observer — see DESIGN.md §17.
+    pub fn enable_forensics(&mut self, cfg: crate::forensics::ForensicsConfig) {
+        #[cfg(feature = "trace")]
+        self.lineage
+            .arm_exemplars(crate::forensics::ExemplarReservoir::new(&cfg));
+        self.forensics = Some(ForensicsState {
+            intervals: crate::forensics::IntervalRing::new(cfg.interval_capacity),
+            config: cfg,
+        });
+    }
+
+    /// `true` when the tail-forensics profiler is armed.
+    pub fn forensics_enabled(&self) -> bool {
+        self.forensics.is_some()
+    }
+
+    /// The armed forensics configuration (`None` when disarmed).
+    pub fn forensics_config(&self) -> Option<&crate::forensics::ForensicsConfig> {
+        self.forensics.as_ref().map(|f| &f.config)
+    }
+
     /// Fires every telemetry sample due at or before `upto_us`, then
     /// lets the health engine judge each new window.
     fn fire_due_samples(&mut self, upto_us: u64) {
@@ -423,9 +471,55 @@ impl Sim {
                     sampler.timeline_mut().push_alert(alert);
                 }
             }
+            self.drain_forensics(&mut sampler);
         }
         self.health = health;
         self.telemetry = Some(sampler);
+    }
+
+    /// Moves everything the forensics observers collected this window
+    /// into the telemetry timeline: tail exemplars (resolved against
+    /// their assembled lineage spans) and busy intervals. Drops shed by
+    /// the bounded reservoir/ring/timeline are surfaced as the
+    /// `forensics.*_dropped` counters.
+    fn drain_forensics(&mut self, sampler: &mut crate::telemetry::Sampler) {
+        if self.forensics.is_none() {
+            return;
+        }
+        #[cfg(feature = "trace")]
+        {
+            let mut dropped = 0;
+            let drained = match self.lineage.exemplars_mut() {
+                Some(r) => {
+                    dropped += r.take_dropped();
+                    r.drain_sorted()
+                }
+                None => Vec::new(),
+            };
+            for s in drained {
+                let ex = crate::forensics::Exemplar::resolve(&s, self.lineage.span(s.key));
+                dropped += sampler.timeline_mut().push_exemplar(ex);
+            }
+            if dropped > 0 {
+                self.metrics.count(
+                    crate::metrics::names::FORENSICS_EXEMPLAR_DROPPED,
+                    dropped as f64,
+                );
+            }
+        }
+        let Some(f) = self.forensics.as_mut() else {
+            return;
+        };
+        let mut dropped = f.intervals.take_dropped();
+        for iv in f.intervals.drain() {
+            dropped += sampler.timeline_mut().push_interval(iv);
+        }
+        if dropped > 0 {
+            self.metrics.count(
+                crate::metrics::names::FORENSICS_INTERVAL_DROPPED,
+                dropped as f64,
+            );
+        }
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -469,6 +563,24 @@ impl Sim {
     fn charge(&mut self, id: NodeId, cost: u64) {
         if let Some(slot) = self.nodes.get_mut(id.0 as usize) {
             slot.busy_us += cost;
+        }
+        if cost > 0 {
+            self.push_interval(id, crate::forensics::KIND_BUSY, cost);
+        }
+    }
+
+    /// Records a busy interval of `dur_us` ending at the current virtual
+    /// time on `id`'s timeline track (no-op while forensics is
+    /// disarmed). Never touches the event queue.
+    fn push_interval(&mut self, id: NodeId, kind: &'static str, dur_us: u64) {
+        let now = self.now;
+        if let Some(f) = self.forensics.as_mut() {
+            f.intervals.push(crate::forensics::BusyInterval {
+                track: id.0,
+                kind,
+                start_us: now.saturating_sub(dur_us),
+                dur_us,
+            });
         }
     }
 
@@ -945,6 +1057,12 @@ impl NodeCtx for SimCtx<'_> {
     #[cfg(feature = "trace")]
     fn trace(&mut self, event: crate::trace::TraceEvent) {
         self.sim.push_trace(self.me, event);
+    }
+
+    fn interval(&mut self, kind: &'static str, dur_us: u64) {
+        if dur_us > 0 {
+            self.sim.push_interval(self.me, kind, dur_us);
+        }
     }
 }
 

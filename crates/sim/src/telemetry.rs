@@ -30,18 +30,31 @@ use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::forensics::{intern_kind, BusyInterval, Exemplar};
 use crate::health::{AlertRecord, AlertState};
 use crate::metrics::{Histogram, Metrics};
+
+/// Bound on resolved tail exemplars a timeline retains (oldest evicted
+/// first; see [`Timeline::push_exemplar`]).
+pub const TIMELINE_EXEMPLAR_CAP: usize = 4_096;
+
+/// Bound on busy intervals a timeline retains (oldest evicted first;
+/// see [`Timeline::push_interval`]).
+pub const TIMELINE_INTERVAL_CAP: usize = 131_072;
 
 /// A deterministic in-memory time series store: one sample vector per
 /// series name, ordered by sample time, plus the structured health
 /// alerts raised while the timeline was collected (kept separate from
-/// the sample series so sample exports stay pure).
+/// the sample series so sample exports stay pure), plus the forensics
+/// streams (tail exemplars and busy intervals, DESIGN.md §17) — also
+/// separate, so `to_ndjson`/`to_csv` stay sample-only.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
     interval_us: u64,
     series: BTreeMap<String, Vec<(u64, f64)>>,
     alerts: Vec<AlertRecord>,
+    exemplars: std::collections::VecDeque<Exemplar>,
+    intervals: std::collections::VecDeque<BusyInterval>,
 }
 
 impl Timeline {
@@ -51,6 +64,8 @@ impl Timeline {
             interval_us,
             series: BTreeMap::new(),
             alerts: Vec::new(),
+            exemplars: std::collections::VecDeque::new(),
+            intervals: std::collections::VecDeque::new(),
         }
     }
 
@@ -90,6 +105,42 @@ impl Timeline {
         &self.alerts
     }
 
+    /// Appends a resolved tail exemplar, evicting the oldest past
+    /// [`TIMELINE_EXEMPLAR_CAP`]; returns the number evicted (0 or 1)
+    /// so the runtime can count it into `forensics.exemplar_dropped`.
+    pub fn push_exemplar(&mut self, ex: Exemplar) -> u64 {
+        self.exemplars.push_back(ex);
+        if self.exemplars.len() > TIMELINE_EXEMPLAR_CAP {
+            self.exemplars.pop_front();
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The resolved tail exemplars, oldest first.
+    pub fn exemplars(&self) -> impl ExactSizeIterator<Item = &Exemplar> {
+        self.exemplars.iter()
+    }
+
+    /// Appends a busy interval, evicting the oldest past
+    /// [`TIMELINE_INTERVAL_CAP`]; returns the number evicted (0 or 1)
+    /// so the runtime can count it into `forensics.interval_dropped`.
+    pub fn push_interval(&mut self, iv: BusyInterval) -> u64 {
+        self.intervals.push_back(iv);
+        if self.intervals.len() > TIMELINE_INTERVAL_CAP {
+            self.intervals.pop_front();
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The recorded busy intervals, oldest first.
+    pub fn intervals(&self) -> impl ExactSizeIterator<Item = &BusyInterval> {
+        self.intervals.iter()
+    }
+
     /// Total sample count across all series.
     pub fn len(&self) -> usize {
         self.series.values().map(|v| v.len()).sum()
@@ -117,6 +168,20 @@ impl Timeline {
         }
         self.alerts.extend(other.alerts.iter().cloned());
         self.alerts.sort_by_key(|a| a.t_us);
+        self.exemplars.extend(other.exemplars.iter().cloned());
+        self.exemplars
+            .make_contiguous()
+            .sort_by(|a, b| a.t_us.cmp(&b.t_us).then_with(|| a.series.cmp(&b.series)));
+        while self.exemplars.len() > TIMELINE_EXEMPLAR_CAP {
+            self.exemplars.pop_front();
+        }
+        self.intervals.extend(other.intervals.iter().copied());
+        self.intervals
+            .make_contiguous()
+            .sort_by_key(|iv| (iv.start_us, iv.track));
+        while self.intervals.len() > TIMELINE_INTERVAL_CAP {
+            self.intervals.pop_front();
+        }
     }
 
     /// Renders every sample as one JSON object per line, sorted by
@@ -328,6 +393,162 @@ impl Timeline {
         }
         Ok(out)
     }
+
+    /// Renders the exemplar log as one JSON object per line in retained
+    /// order: `{"t_us":…,"series":"…","value":…,"pubend":…,"ts":…}`
+    /// followed by whichever of `birth_us`/`log_us`/`forward_us`/
+    /// `ingest_us` anchors resolved (absent anchors are omitted).
+    pub fn exemplars_ndjson(&self) -> String {
+        let mut out = String::new();
+        for e in &self.exemplars {
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"series\":\"{}\",\"value\":{},\"pubend\":{},\"ts\":{}",
+                e.t_us,
+                json_escape(&e.series),
+                json_num(e.value),
+                e.pubend,
+                e.ts
+            ));
+            for (k, v) in [
+                ("birth_us", e.birth_us),
+                ("log_us", e.log_us),
+                ("forward_us", e.forward_us),
+                ("ingest_us", e.ingest_us),
+            ] {
+                if let Some(v) = v {
+                    out.push_str(&format!(",\"{k}\":{v}"));
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parses an exemplar log back from
+    /// [`exemplars_ndjson`](Timeline::exemplars_ndjson) output.
+    pub fn exemplars_from_ndjson(s: &str) -> Result<Vec<Exemplar>, String> {
+        let mut out = Vec::new();
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("exemplars ndjson line {}: {what}: {line}", ln + 1);
+            let rest = line
+                .strip_prefix("{\"t_us\":")
+                .ok_or_else(|| err("missing t_us"))?;
+            let (t_us, rest) = take_u64(rest).ok_or_else(|| err("bad t_us"))?;
+            let rest = rest
+                .strip_prefix(",\"series\":\"")
+                .ok_or_else(|| err("missing series"))?;
+            let (series, rest) =
+                take_json_string(rest).ok_or_else(|| err("unterminated series"))?;
+            let rest = rest
+                .strip_prefix(",\"value\":")
+                .ok_or_else(|| err("missing value"))?;
+            let (value, rest) = take_json_number(rest).ok_or_else(|| err("bad value"))?;
+            let rest = rest
+                .strip_prefix(",\"pubend\":")
+                .ok_or_else(|| err("missing pubend"))?;
+            let (pubend, rest) = take_u64(rest).ok_or_else(|| err("bad pubend"))?;
+            let rest = rest
+                .strip_prefix(",\"ts\":")
+                .ok_or_else(|| err("missing ts"))?;
+            let (ts, rest) = take_u64(rest).ok_or_else(|| err("bad ts"))?;
+            let mut rest = rest;
+            let mut anchors = [None; 4];
+            for (i, k) in ["birth_us", "log_us", "forward_us", "ingest_us"]
+                .iter()
+                .enumerate()
+            {
+                let prefix = format!(",\"{k}\":");
+                if let Some(r) = rest.strip_prefix(prefix.as_str()) {
+                    let (v, r) = take_u64(r).ok_or_else(|| err("bad anchor"))?;
+                    anchors[i] = Some(v);
+                    rest = r;
+                }
+            }
+            if rest != "}" {
+                return Err(err("trailing content"));
+            }
+            out.push(Exemplar {
+                t_us,
+                series,
+                value,
+                pubend: pubend as u32,
+                ts,
+                birth_us: anchors[0],
+                log_us: anchors[1],
+                forward_us: anchors[2],
+                ingest_us: anchors[3],
+            });
+        }
+        Ok(out)
+    }
+
+    /// Renders the busy-interval log as one JSON object per line in
+    /// retained order:
+    /// `{"track":…,"kind":"…","start_us":…,"dur_us":…}`.
+    pub fn intervals_ndjson(&self) -> String {
+        let mut out = String::new();
+        for iv in &self.intervals {
+            out.push_str(&format!(
+                "{{\"track\":{},\"kind\":\"{}\",\"start_us\":{},\"dur_us\":{}}}\n",
+                iv.track,
+                json_escape(iv.kind),
+                iv.start_us,
+                iv.dur_us
+            ));
+        }
+        out
+    }
+
+    /// Parses a busy-interval log back from
+    /// [`intervals_ndjson`](Timeline::intervals_ndjson) output; unknown
+    /// kinds collapse to `"other"` rather than failing.
+    pub fn intervals_from_ndjson(s: &str) -> Result<Vec<BusyInterval>, String> {
+        let mut out = Vec::new();
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("intervals ndjson line {}: {what}: {line}", ln + 1);
+            let rest = line
+                .strip_prefix("{\"track\":")
+                .ok_or_else(|| err("missing track"))?;
+            let (track, rest) = take_u64(rest).ok_or_else(|| err("bad track"))?;
+            let rest = rest
+                .strip_prefix(",\"kind\":\"")
+                .ok_or_else(|| err("missing kind"))?;
+            let (kind, rest) = take_json_string(rest).ok_or_else(|| err("unterminated kind"))?;
+            let rest = rest
+                .strip_prefix(",\"start_us\":")
+                .ok_or_else(|| err("missing start_us"))?;
+            let (start_us, rest) = take_u64(rest).ok_or_else(|| err("bad start_us"))?;
+            let rest = rest
+                .strip_prefix(",\"dur_us\":")
+                .ok_or_else(|| err("missing dur_us"))?;
+            let (dur_us, rest) = take_u64(rest).ok_or_else(|| err("bad dur_us"))?;
+            if rest != "}" {
+                return Err(err("trailing content"));
+            }
+            out.push(BusyInterval {
+                track: track as u32,
+                kind: intern_kind(&kind),
+                start_us,
+                dur_us,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Consumes a leading run of ASCII digits as a `u64`, yielding the
+/// remainder (used by the fixed-order ndjson parsers above).
+fn take_u64(s: &str) -> Option<(u64, &str)> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    s[..end].parse().ok().map(|v| (v, &s[end..]))
 }
 
 /// Consumes an escaped JSON string body up to its closing quote,
@@ -573,9 +794,12 @@ impl Sampler {
 }
 
 /// A tiny blocking-TCP text endpoint: serves whatever `content()`
-/// returns to every HTTP GET, `Connection: close` per request. Used for
-/// the live `/metrics` scrape (`RunningNet::serve_metrics`) and `xp
-/// --metrics-addr`; shuts its accept loop down on drop.
+/// returns to every HTTP GET, `Connection: close` per request, plus a
+/// `/healthz` liveness route answering with `health()` (an alert-count
+/// body). Used for the live `/metrics` scrape
+/// (`RunningNet::serve_metrics`) and `xp --metrics-addr`; shut down
+/// explicitly via [`TextServer::shutdown`] or implicitly on drop —
+/// either way the accept thread is joined, never leaked.
 pub struct TextServer {
     local_addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
@@ -584,10 +808,25 @@ pub struct TextServer {
 
 impl TextServer {
     /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `content()` from a
-    /// background thread until the server is dropped.
+    /// background thread until the server is shut down. `/healthz`
+    /// reports zero alerts; use
+    /// [`serve_with_health`](TextServer::serve_with_health) to wire a
+    /// real alert count.
     pub fn serve<F>(addr: &str, content: F) -> std::io::Result<TextServer>
     where
         F: Fn() -> String + Send + 'static,
+    {
+        Self::serve_with_health(addr, content, || "alerts 0\n".to_owned())
+    }
+
+    /// Like [`serve`](TextServer::serve), with a dedicated `health()`
+    /// closure answering `GET /healthz` (convention: `alerts <n>\n`,
+    /// always status 200 — liveness, not judgement; the body carries
+    /// the count for the caller to alert on).
+    pub fn serve_with_health<F, H>(addr: &str, content: F, health: H) -> std::io::Result<TextServer>
+    where
+        F: Fn() -> String + Send + 'static,
+        H: Fn() -> String + Send + 'static,
     {
         let listener = std::net::TcpListener::bind(addr)?;
         // Nonblocking accept so the thread can observe the stop flag;
@@ -605,22 +844,29 @@ impl TextServer {
                             let _ = sock.set_nonblocking(false);
                             let _ =
                                 sock.set_read_timeout(Some(std::time::Duration::from_millis(500)));
-                            let method = read_request_method(&mut sock);
-                            if method.as_deref() == Some("GET") {
-                                let body = content();
-                                let head = format!(
-                                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; \
-                                     version=0.0.4\r\nContent-Length: {}\r\nConnection: \
-                                     close\r\n\r\n",
-                                    body.len()
-                                );
-                                let _ = sock.write_all(head.as_bytes());
-                                let _ = sock.write_all(body.as_bytes());
-                            } else {
-                                let _ = sock.write_all(
-                                    b"HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\n\
-                                      Content-Length: 0\r\nConnection: close\r\n\r\n",
-                                );
+                            match read_request_line(&mut sock) {
+                                Some((method, path)) if method == "GET" => {
+                                    let body =
+                                        if path == "/healthz" || path.starts_with("/healthz?") {
+                                            health()
+                                        } else {
+                                            content()
+                                        };
+                                    let head = format!(
+                                        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; \
+                                         version=0.0.4\r\nContent-Length: {}\r\nConnection: \
+                                         close\r\n\r\n",
+                                        body.len()
+                                    );
+                                    let _ = sock.write_all(head.as_bytes());
+                                    let _ = sock.write_all(body.as_bytes());
+                                }
+                                _ => {
+                                    let _ = sock.write_all(
+                                        b"HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\n\
+                                          Content-Length: 0\r\nConnection: close\r\n\r\n",
+                                    );
+                                }
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -641,10 +887,11 @@ impl TextServer {
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.local_addr
     }
-}
 
-impl Drop for TextServer {
-    fn drop(&mut self) {
+    /// Stops the accept loop and joins the accept thread; the listening
+    /// socket is closed when this returns. Idempotent — `Drop` routes
+    /// through here too.
+    pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(j) = self.join.take() {
             let _ = j.join();
@@ -652,10 +899,16 @@ impl Drop for TextServer {
     }
 }
 
+impl Drop for TextServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// Reads the request head until the header terminator, EOF, timeout, or
-/// a sanity cap, and returns the request-line method token (`None` on a
-/// garbled request, which the caller answers with 405).
-fn read_request_method(sock: &mut std::net::TcpStream) -> Option<String> {
+/// a sanity cap, and returns the request-line `(method, path)` tokens
+/// (`None` on a garbled request, which the caller answers with 405).
+fn read_request_line(sock: &mut std::net::TcpStream) -> Option<(String, String)> {
     let mut buf = [0u8; 1024];
     let mut seen: Vec<u8> = Vec::new();
     loop {
@@ -672,8 +925,10 @@ fn read_request_method(sock: &mut std::net::TcpStream) -> Option<String> {
     }
     let head = std::str::from_utf8(&seen).ok()?;
     let request_line = head.lines().next()?;
-    let method = request_line.split_whitespace().next()?;
-    (!method.is_empty()).then(|| method.to_owned())
+    let mut tokens = request_line.split_whitespace();
+    let method = tokens.next()?;
+    let path = tokens.next()?;
+    (!method.is_empty()).then(|| (method.to_owned(), path.to_owned()))
 }
 
 #[cfg(test)]
@@ -905,6 +1160,128 @@ mod tests {
         assert_eq!(merged.alerts().len(), 2);
         assert!(merged.alerts()[0].t_us <= merged.alerts()[1].t_us);
         assert!(Timeline::alerts_from_ndjson("{\"bogus\":1}").is_err());
+    }
+
+    /// The forensics streams (exemplars, busy intervals) live beside
+    /// the sample series, export as their own ndjson files, re-parse
+    /// byte-for-byte, and stay strictly bounded.
+    #[test]
+    fn exemplars_and_intervals_round_trip_and_stay_bounded() {
+        use crate::forensics::{BusyInterval, Exemplar, KIND_COMMIT, KIND_DISPATCH};
+        let mut t = Timeline::new(500);
+        t.record(500, "g", 1.0);
+        assert_eq!(
+            t.push_exemplar(Exemplar {
+                t_us: 900,
+                series: "lineage.stage.deliver_us".into(),
+                value: 1_250.5,
+                pubend: 3,
+                ts: 41,
+                birth_us: Some(100),
+                log_us: Some(400),
+                forward_us: None,
+                ingest_us: Some(700),
+            }),
+            0
+        );
+        t.push_interval(BusyInterval {
+            track: 2,
+            kind: KIND_COMMIT,
+            start_us: 650,
+            dur_us: 250,
+        });
+        t.push_interval(BusyInterval {
+            track: 0,
+            kind: KIND_DISPATCH,
+            start_us: 700,
+            dur_us: 10,
+        });
+        // Sample exports stay sample-only.
+        assert_eq!(t.to_ndjson().lines().count(), 1);
+        let ex_nd = t.exemplars_ndjson();
+        assert!(!ex_nd.contains("\"forward_us\""), "{ex_nd}");
+        let parsed = Timeline::exemplars_from_ndjson(&ex_nd).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0], *t.exemplars().next().unwrap());
+        let iv_nd = t.intervals_ndjson();
+        let parsed_iv = Timeline::intervals_from_ndjson(&iv_nd).unwrap();
+        assert_eq!(parsed_iv.len(), 2);
+        assert_eq!(parsed_iv[0].kind, KIND_COMMIT);
+        // Re-export of the parse equals the export.
+        let mut back = Timeline::new(500);
+        for e in parsed {
+            back.push_exemplar(e);
+        }
+        for iv in parsed_iv {
+            back.push_interval(iv);
+        }
+        assert_eq!(back.exemplars_ndjson(), ex_nd);
+        assert_eq!(back.intervals_ndjson(), iv_nd);
+        // Unknown kinds collapse to "other"; garbage is rejected.
+        let odd = Timeline::intervals_from_ndjson(
+            "{\"track\":1,\"kind\":\"weird\",\"start_us\":1,\"dur_us\":2}\n",
+        )
+        .unwrap();
+        assert_eq!(odd[0].kind, "other");
+        assert!(Timeline::exemplars_from_ndjson("{\"bogus\":1}\n").is_err());
+        assert!(Timeline::intervals_from_ndjson("{\"bogus\":1}\n").is_err());
+        // Bounded: pushes past the cap evict the oldest and report it.
+        let mut full = Timeline::new(1);
+        let mut evicted = 0u64;
+        for i in 0..(TIMELINE_INTERVAL_CAP as u64 + 10) {
+            evicted += full.push_interval(BusyInterval {
+                track: 0,
+                kind: KIND_DISPATCH,
+                start_us: i,
+                dur_us: 1,
+            });
+        }
+        assert_eq!(full.intervals().len(), TIMELINE_INTERVAL_CAP);
+        assert_eq!(evicted, 10);
+        assert_eq!(full.intervals().next().unwrap().start_us, 10);
+        // Merge carries both streams across.
+        let mut merged = Timeline::new(0);
+        merged.merge(&t);
+        assert_eq!(merged.exemplars().len(), 1);
+        assert_eq!(merged.intervals().len(), 2);
+        assert_eq!(
+            merged.intervals().next().unwrap().kind,
+            KIND_COMMIT,
+            "sorted by start_us"
+        );
+    }
+
+    /// The `/healthz` satellite: liveness route answers 200 with the
+    /// alert-count body, and `shutdown` joins the accept thread and
+    /// closes the listener.
+    #[test]
+    fn text_server_healthz_and_shutdown() {
+        let mut srv = TextServer::serve_with_health(
+            "127.0.0.1:0",
+            || "metrics\n".to_owned(),
+            || "alerts 3\n".to_owned(),
+        )
+        .unwrap();
+        let addr = srv.local_addr();
+        let fetch = |path: &str| {
+            let mut sock = std::net::TcpStream::connect(addr).unwrap();
+            sock.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut resp = String::new();
+            sock.read_to_string(&mut resp).unwrap();
+            resp
+        };
+        let health = fetch("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("alerts 3\n"), "{health}");
+        let metrics = fetch("/metrics");
+        assert!(metrics.ends_with("metrics\n"), "{metrics}");
+        srv.shutdown();
+        srv.shutdown(); // idempotent
+        assert!(
+            std::net::TcpStream::connect(addr).is_err(),
+            "listener must close on shutdown"
+        );
     }
 
     #[test]

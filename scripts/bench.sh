@@ -24,6 +24,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Baselines are recorded with the contention profiler armed, so its
+# (bounded) overhead is inside every threshold the perf gate enforces —
+# "always-on" profiling can never silently regress the hot paths.
+export GRYPHON_PROFILE=1
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 

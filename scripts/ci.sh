@@ -93,6 +93,52 @@ if xp doctor diff target/ci-bundles/clean/fig4 target/ci-bundles/degraded/fig4; 
 fi
 echo "ok: bundles written, check clean, diff gate proven able to fail"
 
+echo "== tail forensics: exemplars + chrome trace export =="
+# The degraded fig4 bundle is the interesting one: its inflated tail
+# must surface exemplars, and the exported Chrome trace must be a
+# structurally valid trace-event stream (one event per line — see
+# crates/harness/src/trace_export.rs). Validated with awk, no JSON dep:
+# every event line carries pid/tid, only known phase letters appear,
+# X slices carry ts+dur, and async b/e events balance exactly.
+validate_trace() {
+  awk '
+    NR==1 { if ($0 != "[") { print "missing opening ["; bad=1 } next }
+    /^\]$/ { saw_end=1; next }
+    /^\{/ {
+      line=$0
+      if (line !~ /"pid":/) { print "no pid line " NR ": " line; bad=1 }
+      if (line !~ /"tid":/) { print "no tid line " NR ": " line; bad=1 }
+      if (match(line, /"ph":"[^"]"/)) {
+        ph = substr(line, RSTART+6, 1)
+        if (ph !~ /[XbeiM]/) { print "unknown phase " ph " line " NR; bad=1 }
+        if (ph == "X" && (line !~ /"ts":/ || line !~ /"dur":/)) {
+          print "X slice missing ts/dur line " NR ": " line; bad=1
+        }
+        if (ph == "b") begins++
+        if (ph == "e") ends++
+      } else { print "no phase line " NR ": " line; bad=1 }
+      events++
+      next
+    }
+    /./ { print "unexpected line " NR ": " $0; bad=1 }
+    END {
+      if (!saw_end) { print "missing closing ]"; bad=1 }
+      if (begins != ends) { print "unbalanced async spans: " begins " b vs " ends " e"; bad=1 }
+      if (events == 0) { print "empty trace"; bad=1 }
+      exit bad
+    }
+  ' "$1"
+}
+trace="target/ci-bundles/fig4.trace.json"
+xp doctor export-trace target/ci-bundles/degraded/fig4 -o "$trace"
+validate_trace "$trace"
+test -s target/ci-bundles/degraded/fig4/exemplars.ndjson \
+  || { echo "degraded fig4 bundle captured no exemplars"; exit 1; }
+xp doctor inspect target/ci-bundles/degraded/fig4 --exemplars \
+  | grep -q '^  exemplar ' \
+  || { echo "doctor inspect --exemplars rendered no exemplars"; exit 1; }
+echo "ok: $(grep -c '"ph":"X"' "$trace") slices, $(grep -c '"ph":"b"' "$trace") span stages validated in $trace"
+
 echo "== live /metrics scrape (mid-run) =="
 # scrape_smoke runs a real threaded pipeline, fetches /metrics over TCP
 # while the net is still running, and prints the body; the same grammar
@@ -116,6 +162,10 @@ echo "== perf regression gate =="
 # them with scripts/bench.sh on the same machine and commit the result.
 rm -rf target/ci-bench
 mkdir -p target/ci-bench
+# The gate measures with the contention profiler armed (the always-on
+# production posture); scripts/bench.sh records baselines the same way,
+# so profiler overhead is pinned inside the thresholds.
+export GRYPHON_PROFILE=1
 CRITERION_JSON="$PWD/target/ci-bench/matching.ndjson" \
   cargo bench -p gryphon-bench --bench matching --bench matching_hot >/dev/null
 CRITERION_JSON="$PWD/target/ci-bench/rt_pipeline.ndjson" \
