@@ -183,14 +183,14 @@ fn bench_shb_scale(c: &mut Criterion) {
         assert_eq!(shb.catchup_streams(), 1, "old checkpoint must open catchup");
         group.bench_with_input(BenchmarkId::new("park_rehydrate", n), &n, |b, _| {
             b.iter(|| {
-                shb.disconnect(storm_sub);
+                shb.disconnect(storm_sub, 0);
                 connect_one(&mut shb, storm_sub, Some(ct.clone()), &config, &mut ctx);
                 // NB: not `parked_streams()` — that inspector is O(slab)
                 // and would drown the cycle under test.
                 std::hint::black_box(shb.catchup_streams())
             });
         });
-        shb.disconnect(storm_sub);
+        shb.disconnect(storm_sub, 0);
         assert_eq!(shb.parked_streams(), 1, "cycle must end parked");
 
         // Churn: recycle slab slots in the idle region — unsubscribe

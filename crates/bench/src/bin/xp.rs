@@ -4,7 +4,7 @@
 //! xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] [--prom-out DIR]
 //!    [--flight-dir DIR] [--telemetry-out DIR] [--sample-interval MS]
 //!    [--metrics-addr ADDR] [--bundle-out DIR] [--chrome-trace DIR]
-//!    [--seed-offset N] [--degrade] [--subs N] [--churn-pct P]
+//!    [--seed-offset N] [--degrade] [--slow-sub] [--subs N] [--churn-pct P]
 //!    <experiment>|all|list
 //! xp doctor inspect BUNDLE [--exemplars]
 //! xp doctor check BUNDLE
@@ -78,6 +78,7 @@ fn main() {
     let mut metrics_addr: Option<String> = None;
     let mut seed_offset: u64 = 0;
     let mut degrade = false;
+    let mut slow_sub = false;
     let mut subs: Option<u64> = None;
     let mut churn_pct: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -157,6 +158,7 @@ fn main() {
                 seed_offset = n;
             }
             "--degrade" => degrade = true,
+            "--slow-sub" => slow_sub = true,
             "--subs" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("--subs requires an integer argument");
@@ -175,9 +177,9 @@ fn main() {
                 println!(
                     "usage: xp [--quick] [--csv DIR] [--trace] [--metrics-out DIR] \
                      [--prom-out DIR] [--flight-dir DIR] [--bundle-out DIR] \
-                     [--chrome-trace DIR] [--seed-offset N] [--degrade] [--subs N] \
-                     [--churn-pct P] <experiment>|all|list\n\
-                     \x20      xp doctor inspect BUNDLE [--exemplars]\n\
+                     [--chrome-trace DIR] [--seed-offset N] [--degrade] [--slow-sub] \
+                     [--subs N] [--churn-pct P] <experiment>|all|list\n\
+                     \x20      xp doctor inspect BUNDLE [--exemplars] [--topk] [--json]\n\
                      \x20      xp doctor check BUNDLE\n\
                      \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]\n\
                      \x20      xp doctor export-trace BUNDLE -o trace.json"
@@ -212,6 +214,7 @@ fn main() {
     }
     gryphon_harness::topology::set_default_seed_offset(seed_offset);
     gryphon_harness::topology::set_default_degrade(degrade);
+    gryphon_harness::topology::set_default_slow_sub(slow_sub);
     gryphon_harness::topology::set_default_mega_subs(subs);
     gryphon_harness::topology::set_default_churn_pct(churn_pct);
     gryphon_harness::topology::set_default_sample_interval(

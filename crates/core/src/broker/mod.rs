@@ -294,9 +294,11 @@ impl Node for Broker {
             Kind::Release => self.on_release_timer(ctx),
             Kind::MetaPersist => {
                 if let Some(shb) = self.shb.state.as_mut() {
-                    // The slab-byte census is O(live subscriptions), so it
-                    // rides this periodic timer, never the delivery path.
+                    // The slab-byte census and population sweep are
+                    // O(live subscriptions), so they ride this periodic
+                    // timer, never the delivery path.
                     shb.update_memory_gauges(ctx);
+                    shb.sweep_population(ctx);
                     shb.meta_persist(ctx);
                 }
                 ctx.set_timer(

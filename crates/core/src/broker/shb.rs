@@ -121,6 +121,22 @@ pub struct CatchupNeeds {
     pub authoritative: bool,
 }
 
+/// Aggregate census returned by [`Shb::sweep_population`], covering the
+/// counters that feed no top-K dimension directly (window catchup ticks,
+/// parked population) plus the sweep's own coverage numbers — the
+/// equivalence tests pin these against a naive recount.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Live slab slots visited.
+    pub swept: usize,
+    /// Slots with a live connection (the lag-spectrum population).
+    pub connected: usize,
+    /// Idle slots still carrying a parked-since mark.
+    pub parked: usize,
+    /// Catchup ticks served across the window (drained).
+    pub catchup_ticks: u64,
+}
+
 /// One checkpoint-commit worker (JMS experiment, paper §5.2).
 #[derive(Debug, Default)]
 struct CtWorker {
@@ -191,6 +207,11 @@ pub struct Shb {
     workers: Vec<CtWorker>,
     /// Events delivered (constream + catchup), for counters.
     pub delivered: u64,
+    /// Per-pubend delivered-byte window counters, drained into the
+    /// `hottest_pubends` attribution dimension by
+    /// [`Shb::sweep_population`]. A `BTreeMap` for deterministic
+    /// ascending-pubend drain order.
+    pubend_bytes: BTreeMap<PubendId, u64>,
     /// Reusable matching scratch for the constream hot path.
     match_scratch: MatchScratch,
     /// Reusable match-result buffer (slab indices) for the hot path.
@@ -241,6 +262,7 @@ impl Shb {
                 .map(|_| CtWorker::default())
                 .collect(),
             delivered: 0,
+            pubend_bytes: BTreeMap::new(),
             match_scratch: MatchScratch::new(),
             match_buf: Vec::new(),
             event_buf: Vec::new(),
@@ -486,6 +508,9 @@ impl Shb {
                     *last = event.ts;
                     ctx.work(config.costs.delivery_us);
                     self.delivered += 1;
+                    let wire = delivery_bytes(event);
+                    st.stats.bytes_delivered += wire;
+                    *self.pubend_bytes.entry(p).or_default() += wire;
                     ctx.count("shb.delivered", 1.0);
                     count_metric!(ctx, names::SHB_CONSTREAM_DELIVERED, 1.0);
                     let msg = DeliveryMsg {
@@ -580,6 +605,63 @@ impl Shb {
             &self.gauges.bytes_per_idle,
             bytes as f64 / idle.max(1) as f64
         );
+    }
+
+    /// Sweeps the subscriber slab, draining the per-slot attribution
+    /// counters into the population sketch via [`NodeCtx::attribute`]
+    /// (DESIGN.md §18):
+    ///
+    /// * `slowest_subs_by_lag` — connected subscribers only, weighted by
+    ///   the age of their oldest live catchup stream (0 when caught up).
+    ///   The lag spectrum deliberately excludes idle subscribers: a
+    ///   million parked durables at lag 0 would otherwise drown the one
+    ///   connected consumer that is actually behind.
+    /// * `hottest_subs_by_bytes` / `top_nackers` — per-slot window
+    ///   deltas, reset as they drain.
+    /// * `hottest_pubends` — per-pubend delivered bytes this window.
+    ///
+    /// O(slab), so it rides the periodic meta-persist timer with the
+    /// byte census, never the delivery path. When the sketch is
+    /// disarmed every `attribute` call is a default no-op; either way
+    /// the sweep touches no delivery state — pure observation.
+    pub fn sweep_population(&mut self, ctx: &mut dyn NodeCtx) -> SweepSummary {
+        use gryphon_sim::sketch::{DIM_PUBEND_BYTES, DIM_SUB_BYTES, DIM_SUB_LAG, DIM_SUB_NACKS};
+        let now = ctx.now_us();
+        let mut summary = SweepSummary::default();
+        for (_, st) in self.table.iter_mut() {
+            summary.swept += 1;
+            if let Some(conn) = st.conn.as_deref() {
+                summary.connected += 1;
+                let lag_us = conn
+                    .catchup
+                    .iter()
+                    .map(|(_, cu)| cu.started_at_us)
+                    .min()
+                    .map(|t| now.saturating_sub(t))
+                    .unwrap_or(0);
+                ctx.attribute(DIM_SUB_LAG, st.sub.0, lag_us);
+            } else if st.stats.parked_since_us > 0 {
+                summary.parked += 1;
+            }
+            if st.stats.window_is_empty() {
+                continue;
+            }
+            let w = st.stats.take_window();
+            summary.catchup_ticks += w.catchup_ticks;
+            if w.bytes_delivered > 0 {
+                ctx.attribute(DIM_SUB_BYTES, st.sub.0, w.bytes_delivered);
+            }
+            if w.nacks > 0 {
+                ctx.attribute(DIM_SUB_NACKS, st.sub.0, w.nacks);
+            }
+        }
+        for (&p, bytes) in self.pubend_bytes.iter_mut() {
+            if *bytes > 0 {
+                ctx.attribute(DIM_PUBEND_BYTES, p.0 as u64, *bytes);
+                *bytes = 0;
+            }
+        }
+        summary
     }
 
     /// PFS group commit: makes queued filtering records durable and
@@ -836,6 +918,7 @@ impl Shb {
         let st = self.table.get_mut(slot).expect("registered above");
         let rehydrated = st.parked.len();
         st.parked.clear();
+        st.stats.parked_since_us = 0;
         st.conn = Some(Box::new(conn));
         self.connected.insert(sub, slot.index());
         if rehydrated > 0 {
@@ -848,7 +931,7 @@ impl Shb {
     /// Handles a graceful disconnect (the subscription stays durable).
     /// Active catchup streams are demoted to compact [`ParkedStream`]
     /// records — an idle subscriber must not pin knowledge buffers.
-    pub fn disconnect(&mut self, sub: SubscriberId) {
+    pub fn disconnect(&mut self, sub: SubscriberId, now_us: u64) {
         self.connected.remove(&sub);
         let Some(slot) = self.table.slot_of(sub) else {
             return;
@@ -857,6 +940,9 @@ impl Shb {
             return;
         };
         if let Some(conn) = st.conn.take() {
+            // Parked mark for the population sweep; `max(1)` keeps a
+            // disconnect at t=0 distinguishable from "never connected".
+            st.stats.parked_since_us = now_us.max(1);
             let Conn { catchup, .. } = *conn;
             for (p, cu) in catchup.into_iter() {
                 st.parked.insert(
@@ -1286,6 +1372,10 @@ impl Shb {
             for e in events {
                 ctx.work(config.costs.catchup_delivery_us);
                 self.delivered += 1;
+                let wire = delivery_bytes(&e);
+                st.stats.bytes_delivered += wire;
+                st.stats.catchup_ticks += 1;
+                *self.pubend_bytes.entry(p).or_default() += wire;
                 ctx.count("shb.delivered", 1.0);
                 ctx.count("shb.catchup_delivered", 1.0);
                 last_event_ts = e.ts;
@@ -1362,6 +1452,7 @@ impl Shb {
             }
         }
         conn.catchup.insert(p, cu);
+        st.stats.nacks += needs.holes.len() as u64;
         needs
     }
 
@@ -1384,6 +1475,13 @@ impl Shb {
             con.processed_to = con.latest_delivered;
         }
     }
+}
+
+/// Approximate wire bytes of one event delivery (payload plus a fixed
+/// per-event frame covering pubend + tick), the weight unit of the
+/// hottest-subscriber / hottest-pubend attribution dimensions.
+fn delivery_bytes(e: &gryphon_types::Event) -> u64 {
+    16 + e.payload.len() as u64
 }
 
 /// Sends a delivery directly, or queues it for a gated (JMS) subscriber

@@ -374,7 +374,12 @@ impl Broker {
                 }
             }
             ClientMsg::Disconnect { sub } => {
-                self.shb.state.as_mut().expect("checked").disconnect(sub);
+                let now = ctx.now_us();
+                self.shb
+                    .state
+                    .as_mut()
+                    .expect("checked")
+                    .disconnect(sub, now);
                 ctx.count("shb.disconnects", 1.0);
             }
             ClientMsg::Unsubscribe { sub } => {

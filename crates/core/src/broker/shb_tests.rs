@@ -194,7 +194,7 @@ fn released_is_min_over_subscribers_and_latest_delivered() {
     );
     assert_eq!(shb.released_local(P), Timestamp(4));
     // A disconnected subscriber still holds release back.
-    shb.disconnect(SubscriberId(2));
+    shb.disconnect(SubscriberId(2), ctx.now_us());
     assert_eq!(shb.released_local(P), Timestamp(4));
     // Until it unsubscribes entirely.
     shb.unsubscribe(SubscriberId(2));
@@ -208,7 +208,7 @@ fn reconnect_with_checkpoint_creates_catchup_and_switches_over() {
     let (cache, upto) = cache_with(&[5, 9, 15], 20);
     shb.constream_advance(P, &cache, upto, &config, &mut ctx);
     shb.pfs_sync(&mut ctx);
-    shb.disconnect(SubscriberId(1));
+    shb.disconnect(SubscriberId(1), ctx.now_us());
     ctx.sent.clear();
 
     // Reconnect at ct=4: events 5, 9, 15 must be recovered.
@@ -271,7 +271,7 @@ fn catchup_delivery_is_paced_by_acknowledgments() {
     let (cache, upto) = cache_with(&[50], 100);
     shb.constream_advance(P, &cache, upto, &config, &mut ctx);
     shb.pfs_sync(&mut ctx);
-    shb.disconnect(SubscriberId(1));
+    shb.disconnect(SubscriberId(1), ctx.now_us());
     ctx.sent.clear();
     connect(
         &mut shb,
@@ -458,7 +458,7 @@ fn disconnect_parks_catchup_streams_and_reconnect_drains_them() {
     let (cache, upto) = cache_with(&[5, 9], 20);
     shb.constream_advance(P, &cache, upto, &config, &mut ctx);
     shb.pfs_sync(&mut ctx);
-    shb.disconnect(SubscriberId(1));
+    shb.disconnect(SubscriberId(1), ctx.now_us());
     // Reconnect mid-catchup, then disconnect with the stream still open:
     // it must demote to a compact parked record, not a live stream.
     connect(
@@ -469,7 +469,7 @@ fn disconnect_parks_catchup_streams_and_reconnect_drains_them() {
         &config,
     );
     assert_eq!(shb.catchup_streams(), 1);
-    shb.disconnect(SubscriberId(1));
+    shb.disconnect(SubscriberId(1), ctx.now_us());
     assert_eq!(shb.catchup_streams(), 0, "no live stream while idle");
     assert_eq!(shb.parked_streams(), 1, "parked record kept instead");
     // Reconnect rehydrates from the durable checkpoint protocol and

@@ -166,6 +166,47 @@ pub struct ParkedStream {
     pub doubt_floor: Timestamp,
 }
 
+/// Per-slot population-attribution counters (DESIGN.md §18).
+///
+/// Bumped with plain adds on the hot delivery/catchup paths and drained
+/// as window deltas by the SHB's periodic slab sweep, which feeds them
+/// to the population sketch via `NodeCtx::attribute`. Kept `Copy` and
+/// heap-free so a million idle slots pay four words each and
+/// `approx_heap_bytes` is unaffected. Pure observation: nothing reads
+/// these on any decision path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubStats {
+    /// Payload bytes delivered (live + catchup) since the last sweep.
+    pub bytes_delivered: u64,
+    /// Catchup stream ticks served since the last sweep.
+    pub catchup_ticks: u64,
+    /// Checkpoint holes reported (nack-equivalent redelivery demand)
+    /// since the last sweep.
+    pub nacks: u64,
+    /// Sim time (µs) this subscriber last disconnected; 0 while
+    /// connected (or never yet connected). Lets the sweep attribute
+    /// parked duration without storing a per-window delta.
+    pub parked_since_us: u64,
+}
+
+impl SubStats {
+    /// Takes the window deltas, resetting them to zero.
+    /// `parked_since_us` survives — it is a point-in-time mark the
+    /// connect path clears, not a delta.
+    pub fn take_window(&mut self) -> SubStats {
+        let out = *self;
+        self.bytes_delivered = 0;
+        self.catchup_ticks = 0;
+        self.nacks = 0;
+        out
+    }
+
+    /// `true` when every window delta is zero.
+    pub fn window_is_empty(&self) -> bool {
+        self.bytes_delivered == 0 && self.catchup_ticks == 0 && self.nacks == 0
+    }
+}
+
 /// Everything the SHB knows about one durable subscription.
 #[derive(Debug)]
 pub struct SubState {
@@ -191,6 +232,9 @@ pub struct SubState {
     /// Parked catchup positions of past connections (see
     /// [`ParkedStream`]); drained on reconnect.
     pub parked: PubendMap<ParkedStream>,
+    /// Attribution counters drained by the periodic slab sweep (see
+    /// [`SubStats`]). Survives disconnection like the cursors do.
+    pub stats: SubStats,
 }
 
 impl SubState {
@@ -282,6 +326,7 @@ impl SubscriberTable {
             broker_ct: false,
             conn: None,
             parked: PubendMap::new(),
+            stats: SubStats::default(),
         });
         self.by_id.insert(sub, i);
         SubSlot::new(i, self.gens[i as usize])

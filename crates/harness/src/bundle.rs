@@ -13,6 +13,7 @@
 //!   alerts.ndjson     # health-engine alert transitions (may be empty)
 //!   exemplars.ndjson  # tail exemplars with lineage anchors (may be empty)
 //!   intervals.ndjson  # contention-profiler busy intervals (may be empty)
+//!   topk.ndjson       # per-window top-K attribution snapshots (may be empty)
 //!   snapshot.prom     # Prometheus text exposition of the snapshot
 //!   report.txt        # the rendered human report
 //!   flight/           # flight-recorder post-mortems, when any fired
@@ -70,7 +71,7 @@ fn git_describe() -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -182,6 +183,7 @@ pub fn write_bundle(root: &Path, report: &Report, meta: &BundleMeta) -> std::io:
     write("alerts.ndjson", &report.alerts_ndjson())?;
     write("exemplars.ndjson", &report.exemplars_ndjson())?;
     write("intervals.ndjson", &report.intervals_ndjson())?;
+    write("topk.ndjson", &report.topks_ndjson())?;
     write("snapshot.prom", report.prom.as_deref().unwrap_or(""))?;
     write("report.txt", &report.render())?;
     Ok(dir)
@@ -231,6 +233,7 @@ mod tests {
             "alerts.ndjson",
             "exemplars.ndjson",
             "intervals.ndjson",
+            "topk.ndjson",
             "snapshot.prom",
             "report.txt",
         ] {

@@ -3,13 +3,17 @@
 //! Three verbs, all reading the bundle directories
 //! [`crate::bundle::write_bundle`] produces:
 //!
-//! * `inspect BUNDLE [--exemplars]` — human summary: manifest, slowest
-//!   latency stages, the worst tail exemplars rendered end-to-end
-//!   stage-by-stage, key telemetry sparklines, the alert log;
+//! * `inspect BUNDLE [--exemplars] [--topk] [--json]` — human summary:
+//!   manifest, slowest latency stages, the worst tail exemplars
+//!   rendered end-to-end stage-by-stage, per-entity top-K attribution
+//!   (`--topk` for the full ranked tables per dimension), key
+//!   telemetry sparklines, the alert log; `--json` emits the same
+//!   facts as one machine-readable JSON object instead;
 //! * `diff A B` — per-histogram-percentile and per-counter deltas with
 //!   configurable thresholds; exits nonzero naming every regressed
 //!   series (the offline complement of `perf_gate`) plus the exemplar
-//!   behind each regressed latency histogram when one was captured;
+//!   behind each regressed latency histogram when one was captured,
+//!   and the top-K entity behind each regressed sketch gauge;
 //! * `check BUNDLE` — replays the default health rules over the
 //!   bundle's timeline (reproducing the online engine's alert log
 //!   exactly — see [`gryphon_sim::health`]) and fails on any firing
@@ -21,7 +25,7 @@ use crate::bundle::parse_flat_json;
 use crate::report::HistogramSummary;
 use gryphon_sim::forensics::BusyInterval;
 use gryphon_sim::telemetry::{sparkline, Timeline};
-use gryphon_sim::{default_rules, AlertRecord, AlertState, Exemplar, HealthEngine};
+use gryphon_sim::{default_rules, AlertRecord, AlertState, Exemplar, HealthEngine, TopKSnapshot};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -47,6 +51,9 @@ pub struct Bundle {
     /// Contention-profiler busy intervals (empty under the same
     /// conditions as the exemplars).
     pub intervals: Vec<BusyInterval>,
+    /// Per-window top-K attribution snapshots (empty under the same
+    /// conditions, or with the population sketch disarmed).
+    pub topks: Vec<TopKSnapshot>,
 }
 
 fn read(dir: &Path, name: &str) -> Result<String, String> {
@@ -142,6 +149,10 @@ pub fn load_bundle(dir: &Path) -> Result<Bundle, String> {
         Ok(s) => Timeline::intervals_from_ndjson(&s)?,
         Err(_) => Vec::new(),
     };
+    let topks = match std::fs::read_to_string(dir.join("topk.ndjson")) {
+        Ok(s) => Timeline::topks_from_ndjson(&s)?,
+        Err(_) => Vec::new(),
+    };
     Ok(Bundle {
         dir: dir.to_path_buf(),
         manifest,
@@ -151,6 +162,7 @@ pub fn load_bundle(dir: &Path) -> Result<Bundle, String> {
         alerts,
         exemplars,
         intervals,
+        topks,
     })
 }
 
@@ -178,18 +190,28 @@ pub fn replay_health(timeline: &Timeline) -> Vec<AlertRecord> {
 /// (0 healthy, 1 regression/alerts found, 2 usage or read error).
 pub fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
-        Some("inspect") if args.len() == 2 || args.len() == 3 => {
-            let full_exemplars = match args.get(2).map(String::as_str) {
-                Some("--exemplars") => true,
-                None => false,
-                Some(other) => {
-                    eprintln!("error: unknown inspect option {other}");
-                    return 2;
+        Some("inspect") if args.len() >= 2 => {
+            let mut full_exemplars = false;
+            let mut full_topk = false;
+            let mut json = false;
+            for flag in &args[2..] {
+                match flag.as_str() {
+                    "--exemplars" => full_exemplars = true,
+                    "--topk" => full_topk = true,
+                    "--json" => json = true,
+                    other => {
+                        eprintln!("error: unknown inspect option {other}");
+                        return 2;
+                    }
                 }
-            };
+            }
             match load_bundle(Path::new(&args[1])) {
                 Ok(b) => {
-                    print!("{}", inspect(&b, full_exemplars));
+                    if json {
+                        print!("{}", inspect_json(&b));
+                    } else {
+                        print!("{}", inspect(&b, full_exemplars, full_topk));
+                    }
                     0
                 }
                 Err(e) => {
@@ -265,7 +287,7 @@ pub fn run(args: &[String]) -> i32 {
         }
         _ => {
             eprintln!(
-                "usage: xp doctor inspect BUNDLE [--exemplars]\n\
+                "usage: xp doctor inspect BUNDLE [--exemplars] [--topk] [--json]\n\
                  \x20      xp doctor check BUNDLE\n\
                  \x20      xp doctor diff A B [--threshold-pct P] [--abs-floor-us US]\n\
                  \x20      xp doctor export-trace BUNDLE -o OUT.json"
@@ -284,9 +306,25 @@ pub fn inspect_histogram(name: &str) -> bool {
     name.ends_with("_us") || name.starts_with("storage.commit.")
 }
 
+/// The latest top-K snapshot per dimension, in the order the
+/// dimensions first appear in the bundle's snapshot log (which is the
+/// sketch's fixed dimension order).
+fn latest_topks(b: &Bundle) -> Vec<&TopKSnapshot> {
+    let mut out: Vec<&TopKSnapshot> = Vec::new();
+    for snap in &b.topks {
+        match out.iter_mut().find(|s| s.dim == snap.dim) {
+            Some(slot) => *slot = snap,
+            None => out.push(snap),
+        }
+    }
+    out
+}
+
 /// Renders the human `inspect` summary. `full_exemplars` lists every
-/// captured tail exemplar instead of the three worst.
-pub fn inspect(b: &Bundle, full_exemplars: bool) -> String {
+/// captured tail exemplar instead of the three worst; `full_topk`
+/// lists every ranked entity per attribution dimension instead of the
+/// three heaviest.
+pub fn inspect(b: &Bundle, full_exemplars: bool, full_topk: bool) -> String {
     let get = |k: &str| b.manifest.get(k).map(String::as_str).unwrap_or("?");
     let mut out = format!(
         "# bundle: {} ({})\n  version {}  git {}  quick {}  seed_offset {}  degrade {}\n  \
@@ -352,6 +390,54 @@ pub fn inspect(b: &Bundle, full_exemplars: bool) -> String {
         }
     }
 
+    // Per-entity attribution (DESIGN.md §18): the latest window's
+    // top-K snapshot per dimension answers "who" the way the stage
+    // table answers "where".
+    let latest = latest_topks(b);
+    if !latest.is_empty() {
+        out.push_str(&format!(
+            "\n## top-k attribution ({} snapshots{})\n",
+            b.topks.len(),
+            if full_topk {
+                ""
+            } else {
+                "; --topk for all entries"
+            },
+        ));
+        for snap in latest {
+            out.push_str(&format!(
+                "  {} (window at {:.3}s, total {}, dominance {:.1}%)\n",
+                snap.dim,
+                snap.t_us as f64 / 1e6,
+                snap.total,
+                snap.dominance_share() * 100.0,
+            ));
+            let shown = if full_topk {
+                snap.entries.len()
+            } else {
+                3.min(snap.entries.len())
+            };
+            out.push_str(&format!(
+                "    {:>4} {:>12} {:>12} {:>8} {:>7}\n",
+                "rank", "entity", "count", "err", "share"
+            ));
+            for (i, e) in snap.entries.iter().take(shown).enumerate() {
+                let share = if snap.total > 0 {
+                    e.count as f64 / snap.total as f64 * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "    {:>4} {:>12} {:>12} {:>8} {share:>6.1}%\n",
+                    i + 1,
+                    e.entity,
+                    e.count,
+                    e.err
+                ));
+            }
+        }
+    }
+
     let key_series: Vec<&str> = b
         .timeline
         .series_names()
@@ -359,6 +445,7 @@ pub fn inspect(b: &Bundle, full_exemplars: bool) -> String {
         .filter(|n| {
             n.starts_with("telemetry.") && !n.contains(".w") && !n.contains(".n")
                 || n.ends_with(".q99")
+                || n.starts_with("sketch.")
         })
         .collect();
     if !key_series.is_empty() {
@@ -388,6 +475,103 @@ pub fn inspect(b: &Bundle, full_exemplars: bool) -> String {
             a.detail
         ));
     }
+    out
+}
+
+/// A finite f64 as a bare JSON number, non-finite as `null` (NaN from
+/// a malformed CSV cell must not produce invalid JSON).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the machine-readable `inspect --json` object: the manifest,
+/// the slowest latency stages, the alert log, and the latest top-K
+/// attribution snapshot per dimension — the same facts as the human
+/// summary, for scripts that would otherwise scrape its tables.
+pub fn inspect_json(b: &Bundle) -> String {
+    use crate::bundle::json_escape;
+    let mut out = String::from("{\n  \"manifest\": {");
+    for (i, (k, v)) in b.manifest.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // The flat manifest parser unquotes everything; re-emit values
+        // that were bare JSON tokens (numbers, bools) as bare tokens.
+        let bare = v == "true" || v == "false" || v.parse::<f64>().is_ok();
+        if bare {
+            out.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
+        } else {
+            out.push_str(&format!(
+                "\n    \"{}\": \"{}\"",
+                json_escape(k),
+                json_escape(v)
+            ));
+        }
+    }
+    out.push_str("\n  },\n  \"stages\": [");
+    let mut stages: Vec<&HistogramSummary> = b
+        .histograms
+        .values()
+        .filter(|h| inspect_histogram(&h.name))
+        .collect();
+    stages.sort_by(|x, y| y.p99.total_cmp(&x.p99));
+    for (i, h) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+            json_escape(&h.name),
+            h.count,
+            json_num(h.p50),
+            json_num(h.p99),
+            json_num(h.max)
+        ));
+    }
+    out.push_str("\n  ],\n  \"alerts\": [");
+    for (i, a) in b.alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"t_us\": {}, \"state\": \"{}\", \"rule\": \"{}\", \"series\": \"{}\", \
+             \"detail\": \"{}\"}}",
+            a.t_us,
+            a.state.as_str(),
+            json_escape(&a.rule),
+            json_escape(&a.series),
+            json_escape(&a.detail)
+        ));
+    }
+    out.push_str("\n  ],\n  \"topk\": [");
+    for (i, snap) in latest_topks(b).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"t_us\": {}, \"dim\": \"{}\", \"total\": {}, \"dominance\": {}, \
+             \"entries\": [",
+            snap.t_us,
+            json_escape(snap.dim),
+            snap.total,
+            json_num(snap.dominance_share())
+        ));
+        for (j, e) in snap.entries.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"entity\": {}, \"count\": {}, \"err\": {}}}",
+                e.entity, e.count, e.err
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
     out
 }
 
@@ -442,6 +626,30 @@ fn worst_exemplar<'a>(b: &'a Bundle, series: &str) -> Option<&'a Exemplar> {
 /// compared at its final sample with the same relative threshold as the
 /// histograms plus a small absolute floor.
 const GUARDED_SERIES: &[&str] = &["telemetry.shb.bytes_per_idle_sub"];
+
+/// Sketch gauge series whose regression `diff` attributes to a named
+/// entity: each maps to the top-K dimension whose leading entry in
+/// bundle B's latest snapshot is the population member driving the
+/// gauge (DESIGN.md §18).
+const ATTRIBUTED_SERIES: &[(&str, &str)] = &[
+    (
+        gryphon_sim::names::SKETCH_LAG_P99_US,
+        gryphon_sim::sketch::DIM_SUB_LAG,
+    ),
+    (
+        gryphon_sim::names::SKETCH_LAG_SKEW,
+        gryphon_sim::sketch::DIM_SUB_LAG,
+    ),
+];
+
+/// The leading entry of bundle `b`'s latest snapshot for `dim`.
+fn top_entity<'a>(b: &'a Bundle, dim: &str) -> Option<(&'a TopKSnapshot, u64, u64, u64)> {
+    b.topks
+        .iter()
+        .rev()
+        .find(|s| s.dim == dim)
+        .and_then(|s| s.entries.first().map(|e| (s, e.entity, e.count, e.err)))
+}
 
 /// `diff`: latency-histogram percentile and violation-counter deltas.
 /// A `*_us` histogram regresses when p50 or p99 rises by more than
@@ -503,6 +711,47 @@ fn diff(a: &Bundle, b: &Bundle, threshold_pct: f64, abs_floor_us: f64) -> i32 {
         );
         if pct > threshold_pct && delta > 64.0 {
             regressions.push(format!("{name}: {va:.0} B -> {vb:.0} B ({pct:+.1}%)"));
+        }
+    }
+    // Attributed sketch gauges: a regressed population gauge names the
+    // entity behind it — the leading entry of B's latest top-K
+    // snapshot for the matching dimension.
+    for (name, dim) in ATTRIBUTED_SERIES {
+        let last = |x: &Bundle| x.timeline.series(name).last().map(|&(_, v)| v);
+        let (Some(va), Some(vb)) = (last(a), last(b)) else {
+            continue;
+        };
+        let delta = vb - va;
+        let pct = if va > 0.0 { delta / va * 100.0 } else { 0.0 };
+        // A zero baseline (fully caught-up run A) makes pct useless —
+        // any meaningful growth from 0 is a regression on its own.
+        let from_zero = va <= 0.0 && vb > 0.0;
+        let shown = if from_zero {
+            "new".to_string()
+        } else {
+            format!("{pct:+.1}%")
+        };
+        println!(
+            "  {name:<36} {:>6} {va:>12.0} {vb:>12.0} {shown:>9}",
+            "last"
+        );
+        // µs-valued gauges share the histogram floor; the skew ratio
+        // uses a fixed 0.5 floor instead (it is dimensionless).
+        let floor = if name.ends_with("_us") {
+            abs_floor_us
+        } else {
+            0.5
+        };
+        if (pct > threshold_pct || from_zero) && delta > floor {
+            let mut r = format!("{name}: {va:.0} -> {vb:.0} ({shown})");
+            if let Some((snap, entity, count, err)) = top_entity(b, dim) {
+                r.push_str(&format!(
+                    "\n    top {dim} entity: {entity} (weight {count} ±{err} of {}, window at {:.3}s)",
+                    snap.total,
+                    snap.t_us as f64 / 1e6
+                ));
+            }
+            regressions.push(r);
         }
     }
     for (name, va) in &a.counters {
@@ -593,7 +842,7 @@ mod tests {
             &[(500_000, 3.0)]
         );
         assert!(b.alerts.is_empty());
-        let text = inspect(&b, false);
+        let text = inspect(&b, false, false);
         assert!(text.contains("lineage.stage.deliver_us"));
         assert!(text.contains("none"));
         let _ = std::fs::remove_dir_all(&root);
@@ -743,7 +992,7 @@ mod tests {
         r.attach_metrics(&m);
         r.attach_telemetry(gryphon_sim::telemetry::Timeline::new(500_000));
         let dir = write_bundle(&root, &r, &BundleMeta::default()).unwrap();
-        let text = inspect(&load_bundle(&dir).unwrap(), false);
+        let text = inspect(&load_bundle(&dir).unwrap(), false, false);
         for name in ["storage.commit.batch_records", "storage.commit.fsync_us"] {
             assert!(text.contains(name), "{name} missing from:\n{text}");
         }
@@ -804,7 +1053,7 @@ mod tests {
         assert_eq!(b.exemplars[0].value, 50_000.0);
         assert_eq!(b.intervals.len(), 1);
         assert_eq!(b.intervals[0].kind, "busy");
-        let text = inspect(&b, false);
+        let text = inspect(&b, false, false);
         assert!(text.contains("tail exemplars"), "{text}");
         assert!(text.contains("lineage.stage.deliver_us"), "{text}");
         // Stage walk renders from the resolved anchors.
@@ -823,6 +1072,109 @@ mod tests {
         assert!(worst_exemplar(&b, "lineage.stage.deliver_us").is_some());
         assert!(worst_exemplar(&b, "lineage.stage.log_us").is_none());
         for r in [ra, rb] {
+            let _ = std::fs::remove_dir_all(&r);
+        }
+    }
+
+    fn topk_bundle(tag: &str, lag_p99_us: f64) -> (PathBuf, Bundle) {
+        use gryphon_sim::TopKEntry;
+        let root =
+            std::env::temp_dir().join(format!("gryphon-doctor-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut t = gryphon_sim::telemetry::Timeline::new(500_000);
+        t.record(500_000, "sketch.sub_lag.p99_us", lag_p99_us);
+        let entry = |entity: u64, count: u64| TopKEntry {
+            entity,
+            count,
+            err: 0,
+        };
+        t.push_topk(TopKSnapshot {
+            t_us: 500_000,
+            dim: gryphon_sim::sketch::DIM_SUB_LAG,
+            total: 1_400,
+            entries: vec![entry(42, 800), entry(7, 300), entry(9, 200), entry(1, 100)],
+        });
+        t.push_topk(TopKSnapshot {
+            t_us: 500_000,
+            dim: gryphon_sim::sketch::DIM_SUB_BYTES,
+            total: 640,
+            entries: vec![entry(42, 640)],
+        });
+        let mut r = Report::new("t");
+        r.attach_metrics(&Metrics::default());
+        r.attach_telemetry(t);
+        let dir = write_bundle(
+            &root,
+            &r,
+            &BundleMeta {
+                interval_us: 500_000,
+                ..BundleMeta::default()
+            },
+        )
+        .unwrap();
+        let b = load_bundle(&dir).unwrap();
+        (root, b)
+    }
+
+    #[test]
+    fn topk_round_trips_and_inspect_renders_ranked_tables() {
+        let (root, b) = topk_bundle("topk", 1_000.0);
+        assert_eq!(b.topks.len(), 2);
+        assert_eq!(b.topks[0].dim, gryphon_sim::sketch::DIM_SUB_LAG);
+        assert_eq!(b.topks[0].entries[0].entity, 42);
+        let brief = inspect(&b, false, false);
+        assert!(brief.contains("top-k attribution"), "{brief}");
+        assert!(brief.contains("slowest_subs_by_lag"), "{brief}");
+        assert!(brief.contains("42"), "{brief}");
+        // Rank 4 (entity 1, count 100) only shows under --topk.
+        assert!(!brief.contains("     100 "), "{brief}");
+        let full = inspect(&b, false, true);
+        assert!(full.contains("     100 "), "{full}");
+        // The sketch gauge series joins the timeline sparklines.
+        assert!(brief.contains("sketch.sub_lag.p99_us"), "{brief}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn inspect_json_emits_manifest_stages_alerts_and_topk() {
+        let (root, b) = topk_bundle("json", 1_000.0);
+        let json = inspect_json(&b);
+        for needle in [
+            "\"manifest\": {",
+            "\"experiment\": \"t\"",
+            "\"interval_us\": 500000",
+            "\"stages\": [",
+            "\"alerts\": [",
+            "\"topk\": [",
+            "\"dim\": \"slowest_subs_by_lag\"",
+            "{\"entity\": 42, \"count\": 800, \"err\": 0}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Braces and brackets balance: the output is one closed object.
+        let count = |c: char| json.matches(c).count();
+        assert_eq!(count('{'), count('}'), "{json}");
+        assert_eq!(count('['), count(']'), "{json}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn diff_names_the_entity_behind_a_regressed_sketch_gauge() {
+        let (ra, a) = topk_bundle("skdiff-a", 1_000.0);
+        // 50× the lag p99: regression, attributed to entity 42 from
+        // B's latest slowest_subs_by_lag snapshot.
+        let (rb, b) = topk_bundle("skdiff-b", 50_000.0);
+        assert_eq!(diff(&a, &b, 25.0, 1_000.0), 1);
+        let (_, entity, count, _) = top_entity(&b, gryphon_sim::sketch::DIM_SUB_LAG).unwrap();
+        assert_eq!((entity, count), (42, 800));
+        // Improvement is not a regression.
+        assert_eq!(diff(&b, &a, 25.0, 1_000.0), 0);
+        // A zero baseline defeats the percent guard (0 -> anything is
+        // +0.0%); growth from zero past the floor must still flag.
+        let (rz, z) = topk_bundle("skdiff-z", 0.0);
+        assert_eq!(diff(&z, &b, 25.0, 1_000.0), 1);
+        assert_eq!(diff(&z, &z, 25.0, 1_000.0), 0);
+        for r in [ra, rb, rz] {
             let _ = std::fs::remove_dir_all(&r);
         }
     }

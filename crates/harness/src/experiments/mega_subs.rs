@@ -31,8 +31,9 @@ use crate::report::{Report, Table};
 use crate::topology;
 use gryphon::broker::Shb;
 use gryphon::config::BrokerConfig;
+use gryphon_sim::sketch::{PopulationSketch, SketchConfig, DIM_SUB_BYTES, DIM_SUB_LAG};
 use gryphon_sim::telemetry::Sampler;
-use gryphon_sim::{Metrics, NodeCtx, TimerKey};
+use gryphon_sim::{default_rules, names, AlertState, HealthEngine, Metrics, NodeCtx, TimerKey};
 use gryphon_storage::MemFactory;
 use gryphon_streams::KnowledgeStream;
 use gryphon_types::{
@@ -68,6 +69,9 @@ struct DriveCtx {
     now_us: u64,
     metrics: Metrics,
     rng: SmallRng,
+    /// Population sketch fed by [`Shb::sweep_population`] through the
+    /// `attribute` hook and drained at each census (DESIGN.md §18).
+    sketch: PopulationSketch,
 }
 
 impl NodeCtx for DriveCtx {
@@ -95,6 +99,9 @@ impl NodeCtx for DriveCtx {
     }
     fn gauge(&mut self, name: &str, value: f64) {
         self.metrics.set_gauge(name, value);
+    }
+    fn attribute(&mut self, dim: &'static str, entity: u64, weight: u64) {
+        self.sketch.attribute(dim, entity, weight);
     }
 }
 
@@ -133,14 +140,49 @@ fn census(
     shb: &mut Shb,
     ctx: &mut DriveCtx,
     sampler: &mut Sampler,
+    health: Option<&mut HealthEngine>,
 ) -> f64 {
     // Publish through the broker's own gauge path, then sample the
     // timeline window — the bundle carries exactly what a live broker
-    // would publish on its meta-persist timer.
+    // would publish on its meta-persist timer. The population sweep
+    // runs first (the live broker runs it on the same timer), so the
+    // window's sample carries the per-entity attribution it produced,
+    // in the same drain→gauges→sample→alerts→topk order as the
+    // simulator's sampler loop.
     ctx.now_us += 500_000;
+    shb.sweep_population(ctx);
     shb.update_telemetry_gauges(ctx);
     shb.update_memory_gauges(ctx);
+    let (snaps, stats) = ctx.sketch.drain(ctx.now_us);
+    if let Some(stats) = stats {
+        ctx.metrics
+            .set_gauge(names::SKETCH_LAG_POPULATION, stats.population as f64);
+        ctx.metrics
+            .set_gauge(names::SKETCH_LAG_P50_US, stats.p50_us as f64);
+        ctx.metrics
+            .set_gauge(names::SKETCH_LAG_P99_US, stats.p99_us as f64);
+        ctx.metrics
+            .set_gauge(names::SKETCH_LAG_MAX_US, stats.max_us as f64);
+        ctx.metrics.set_gauge(names::SKETCH_LAG_SKEW, stats.skew());
+    }
+    if let Some(bytes) = snaps.iter().find(|s| s.dim == DIM_SUB_BYTES) {
+        ctx.metrics
+            .set_gauge(names::SKETCH_DOMINANCE_SHARE, bytes.alarm_share());
+    }
     sampler.sample(ctx.now_us, &ctx.metrics);
+    if let Some(engine) = health {
+        for mut alert in engine.evaluate(ctx.now_us, sampler.timeline()) {
+            gryphon_sim::sketch::name_culprit(&mut alert.detail, &alert.series, &snaps);
+            if alert.state == AlertState::Firing {
+                ctx.metrics
+                    .count(&format!("health.alert.{}", alert.rule), 1.0);
+            }
+            sampler.timeline_mut().push_alert(alert);
+        }
+    }
+    for snap in snaps {
+        sampler.timeline_mut().push_topk(snap);
+    }
     let bytes = shb.slab_bytes();
     let idle = shb.idle_subs().max(1);
     let per_idle = bytes as f64 / idle as f64;
@@ -173,7 +215,13 @@ pub fn run(quick: bool) -> Report {
         now_us: 0,
         metrics: Metrics::default(),
         rng: SmallRng::seed_from_u64(7),
+        sketch: PopulationSketch::new(SketchConfig::default()),
     };
+    let slow_sub_mode = topology::default_slow_sub();
+    // The health engine arms only for the slow-sub drill: the storm
+    // phase legitimately opens short-lived catchup streams whose lag
+    // would read as skew, and the drill is about the planted laggard.
+    let mut health = slow_sub_mode.then(|| HealthEngine::new(default_rules()));
     let mut sampler = Sampler::new(500_000);
     let mut shb = Shb::open(&MemFactory::new(), "mega", &config);
     let mut t = Table::new(
@@ -214,6 +262,7 @@ pub fn run(quick: bool) -> Report {
         &mut shb,
         &mut ctx,
         &mut sampler,
+        None,
     );
 
     // Phase 2: a small fraction connects and traffic flows through the
@@ -246,6 +295,7 @@ pub fn run(quick: bool) -> Report {
         &mut shb,
         &mut ctx,
         &mut sampler,
+        None,
     );
 
     // Phase 3: churn — unsubscribe + re-register recycles slab slots
@@ -275,7 +325,15 @@ pub fn run(quick: bool) -> Report {
         spec.subs,
         "churn preserves the population"
     );
-    census(&mut t, "churn", churn_ms, &mut shb, &mut ctx, &mut sampler);
+    census(
+        &mut t,
+        "churn",
+        churn_ms,
+        &mut shb,
+        &mut ctx,
+        &mut sampler,
+        None,
+    );
 
     // Phase 4: reconnect storm. A batch of idle subscribers presents an
     // old checkpoint, so each connect opens a PFS catchup stream; the
@@ -296,7 +354,7 @@ pub fn run(quick: bool) -> Report {
     }
     let streams_open = shb.catchup_streams();
     for &sub in &storm_subs {
-        shb.disconnect(sub);
+        shb.disconnect(sub, ctx.now_us);
     }
     let parked_peak = shb.parked_streams();
     for &sub in &storm_subs {
@@ -316,7 +374,125 @@ pub fn run(quick: bool) -> Report {
         0,
         "reconnects drain the parked records"
     );
-    census(&mut t, "storm", storm_ms, &mut shb, &mut ctx, &mut sampler);
+    census(
+        &mut t,
+        "storm",
+        storm_ms,
+        &mut shb,
+        &mut ctx,
+        &mut sampler,
+        None,
+    );
+
+    // Phase 5 (only under `--slow-sub`): plant one slow consumer and
+    // prove the attribution path names it. The connected cohort
+    // shrinks to 16 caught-up subscribers so the lag spectrum's p99
+    // rank lands on the laggard; the last registered subscriber then
+    // connects with an ancient checkpoint, opening a catchup stream
+    // that never progresses. The next sweep attributes a full window
+    // of lag to exactly that entity, the skew gauge jumps, and the
+    // `lag_skew` health rule fires; reconnecting it caught-up clears
+    // the alert at the following census.
+    let mut slow_note = None;
+    if slow_sub_mode {
+        const KEEP: u64 = 16;
+        let start = Instant::now();
+        for i in KEEP..spec.connected {
+            shb.disconnect(SubscriberId(i + 1), ctx.now_us);
+        }
+        for &sub in &storm_subs {
+            shb.disconnect(sub, ctx.now_us);
+        }
+        let slow = SubscriberId(spec.subs);
+        connect_one(&mut shb, slow, storm_ct(), &config, &mut ctx);
+        let slow_ms = start.elapsed().as_secs_f64() * 1e3;
+        census(
+            &mut t,
+            "slow-sub",
+            slow_ms,
+            &mut shb,
+            &mut ctx,
+            &mut sampler,
+            health.as_mut(),
+        );
+        let (leader_entity, lag_us) = {
+            let lag_top = sampler
+                .timeline()
+                .topks()
+                .filter(|s| s.dim == DIM_SUB_LAG)
+                .last()
+                .expect("slow-sub census produces a lag snapshot");
+            let leader = lag_top.entries.first().expect("lag snapshot has entries");
+            (leader.entity, leader.count)
+        };
+        assert_eq!(
+            leader_entity, slow.0,
+            "the sketch must name the planted slow consumer"
+        );
+
+        // Hold the laggard for a second window: `lag_skew` is a
+        // sustained-ceiling rule (two consecutive breaching windows)
+        // so one-census transients like the reconnect storm stay
+        // quiet, and the alert fires here.
+        let start = Instant::now();
+        let hold_ms = start.elapsed().as_secs_f64() * 1e3;
+        census(
+            &mut t,
+            "slow-hold",
+            hold_ms,
+            &mut shb,
+            &mut ctx,
+            &mut sampler,
+            health.as_mut(),
+        );
+        assert!(
+            sampler
+                .timeline()
+                .alerts()
+                .iter()
+                .any(|a| a.rule == "lag_skew" && a.state == AlertState::Firing),
+            "planted laggard must fire the lag_skew rule"
+        );
+
+        // Recovery: the laggard reconnects caught-up; the next census
+        // sweeps a uniform population and the alert clears.
+        let start = Instant::now();
+        shb.disconnect(slow, ctx.now_us);
+        connect_one(&mut shb, slow, None, &config, &mut ctx);
+        let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+        census(
+            &mut t,
+            "recovered",
+            recover_ms,
+            &mut shb,
+            &mut ctx,
+            &mut sampler,
+            health.as_mut(),
+        );
+        assert!(
+            sampler
+                .timeline()
+                .alerts()
+                .iter()
+                .any(|a| a.rule == "lag_skew" && a.state == AlertState::Cleared),
+            "caught-up laggard must clear the lag_skew rule"
+        );
+        slow_note = Some(format!(
+            "slow-sub drill: subscriber {} planted at {lag_us} µs of catchup lag was named \
+             by the top-K sketch and fired (then cleared) the lag_skew rule",
+            slow.0
+        ));
+    }
+
+    // The attribution layer's memory is O(K) per dimension no matter
+    // how large the population is — the acceptance bound for running
+    // this sketch at 10^6 subscribers.
+    let sketch_bytes = ctx.sketch.approx_heap_bytes();
+    assert!(
+        sketch_bytes <= 4 * 1024,
+        "population sketch must stay O(K): {sketch_bytes} B for {} subs",
+        spec.subs
+    );
 
     let rehydrations = ctx.metrics.counter("shb.stream_rehydrations");
     let mut report = Report::new("mega_subs");
@@ -337,6 +513,14 @@ pub fn run(quick: bool) -> Report {
          records rehydrated on reconnect",
         streams_open, parked_peak
     ));
+    report.note(format!(
+        "population sketch: {sketch_bytes} B of attribution state for {} subscribers (O(K) \
+         per dimension; DESIGN.md §18)",
+        spec.subs
+    ));
+    if let Some(n) = slow_note {
+        report.note(n);
+    }
     report.attach_metrics(&ctx.metrics);
     report.attach_telemetry(sampler.into_timeline());
     report

@@ -230,7 +230,60 @@ impl Report {
     pub fn attach_metrics(&mut self, metrics: &Metrics) -> &mut Self {
         self.metrics = Some(MetricsSection::from_metrics(metrics));
         self.prom = Some(gryphon_sim::lineage::prometheus_text(metrics));
+        self.append_topk_prom();
         self
+    }
+
+    /// Appends the labeled `topk_*` gauges from the attached timeline's
+    /// latest top-K snapshots onto the Prometheus snapshot, replacing
+    /// any block a previous attach left (both attach orders work, and
+    /// re-attaching never duplicates). Cardinality is bounded at K
+    /// label pairs per dimension by the sketch itself (DESIGN.md §18):
+    /// this is the one place the exporter emits per-entity labels, and
+    /// it can never exceed `dims × K` series.
+    fn append_topk_prom(&mut self) {
+        // Doubles as the idempotence marker for truncate-and-reappend;
+        // a HELP comment so the block stays inside the exposition
+        // grammar the CI awk validator enforces.
+        const MARKER: &str =
+            "# HELP topk_weight top-K attribution weight (bounded-cardinality labels)\n";
+        let Some(prom) = self.prom.as_mut() else {
+            return;
+        };
+        if let Some(at) = prom.find(MARKER) {
+            prom.truncate(at);
+        }
+        let Some(timeline) = self.telemetry.as_ref() else {
+            return;
+        };
+        // Latest snapshot per dimension, in first-seen dimension order.
+        let mut latest: Vec<&gryphon_sim::TopKSnapshot> = Vec::new();
+        for snap in timeline.topks() {
+            match latest.iter_mut().find(|s| s.dim == snap.dim) {
+                Some(slot) => *slot = snap,
+                None => latest.push(snap),
+            }
+        }
+        if latest.is_empty() {
+            return;
+        }
+        prom.push_str(MARKER);
+        prom.push_str("# TYPE topk_weight gauge\n");
+        for snap in &latest {
+            for e in &snap.entries {
+                prom.push_str(&format!(
+                    "topk_weight{{dim=\"{}\",entity=\"{}\"}} {}\n",
+                    snap.dim, e.entity, e.count
+                ));
+            }
+        }
+        prom.push_str("# TYPE topk_total gauge\n");
+        for snap in &latest {
+            prom.push_str(&format!(
+                "topk_total{{dim=\"{}\"}} {}\n",
+                snap.dim, snap.total
+            ));
+        }
     }
 
     /// Attaches already-rendered trace lines.
@@ -243,6 +296,7 @@ impl Report {
     /// `NetResult::telemetry`).
     pub fn attach_telemetry(&mut self, timeline: Timeline) -> &mut Self {
         self.telemetry = Some(timeline);
+        self.append_topk_prom();
         self
     }
 
@@ -297,6 +351,15 @@ impl Report {
         self.telemetry
             .as_ref()
             .map(Timeline::intervals_ndjson)
+            .unwrap_or_default()
+    }
+
+    /// Dumps the per-window top-K attribution snapshots as ndjson (the
+    /// bundle's `topk.ndjson`; empty when the sketch was disarmed).
+    pub fn topks_ndjson(&self) -> String {
+        self.telemetry
+            .as_ref()
+            .map(Timeline::topks_ndjson)
             .unwrap_or_default()
     }
 
@@ -636,6 +699,46 @@ mod tests {
             r.metrics_csv(),
             "kind,name,count,value,min,p50,p95,p99,max\n"
         );
+    }
+
+    #[test]
+    fn prom_snapshot_carries_labeled_topk_gauges_in_either_attach_order() {
+        use gryphon_sim::{TopKEntry, TopKSnapshot};
+        let mk_timeline = || {
+            let mut t = Timeline::new(500_000);
+            t.push_topk(TopKSnapshot {
+                t_us: 500_000,
+                dim: gryphon_sim::sketch::DIM_SUB_BYTES,
+                total: 900,
+                entries: vec![TopKEntry {
+                    entity: 42,
+                    count: 900,
+                    err: 0,
+                }],
+            });
+            t
+        };
+        let needle = "topk_weight{dim=\"hottest_subs_by_bytes\",entity=\"42\"} 900";
+        // metrics then telemetry (the common order).
+        let mut r = Report::new("p");
+        r.attach_metrics(&Metrics::default());
+        r.attach_telemetry(mk_timeline());
+        let prom = r.prom.clone().unwrap();
+        assert!(prom.contains(needle), "{prom}");
+        assert!(prom.contains("topk_total{dim=\"hottest_subs_by_bytes\"} 900"));
+        // Re-attaching must not duplicate the block.
+        r.attach_telemetry(mk_timeline());
+        assert_eq!(r.prom.as_ref().unwrap().matches(needle).count(), 1);
+        // telemetry then metrics also lands the block.
+        let mut r2 = Report::new("p2");
+        r2.attach_telemetry(mk_timeline());
+        r2.attach_metrics(&Metrics::default());
+        assert!(r2.prom.unwrap().contains(needle));
+        // No topks → no topk families at all.
+        let mut r3 = Report::new("p3");
+        r3.attach_metrics(&Metrics::default());
+        r3.attach_telemetry(Timeline::new(500_000));
+        assert!(!r3.prom.unwrap().contains("topk_"));
     }
 
     #[test]

@@ -111,6 +111,22 @@ pub fn default_churn_pct() -> Option<f64> {
     *lock_recover(&DEFAULT_CHURN_PCT)
 }
 
+/// Process-wide slow-subscriber switch for the `mega_subs` workload —
+/// the `xp --slow-sub` plumbing. When set, the workload plants one
+/// deliberately slow consumer in the population so the top-K
+/// attribution path (DESIGN.md §18) has a known entity to name.
+static DEFAULT_SLOW_SUB: Mutex<bool> = Mutex::new(false);
+
+/// Arms or disarms the planted slow consumer in `mega_subs`.
+pub fn set_default_slow_sub(on: bool) {
+    *lock_recover(&DEFAULT_SLOW_SUB) = on;
+}
+
+/// Whether the planted slow consumer is armed.
+pub fn default_slow_sub() -> bool {
+    *lock_recover(&DEFAULT_SLOW_SUB)
+}
+
 /// Process-wide health-engine switch: when set (and sampling is
 /// enabled), every [`Sim`] the harness builds arms the default health
 /// rule set (`gryphon_sim::default_rules`).
@@ -143,6 +159,11 @@ pub fn apply_sim_defaults(sim: &mut Sim) {
         // the contention-profiler interval ring drain into the timeline
         // each window, so any sampled run can export a Perfetto trace.
         sim.enable_forensics(gryphon_sim::ForensicsConfig::default());
+        // The population sketch rides the same cadence: per-entity
+        // top-K attribution drains into the timeline each window
+        // (DESIGN.md §18), so bundles carry topk.ndjson whenever a run
+        // samples.
+        sim.enable_sketch(gryphon_sim::sketch::SketchConfig::default());
     }
 }
 

@@ -299,6 +299,83 @@ fn forensics_do_not_perturb_golden_run() {
     assert_eq!(t_off.intervals().len(), 0, "disarmed run collects none");
 }
 
+/// The population sketch (top-K attribution + lag spectrum, DESIGN.md
+/// §18) is the newest pure observer: arming it cannot perturb traces or
+/// deliveries, every non-sketch sample series is byte-identical with it
+/// on or off, and the topk stream itself replays bit-identically across
+/// armed runs.
+#[test]
+fn sketch_does_not_perturb_golden_run() {
+    let run_sketched = |armed: bool| {
+        let spec = TopologySpec {
+            seed: 42,
+            n_shbs: 2,
+            pubends: 4,
+            ..TopologySpec::default()
+        };
+        let workload = Workload {
+            subs_per_shb: 6,
+            ..Workload::paper_disconnecting(3_000_000, 500_000)
+        };
+        let mut sys = System::build(&spec, &workload);
+        sys.sim.enable_telemetry(250_000);
+        if armed {
+            sys.sim
+                .enable_sketch(gryphon_sim::sketch::SketchConfig::default());
+        }
+        sys.sim.run_until(6_000_000);
+        let traces: Vec<String> = sys
+            .sim
+            .trace_records()
+            .map(|r| format!("{} {}", r.t_us, r.render(sys.sim.node_name(r.node))))
+            .collect();
+        let deliveries: Vec<Vec<Delivery>> = sys
+            .subscribers
+            .iter()
+            .map(|(h, _)| {
+                sys.sim
+                    .node_ref(*h)
+                    .received()
+                    .iter()
+                    .map(|r| (r.pubend.0, r.ts.0, r.kind, r.seq))
+                    .collect()
+            })
+            .collect();
+        let timeline = sys.sim.take_telemetry().expect("sampler armed");
+        (traces, deliveries, timeline)
+    };
+
+    let (traces_off, deliveries_off, t_off) = run_sketched(false);
+    let (traces_a, deliveries_a, ta) = run_sketched(true);
+    let (traces_b, deliveries_b, tb) = run_sketched(true);
+
+    assert_eq!(
+        traces_off, traces_a,
+        "sketch on vs off must not change the trace stream"
+    );
+    assert_eq!(
+        deliveries_off, deliveries_a,
+        "sketch on vs off must not change deliveries"
+    );
+    assert_eq!(traces_a, traces_b, "armed runs must replay identically");
+    assert_eq!(deliveries_a, deliveries_b);
+    // The armed run adds only its own `sketch.*` gauge series; every
+    // other sample series is untouched (same carve-out as the health
+    // engine's counters and the forensics drop counters above).
+    let sans_sketch = |t: &gryphon_sim::telemetry::Timeline| -> String {
+        t.to_ndjson()
+            .lines()
+            .filter(|l| !l.contains("\"series\":\"sketch."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(sans_sketch(&t_off), sans_sketch(&ta));
+    assert_eq!(ta.to_ndjson(), tb.to_ndjson());
+    // The topk stream itself is deterministic, present only when armed.
+    assert_eq!(ta.topks_ndjson(), tb.topks_ndjson());
+    assert_eq!(t_off.topks().len(), 0, "disarmed run attributes nothing");
+}
+
 /// Forensics memory is bounded even under a pathologically small
 /// config: the interval ring evicts (counting each loss into
 /// `forensics.interval_dropped`) instead of growing, and what reaches

@@ -75,10 +75,11 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use gryphon_sim::forensics::{self, BusyInterval, Exemplar, ExemplarReservoir, IntervalRing};
+use gryphon_sim::sketch::DIM_SUB_BYTES;
 use gryphon_sim::telemetry::{Sampler, TextServer, Timeline};
 use gryphon_sim::{
-    names, Executor, ForensicsConfig, Lineage, Metrics, Node, NodeCtx, TimerKey, TraceEvent,
-    TraceRecord, Watchdogs,
+    names, Executor, ForensicsConfig, Lineage, Metrics, Node, NodeCtx, PopulationSketch,
+    SketchConfig, TimerKey, TraceEvent, TraceRecord, Watchdogs,
 };
 use gryphon_types::{NetMsg, NodeId};
 use parking_lot::Mutex;
@@ -325,6 +326,14 @@ impl NetBuilder {
                 )))
             })
             .collect();
+        // Always-on population attribution: one O(K) sketch shard per
+        // worker (same discipline as the lineage exemplar reservoirs),
+        // merged in worker-index order at stop. Attributions arrive at
+        // sweep cadence, not per delivery, so each shard's lock is
+        // uncontended in steady state.
+        let sketches: Vec<Arc<Mutex<PopulationSketch>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(PopulationSketch::new(SketchConfig::default()))))
+            .collect();
         let senders = Arc::new(senders);
         // Worker → logical-id map for event attribution.
         let mut owner = vec![NodeId(0); n];
@@ -363,6 +372,7 @@ impl NetBuilder {
             let tel_enabled = Arc::clone(&tel_enabled);
             let active_ns = Arc::clone(&active_ns[i]);
             let intervals = Arc::clone(&intervals[i]);
+            let sketch = Arc::clone(&sketches[i]);
             joins.push(
                 std::thread::Builder::new()
                     .name(name)
@@ -381,6 +391,7 @@ impl NetBuilder {
                             tel_enabled,
                             active_ns,
                             intervals,
+                            sketch,
                         };
                         worker.with_ctx(|node, ctx| node.on_start(ctx), node.as_mut());
                         loop {
@@ -418,6 +429,7 @@ impl NetBuilder {
             tel_enabled,
             active_ns,
             intervals,
+            sketches,
             tel_metrics: Arc::new(Mutex::new(Metrics::default())),
             sampler: None,
             scrape: None,
@@ -470,6 +482,10 @@ struct Worker {
     /// Bounded per-worker busy-interval ring (dispatch/queue slices for
     /// the exported trace); drained at [`RunningNet::stop`].
     intervals: Arc<Mutex<IntervalRing>>,
+    /// This worker's population-sketch shard (O(K) memory), fed by
+    /// [`NodeCtx::attribute`] and merged in worker-index order at
+    /// [`RunningNet::stop`].
+    sketch: Arc<Mutex<PopulationSketch>>,
 }
 
 impl Worker {
@@ -639,6 +655,10 @@ impl NodeCtx for ThreadCtx<'_> {
             dur_us,
         });
     }
+
+    fn attribute(&mut self, dim: &'static str, entity: u64, weight: u64) {
+        self.worker.sketch.lock().attribute(dim, entity, weight);
+    }
 }
 
 /// The background sampler thread started by [`RunningNet::start_sampler`].
@@ -668,6 +688,9 @@ pub struct RunningNet {
     /// Per-worker forensics interval rings, drained into the telemetry
     /// timeline (worker-index order) at [`RunningNet::stop`].
     intervals: Vec<Arc<Mutex<IntervalRing>>>,
+    /// Per-worker population-sketch shards, merged (worker-index order)
+    /// and drained into the telemetry timeline at [`RunningNet::stop`].
+    sketches: Vec<Arc<Mutex<PopulationSketch>>>,
     /// Runtime-health gauges owned by the sampler thread (queue depth,
     /// worker utilization) — a separate shard so the sampler never
     /// writes into a worker's private metrics.
@@ -936,6 +959,38 @@ impl RunningNet {
             }
             if dropped > 0 {
                 merged.count(names::FORENSICS_INTERVAL_DROPPED, dropped as f64);
+            }
+        }
+        // Population-sketch shards merge in worker-index order, then the
+        // merged sketch drains once — the wall-clock twin of the
+        // simulator's per-window drain. Snapshots land on the timeline
+        // when a sampler ran; the spectrum/dominance gauges always land
+        // in the merged metrics.
+        let mut sketch = PopulationSketch::new(SketchConfig::default());
+        for s in &self.sketches {
+            sketch.absorb(&s.lock());
+        }
+        if !sketch.is_empty() {
+            let t_us = self.epoch.elapsed().as_micros() as u64;
+            let (snaps, stats) = sketch.drain(t_us);
+            if let Some(stats) = stats {
+                merged.set_gauge(names::SKETCH_LAG_POPULATION, stats.population as f64);
+                merged.set_gauge(names::SKETCH_LAG_P50_US, stats.p50_us as f64);
+                merged.set_gauge(names::SKETCH_LAG_P99_US, stats.p99_us as f64);
+                merged.set_gauge(names::SKETCH_LAG_MAX_US, stats.max_us as f64);
+                merged.set_gauge(names::SKETCH_LAG_SKEW, stats.skew());
+            }
+            if let Some(bytes) = snaps.iter().find(|s| s.dim == DIM_SUB_BYTES) {
+                merged.set_gauge(names::SKETCH_DOMINANCE_SHARE, bytes.alarm_share());
+            }
+            if let Some(t) = telemetry.as_mut() {
+                let mut dropped = 0;
+                for snap in snaps {
+                    dropped += t.push_topk(snap);
+                }
+                if dropped > 0 {
+                    merged.count(names::FORENSICS_TOPK_DROPPED, dropped as f64);
+                }
             }
         }
         NetResult {

@@ -98,6 +98,18 @@ pub enum RuleKind {
         /// Minimum total rise over those windows.
         min_delta: f64,
     },
+    /// Level check with persistence: fires only when the last
+    /// `windows` samples *each* exceed `limit` — a one-window spike
+    /// (e.g. a reconnect storm's fresh catchup streams reading as lag)
+    /// stays quiet, a condition that holds across windows fires.
+    SustainedCeiling {
+        /// Inclusive ceiling; every recent sample must sit strictly
+        /// above it.
+        limit: f64,
+        /// Number of consecutive recent samples that must breach
+        /// (quiet until that many samples exist).
+        windows: usize,
+    },
     /// SLO burn rate over a latency quantile series (e.g.
     /// `lineage.stage.deliver_us.q99`): of the last `windows` samples,
     /// the fraction above `target` must stay within `budget`; the rule
@@ -200,6 +212,32 @@ pub fn default_rules() -> Vec<HealthRule> {
                 budget: 0.5,
                 windows: 8,
             },
+        ),
+        // Lag-spectrum skew (DESIGN.md §18): the population's p99
+        // delivery lag diverging from its p50 means a minority of
+        // subscribers is falling far behind the median — the slow
+        // consumers the top-K sketch then names. The spectrum buckets
+        // are powers of two (±2× resolution), so the ceiling leaves
+        // ample room above uniform-population noise.
+        // Two consecutive windows: a reconnect storm leaves catchup
+        // streams one window old (real lag, but transient by
+        // construction); a subscriber still skewing the spectrum a
+        // window later is genuinely stuck.
+        HealthRule::new(
+            "lag_skew",
+            names::SKETCH_LAG_SKEW,
+            RuleKind::SustainedCeiling {
+                limit: 64.0,
+                windows: 2,
+            },
+        ),
+        // Single-entity dominance: one subscriber absorbing most of a
+        // window's delivered bytes starves the rest of the population
+        // (fairness signal for the admission-control roadmap item).
+        HealthRule::new(
+            "entity_dominance",
+            names::SKETCH_DOMINANCE_SHARE,
+            RuleKind::GaugeCeiling { limit: 0.75 },
         ),
     ]
 }
@@ -326,6 +364,20 @@ impl HealthEngine {
                     )
                 })
             }
+            RuleKind::SustainedCeiling { limit, windows } => {
+                if window.len() < windows {
+                    return None;
+                }
+                let tail = &window[window.len() - windows..];
+                let v = tail[tail.len() - 1].1;
+                tail.iter().all(|&(_, s)| s > limit).then(|| {
+                    (
+                        v,
+                        limit,
+                        format!("level {v} > ceiling {limit} for {windows} windows"),
+                    )
+                })
+            }
             RuleKind::SloBurn {
                 target,
                 budget,
@@ -359,6 +411,45 @@ mod tests {
             t.record(ts, series, v);
         }
         t
+    }
+
+    #[test]
+    fn sustained_ceiling_ignores_one_window_spikes() {
+        let rule = HealthRule::new(
+            "skew",
+            "g",
+            RuleKind::SustainedCeiling {
+                limit: 64.0,
+                windows: 2,
+            },
+        );
+        let mut e = HealthEngine::new(vec![rule]);
+        // Spike for one window, back to normal: quiet throughout.
+        let t = timeline_with("g", &[(500, 0.0), (1_000, 500_000.0), (1_500, 0.0)]);
+        for at in [500, 1_000, 1_500] {
+            assert!(e.evaluate(at, &t).is_empty(), "spike at {at} must not fire");
+        }
+        // Two consecutive breaching windows: fires at the second, and
+        // clears as soon as one window drops back under.
+        let t = timeline_with("g", &[(500, 500_000.0), (1_000, 500_000.0), (1_500, 0.0)]);
+        let mut e = HealthEngine::new(vec![HealthRule::new(
+            "skew",
+            "g",
+            RuleKind::SustainedCeiling {
+                limit: 64.0,
+                windows: 2,
+            },
+        )]);
+        assert!(
+            e.evaluate(500, &t).is_empty(),
+            "one sample is not sustained"
+        );
+        let fired = e.evaluate(1_000, &t);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].state, AlertState::Firing);
+        let cleared = e.evaluate(1_500, &t);
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(cleared[0].state, AlertState::Cleared);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod health;
 pub mod lineage;
 mod metrics;
 mod runtime;
+pub mod sketch;
 pub mod telemetry;
 pub mod trace;
 
@@ -65,4 +66,8 @@ pub use health::{default_rules, AlertRecord, AlertState, HealthEngine, HealthRul
 pub use lineage::{LedgerAudit, Lineage, Span};
 pub use metrics::{names, Histogram, Metrics};
 pub use runtime::{Handle, LinkParams, Node, NodeCtx, Sim, TimerKey, CONTROL_NODE};
+pub use sketch::{
+    LagSpectrum, PopulationSketch, SketchConfig, SpaceSaving, SpectrumStats, TopKEntry,
+    TopKSnapshot,
+};
 pub use trace::{DeliveryPath, Severity, TraceBuffer, TraceEvent, TraceRecord, Watchdogs};

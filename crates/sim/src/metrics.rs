@@ -198,6 +198,34 @@ pub mod names {
     /// Counter: busy-interval records evicted from the bounded interval
     /// ring (oldest first); the retained ring is the run's tail.
     pub const FORENSICS_INTERVAL_DROPPED: &str = "forensics.interval_dropped";
+    /// Counter: top-K snapshots evicted from the bounded timeline
+    /// stream (oldest first), same shed-and-count policy as the
+    /// exemplar/interval streams.
+    pub const FORENSICS_TOPK_DROPPED: &str = "forensics.topk_dropped";
+    /// Gauge: subscribers covered by the last slab sweep feeding the
+    /// lag spectrum (DESIGN.md §18).
+    pub const SKETCH_LAG_POPULATION: &str = "sketch.sub_lag.population";
+    /// Gauge: median per-subscriber delivery lag from the last swept
+    /// window's lag spectrum (bucket upper bound, µs).
+    pub const SKETCH_LAG_P50_US: &str = "sketch.sub_lag.p50_us";
+    /// Gauge: 99th-percentile per-subscriber delivery lag from the last
+    /// swept window's lag spectrum (bucket upper bound, µs).
+    pub const SKETCH_LAG_P99_US: &str = "sketch.sub_lag.p99_us";
+    /// Gauge: worst per-subscriber delivery lag in the last swept
+    /// window (exact, µs).
+    pub const SKETCH_LAG_MAX_US: &str = "sketch.sub_lag.max_us";
+    /// Gauge: lag-spectrum skew, `p99 ÷ max(p50, 1)` — ≈1 for a uniform
+    /// population, large when a minority of subscribers falls far
+    /// behind the median. Judged by the `lag_skew` health rule.
+    pub const SKETCH_LAG_SKEW: &str = "sketch.sub_lag.skew";
+    /// Gauge: share of the window's delivered bytes attributed to the
+    /// single hottest subscriber (0..1). Judged by the
+    /// `entity_dominance` health rule.
+    pub const SKETCH_DOMINANCE_SHARE: &str = "sketch.dominance_share";
+    /// Counter: firing transitions of the lag-spectrum skew rule.
+    pub const HEALTH_ALERT_LAG_SKEW: &str = "health.alert.lag_skew";
+    /// Counter: firing transitions of the single-entity dominance rule.
+    pub const HEALTH_ALERT_ENTITY_DOMINANCE: &str = "health.alert.entity_dominance";
 
     /// Every registered metric name. Tests use this to verify the
     /// registry is complete (no constant missing from the list, no
@@ -264,6 +292,15 @@ pub mod names {
             NET_QUEUE_WAIT_US,
             FORENSICS_EXEMPLAR_DROPPED,
             FORENSICS_INTERVAL_DROPPED,
+            FORENSICS_TOPK_DROPPED,
+            SKETCH_LAG_POPULATION,
+            SKETCH_LAG_P50_US,
+            SKETCH_LAG_P99_US,
+            SKETCH_LAG_MAX_US,
+            SKETCH_LAG_SKEW,
+            SKETCH_DOMINANCE_SHARE,
+            HEALTH_ALERT_LAG_SKEW,
+            HEALTH_ALERT_ENTITY_DOMINANCE,
         ]
     }
 }
@@ -727,6 +764,27 @@ mod tests {
         ] {
             assert!(seen.contains(forensics), "{forensics} not registered");
         }
+        // The population-observability family (PR 10) must be
+        // registered so the Prometheus exporter and the doctor-coverage
+        // test can see it.
+        for sketch in [
+            names::FORENSICS_TOPK_DROPPED,
+            names::SKETCH_LAG_POPULATION,
+            names::SKETCH_LAG_P50_US,
+            names::SKETCH_LAG_P99_US,
+            names::SKETCH_LAG_MAX_US,
+            names::SKETCH_LAG_SKEW,
+            names::SKETCH_DOMINANCE_SHARE,
+            names::HEALTH_ALERT_LAG_SKEW,
+            names::HEALTH_ALERT_ENTITY_DOMINANCE,
+        ] {
+            assert!(seen.contains(sketch), "{sketch} not registered");
+        }
+        assert!(
+            names::SKETCH_LAG_SKEW.starts_with("sketch.")
+                && names::SKETCH_DOMINANCE_SHARE.starts_with("sketch."),
+            "sketch gauges live under the sketch. family"
+        );
     }
 
     #[test]

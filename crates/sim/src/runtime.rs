@@ -61,6 +61,13 @@ pub trait NodeCtx {
     /// the exported Perfetto trace — never affects scheduling. Default:
     /// discarded (also when the contention profiler is disarmed).
     fn interval(&mut self, _kind: &'static str, _dur_us: u64) {}
+    /// Attributes `weight` to `entity` on a population-sketch dimension
+    /// (one of the `DIM_*` constants in [`crate::sketch`]): per-entity
+    /// heavy-hitter accounting in O(K) memory (DESIGN.md §18). Pure
+    /// observation — the armed sketch drains into `topk.ndjson` each
+    /// sampler window and never affects scheduling. Default: discarded
+    /// (also when the sketch is disarmed).
+    fn attribute(&mut self, _dim: &'static str, _entity: u64, _weight: u64) {}
 }
 
 /// A state machine hosted by a runtime.
@@ -210,6 +217,11 @@ pub struct Sim {
     /// timeline each sampler window. Pure observer: arming it leaves
     /// traces and deliveries bit-identical.
     forensics: Option<ForensicsState>,
+    /// Population sketch (`None` = disarmed): per-entity top-K
+    /// attribution and the subscriber lag spectrum, fed through
+    /// [`NodeCtx::attribute`] and drained into the telemetry timeline
+    /// each sampler window. Pure observer like the sampler itself.
+    sketch: Option<crate::sketch::PopulationSketch>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -259,6 +271,7 @@ impl Sim {
             telemetry: None,
             health: None,
             forensics: None,
+            sketch: None,
         }
     }
 
@@ -441,6 +454,26 @@ impl Sim {
         self.forensics.as_ref().map(|f| &f.config)
     }
 
+    /// Arms the population sketch: per-entity top-K attribution
+    /// ([`NodeCtx::attribute`]) plus the subscriber lag spectrum, in
+    /// O(K) memory per dimension. Drained into top-K snapshots on the
+    /// telemetry timeline once per sampler window (so telemetry should
+    /// be enabled too; without it attributions simply accumulate). Pure
+    /// observer — see DESIGN.md §18.
+    pub fn enable_sketch(&mut self, cfg: crate::sketch::SketchConfig) {
+        self.sketch = Some(crate::sketch::PopulationSketch::new(cfg));
+    }
+
+    /// `true` when the population sketch is armed.
+    pub fn sketch_enabled(&self) -> bool {
+        self.sketch.is_some()
+    }
+
+    /// The armed sketch configuration (`None` when disarmed).
+    pub fn sketch_config(&self) -> Option<crate::sketch::SketchConfig> {
+        self.sketch.as_ref().map(|s| s.config())
+    }
+
     /// Fires every telemetry sample due at or before `upto_us`, then
     /// lets the health engine judge each new window.
     fn fire_due_samples(&mut self, upto_us: u64) {
@@ -452,9 +485,33 @@ impl Sim {
             let at = sampler.next_at_us();
             self.metrics
                 .set_gauge(crate::names::TELEMETRY_QUEUE_DEPTH, self.queue.len() as f64);
+            let sketch_out = self.sketch.as_mut().map(|sk| sk.drain(at));
+            if let Some((snaps, stats)) = &sketch_out {
+                // Gauges land before `sample` so this window's snapshot
+                // reflects this window's sweep, mirroring queue depth.
+                if let Some(stats) = stats {
+                    self.metrics
+                        .set_gauge(crate::names::SKETCH_LAG_POPULATION, stats.population as f64);
+                    self.metrics
+                        .set_gauge(crate::names::SKETCH_LAG_P50_US, stats.p50_us as f64);
+                    self.metrics
+                        .set_gauge(crate::names::SKETCH_LAG_P99_US, stats.p99_us as f64);
+                    self.metrics
+                        .set_gauge(crate::names::SKETCH_LAG_MAX_US, stats.max_us as f64);
+                    self.metrics
+                        .set_gauge(crate::names::SKETCH_LAG_SKEW, stats.skew());
+                }
+                if let Some(bytes) = snaps.iter().find(|s| s.dim == crate::sketch::DIM_SUB_BYTES) {
+                    self.metrics
+                        .set_gauge(crate::names::SKETCH_DOMINANCE_SHARE, bytes.alarm_share());
+                }
+            }
             sampler.sample(at, &self.metrics);
             if let Some(engine) = health.as_mut() {
-                for alert in engine.evaluate(at, sampler.timeline()) {
+                for mut alert in engine.evaluate(at, sampler.timeline()) {
+                    if let Some((snaps, _)) = &sketch_out {
+                        crate::sketch::name_culprit(&mut alert.detail, &alert.series, snaps);
+                    }
                     if alert.state == crate::health::AlertState::Firing {
                         self.metrics
                             .count(&format!("health.alert.{}", alert.rule), 1.0);
@@ -469,6 +526,18 @@ impl Sim {
                         },
                     );
                     sampler.timeline_mut().push_alert(alert);
+                }
+            }
+            if let Some((snaps, _)) = sketch_out {
+                let mut dropped = 0;
+                for snap in snaps {
+                    dropped += sampler.timeline_mut().push_topk(snap);
+                }
+                if dropped > 0 {
+                    self.metrics.count(
+                        crate::metrics::names::FORENSICS_TOPK_DROPPED,
+                        dropped as f64,
+                    );
                 }
             }
             self.drain_forensics(&mut sampler);
@@ -1062,6 +1131,12 @@ impl NodeCtx for SimCtx<'_> {
     fn interval(&mut self, kind: &'static str, dur_us: u64) {
         if dur_us > 0 {
             self.sim.push_interval(self.me, kind, dur_us);
+        }
+    }
+
+    fn attribute(&mut self, dim: &'static str, entity: u64, weight: u64) {
+        if let Some(sketch) = self.sim.sketch.as_mut() {
+            sketch.attribute(dim, entity, weight);
         }
     }
 }

@@ -33,14 +33,98 @@ use std::sync::Arc;
 use crate::forensics::{intern_kind, BusyInterval, Exemplar};
 use crate::health::{AlertRecord, AlertState};
 use crate::metrics::{Histogram, Metrics};
+use crate::sketch::{intern_dim, TopKEntry, TopKSnapshot};
 
-/// Bound on resolved tail exemplars a timeline retains (oldest evicted
-/// first; see [`Timeline::push_exemplar`]).
+/// Default bound on resolved tail exemplars a timeline retains (oldest
+/// evicted first; see [`Timeline::push_exemplar`]). Overridable at
+/// runtime via [`TimelineCaps`].
 pub const TIMELINE_EXEMPLAR_CAP: usize = 4_096;
 
-/// Bound on busy intervals a timeline retains (oldest evicted first;
-/// see [`Timeline::push_interval`]).
+/// Default bound on busy intervals a timeline retains (oldest evicted
+/// first; see [`Timeline::push_interval`]). Overridable at runtime via
+/// [`TimelineCaps`].
 pub const TIMELINE_INTERVAL_CAP: usize = 131_072;
+
+/// Default bound on top-K snapshots a timeline retains (oldest evicted
+/// first; see [`Timeline::push_topk`]). Overridable at runtime via
+/// [`TimelineCaps`].
+pub const TIMELINE_TOPK_CAP: usize = 8_192;
+
+/// Environment variable overriding the timeline retention caps, e.g.
+/// `GRYPHON_TIMELINE_CAPS=exemplars=1024,intervals=65536,topks=512`
+/// (any subset; unnamed caps keep their compiled defaults).
+pub const TIMELINE_CAPS_ENV: &str = "GRYPHON_TIMELINE_CAPS";
+
+/// Runtime-configurable retention bounds for the timeline's forensics
+/// streams. The compiled `TIMELINE_*_CAP` constants are the defaults;
+/// deployments tune them per run via [`TIMELINE_CAPS_ENV`] or topology
+/// defaults without recompiling. Caps only bound observer-side
+/// retention, so overriding them cannot perturb a run (the
+/// `golden_determinism` suite pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineCaps {
+    /// Bound on resolved tail exemplars (oldest evicted first).
+    pub exemplars: usize,
+    /// Bound on busy intervals (oldest evicted first).
+    pub intervals: usize,
+    /// Bound on top-K snapshots (oldest evicted first).
+    pub topks: usize,
+}
+
+impl Default for TimelineCaps {
+    fn default() -> TimelineCaps {
+        TimelineCaps {
+            exemplars: TIMELINE_EXEMPLAR_CAP,
+            intervals: TIMELINE_INTERVAL_CAP,
+            topks: TIMELINE_TOPK_CAP,
+        }
+    }
+}
+
+impl TimelineCaps {
+    /// Parses a `key=value,key=value` override string (keys:
+    /// `exemplars`, `intervals`, `topks`; any subset, each clamped to
+    /// ≥ 1). Unknown keys and malformed values are errors so a typo in
+    /// an env override fails loudly instead of silently keeping the
+    /// default.
+    pub fn parse(s: &str) -> Result<TimelineCaps, String> {
+        let mut caps = TimelineCaps::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("timeline caps: missing '=' in {part:?}"))?;
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("timeline caps: bad value in {part:?}"))?;
+            let n = n.max(1);
+            match key.trim() {
+                "exemplars" => caps.exemplars = n,
+                "intervals" => caps.intervals = n,
+                "topks" => caps.topks = n,
+                other => return Err(format!("timeline caps: unknown key {other:?}")),
+            }
+        }
+        Ok(caps)
+    }
+
+    /// The caps in effect for new timelines: [`TIMELINE_CAPS_ENV`] when
+    /// set and well-formed, otherwise the compiled defaults (a
+    /// malformed override is reported on stderr once per call rather
+    /// than silently shrinking retention).
+    pub fn resolved() -> TimelineCaps {
+        match std::env::var(TIMELINE_CAPS_ENV) {
+            Ok(s) => match TimelineCaps::parse(&s) {
+                Ok(caps) => caps,
+                Err(e) => {
+                    eprintln!("ignoring {TIMELINE_CAPS_ENV}: {e}");
+                    TimelineCaps::default()
+                }
+            },
+            Err(_) => TimelineCaps::default(),
+        }
+    }
+}
 
 /// A deterministic in-memory time series store: one sample vector per
 /// series name, ordered by sample time, plus the structured health
@@ -51,22 +135,46 @@ pub const TIMELINE_INTERVAL_CAP: usize = 131_072;
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
     interval_us: u64,
+    caps: TimelineCaps,
     series: BTreeMap<String, Vec<(u64, f64)>>,
     alerts: Vec<AlertRecord>,
     exemplars: std::collections::VecDeque<Exemplar>,
     intervals: std::collections::VecDeque<BusyInterval>,
+    topks: std::collections::VecDeque<TopKSnapshot>,
 }
 
 impl Timeline {
-    /// An empty timeline tagged with its sampling interval.
+    /// An empty timeline tagged with its sampling interval, bounded by
+    /// the process-resolved retention caps ([`TimelineCaps::resolved`]).
     pub fn new(interval_us: u64) -> Timeline {
+        Timeline::with_caps(interval_us, TimelineCaps::resolved())
+    }
+
+    /// An empty timeline with explicit retention caps (tests and
+    /// topology defaults; [`Timeline::new`] resolves them from the
+    /// environment).
+    pub fn with_caps(interval_us: u64, caps: TimelineCaps) -> Timeline {
         Timeline {
             interval_us,
+            caps,
             series: BTreeMap::new(),
             alerts: Vec::new(),
             exemplars: std::collections::VecDeque::new(),
             intervals: std::collections::VecDeque::new(),
+            topks: std::collections::VecDeque::new(),
         }
+    }
+
+    /// The retention caps in effect for this timeline.
+    pub fn caps(&self) -> TimelineCaps {
+        self.caps
+    }
+
+    /// Replaces the retention caps (topology defaults apply theirs
+    /// after construction); an over-cap backlog is trimmed oldest-first
+    /// on the next push.
+    pub fn set_caps(&mut self, caps: TimelineCaps) {
+        self.caps = caps;
     }
 
     /// The sampling interval this timeline was collected at.
@@ -105,12 +213,12 @@ impl Timeline {
         &self.alerts
     }
 
-    /// Appends a resolved tail exemplar, evicting the oldest past
-    /// [`TIMELINE_EXEMPLAR_CAP`]; returns the number evicted (0 or 1)
-    /// so the runtime can count it into `forensics.exemplar_dropped`.
+    /// Appends a resolved tail exemplar, evicting the oldest past the
+    /// exemplar cap; returns the number evicted (0 or 1) so the runtime
+    /// can count it into `forensics.exemplar_dropped`.
     pub fn push_exemplar(&mut self, ex: Exemplar) -> u64 {
         self.exemplars.push_back(ex);
-        if self.exemplars.len() > TIMELINE_EXEMPLAR_CAP {
+        if self.exemplars.len() > self.caps.exemplars {
             self.exemplars.pop_front();
             1
         } else {
@@ -123,12 +231,12 @@ impl Timeline {
         self.exemplars.iter()
     }
 
-    /// Appends a busy interval, evicting the oldest past
-    /// [`TIMELINE_INTERVAL_CAP`]; returns the number evicted (0 or 1)
-    /// so the runtime can count it into `forensics.interval_dropped`.
+    /// Appends a busy interval, evicting the oldest past the interval
+    /// cap; returns the number evicted (0 or 1) so the runtime can
+    /// count it into `forensics.interval_dropped`.
     pub fn push_interval(&mut self, iv: BusyInterval) -> u64 {
         self.intervals.push_back(iv);
-        if self.intervals.len() > TIMELINE_INTERVAL_CAP {
+        if self.intervals.len() > self.caps.intervals {
             self.intervals.pop_front();
             1
         } else {
@@ -139,6 +247,24 @@ impl Timeline {
     /// The recorded busy intervals, oldest first.
     pub fn intervals(&self) -> impl ExactSizeIterator<Item = &BusyInterval> {
         self.intervals.iter()
+    }
+
+    /// Appends one window's top-K snapshot, evicting the oldest past
+    /// the top-K cap; returns the number evicted (0 or 1) so the
+    /// runtime can count it into `forensics.topk_dropped`.
+    pub fn push_topk(&mut self, snap: TopKSnapshot) -> u64 {
+        self.topks.push_back(snap);
+        if self.topks.len() > self.caps.topks {
+            self.topks.pop_front();
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The recorded top-K snapshots, oldest first.
+    pub fn topks(&self) -> impl ExactSizeIterator<Item = &TopKSnapshot> {
+        self.topks.iter()
     }
 
     /// Total sample count across all series.
@@ -172,15 +298,22 @@ impl Timeline {
         self.exemplars
             .make_contiguous()
             .sort_by(|a, b| a.t_us.cmp(&b.t_us).then_with(|| a.series.cmp(&b.series)));
-        while self.exemplars.len() > TIMELINE_EXEMPLAR_CAP {
+        while self.exemplars.len() > self.caps.exemplars {
             self.exemplars.pop_front();
         }
         self.intervals.extend(other.intervals.iter().copied());
         self.intervals
             .make_contiguous()
             .sort_by_key(|iv| (iv.start_us, iv.track));
-        while self.intervals.len() > TIMELINE_INTERVAL_CAP {
+        while self.intervals.len() > self.caps.intervals {
             self.intervals.pop_front();
+        }
+        self.topks.extend(other.topks.iter().cloned());
+        self.topks
+            .make_contiguous()
+            .sort_by_key(|s| (s.t_us, s.dim));
+        while self.topks.len() > self.caps.topks {
+            self.topks.pop_front();
         }
     }
 
@@ -538,6 +671,96 @@ impl Timeline {
                 kind: intern_kind(&kind),
                 start_us,
                 dur_us,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Renders the top-K snapshot log as one JSON object per line in
+    /// retained order: `{"t_us":…,"dim":"…","total":…,"entries":
+    /// [{"entity":…,"count":…,"err":…},…]}` with entries in ranked
+    /// order (count descending, entity ascending on ties).
+    pub fn topks_ndjson(&self) -> String {
+        let mut out = String::new();
+        for s in &self.topks {
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"dim\":\"{}\",\"total\":{},\"entries\":[",
+                s.t_us,
+                json_escape(s.dim),
+                s.total
+            ));
+            for (i, e) in s.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"entity\":{},\"count\":{},\"err\":{}}}",
+                    e.entity, e.count, e.err
+                ));
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parses a top-K snapshot log back from
+    /// [`topks_ndjson`](Timeline::topks_ndjson) output; unknown
+    /// dimensions collapse to `"other"` rather than failing (same
+    /// policy as interval kinds).
+    pub fn topks_from_ndjson(s: &str) -> Result<Vec<TopKSnapshot>, String> {
+        let mut out = Vec::new();
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("topk ndjson line {}: {what}: {line}", ln + 1);
+            let rest = line
+                .strip_prefix("{\"t_us\":")
+                .ok_or_else(|| err("missing t_us"))?;
+            let (t_us, rest) = take_u64(rest).ok_or_else(|| err("bad t_us"))?;
+            let rest = rest
+                .strip_prefix(",\"dim\":\"")
+                .ok_or_else(|| err("missing dim"))?;
+            let (dim, rest) = take_json_string(rest).ok_or_else(|| err("unterminated dim"))?;
+            let rest = rest
+                .strip_prefix(",\"total\":")
+                .ok_or_else(|| err("missing total"))?;
+            let (total, rest) = take_u64(rest).ok_or_else(|| err("bad total"))?;
+            let mut rest = rest
+                .strip_prefix(",\"entries\":[")
+                .ok_or_else(|| err("missing entries"))?;
+            let mut entries = Vec::new();
+            while let Some(r) = rest.strip_prefix("{\"entity\":") {
+                let (entity, r) = take_u64(r).ok_or_else(|| err("bad entity"))?;
+                let r = r
+                    .strip_prefix(",\"count\":")
+                    .ok_or_else(|| err("missing count"))?;
+                let (count, r) = take_u64(r).ok_or_else(|| err("bad count"))?;
+                let r = r
+                    .strip_prefix(",\"err\":")
+                    .ok_or_else(|| err("missing err"))?;
+                let (e, r) = take_u64(r).ok_or_else(|| err("bad err"))?;
+                entries.push(TopKEntry {
+                    entity,
+                    count,
+                    err: e,
+                });
+                rest = r
+                    .strip_prefix('}')
+                    .ok_or_else(|| err("unterminated entry"))?;
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r;
+                }
+            }
+            if rest != "]}" {
+                return Err(err("trailing content"));
+            }
+            out.push(TopKSnapshot {
+                t_us,
+                dim: intern_dim(&dim),
+                total,
+                entries,
             });
         }
         Ok(out)
@@ -1239,6 +1462,39 @@ mod tests {
         assert_eq!(full.intervals().len(), TIMELINE_INTERVAL_CAP);
         assert_eq!(evicted, 10);
         assert_eq!(full.intervals().next().unwrap().start_us, 10);
+        // Caps are runtime-configurable (ISSUE 10 satellite): an
+        // override string tightens the same bound without recompiling.
+        let caps = TimelineCaps::parse("intervals=16, exemplars=8,topks=4").unwrap();
+        assert_eq!(
+            caps,
+            TimelineCaps {
+                exemplars: 8,
+                intervals: 16,
+                topks: 4
+            }
+        );
+        let mut tight = Timeline::with_caps(1, caps);
+        let mut evicted = 0u64;
+        for i in 0..20u64 {
+            evicted += tight.push_interval(BusyInterval {
+                track: 0,
+                kind: KIND_DISPATCH,
+                start_us: i,
+                dur_us: 1,
+            });
+        }
+        assert_eq!(tight.intervals().len(), 16);
+        assert_eq!(evicted, 4);
+        // Partial overrides keep compiled defaults; garbage is loud.
+        let partial = TimelineCaps::parse("exemplars=100").unwrap();
+        assert_eq!(partial.intervals, TIMELINE_INTERVAL_CAP);
+        assert_eq!(partial.topks, TIMELINE_TOPK_CAP);
+        assert_eq!(TimelineCaps::parse("").unwrap(), TimelineCaps::default());
+        assert!(TimelineCaps::parse("exemplars=lots").is_err());
+        assert!(TimelineCaps::parse("mystery=4").is_err());
+        assert!(TimelineCaps::parse("exemplars").is_err());
+        // Zero clamps to 1 (a cap of 0 would make every push a drop).
+        assert_eq!(TimelineCaps::parse("topks=0").unwrap().topks, 1);
         // Merge carries both streams across.
         let mut merged = Timeline::new(0);
         merged.merge(&t);
@@ -1249,6 +1505,94 @@ mod tests {
             KIND_COMMIT,
             "sorted by start_us"
         );
+    }
+
+    /// The top-K stream (ISSUE 10): snapshots live beside the sample
+    /// series, export as their own ndjson file, re-parse byte-for-byte,
+    /// stay bounded, and merge deterministically.
+    #[test]
+    fn topk_snapshots_round_trip_and_stay_bounded() {
+        use crate::sketch::{TopKEntry, TopKSnapshot, DIM_SUB_BYTES, DIM_SUB_LAG};
+        let mut t = Timeline::with_caps(
+            500,
+            TimelineCaps {
+                topks: 3,
+                ..TimelineCaps::default()
+            },
+        );
+        t.record(500, "g", 1.0);
+        assert_eq!(
+            t.push_topk(TopKSnapshot {
+                t_us: 500,
+                dim: DIM_SUB_LAG,
+                total: 5_010,
+                entries: vec![
+                    TopKEntry {
+                        entity: 42,
+                        count: 5_000,
+                        err: 0
+                    },
+                    TopKEntry {
+                        entity: 7,
+                        count: 10,
+                        err: 2
+                    },
+                ],
+            }),
+            0
+        );
+        t.push_topk(TopKSnapshot {
+            t_us: 500,
+            dim: DIM_SUB_BYTES,
+            total: 0,
+            entries: vec![],
+        });
+        // Sample exports stay sample-only.
+        assert_eq!(t.to_ndjson().lines().count(), 1);
+        let nd = t.topks_ndjson();
+        assert!(
+            nd.starts_with(
+                "{\"t_us\":500,\"dim\":\"slowest_subs_by_lag\",\"total\":5010,\
+                 \"entries\":[{\"entity\":42,\"count\":5000,\"err\":0},"
+            ),
+            "{nd}"
+        );
+        let parsed = Timeline::topks_from_ndjson(&nd).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], *t.topks().next().unwrap());
+        let mut back = Timeline::new(500);
+        for s in parsed {
+            back.push_topk(s);
+        }
+        assert_eq!(back.topks_ndjson(), nd);
+        // Unknown dims collapse to "other"; garbage is rejected.
+        let odd = Timeline::topks_from_ndjson(
+            "{\"t_us\":1,\"dim\":\"weird\",\"total\":1,\
+             \"entries\":[{\"entity\":1,\"count\":1,\"err\":0}]}\n",
+        )
+        .unwrap();
+        assert_eq!(odd[0].dim, "other");
+        assert!(Timeline::topks_from_ndjson("{\"bogus\":1}\n").is_err());
+        // Bounded: pushes past the cap evict the oldest and report it.
+        let mut evicted = 0u64;
+        for i in 0..5u64 {
+            evicted += t.push_topk(TopKSnapshot {
+                t_us: 1_000 + i,
+                dim: DIM_SUB_LAG,
+                total: 1,
+                entries: vec![],
+            });
+        }
+        assert_eq!(t.topks().len(), 3);
+        assert_eq!(evicted, 4);
+        // Merge carries the stream across sorted by (t_us, dim).
+        let mut merged = Timeline::new(0);
+        merged.merge(&t);
+        assert_eq!(merged.topks().len(), 3);
+        assert!(merged
+            .topks()
+            .zip(merged.topks().skip(1))
+            .all(|(a, b)| a.t_us <= b.t_us));
     }
 
     /// The `/healthz` satellite: liveness route answers 200 with the

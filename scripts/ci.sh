@@ -93,6 +93,31 @@ if xp doctor diff target/ci-bundles/clean/fig4 target/ci-bundles/degraded/fig4; 
 fi
 echo "ok: bundles written, check clean, diff gate proven able to fail"
 
+echo "== top-K attribution: planted slow consumer =="
+# The --slow-sub drill plants one subscriber with an ancient checkpoint
+# (DESIGN.md §18); the run itself asserts the sketch names it and that
+# lag_skew fires then clears. Here the bundle is additionally checked
+# from the outside: the planted entity (id = --subs) is on the topk
+# timeline, both alert transitions landed in alerts.ndjson, and the
+# labeled topk_* gauges pass the same Prometheus grammar gate as every
+# other export.
+xp --quick --slow-sub --subs 2000 --bundle-out target/ci-bundles/slow mega_subs
+slow=target/ci-bundles/slow/mega_subs
+grep -q '"dim":"slowest_subs_by_lag"' "$slow/topk.ndjson" \
+  || { echo "slow-sub bundle missing the lag dimension"; exit 1; }
+grep -q '"entity":2000' "$slow/topk.ndjson" \
+  || { echo "planted subscriber 2000 absent from topk.ndjson"; exit 1; }
+grep -q '"rule":"lag_skew".*"state":"firing".*top slowest_subs_by_lag entity 2000' "$slow/alerts.ndjson" \
+  || { echo "firing lag_skew alert does not name the planted laggard"; exit 1; }
+grep -q '"rule":"lag_skew".*"state":"cleared"' "$slow/alerts.ndjson" \
+  || { echo "lag_skew never cleared after recovery"; exit 1; }
+validate_prom "$slow/snapshot.prom"
+grep -q '^topk_weight{dim="slowest_subs_by_lag",entity="2000"}' "$slow/snapshot.prom" \
+  || { echo "snapshot.prom missing the labeled topk_weight gauge"; exit 1; }
+xp doctor inspect "$slow" --topk | grep -q '^## top-k attribution' \
+  || { echo "doctor inspect rendered no top-k section"; exit 1; }
+echo "ok: planted laggard attributed, alert fired+cleared, labeled gauges parse"
+
 echo "== tail forensics: exemplars + chrome trace export =="
 # The degraded fig4 bundle is the interesting one: its inflated tail
 # must surface exemplars, and the exported Chrome trace must be a
